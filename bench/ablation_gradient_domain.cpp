@@ -1,0 +1,80 @@
+// Ablation — gradient-descent inversion vs location-domain size.
+//
+// The paper finds the gradient-descent attack weak (<16% top-3) and
+// hypothesizes this is "due to the large domain size and discrete nature"
+// of mobility locations (150 buildings / 2956 APs). At this repo's reduced
+// default scale (40 buildings) the gradient attack is much stronger, so
+// this ablation tests the paper's hypothesis directly: run the same attack
+// against the building-level (40-class) and AP-level (435-class) models.
+// If the hypothesis holds, accuracy should fall sharply with domain size.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/attack_runner.hpp"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+AttackSweep gradient_sweep(Pipeline& pipeline) {
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kGradientDescent;
+  config.ks = {1, 3};
+  config.max_windows = 8;  // per-window optimization is the cost driver
+  attack::GradientAttackConfig gradient_config;
+  return run_gradient_over_users(pipeline, config, attack::PriorKind::kTrue,
+                                 gradient_config);
+}
+
+AttackSweep time_based_sweep(Pipeline& pipeline) {
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {1, 3};
+  config.max_windows = 8;
+  return run_attack_over_users(pipeline, config, attack::PriorKind::kTrue);
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = ScaleConfig::from_env();
+  Pipeline buildings(scale, mobility::SpatialLevel::kBuilding);
+  Pipeline aps(scale, mobility::SpatialLevel::kAp);
+  print_banner(std::cout,
+               "Ablation: gradient-descent attack vs location-domain size");
+  print_scale_banner(buildings);
+
+  const auto gd_bldg = gradient_sweep(buildings);
+  const auto gd_ap = gradient_sweep(aps);
+  const auto tb_bldg = time_based_sweep(buildings);
+  const auto tb_ap = time_based_sweep(aps);
+
+  Table table({"level (domain size)", "gradient top-3 %",
+               "time-based top-3 %", "paper GD"});
+  table.add_row({"building (" + std::to_string(buildings.spec().num_locations)
+                     + " classes)",
+                 Table::num(gd_bldg.mean_at(3), 1),
+                 Table::num(tb_bldg.mean_at(3), 1),
+                 "<16% at 150 classes"});
+  table.add_row({"AP (" + std::to_string(aps.spec().num_locations) +
+                     " classes)",
+                 Table::num(gd_ap.mean_at(3), 1),
+                 Table::num(tb_ap.mean_at(3), 1), ""});
+  std::cout << table;
+
+  const double drop = gd_bldg.mean_at(3) - gd_ap.mean_at(3);
+  std::cout << "gradient accuracy drop from 40 to "
+            << aps.spec().num_locations << " classes: "
+            << Table::num(drop, 1)
+            << " points (paper hypothesis: GD degrades with domain size)\n";
+  std::cout << "shape (GD weakens with domain size faster than TB): "
+            << ((drop > 0.0 &&
+                 drop > (tb_bldg.mean_at(3) - tb_ap.mean_at(3)))
+                    ? "HOLDS"
+                    : "DIFFERS")
+            << "\n";
+  return 0;
+}

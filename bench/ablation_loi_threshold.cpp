@@ -1,0 +1,51 @@
+// Ablation — the locations-of-interest search-space reduction.
+//
+// Section III-B2 proposes pruning the enumeration space to locations whose
+// observed confidence ever reaches a threshold ("i.e. 1%"). This ablation
+// sweeps that threshold and reports the attack accuracy / query cost
+// trade-off: too-aggressive pruning drops the true location from the guess
+// set; too-lax pruning pays brute-force-like query counts.
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "harness/attack_runner.hpp"
+
+int main() {
+  using namespace pelican;
+  using namespace pelican::bench;
+
+  Pipeline pipeline(ScaleConfig::from_env(),
+                    mobility::SpatialLevel::kBuilding);
+  print_banner(std::cout,
+               "Ablation: locations-of-interest threshold (A1, time-based, "
+               "true prior)");
+  print_scale_banner(pipeline);
+
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {1, 3};
+
+  Table table({"LOI threshold", "attack top-3 %", "queries/window",
+               "seconds total"});
+  for (const double threshold : {0.10, 0.05, 0.01, 0.001, 1e-6}) {
+    config.loi_threshold = threshold;
+    const auto sweep =
+        run_attack_over_users(pipeline, config, attack::PriorKind::kTrue);
+    std::size_t windows = 0;
+    for (const auto& result : sweep.per_user) {
+      windows += result.windows_attacked;
+    }
+    std::ostringstream t;
+    t << threshold;
+    table.add_row({t.str(), Table::num(sweep.mean_at(3), 1),
+                   Table::num(static_cast<double>(sweep.total_queries) /
+                              static_cast<double>(windows), 0),
+                   Table::num(sweep.total_seconds, 2)});
+  }
+  std::cout << table;
+  std::cout << "paper uses 1%: accuracy should be near-flat down the sweep "
+               "while query cost explodes at the loose end\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2b — impact of adversarial knowledge: A1 (knows x_{t-2}),
+// A2 (knows x_{t-1}) and A3 (knows neither) all mount the time-based
+// attack.
+//
+// Paper shape: all three adversaries perform effectively and equivalently —
+// even A3, with no historical features at all, does not degrade.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/attack_runner.hpp"
+
+int main() {
+  using namespace pelican;
+  using namespace pelican::bench;
+
+  Pipeline pipeline(ScaleConfig::from_env(), mobility::SpatialLevel::kBuilding);
+  print_banner(std::cout,
+               "Figure 2b: adversarial knowledge (time-based, true prior)");
+  print_scale_banner(pipeline);
+
+  attack::InversionConfig config;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {1, 3, 5, 7};
+
+  config.adversary = attack::Adversary::kA1;
+  const auto a1 = run_attack_over_users(pipeline, config,
+                                        attack::PriorKind::kTrue);
+  config.adversary = attack::Adversary::kA2;
+  const auto a2 = run_attack_over_users(pipeline, config,
+                                        attack::PriorKind::kTrue);
+  config.adversary = attack::Adversary::kA3;
+  const auto a3 = run_attack_over_users(pipeline, config,
+                                        attack::PriorKind::kTrue);
+
+  Table table({"top-k", "A1 %", "A2 %", "A3 %", "paper"});
+  for (std::size_t i = 0; i < config.ks.size(); ++i) {
+    table.add_row({std::to_string(config.ks[i]),
+                   Table::num(a1.mean_topk[i]), Table::num(a2.mean_topk[i]),
+                   Table::num(a3.mean_topk[i]),
+                   "A1 ~= A2 ~= A3 (~78 @k=3)"});
+  }
+  std::cout << table;
+
+  const double spread =
+      std::max({a1.mean_at(3), a2.mean_at(3), a3.mean_at(3)}) -
+      std::min({a1.mean_at(3), a2.mean_at(3), a3.mean_at(3)});
+  std::cout << "top-3 spread across adversaries: " << Table::num(spread, 1)
+            << " points; shape (equivalent adversaries): "
+            << (spread < 25.0 ? "HOLDS" : "DIFFERS") << "\n";
+  return 0;
+}

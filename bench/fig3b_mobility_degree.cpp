@@ -1,0 +1,67 @@
+// Figure 3b — impact of degree of mobility: per-user attack accuracy
+// against the number of distinct locations the user visits, at both
+// spatial levels, with the regression analysis the paper reports.
+//
+// Paper shape: WEAK correlation — r = 0.337 (building) and 0.107 (AP); the
+// attack works regardless of how mobile the user is.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/attack_runner.hpp"
+#include "mobility/trace_stats.hpp"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+stats::Correlation analyze(Pipeline& pipeline, Table& table) {
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {3};
+  const auto sweep =
+      run_attack_over_users(pipeline, config, attack::PriorKind::kTrue);
+
+  std::vector<double> mobility_degree, attack_accuracy;
+  for (std::size_t u = 0; u < pipeline.users().size(); ++u) {
+    mobility_degree.push_back(static_cast<double>(degree_of_mobility(
+        pipeline.users()[u].trajectory, pipeline.level())));
+    attack_accuracy.push_back(100.0 * sweep.per_user[u].at_k(3));
+    table.add_row({std::string(mobility::to_string(pipeline.level())),
+                   std::to_string(pipeline.users()[u].persona.user_id),
+                   Table::num(mobility_degree.back(), 0),
+                   Table::num(attack_accuracy.back(), 1)});
+  }
+  return stats::pearson(mobility_degree, attack_accuracy);
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = ScaleConfig::from_env();
+  Pipeline buildings(scale, mobility::SpatialLevel::kBuilding);
+  Pipeline aps(scale, mobility::SpatialLevel::kAp);
+  print_banner(std::cout,
+               "Figure 3b: degree of mobility vs privacy leakage (top-3)");
+  print_scale_banner(buildings);
+
+  Table table({"level", "user", "#distinct locations", "attack top-3 %"});
+  const auto bldg_corr = analyze(buildings, table);
+  const auto ap_corr = analyze(aps, table);
+  std::cout << table;
+
+  Table summary({"level", "pearson r", "p-value", "paper r", "paper p"});
+  summary.add_row({"bldg", Table::num(bldg_corr.r, 3),
+                   Table::num(bldg_corr.p_value, 4), "0.337", "<=0.05"});
+  summary.add_row({"ap", Table::num(ap_corr.r, 3),
+                   Table::num(ap_corr.p_value, 4), "0.107", "<=0.05"});
+  std::cout << summary;
+
+  const bool shape_holds =
+      std::abs(bldg_corr.r) < 0.65 && std::abs(ap_corr.r) < 0.65;
+  std::cout << "shape (weak effect of mobility degree): "
+            << (shape_holds ? "HOLDS" : "DIFFERS") << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 3c — impact of mobility predictability: per-user attack accuracy
+// against the personalized model's own accuracy (the paper's proxy for
+// predictability), with regression analysis.
+//
+// Paper shape: STRONG correlation at building level (r = 0.804, p = 0.029);
+// weak at AP level (r = 0.078). More predictable users leak more — the
+// efficacy/privacy trade-off.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/attack_runner.hpp"
+#include "nn/metrics.hpp"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+stats::Correlation analyze(Pipeline& pipeline, Table& table) {
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {3};
+  const auto sweep =
+      run_attack_over_users(pipeline, config, attack::PriorKind::kTrue);
+
+  std::vector<double> model_accuracy, attack_accuracy;
+  for (std::size_t u = 0; u < pipeline.users().size(); ++u) {
+    auto& user = pipeline.users()[u];
+    const mobility::WindowDataset test(user.test_windows, pipeline.spec());
+    const double top1 = 100.0 * nn::topk_accuracy(user.model, test, 1);
+    model_accuracy.push_back(top1);
+    attack_accuracy.push_back(100.0 * sweep.per_user[u].at_k(3));
+    table.add_row({std::string(mobility::to_string(pipeline.level())),
+                   std::to_string(user.persona.user_id),
+                   Table::num(top1, 1),
+                   Table::num(attack_accuracy.back(), 1)});
+  }
+  return stats::pearson(model_accuracy, attack_accuracy);
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = ScaleConfig::from_env();
+  Pipeline buildings(scale, mobility::SpatialLevel::kBuilding);
+  Pipeline aps(scale, mobility::SpatialLevel::kAp);
+  print_banner(std::cout,
+               "Figure 3c: mobility predictability vs privacy leakage");
+  print_scale_banner(buildings);
+
+  Table table({"level", "user", "model top-1 %", "attack top-3 %"});
+  const auto bldg_corr = analyze(buildings, table);
+  const auto ap_corr = analyze(aps, table);
+  std::cout << table;
+
+  Table summary({"level", "pearson r", "p-value", "paper r", "paper p"});
+  summary.add_row({"bldg", Table::num(bldg_corr.r, 3),
+                   Table::num(bldg_corr.p_value, 4), "0.804", "0.029"});
+  summary.add_row({"ap", Table::num(ap_corr.r, 3),
+                   Table::num(ap_corr.p_value, 4), "0.078", "0.031 (n.s.)"});
+  std::cout << summary;
+
+  const bool shape_holds = bldg_corr.r > 0.3 && bldg_corr.r > ap_corr.r - 0.1;
+  std::cout << "shape (predictability drives building-level leakage): "
+            << (shape_holds ? "HOLDS" : "DIFFERS") << "\n";
+  return 0;
+}

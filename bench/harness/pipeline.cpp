@@ -1,0 +1,236 @@
+#include "harness/pipeline.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace pelican::bench {
+
+namespace {
+
+constexpr std::uint32_t kCacheFormatVersion = 1;
+
+std::string level_tag(mobility::SpatialLevel level) {
+  return level == mobility::SpatialLevel::kBuilding ? "bldg" : "ap";
+}
+
+}  // namespace
+
+ScaleConfig ScaleConfig::from_env() {
+  ScaleConfig config;
+  const char* env = std::getenv("PELICAN_BENCH_SCALE");
+  const std::string scale = env == nullptr ? "default" : env;
+  if (scale == "tiny") {
+    config.name = "tiny";
+    config.buildings = 12;
+    config.aps_per_building = 4;
+    config.contributors = 6;
+    config.users = 4;
+    config.weeks = 4;
+    config.hidden_dim = 24;
+    config.general_epochs = 4;
+    config.personal_epochs = 6;
+    config.attack_windows_per_user = 10;
+  } else if (scale == "paper") {
+    config.name = "paper";
+    config.buildings = 150;
+    config.aps_per_building = 20;
+    config.contributors = 200;
+    config.users = 100;
+    config.weeks = 10;
+    config.hidden_dim = 128;
+    config.general_epochs = 10;
+    config.personal_epochs = 15;
+    config.attack_windows_per_user = 50;
+  } else if (scale != "default" && !scale.empty()) {
+    std::cerr << "warning: unknown PELICAN_BENCH_SCALE '" << scale
+              << "', using default\n";
+  }
+  return config;
+}
+
+std::string ScaleConfig::cache_key() const {
+  std::ostringstream key;
+  key << name << "-b" << buildings << "-a" << aps_per_building << "-c"
+      << contributors << "-u" << users << "-w" << weeks << "-h" << hidden_dim
+      << "-ge" << general_epochs << "-pe" << personal_epochs << "-s" << seed;
+  return key.str();
+}
+
+std::filesystem::path Pipeline::cache_root() {
+  const char* env = std::getenv("PELICAN_CACHE_DIR");
+  return env == nullptr ? std::filesystem::path("build/bench_cache")
+                        : std::filesystem::path(env);
+}
+
+Pipeline::Pipeline(const ScaleConfig& scale, mobility::SpatialLevel level)
+    : scale_(scale), level_(level) {
+  build_world();
+  train_or_load();
+}
+
+void Pipeline::build_world() {
+  mobility::CampusConfig campus_config;
+  campus_config.buildings = scale_.buildings;
+  campus_config.mean_aps_per_building = scale_.aps_per_building;
+  campus_ = mobility::Campus::generate(campus_config, scale_.seed);
+  spec_ = mobility::EncodingSpec::for_campus(campus_, level_);
+
+  Rng rng(scale_.seed);
+  const mobility::PersonaConfig persona_config;
+  const mobility::SimulationConfig sim_config{.weeks = scale_.weeks};
+
+  // Contributors (set G) and users (set P) are disjoint by construction.
+  std::vector<mobility::Window> pooled;
+  for (std::size_t u = 0; u < scale_.contributors; ++u) {
+    Rng persona_rng = rng.fork(u + 1);
+    const auto persona = mobility::generate_persona(
+        campus_, static_cast<std::uint32_t>(u), persona_config, persona_rng);
+    const auto trajectory =
+        mobility::simulate(campus_, persona, sim_config, rng.fork(100000 + u));
+    const auto windows = mobility::make_windows(trajectory, level_);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+  contributor_data_ =
+      std::make_unique<mobility::WindowDataset>(std::move(pooled), spec_);
+
+  users_.clear();
+  users_.reserve(scale_.users);
+  for (std::size_t u = 0; u < scale_.users; ++u) {
+    const std::size_t global_id = scale_.contributors + u;
+    UserArtifacts user;
+    Rng persona_rng = rng.fork(global_id + 1);
+    user.persona = mobility::generate_persona(
+        campus_, static_cast<std::uint32_t>(global_id), persona_config,
+        persona_rng);
+    user.trajectory = mobility::simulate(campus_, user.persona, sim_config,
+                                         rng.fork(100000 + global_id));
+    const auto windows = mobility::make_windows(user.trajectory, level_);
+    auto split = mobility::split_windows(windows, 0.8);
+    user.train_windows = std::move(split.train);
+    user.test_windows = std::move(split.test);
+    users_.push_back(std::move(user));
+  }
+}
+
+models::PersonalizationConfig Pipeline::personalization_config() const {
+  models::PersonalizationConfig config;
+  config.method = models::PersonalizationMethod::kFeatureExtraction;
+  config.train.epochs = scale_.personal_epochs;
+  config.train.batch_size = 32;
+  config.train.lr = 1e-3;
+  config.train.weight_decay = 1e-6;
+  config.fresh_hidden_dim = scale_.hidden_dim / 2;
+  config.seed = scale_.seed + 17;
+  return config;
+}
+
+void Pipeline::train_or_load() {
+  const auto dir = cache_root() / (scale_.cache_key() + "-" +
+                                   level_tag(level_));
+  std::filesystem::create_directories(dir);
+  const auto general_path = dir / "general.bin";
+
+  bool loaded = false;
+  if (std::filesystem::exists(general_path)) {
+    try {
+      general_ = nn::SequenceClassifier::load_file(general_path);
+      loaded = true;
+      for (std::size_t u = 0; u < users_.size(); ++u) {
+        const auto user_path =
+            dir / ("user" + std::to_string(u) + "-fe.bin");
+        users_[u].model = nn::SequenceClassifier::load_file(user_path);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "cache incomplete (" << e.what() << "); retraining\n";
+      loaded = false;
+    }
+  }
+  if (loaded) return;
+
+  trained_fresh_ = true;
+  std::cerr << "[pipeline] training general model (" << level_tag(level_)
+            << ", " << contributor_data_->size() << " windows)...\n";
+  models::GeneralModelConfig general_config;
+  general_config.hidden_dim = scale_.hidden_dim;
+  general_config.dropout = 0.1;
+  general_config.train.epochs = scale_.general_epochs;
+  general_config.train.batch_size = 128;
+  general_config.train.lr = 1e-3;
+  general_config.train.weight_decay = 1e-6;
+  general_config.seed = scale_.seed + 3;
+  {
+    PhaseTimer timer;
+    general_ =
+        models::train_general_model(*contributor_data_, general_config).model;
+    general_cost_ = timer.stop();
+  }
+  general_.save_file(general_path);
+
+  std::cerr << "[pipeline] personalizing " << users_.size() << " users...\n";
+  PhaseTimer personal_timer;
+  const auto config = personalization_config();
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    const mobility::WindowDataset data(users_[u].train_windows, spec_);
+    users_[u].model = models::personalize(general_, data, config).model;
+    users_[u].model.save_file(dir /
+                              ("user" + std::to_string(u) + "-fe.bin"));
+  }
+  personalization_cost_ = personal_timer.stop();
+  // Store a per-user average so the overhead bench reports the paper's
+  // "seconds per personalization" framing.
+  if (!users_.empty()) {
+    personalization_cost_.wall_seconds /=
+        static_cast<double>(users_.size());
+    personalization_cost_.cpu_seconds /= static_cast<double>(users_.size());
+    personalization_cost_.est_cycles /= users_.size();
+  }
+}
+
+models::PersonalizedModel Pipeline::personalized(
+    std::size_t user_index, models::PersonalizationMethod method,
+    int weeks) {
+  const auto dir = cache_root() / (scale_.cache_key() + "-" +
+                                   level_tag(level_));
+  std::filesystem::create_directories(dir);
+  std::ostringstream name;
+  name << "user" << user_index << "-" << static_cast<int>(method) << "-w"
+       << weeks << ".bin";
+  const auto path = dir / name.str();
+
+  models::PersonalizedModel result;
+  if (std::filesystem::exists(path)) {
+    try {
+      result.model = nn::SequenceClassifier::load_file(path);
+      return result;
+    } catch (const std::exception&) {
+      // fall through to retrain
+    }
+  }
+
+  const auto& user = users_.at(user_index);
+  std::vector<mobility::Window> windows =
+      weeks == 0 ? user.train_windows
+                 : mobility::windows_in_first_weeks(user.train_windows,
+                                                    weeks);
+  const mobility::WindowDataset data(std::move(windows), spec_);
+  auto config = personalization_config();
+  config.method = method;
+  result = models::personalize(general_, data, config);
+  result.model.save_file(path);
+  return result;
+}
+
+void print_scale_banner(const Pipeline& pipeline) {
+  const auto& s = pipeline.scale();
+  std::cout << "scale=" << s.name << " level="
+            << mobility::to_string(pipeline.level())
+            << " buildings=" << pipeline.campus().num_buildings()
+            << " aps=" << pipeline.campus().num_aps()
+            << " contributors=" << s.contributors << " users=" << s.users
+            << " weeks=" << s.weeks << " hidden=" << s.hidden_dim << "\n";
+}
+
+}  // namespace pelican::bench

@@ -1,0 +1,129 @@
+// Shared experiment pipeline for all bench binaries.
+//
+// Builds the synthetic campus world at a configurable scale, trains the
+// general model and per-user personalized models, and caches every trained
+// model on disk (keyed by scale + spatial level + method) so the 13
+// experiment binaries re-train the pipeline once, not 13 times.
+//
+// Scale is selected with PELICAN_BENCH_SCALE:
+//   tiny    — seconds; for smoke-testing the suite
+//   default — minutes; reproduces every paper shape at reduced size
+//   paper   — the paper's counts (200 contributors, 100 users, 150
+//             buildings, ~3000 APs); hours on a laptop-class CPU
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "mobility/campus.hpp"
+#include "mobility/dataset.hpp"
+#include "mobility/persona.hpp"
+#include "mobility/simulator.hpp"
+#include "models/general.hpp"
+#include "models/personalize.hpp"
+#include "nn/model.hpp"
+
+namespace pelican::bench {
+
+struct ScaleConfig {
+  std::string name = "default";
+  std::size_t buildings = 40;
+  std::size_t aps_per_building = 10;
+  std::size_t contributors = 24;
+  std::size_t users = 12;
+  int weeks = 10;
+  std::size_t hidden_dim = 64;
+  std::size_t general_epochs = 8;
+  std::size_t personal_epochs = 12;
+  std::size_t attack_windows_per_user = 20;
+  std::uint64_t seed = 2021;  // the paper's year; any constant works
+
+  /// Reads PELICAN_BENCH_SCALE (tiny | default | paper).
+  static ScaleConfig from_env();
+
+  /// Stable cache key covering every field that affects trained artifacts.
+  [[nodiscard]] std::string cache_key() const;
+};
+
+/// Everything the experiments need about one personalized user.
+struct UserArtifacts {
+  mobility::Persona persona;
+  mobility::Trajectory trajectory;
+  std::vector<mobility::Window> train_windows;
+  std::vector<mobility::Window> test_windows;
+  nn::SequenceClassifier model;  ///< TL FE personalized (the paper default).
+};
+
+class Pipeline {
+ public:
+  /// Builds (or loads from cache) the full pipeline at one spatial level.
+  Pipeline(const ScaleConfig& scale, mobility::SpatialLevel level);
+
+  [[nodiscard]] const ScaleConfig& scale() const noexcept { return scale_; }
+  [[nodiscard]] mobility::SpatialLevel level() const noexcept {
+    return level_;
+  }
+  [[nodiscard]] const mobility::Campus& campus() const noexcept {
+    return campus_;
+  }
+  [[nodiscard]] const mobility::EncodingSpec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] const nn::SequenceClassifier& general() const noexcept {
+    return general_;
+  }
+  [[nodiscard]] std::vector<UserArtifacts>& users() noexcept { return users_; }
+
+  /// Pooled contributor windows (the general model's training set).
+  [[nodiscard]] const mobility::WindowDataset& contributor_data() const {
+    return *contributor_data_;
+  }
+
+  /// Cost of the cloud phase / mean per-user cost of the device phase.
+  /// Measured on a cache miss; zero when loaded from cache (re-measured by
+  /// the overhead bench, which forces retraining).
+  [[nodiscard]] const PhaseCost& general_cost() const noexcept {
+    return general_cost_;
+  }
+  [[nodiscard]] const PhaseCost& personalization_cost() const noexcept {
+    return personalization_cost_;
+  }
+  [[nodiscard]] bool trained_fresh() const noexcept { return trained_fresh_; }
+
+  /// Trains (or loads) a personalized model for `user_index` with an
+  /// arbitrary method and training-week budget; cached on disk.
+  /// `weeks = 0` means the full training split.
+  [[nodiscard]] models::PersonalizedModel personalized(
+      std::size_t user_index, models::PersonalizationMethod method,
+      int weeks = 0);
+
+  /// The default personalization config used throughout the benches.
+  [[nodiscard]] models::PersonalizationConfig personalization_config() const;
+
+  /// Cache root (PELICAN_CACHE_DIR, default "build/bench_cache").
+  [[nodiscard]] static std::filesystem::path cache_root();
+
+ private:
+  void build_world();
+  void train_or_load();
+
+  ScaleConfig scale_;
+  mobility::SpatialLevel level_;
+  mobility::Campus campus_;
+  mobility::EncodingSpec spec_;
+  std::unique_ptr<mobility::WindowDataset> contributor_data_;
+  nn::SequenceClassifier general_;
+  std::vector<UserArtifacts> users_;
+  PhaseCost general_cost_;
+  PhaseCost personalization_cost_;
+  bool trained_fresh_ = false;
+};
+
+/// Prints the standard bench header (scale, level, counts).
+void print_scale_banner(const Pipeline& pipeline);
+
+}  // namespace pelican::bench

@@ -1,0 +1,94 @@
+// Library-level microbenchmarks (google-benchmark): the kernels every
+// experiment sits on — GEMM, LSTM forward/backward, softmax (with the
+// privacy layer's extreme temperatures), and batched black-box queries.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/model.hpp"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::nn;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, 1.0f, rng);
+  const Matrix b = Matrix::randn(n, n, 1.0f, rng);
+  Matrix out;
+  for (auto _ : state) {
+    matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LstmForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Lstm lstm(128, 64, rng);
+  Sequence input(2, Matrix::randn(batch, 128, 1.0f, rng));
+  for (auto _ : state) {
+    auto out = lstm.forward(input, false);
+    benchmark::DoNotOptimize(out.back().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmForward)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_LstmBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Lstm lstm(128, 64, rng);
+  Sequence input(2, Matrix::randn(batch, 128, 1.0f, rng));
+  Sequence dout(2);
+  dout[1] = Matrix::randn(batch, 64, 1.0f, rng);
+  for (auto _ : state) {
+    (void)lstm.forward(input, false);
+    auto dx = lstm.backward(dout);
+    benchmark::DoNotOptimize(dx[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmBackward)->Arg(32)->Arg(256);
+
+void BM_SoftmaxTemperature(benchmark::State& state) {
+  Rng rng(4);
+  const Matrix logits = Matrix::randn(256, 150, 2.0f, rng);
+  const double temperature = state.range(0) == 0 ? 1.0 : 1e-3;
+  for (auto _ : state) {
+    auto probs = softmax(logits, temperature);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SoftmaxTemperature)->Arg(0)->Arg(1);
+
+void BM_ModelQueryBatch(benchmark::State& state) {
+  // The attack's inner loop: a batched candidate query through the
+  // two-layer model (building-scale input dim).
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto model = make_two_layer_lstm(127, 64, 40, 0.1, rng);
+  Sequence input(2, Matrix(batch, 127, 0.0f));
+  Rng fill(6);
+  for (auto& step : input) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      step(r, fill.below(127)) = 1.0f;
+    }
+  }
+  for (auto _ : state) {
+    auto probs = model.predict_proba(input);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ModelQueryBatch)->Arg(64)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

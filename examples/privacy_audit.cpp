@@ -1,0 +1,91 @@
+// Privacy audit: demonstrates the paper's central threat and defense.
+//
+// An honest-but-curious service provider with only black-box access to a
+// user's personalized model runs the time-based model-inversion attack
+// (Section III-B) to reconstruct the user's historical locations. The
+// audit attacks the same deployment with and without Pelican's privacy
+// layer and prints the leakage reduction.
+//
+// Build & run:  ./build/examples/privacy_audit
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/pelican.hpp"
+#include "mobility/persona.hpp"
+#include "mobility/simulator.hpp"
+
+using namespace pelican;
+
+int main() {
+  // Small world: campus, contributors, one victim user.
+  mobility::CampusConfig campus_config;
+  campus_config.buildings = 20;
+  campus_config.mean_aps_per_building = 5;
+  const auto campus = mobility::Campus::generate(campus_config, 11);
+  const auto spec = mobility::EncodingSpec::for_campus(
+      campus, mobility::SpatialLevel::kBuilding);
+
+  Rng rng(11);
+  const mobility::SimulationConfig sim{.weeks = 6};
+  std::vector<mobility::Window> pooled;
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    Rng persona_rng = rng.fork(u + 1);
+    const auto persona = mobility::generate_persona(
+        campus, u, mobility::PersonaConfig{}, persona_rng);
+    const auto traj = mobility::simulate(campus, persona, sim,
+                                         rng.fork(100 + u));
+    const auto windows =
+        mobility::make_windows(traj, mobility::SpatialLevel::kBuilding);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+
+  core::CloudServer cloud;
+  models::GeneralModelConfig general_config;
+  general_config.hidden_dim = 32;
+  general_config.train.epochs = 6;
+  general_config.train.lr = 2e-3;
+  (void)cloud.train_general(mobility::WindowDataset(pooled, spec),
+                            general_config);
+
+  Rng victim_rng = rng.fork(77);
+  const auto persona = mobility::generate_persona(
+      campus, 77, mobility::PersonaConfig{}, victim_rng);
+  const auto trajectory = mobility::simulate(campus, persona, sim,
+                                             rng.fork(777));
+  auto split = mobility::split_windows(
+      mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding),
+      0.8);
+
+  core::Device device(77, split.train, spec);
+  models::PersonalizationConfig personal_config;
+  personal_config.method = models::PersonalizationMethod::kFeatureExtraction;
+  personal_config.train.epochs = 8;
+  personal_config.train.lr = 2e-3;
+  device.personalize(cloud, personal_config);
+  device.set_privacy_temperature(core::PrivacyLayer::kStrongTemperature);
+
+  // The audit: attack with and without the privacy layer.
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {1, 3, 5};
+  config.max_windows = 60;
+  const core::PrivacyAudit audit = core::audit_device(
+      device, split.test, attack::PriorKind::kTrue, config);
+
+  Table table({"top-k", "leakage without defense %", "with privacy layer %",
+               "reduction %"});
+  for (std::size_t i = 0; i < config.ks.size(); ++i) {
+    table.add_row({std::to_string(config.ks[i]),
+                   Table::num(100.0 * audit.baseline.topk_accuracy[i], 1),
+                   Table::num(100.0 * audit.defended.topk_accuracy[i], 1),
+                   Table::num(audit.reduction_percent[i], 1)});
+  }
+  std::cout << "model-inversion audit of user 77 ("
+            << audit.baseline.windows_attacked << " historical windows, "
+            << "adversary A1, time-based, true prior):\n"
+            << table;
+  std::cout << "attack queries: baseline " << audit.baseline.model_queries
+            << ", defended " << audit.defended.model_queries << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The adversary's view of a deployed model: query encoded inputs, receive
+// confidence scores for every class. Pelican's deployment (with or without
+// the privacy layer) implements this interface; attacks are written against
+// it so the same attack code measures leakage before and after the defense.
+#pragma once
+
+#include <cstddef>
+
+#include "mobility/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace pelican::attack {
+
+class BlackBoxModel {
+ public:
+  virtual ~BlackBoxModel() = default;
+
+  /// Confidence scores (rows sum to 1) for a batch of encoded windows.
+  [[nodiscard]] virtual nn::Matrix query(const nn::Sequence& input) = 0;
+
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+
+  /// Encoding layout the model was trained with (needed to build candidate
+  /// inputs). Part of the service API: the provider submits inputs in this
+  /// format anyway.
+  [[nodiscard]] virtual const mobility::EncodingSpec& spec() const = 0;
+};
+
+/// Adapter exposing a raw SequenceClassifier as a black box with standard
+/// softmax confidences — a deployment *without* Pelican's privacy layer.
+class PlainBlackBox final : public BlackBoxModel {
+ public:
+  PlainBlackBox(nn::SequenceClassifier& model, mobility::EncodingSpec spec)
+      : model_(&model), spec_(spec) {}
+
+  [[nodiscard]] nn::Matrix query(const nn::Sequence& input) override {
+    return model_->predict_proba(input);
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return model_->num_classes();
+  }
+  [[nodiscard]] const mobility::EncodingSpec& spec() const override {
+    return spec_;
+  }
+
+ private:
+  nn::SequenceClassifier* model_;
+  mobility::EncodingSpec spec_;
+};
+
+}  // namespace pelican::attack

@@ -1,0 +1,188 @@
+#include "attack/gradient_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "nn/loss.hpp"
+
+namespace pelican::attack {
+
+namespace {
+
+using mobility::EncodingSpec;
+using mobility::kWindowSteps;
+using mobility::StepFeatures;
+using mobility::Window;
+
+/// Feature-block boundaries within one encoded timestep.
+struct Block {
+  std::size_t offset;
+  std::size_t size;
+};
+
+std::vector<Block> blocks_of(const EncodingSpec& spec) {
+  return {
+      {spec.entry_offset(), mobility::kEntryBins},
+      {spec.duration_offset(), mobility::kDurationBins},
+      {spec.location_offset(), spec.num_locations},
+      {spec.day_offset(), mobility::kDaysPerWeek},
+  };
+}
+
+/// Writes softmax(z / T) for each block of `z` into row 0 of `out`.
+void soften_into(const std::vector<double>& z, const EncodingSpec& spec,
+                 double temperature, nn::Matrix& out) {
+  for (const Block& block : blocks_of(spec)) {
+    double max_z = -1e300;
+    for (std::size_t i = 0; i < block.size; ++i) {
+      max_z = std::max(max_z, z[block.offset + i]);
+    }
+    double total = 0.0;
+    std::vector<double> e(block.size);
+    for (std::size_t i = 0; i < block.size; ++i) {
+      e[i] = std::exp((z[block.offset + i] - max_z) / temperature);
+      total += e[i];
+    }
+    for (std::size_t i = 0; i < block.size; ++i) {
+      out(0, block.offset + i) = static_cast<float>(e[i] / total);
+    }
+  }
+}
+
+/// Chains dL/dq (gradient w.r.t. the softened input q) through the
+/// temperature softmax back to the logits z, and applies one descent step.
+void descend(std::vector<double>& z, const nn::Matrix& q,
+             const nn::Matrix& grad_q, const EncodingSpec& spec,
+             double temperature, double lr) {
+  for (const Block& block : blocks_of(spec)) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < block.size; ++i) {
+      dot += static_cast<double>(q(0, block.offset + i)) *
+             grad_q(0, block.offset + i);
+    }
+    for (std::size_t i = 0; i < block.size; ++i) {
+      const double qi = q(0, block.offset + i);
+      const double dz =
+          qi * (static_cast<double>(grad_q(0, block.offset + i)) - dot) /
+          temperature;
+      z[block.offset + i] -= lr * dz;
+    }
+  }
+}
+
+}  // namespace
+
+InversionResult run_gradient_inversion(
+    nn::SequenceClassifier& model, const EncodingSpec& spec,
+    std::span<const Window> target_windows, std::span<const double> prior,
+    const InversionConfig& config,
+    const GradientAttackConfig& gradient_config) {
+  if (prior.size() != spec.num_locations) {
+    throw std::invalid_argument("run_gradient_inversion: prior size");
+  }
+  if (gradient_config.iterations == 0) {
+    throw std::invalid_argument("run_gradient_inversion: zero iterations");
+  }
+
+  const std::size_t step = target_step(config.adversary);
+  const bool both_unknown = config.adversary == Adversary::kA3;
+  const std::size_t limit =
+      config.max_windows == 0
+          ? target_windows.size()
+          : std::min(config.max_windows, target_windows.size());
+
+  // Log-prior bonus applied to the location block each step.
+  std::vector<double> log_prior(prior.size());
+  for (std::size_t i = 0; i < prior.size(); ++i) {
+    log_prior[i] = std::log(std::max(prior[i], 1e-9));
+  }
+
+  InversionResult result;
+  result.ks = config.ks;
+  result.topk_accuracy.assign(config.ks.size(), 0.0);
+
+  Stopwatch watch;
+  for (std::size_t w = 0; w < limit; ++w) {
+    const Window& window = target_windows[w];
+
+    // Unknown-step logits, initialized flat (uniform relaxation).
+    std::vector<std::vector<double>> z(kWindowSteps);
+    std::vector<bool> unknown(kWindowSteps, false);
+    for (std::size_t t = 0; t < kWindowSteps; ++t) {
+      unknown[t] = both_unknown || t == step;
+      if (unknown[t]) z[t].assign(spec.input_dim(), 0.0);
+    }
+
+    nn::Sequence x(kWindowSteps, nn::Matrix(1, spec.input_dim(), 0.0f));
+    // Known steps stay fixed one-hot for the whole descent.
+    for (std::size_t t = 0; t < kWindowSteps; ++t) {
+      if (!unknown[t]) {
+        const StepFeatures& s = window.steps[t];
+        x[t](0, spec.entry_offset() + s.entry_bin) = 1.0f;
+        x[t](0, spec.duration_offset() + s.duration_bin) = 1.0f;
+        x[t](0, spec.location_offset() + s.location) = 1.0f;
+        x[t](0, spec.day_offset() + s.day_of_week) = 1.0f;
+      }
+    }
+
+    const std::vector<std::int32_t> label = {
+        static_cast<std::int32_t>(window.next_location)};
+
+    for (std::size_t iter = 0; iter < gradient_config.iterations; ++iter) {
+      for (std::size_t t = 0; t < kWindowSteps; ++t) {
+        if (unknown[t]) {
+          soften_into(z[t], spec, gradient_config.input_temperature, x[t]);
+        }
+      }
+      const nn::Matrix logits = model.forward(x, /*training=*/false);
+      const auto ce = nn::softmax_cross_entropy(logits, label);
+      const nn::Sequence grad_x = model.backward(ce.grad_logits);
+      ++result.model_queries;
+
+      for (std::size_t t = 0; t < kWindowSteps; ++t) {
+        if (!unknown[t]) continue;
+        // Prior bonus: pull the location block toward a-priori likely
+        // locations (loss -= prior_weight * sum q_l log p_l).
+        nn::Matrix grad_with_prior = grad_x[t];
+        for (std::size_t l = 0; l < spec.num_locations; ++l) {
+          grad_with_prior(0, spec.location_offset() + l) -=
+              static_cast<float>(gradient_config.prior_weight *
+                                 log_prior[l]);
+        }
+        descend(z[t], x[t], grad_with_prior, spec,
+                gradient_config.input_temperature, gradient_config.lr);
+      }
+    }
+
+    // Recovered location ranking = final softened location block.
+    soften_into(z[step], spec, gradient_config.input_temperature, x[step]);
+    std::vector<double> scores(spec.num_locations);
+    for (std::size_t l = 0; l < spec.num_locations; ++l) {
+      scores[l] = x[step](0, spec.location_offset() + l);
+    }
+
+    const std::uint16_t truth = window.steps[step].location;
+    for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+      const auto top = nn::topk_indices(std::span<const double>(scores),
+                                        config.ks[ki]);
+      if (std::find(top.begin(), top.end(),
+                    static_cast<std::size_t>(truth)) != top.end()) {
+        result.topk_accuracy[ki] += 1.0;
+      }
+    }
+    ++result.windows_attacked;
+  }
+  result.attack_seconds = watch.seconds();
+
+  if (result.windows_attacked > 0) {
+    for (double& acc : result.topk_accuracy) {
+      acc /= static_cast<double>(result.windows_attacked);
+    }
+  }
+  return result;
+}
+
+}  // namespace pelican::attack

@@ -1,0 +1,87 @@
+#include "attack/prior.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pelican::attack {
+
+namespace {
+
+nn::Matrix query_windows(BlackBoxModel& model,
+                         std::span<const mobility::Window> windows) {
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(windows.size(), model.spec().input_dim(), 0.0f));
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    mobility::encode_window(windows[i], model.spec(), x, i);
+  }
+  return model.query(x);
+}
+
+}  // namespace
+
+std::vector<double> observed_output_distribution(
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows) {
+  std::vector<double> dist(model.num_classes(), 0.0);
+  if (observation_windows.empty()) {
+    throw std::invalid_argument(
+        "observed_output_distribution: no observation windows");
+  }
+  const nn::Matrix probs = query_windows(model, observation_windows);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      dist[c] += probs(r, c);
+    }
+  }
+  const double total = static_cast<double>(probs.rows());
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+std::vector<double> make_prior(
+    PriorKind kind, std::span<const mobility::Window> user_train_windows,
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows) {
+  const std::size_t m = model.num_classes();
+  switch (kind) {
+    case PriorKind::kTrue:
+      return mobility::location_marginals(user_train_windows, m);
+    case PriorKind::kNone:
+      return std::vector<double>(m, 1.0 / static_cast<double>(m));
+    case PriorKind::kPredict:
+      return observed_output_distribution(model, observation_windows);
+    case PriorKind::kEstimate: {
+      const auto observed =
+          observed_output_distribution(model, observation_windows);
+      const std::size_t top = static_cast<std::size_t>(
+          std::max_element(observed.begin(), observed.end()) -
+          observed.begin());
+      std::vector<double> prior(
+          m, m > 1 ? 0.25 / static_cast<double>(m - 1) : 0.0);
+      prior[top] = m > 1 ? 0.75 : 1.0;
+      return prior;
+    }
+  }
+  throw std::invalid_argument("make_prior: unknown prior kind");
+}
+
+std::vector<std::uint16_t> locations_of_interest(
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows, double threshold) {
+  if (observation_windows.empty()) {
+    throw std::invalid_argument("locations_of_interest: no windows");
+  }
+  const nn::Matrix probs = query_windows(model, observation_windows);
+  std::vector<std::uint16_t> interesting;
+  for (std::size_t c = 0; c < probs.cols(); ++c) {
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+      if (probs(r, c) >= threshold) {
+        interesting.push_back(static_cast<std::uint16_t>(c));
+        break;
+      }
+    }
+  }
+  return interesting;
+}
+
+}  // namespace pelican::attack

@@ -1,0 +1,43 @@
+// Adversarial prior knowledge p over the sensitive variable, and the
+// locations-of-interest filter that shrinks the enumeration space
+// (Section III-B2 / IV-B.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/blackbox.hpp"
+#include "attack/threat.hpp"
+#include "mobility/dataset.hpp"
+
+namespace pelican::attack {
+
+/// Builds the marginal prior p for a given PriorKind.
+///  - kTrue:     exact location marginals of the user's training windows;
+///  - kNone:     uniform;
+///  - kPredict:  average of model output distributions over the observation
+///               windows (the adversary watches the model for a while);
+///  - kEstimate: 75% mass on the most probable value (from observation),
+///               remainder spread evenly.
+/// `observation_windows` are inputs the service provider legitimately saw
+/// (used by kPredict/kEstimate only).
+[[nodiscard]] std::vector<double> make_prior(
+    PriorKind kind, std::span<const mobility::Window> user_train_windows,
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows);
+
+/// Averaged model-output distribution over observed inputs (the adversary's
+/// estimate of which locations the model ever predicts).
+[[nodiscard]] std::vector<double> observed_output_distribution(
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows);
+
+/// Locations whose observed confidence ever reaches `threshold` — the
+/// paper's search-space reduction ("selecting only locations with confidence
+/// greater than or equal to some threshold (i.e. 1%)").
+[[nodiscard]] std::vector<std::uint16_t> locations_of_interest(
+    BlackBoxModel& model,
+    std::span<const mobility::Window> observation_windows, double threshold);
+
+}  // namespace pelican::attack

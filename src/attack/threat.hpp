@@ -1,0 +1,76 @@
+// Threat model of Section III-B: an honest-but-curious service provider
+// with black-box access to a user's personalized model, the observed output
+// l_t, prior knowledge p of the sensitive variable, and (depending on the
+// adversary) some of the historical input features.
+//
+// Table I of the paper:
+//   A1 knows x_{t-2} and l_t, recovers l_{t-1}.
+//   A2 knows x_{t-1} and l_t, recovers l_{t-2}.
+//   A3 knows only l_t,        recovers l_{t-1} (or l_{t-2}).
+#pragma once
+
+#include <cstdint>
+
+namespace pelican::attack {
+
+enum class Adversary : std::uint8_t { kA1 = 0, kA2, kA3 };
+
+[[nodiscard]] constexpr const char* to_string(Adversary adversary) noexcept {
+  switch (adversary) {
+    case Adversary::kA1:
+      return "A1";
+    case Adversary::kA2:
+      return "A2";
+    case Adversary::kA3:
+      return "A3";
+  }
+  return "?";
+}
+
+/// How the marginal prior p over the sensitive variable is obtained
+/// (Section IV-B.3): exact training marginals, nothing (uniform), predicted
+/// by observing model outputs, or a crude 75%-mass estimate on the most
+/// probable value.
+enum class PriorKind : std::uint8_t { kTrue = 0, kNone, kPredict, kEstimate };
+
+[[nodiscard]] constexpr const char* to_string(PriorKind prior) noexcept {
+  switch (prior) {
+    case PriorKind::kTrue:
+      return "true";
+    case PriorKind::kNone:
+      return "none";
+    case PriorKind::kPredict:
+      return "predict";
+    case PriorKind::kEstimate:
+      return "estimate";
+  }
+  return "?";
+}
+
+/// Enumeration strategy (Section III-B2, evaluated in Fig. 2a / Table II).
+enum class AttackMethod : std::uint8_t {
+  kBruteForce = 0,      ///< Enumerate every feature of the unknown step.
+  kTimeBased,           ///< Exploit session contiguity; enumerate (d, l).
+  kGradientDescent,     ///< Reconstruct the input by backpropagation.
+};
+
+[[nodiscard]] constexpr const char* to_string(AttackMethod method) noexcept {
+  switch (method) {
+    case AttackMethod::kBruteForce:
+      return "brute force";
+    case AttackMethod::kTimeBased:
+      return "time-based";
+    case AttackMethod::kGradientDescent:
+      return "gradient descent";
+  }
+  return "?";
+}
+
+/// Index of the unknown (attacked) step within the 2-step window.
+/// A1 misses x_{t-1} (index 1); A2 misses x_{t-2} (index 0); A3 misses both
+/// and is scored on l_{t-1}, matching the paper's "l_{t-1} or l_{t-2}" goal.
+[[nodiscard]] constexpr std::size_t target_step(Adversary adversary) noexcept {
+  return adversary == Adversary::kA2 ? 0 : 1;
+}
+
+}  // namespace pelican::attack

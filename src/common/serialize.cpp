@@ -1,0 +1,147 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pelican {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50454C43;  // "PELC"
+
+static_assert(std::endian::native == std::endian::little,
+              "serialization assumes a little-endian host");
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::filesystem::path& path,
+                           std::uint32_t version)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw SerializeError("cannot open for writing: " + path.string());
+  }
+  write_u32(kMagic);
+  write_u32(version);
+}
+
+void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_) throw SerializeError("write failed");
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  write_raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_span(std::span<const float> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
+void BinaryWriter::write_u32_span(std::span<const std::uint32_t> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
+void BinaryWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+  if (!out_) throw SerializeError("flush failed");
+  out_.close();
+}
+
+BinaryWriter::~BinaryWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; explicit finish() reports errors.
+  }
+}
+
+BinaryReader::BinaryReader(const std::filesystem::path& path,
+                           std::uint32_t expected_version)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw SerializeError("cannot open for reading: " + path.string());
+  }
+  if (read_u32() != kMagic) {
+    throw SerializeError("bad magic in " + path.string());
+  }
+  const std::uint32_t version = read_u32();
+  if (version != expected_version) {
+    throw SerializeError("version mismatch in " + path.string() +
+                         ": found " + std::to_string(version) + ", expected " +
+                         std::to_string(expected_version));
+  }
+}
+
+void BinaryReader::read_raw(void* data, std::size_t bytes) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in_.gcount()) != bytes) {
+    throw SerializeError("truncated stream");
+  }
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> xs(n);
+  read_raw(xs.data(), n * sizeof(float));
+  return xs;
+}
+
+std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::uint32_t> xs(n);
+  read_raw(xs.data(), n * sizeof(std::uint32_t));
+  return xs;
+}
+
+}  // namespace pelican

@@ -1,0 +1,78 @@
+// Minimal binary (de)serialization with explicit little-endian layout.
+//
+// Used for model checkpoints (the Pelican "download the general model from
+// the cloud to the device" step) and for the benchmark pipeline cache.
+// The format is: a 4-byte magic, a format version, then length-prefixed
+// primitive writes. Readers validate magic/version and throw on truncation.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pelican {
+
+/// Thrown when a stream is truncated, has a bad magic, or a version mismatch.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws on I/O failure.
+  BinaryWriter(const std::filesystem::path& path, std::uint32_t version);
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_span(std::span<const float> xs);
+  void write_u32_span(std::span<const std::uint32_t> xs);
+
+  /// Flushes and closes; throws if the final flush fails. Called by the
+  /// destructor as well (errors are swallowed there), so call explicitly
+  /// when failure must be observable.
+  void finish();
+
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+ private:
+  void write_raw(const void* data, std::size_t bytes);
+
+  std::ofstream out_;
+  bool finished_ = false;
+};
+
+class BinaryReader {
+ public:
+  /// Opens `path` and validates the header against `expected_version`.
+  BinaryReader(const std::filesystem::path& path,
+               std::uint32_t expected_version);
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] float read_f32();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<float> read_f32_vector();
+  [[nodiscard]] std::vector<std::uint32_t> read_u32_vector();
+
+ private:
+  void read_raw(void* data, std::size_t bytes);
+
+  std::ifstream in_;
+};
+
+}  // namespace pelican

@@ -1,0 +1,153 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pelican::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (const double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double hi = copy[mid];
+  const double lo = *std::max_element(
+      copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Lentz's algorithm, per Numerical Recipes betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-14;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_p(double t, double dof) {
+  if (dof <= 0.0) return 1.0;
+  if (!std::isfinite(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  return incomplete_beta(0.5 * dof, 0.5, x);
+}
+
+Correlation pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  Correlation out;
+  out.n = xs.size();
+  if (out.n < 3) return out;
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return out;
+
+  out.r = sxy / std::sqrt(sxx * syy);
+  out.r = std::clamp(out.r, -1.0, 1.0);
+  out.slope = sxy / sxx;
+  out.intercept = my - out.slope * mx;
+
+  const double dof = static_cast<double>(out.n - 2);
+  const double denom = 1.0 - out.r * out.r;
+  if (denom <= 0.0) {
+    out.p_value = 0.0;
+  } else {
+    const double t = out.r * std::sqrt(dof / denom);
+    out.p_value = student_t_two_sided_p(t, dof);
+  }
+  return out;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("histogram: need bins > 0 and hi > lo");
+  }
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+}  // namespace pelican::stats

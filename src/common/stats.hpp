@@ -1,0 +1,51 @@
+// Descriptive statistics and the regression analysis used in the paper's
+// evaluation (Section IV-B.5/6 reports Pearson correlation coefficients with
+// p-values between mobility characteristics and privacy leakage).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pelican::stats {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Sample median (copies and partially sorts). Returns 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Result of a correlation / simple-regression analysis.
+struct Correlation {
+  double r = 0.0;        ///< Pearson correlation coefficient in [-1, 1].
+  double p_value = 1.0;  ///< Two-sided p-value of the t-test for r != 0.
+  double slope = 0.0;    ///< OLS slope of y on x.
+  double intercept = 0.0;
+  std::size_t n = 0;     ///< Number of paired observations.
+};
+
+/// Pearson correlation with a two-sided t-test p-value, plus the OLS fit.
+/// Degenerate inputs (n < 3 or zero variance) return r = 0, p = 1.
+[[nodiscard]] Correlation pearson(std::span<const double> xs,
+                                  std::span<const double> ys);
+
+/// Regularized incomplete beta function I_x(a, b) via continued fractions.
+/// Used for Student-t tail probabilities; exposed for testing.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value for a Student-t statistic with `dof` degrees of freedom.
+[[nodiscard]] double student_t_two_sided_p(double t, double dof);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the edge bins. Used by trace-statistics reporting.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 std::size_t bins);
+
+}  // namespace pelican::stats

@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark output.
+//
+// Every experiment binary prints the rows/series the paper reports next to
+// the measured values; this helper keeps that output aligned and consistent.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pelican {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers (the rest
+  /// render empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision, trimming to a compact cell.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Renders the table with a header rule, e.g. for std::cout << table.str().
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Prints a "== title ==" banner used by every bench binary.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace pelican

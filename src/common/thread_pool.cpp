@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace pelican {
+
+namespace {
+thread_local bool inside_pool_worker = false;
+}  // namespace
+
+/// One parallel_for invocation: a shared work counter plus completion state.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> active{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void run_share() {
+    constexpr std::size_t kChunk = 1;
+    for (;;) {
+      const std::size_t i = next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every batch, so spawn one fewer.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  inside_pool_worker = true;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
+      if (stop_) return;
+      batch = batch_;
+      batch->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch->run_share();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          batch_ == batch) {
+        // Last worker out clears nothing; the submitting thread owns cleanup.
+      }
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || inside_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  Batch batch;
+  batch.count = count;
+  batch.fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
+  wake_.notify_all();
+
+  batch.run_share();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_ = nullptr;  // stop new workers from joining this batch
+    done_.wait(lock, [&batch] {
+      return batch.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(count, fn);
+}
+
+}  // namespace pelican

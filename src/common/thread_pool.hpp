@@ -1,0 +1,57 @@
+// A small fixed-size thread pool with a parallel-for primitive.
+//
+// The library runs on modest hardware (the paper's "device" tier); the pool
+// is used to split large matrix products and embarrassingly-parallel
+// per-user loops across cores. Nested parallel_for calls from inside a
+// worker execute serially, so callers never deadlock by composing parallel
+// code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pelican {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count), blocking until all complete. Work is
+  /// divided into contiguous chunks, one per worker plus the calling thread.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized to the hardware. Lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // serializes concurrent parallel_for submissions
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* batch_ = nullptr;  // current batch, guarded by mutex_
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool. Falls back to a serial loop when
+/// called from inside a pool worker (no nested parallelism).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace pelican

@@ -1,0 +1,28 @@
+#include "common/timer.hpp"
+
+#include <ctime>
+
+namespace pelican {
+
+double process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::uint64_t estimated_cpu_cycles(double nominal_ghz) {
+  return static_cast<std::uint64_t>(process_cpu_seconds() * nominal_ghz * 1e9);
+}
+
+PhaseTimer::PhaseTimer() : cpu_start_(process_cpu_seconds()) {}
+
+PhaseCost PhaseTimer::stop() const {
+  PhaseCost cost;
+  cost.wall_seconds = wall_.seconds();
+  cost.cpu_seconds = process_cpu_seconds() - cpu_start_;
+  cost.est_cycles = static_cast<std::uint64_t>(cost.cpu_seconds * 2.2e9);
+  return cost;
+}
+
+}  // namespace pelican

@@ -1,0 +1,58 @@
+// Wall-clock timing and estimated CPU-cycle accounting.
+//
+// The paper reports personalization overhead both in seconds and in CPU
+// cycles (Section V-C2: ~43,000 billion cycles for cloud training vs ~15
+// billion for on-device personalization). We estimate cycles as
+// thread CPU time x a nominal clock rate, which preserves the ratio the
+// paper cares about without requiring perf counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pelican {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Process CPU time in seconds (sums across threads).
+[[nodiscard]] double process_cpu_seconds();
+
+/// Estimated CPU cycles consumed by the process so far, assuming a nominal
+/// clock rate. Differences of this value bracket a phase's cycle cost.
+[[nodiscard]] std::uint64_t estimated_cpu_cycles(
+    double nominal_ghz = 2.2);  // the paper's device is a 2.20 GHz Intel CPU
+
+/// Measures one phase: wall seconds plus estimated cycles.
+struct PhaseCost {
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t est_cycles = 0;
+};
+
+class PhaseTimer {
+ public:
+  PhaseTimer();
+  [[nodiscard]] PhaseCost stop() const;
+
+ private:
+  Stopwatch wall_;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace pelican

@@ -1,0 +1,64 @@
+#include "core/cloud.hpp"
+
+namespace pelican::core {
+
+std::uint32_t CloudServer::train_general(
+    const mobility::WindowDataset& contributors,
+    const models::GeneralModelConfig& config) {
+  PhaseTimer timer;
+  models::GeneralModel trained =
+      models::train_general_model(contributors, config);
+  const std::uint32_t version = next_version_++;
+  versions_.emplace(version,
+                    VersionEntry{std::move(trained.model),
+                                 std::move(trained.report), timer.stop()});
+  return version;
+}
+
+nn::SequenceClassifier CloudServer::download_general(
+    std::uint32_t version) const {
+  const auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    throw std::out_of_range("CloudServer: unknown general-model version");
+  }
+  return it->second.model.clone();
+}
+
+std::uint32_t CloudServer::latest_version() const {
+  if (versions_.empty()) {
+    throw std::logic_error("CloudServer: no general model trained yet");
+  }
+  return versions_.rbegin()->first;
+}
+
+const PhaseCost& CloudServer::training_cost(std::uint32_t version) const {
+  const auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    throw std::out_of_range("CloudServer: unknown version");
+  }
+  return it->second.cost;
+}
+
+const nn::TrainReport& CloudServer::training_report(
+    std::uint32_t version) const {
+  const auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    throw std::out_of_range("CloudServer: unknown version");
+  }
+  return it->second.report;
+}
+
+void CloudServer::host_personalized(std::uint32_t user_id,
+                                    DeployedModel model) {
+  hosted_.insert_or_assign(user_id, std::move(model));
+}
+
+DeployedModel& CloudServer::hosted_model(std::uint32_t user_id) {
+  const auto it = hosted_.find(user_id);
+  if (it == hosted_.end()) {
+    throw std::out_of_range("CloudServer: user has no hosted model");
+  }
+  return it->second;
+}
+
+}  // namespace pelican::core

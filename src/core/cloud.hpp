@@ -1,0 +1,64 @@
+// Cloud tier (Section V-A1/V-A3/V-A4): trains and versions the general
+// model, serves it for device download, and optionally hosts uploaded
+// personalized models for cloud deployment. Compute costs of each phase are
+// accounted (the paper contrasts ~43,000 billion cycles of cloud training
+// with ~15 billion of on-device personalization).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/service.hpp"
+#include "models/general.hpp"
+
+namespace pelican::core {
+
+class CloudServer {
+ public:
+  /// Trains a new general-model version on pooled contributor data and
+  /// returns its version id (monotonically increasing from 1).
+  std::uint32_t train_general(const mobility::WindowDataset& contributors,
+                              const models::GeneralModelConfig& config);
+
+  /// "Downloads" a general model to a device (returns a deep copy — the
+  /// cloud keeps serving the version to other users).
+  [[nodiscard]] nn::SequenceClassifier download_general(
+      std::uint32_t version) const;
+
+  [[nodiscard]] std::uint32_t latest_version() const;
+  [[nodiscard]] bool has_version(std::uint32_t version) const {
+    return versions_.contains(version);
+  }
+
+  /// Wall/CPU cost of training a given version.
+  [[nodiscard]] const PhaseCost& training_cost(std::uint32_t version) const;
+
+  /// Training report (losses, validation curve) of a given version.
+  [[nodiscard]] const nn::TrainReport& training_report(
+      std::uint32_t version) const;
+
+  /// Hosts a personalized model for cloud deployment; the cloud can query
+  /// it only through the privacy-preserving DeployedModel interface.
+  void host_personalized(std::uint32_t user_id, DeployedModel model);
+
+  [[nodiscard]] bool hosts_user(std::uint32_t user_id) const {
+    return hosted_.contains(user_id);
+  }
+  [[nodiscard]] DeployedModel& hosted_model(std::uint32_t user_id);
+
+ private:
+  struct VersionEntry {
+    nn::SequenceClassifier model;
+    nn::TrainReport report;
+    PhaseCost cost;
+  };
+  std::map<std::uint32_t, VersionEntry> versions_;
+  std::map<std::uint32_t, DeployedModel> hosted_;
+  std::uint32_t next_version_ = 1;
+};
+
+}  // namespace pelican::core

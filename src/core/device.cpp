@@ -1,0 +1,72 @@
+#include "core/device.hpp"
+
+#include <stdexcept>
+
+namespace pelican::core {
+
+Device::Device(std::uint32_t user_id, std::vector<mobility::Window> windows,
+               mobility::EncodingSpec spec)
+    : user_id_(user_id), data_(std::move(windows), spec), spec_(spec) {}
+
+void Device::set_privacy_temperature(double temperature) {
+  if (!(temperature > 0.0)) {
+    throw std::invalid_argument("Device: temperature must be positive");
+  }
+  temperature_ = temperature;
+}
+
+PhaseCost Device::personalize(const CloudServer& cloud,
+                              const models::PersonalizationConfig& config) {
+  PhaseTimer timer;
+  const nn::SequenceClassifier general =
+      cloud.download_general(cloud.latest_version());
+  personalized_ = models::personalize(general, data_, config);
+  last_config_ = config;
+  return timer.stop();
+}
+
+PhaseCost Device::update(std::vector<mobility::Window> new_windows,
+                         const models::PersonalizationConfig& config) {
+  if (!personalized_.has_value()) {
+    throw std::logic_error("Device::update: personalize() has not run");
+  }
+  PhaseTimer timer;
+  // Extend the private store; updates see old + new data.
+  std::vector<mobility::Window> all(data_.windows().begin(),
+                                    data_.windows().end());
+  all.insert(all.end(), new_windows.begin(), new_windows.end());
+  data_ = mobility::WindowDataset(std::move(all), spec_);
+  personalized_ =
+      models::update_personalized(personalized_->model, data_, config);
+  last_config_ = config;
+  return timer.stop();
+}
+
+DeployedModel Device::deploy_local() const {
+  return DeployedModel(personalized_model().clone(), spec_,
+                       PrivacyLayer(temperature_),
+                       DeploymentSite::kOnDevice);
+}
+
+void Device::deploy_to_cloud(CloudServer& cloud) const {
+  cloud.host_personalized(
+      user_id_,
+      DeployedModel(personalized_model().clone(), spec_,
+                    PrivacyLayer(temperature_), DeploymentSite::kInCloud));
+}
+
+const nn::SequenceClassifier& Device::personalized_model() const {
+  if (!personalized_.has_value()) {
+    throw std::logic_error("Device: model not personalized yet");
+  }
+  return personalized_->model;
+}
+
+const nn::TrainReport& Device::personalization_report() const {
+  if (!personalized_.has_value()) {
+    throw std::logic_error("Device: model not personalized yet");
+  }
+  return personalized_->report;
+}
+
+}  // namespace pelican::core

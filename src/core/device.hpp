@@ -1,0 +1,71 @@
+// Device tier (Section V-A2): holds the user's private trajectory, runs
+// transfer-learning personalization locally, applies the user-chosen
+// privacy temperature, and deploys the model (locally or by uploading to
+// the cloud). Private windows never leave the Device object — only the
+// trained model does, and only behind the privacy layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/timer.hpp"
+#include "core/cloud.hpp"
+#include "core/service.hpp"
+#include "mobility/dataset.hpp"
+#include "models/personalize.hpp"
+
+namespace pelican::core {
+
+class Device {
+ public:
+  /// `windows` is the user's private training data (kept on device);
+  /// `spec` must match the general model's encoding.
+  Device(std::uint32_t user_id, std::vector<mobility::Window> windows,
+         mobility::EncodingSpec spec);
+
+  [[nodiscard]] std::uint32_t user_id() const noexcept { return user_id_; }
+
+  /// User-chosen privacy setting; kept secret from the service provider.
+  void set_privacy_temperature(double temperature);
+  [[nodiscard]] double privacy_temperature() const noexcept {
+    return temperature_;
+  }
+
+  /// Downloads the latest general model from the cloud and personalizes it
+  /// locally. Returns the wall/CPU cost of the on-device phase.
+  PhaseCost personalize(const CloudServer& cloud,
+                        const models::PersonalizationConfig& config);
+
+  /// Re-invokes transfer learning with additional private data (model
+  /// update, Section V-A4). Requires personalize() to have run.
+  PhaseCost update(std::vector<mobility::Window> new_windows,
+                   const models::PersonalizationConfig& config);
+
+  /// Deploys locally; the returned DeployedModel lives on this device.
+  [[nodiscard]] DeployedModel deploy_local() const;
+
+  /// Uploads the (privacy-wrapped) model for cloud hosting.
+  void deploy_to_cloud(CloudServer& cloud) const;
+
+  [[nodiscard]] bool is_personalized() const noexcept {
+    return personalized_.has_value();
+  }
+  [[nodiscard]] const nn::SequenceClassifier& personalized_model() const;
+  [[nodiscard]] const nn::TrainReport& personalization_report() const;
+
+  /// The device's private dataset (for owner-side evaluation only).
+  [[nodiscard]] const mobility::WindowDataset& private_data() const noexcept {
+    return data_;
+  }
+
+ private:
+  std::uint32_t user_id_;
+  mobility::WindowDataset data_;
+  mobility::EncodingSpec spec_;
+  double temperature_ = 1.0;
+  std::optional<models::PersonalizedModel> personalized_;
+  models::PersonalizationConfig last_config_;
+};
+
+}  // namespace pelican::core

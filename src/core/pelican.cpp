@@ -1,0 +1,54 @@
+#include "core/pelican.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pelican::core {
+
+std::vector<double> leakage_reduction_percent(
+    const attack::InversionResult& baseline,
+    const attack::InversionResult& defended) {
+  if (baseline.ks != defended.ks) {
+    throw std::invalid_argument(
+        "leakage_reduction_percent: mismatched k grids");
+  }
+  std::vector<double> reduction(baseline.ks.size(), 0.0);
+  for (std::size_t i = 0; i < baseline.ks.size(); ++i) {
+    const double base = baseline.topk_accuracy[i];
+    if (base <= 0.0) continue;
+    reduction[i] =
+        std::max(0.0, 100.0 * (base - defended.topk_accuracy[i]) / base);
+  }
+  return reduction;
+}
+
+PrivacyAudit audit_device(
+    const Device& device,
+    std::span<const mobility::Window> observation_windows,
+    attack::PriorKind prior_kind, const attack::InversionConfig& config) {
+  PrivacyAudit audit;
+  const auto targets = device.private_data().windows();
+  const auto& spec = device.private_data().spec();
+
+  DeployedModel baseline(device.personalized_model().clone(), spec,
+                         PrivacyLayer(1.0), DeploymentSite::kOnDevice);
+  DeployedModel defended = device.deploy_local();
+
+  // The adversary derives its prior from whatever deployment it can query.
+  const auto baseline_prior = attack::make_prior(
+      prior_kind, targets, baseline, observation_windows);
+  const auto defended_prior = attack::make_prior(
+      prior_kind, targets, defended, observation_windows);
+
+  audit.baseline = attack::run_inversion(baseline, targets,
+                                         observation_windows, baseline_prior,
+                                         config);
+  audit.defended = attack::run_inversion(defended, targets,
+                                         observation_windows, defended_prior,
+                                         config);
+  audit.reduction_percent =
+      leakage_reduction_percent(audit.baseline, audit.defended);
+  return audit;
+}
+
+}  // namespace pelican::core

@@ -1,0 +1,41 @@
+// Umbrella header and high-level lifecycle helpers for the Pelican
+// framework. Pulls together the four phases of Fig. 4 — cloud-based initial
+// training, device-based personalization, deployment, and model updates —
+// plus the privacy audit used throughout Section V-C4: attack a deployment
+// with and without the privacy layer and report the reduction in leakage.
+#pragma once
+
+#include "attack/gradient_attack.hpp"
+#include "attack/inversion.hpp"
+#include "core/cloud.hpp"
+#include "core/device.hpp"
+#include "core/privacy_layer.hpp"
+#include "core/service.hpp"
+
+namespace pelican::core {
+
+/// Per-k percentage reduction in attack accuracy:
+/// 100 * (baseline - protected) / baseline, clamped at 0 when baseline is 0.
+/// This is the y-axis of Fig. 5a/5b/5c.
+[[nodiscard]] std::vector<double> leakage_reduction_percent(
+    const attack::InversionResult& baseline,
+    const attack::InversionResult& defended);
+
+/// Result of attacking one deployment with and without the privacy layer.
+struct PrivacyAudit {
+  attack::InversionResult baseline;   ///< T = 1 (no defense).
+  attack::InversionResult defended;   ///< Device's configured temperature.
+  std::vector<double> reduction_percent;  ///< Parallel to baseline.ks.
+};
+
+/// Audits a personalized device deployment: runs the configured inversion
+/// attack against the raw model and against the privacy-wrapped model.
+/// `observation_windows` are serving-time inputs the provider legitimately
+/// saw (used for the locations-of-interest filter and predict/estimate
+/// priors). The attack's targets are the device's private training windows.
+[[nodiscard]] PrivacyAudit audit_device(
+    const Device& device,
+    std::span<const mobility::Window> observation_windows,
+    attack::PriorKind prior_kind, const attack::InversionConfig& config);
+
+}  // namespace pelican::core

@@ -1,0 +1,4 @@
+#include "core/privacy_layer.hpp"
+
+// PrivacyLayer is header-only (a single scaled-softmax call); this
+// translation unit anchors the core library target.

@@ -1,0 +1,22 @@
+#include "core/service.hpp"
+
+#include "nn/loss.hpp"
+
+namespace pelican::core {
+
+std::vector<std::uint16_t> DeployedModel::predict_top_k(
+    const mobility::Window& window, std::size_t k) {
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(1, spec_.input_dim(), 0.0f));
+  mobility::encode_window(window, spec_, x, 0);
+  const nn::Matrix confidences = query(x);
+  const auto top = nn::topk_indices(confidences.row(0), k);
+  std::vector<std::uint16_t> locations;
+  locations.reserve(top.size());
+  for (const std::size_t i : top) {
+    locations.push_back(static_cast<std::uint16_t>(i));
+  }
+  return locations;
+}
+
+}  // namespace pelican::core

@@ -1,0 +1,80 @@
+// Model deployment and the service-provider query interface (Section V-A3).
+//
+// A DeployedModel bundles a personalized model with the user's PrivacyLayer
+// and implements the attack::BlackBoxModel interface — by construction the
+// service provider (and therefore the inversion adversary) can only ever
+// observe privacy-scaled confidences. Deployment is either on-device or
+// in-cloud; the query API is identical, which is what lets Pelican keep the
+// defense effective in both placements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "attack/blackbox.hpp"
+#include "core/privacy_layer.hpp"
+#include "mobility/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace pelican::core {
+
+enum class DeploymentSite : std::uint8_t { kOnDevice = 0, kInCloud };
+
+[[nodiscard]] constexpr const char* to_string(DeploymentSite site) noexcept {
+  return site == DeploymentSite::kOnDevice ? "device" : "cloud";
+}
+
+/// A personalized model as exposed to the mobile service.
+class DeployedModel final : public attack::BlackBoxModel {
+ public:
+  DeployedModel(nn::SequenceClassifier model, mobility::EncodingSpec spec,
+                PrivacyLayer privacy, DeploymentSite site)
+      : model_(std::move(model)),
+        spec_(spec),
+        privacy_(privacy),
+        site_(site) {}
+
+  /// Black-box prediction: forward pass + privacy-scaled softmax. This is
+  /// the ONLY read path; raw logits never leave the deployment.
+  [[nodiscard]] nn::Matrix query(const nn::Sequence& input) override {
+    ++queries_;
+    return privacy_.apply(model_.forward(input, /*training=*/false));
+  }
+
+  [[nodiscard]] std::size_t num_classes() const override {
+    return model_.num_classes();
+  }
+  [[nodiscard]] const mobility::EncodingSpec& spec() const override {
+    return spec_;
+  }
+
+  /// Top-k next locations for a single encoded window — the service's
+  /// primary operation (e.g. prefetching content for likely destinations).
+  [[nodiscard]] std::vector<std::uint16_t> predict_top_k(
+      const mobility::Window& window, std::size_t k);
+
+  [[nodiscard]] DeploymentSite site() const noexcept { return site_; }
+  [[nodiscard]] std::size_t query_count() const noexcept { return queries_; }
+  [[nodiscard]] double temperature() const noexcept {
+    return privacy_.temperature();
+  }
+
+  /// Replaces the model in place (Pelican model update, Section V-A4).
+  void swap_model(nn::SequenceClassifier model) { model_ = std::move(model); }
+
+  /// Owner-only access (the user's device); not part of the service API.
+  [[nodiscard]] nn::SequenceClassifier& owner_model() noexcept {
+    return model_;
+  }
+
+ private:
+  nn::SequenceClassifier model_;
+  mobility::EncodingSpec spec_;
+  PrivacyLayer privacy_;
+  DeploymentSite site_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace pelican::core

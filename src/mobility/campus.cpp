@@ -1,0 +1,109 @@
+#include "mobility/campus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pelican::mobility {
+
+const char* to_string(BuildingKind kind) noexcept {
+  switch (kind) {
+    case BuildingKind::kDorm:
+      return "dorm";
+    case BuildingKind::kAcademic:
+      return "academic";
+    case BuildingKind::kDining:
+      return "dining";
+    case BuildingKind::kLibrary:
+      return "library";
+    case BuildingKind::kGym:
+      return "gym";
+    case BuildingKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+Campus Campus::generate(const CampusConfig& config, std::uint64_t seed) {
+  if (config.buildings == 0 || config.buildings > 10000) {
+    throw std::invalid_argument("Campus: buildings must be in [1, 10000]");
+  }
+  if (config.mean_aps_per_building == 0) {
+    throw std::invalid_argument("Campus: need at least one AP per building");
+  }
+  const double fraction_total =
+      config.dorm_fraction + config.academic_fraction +
+      config.dining_fraction + config.library_fraction + config.gym_fraction;
+  if (fraction_total > 1.0 + 1e-9) {
+    throw std::invalid_argument("Campus: kind fractions exceed 1");
+  }
+
+  Rng rng(split_mix64(seed ^ 0xCA11AB1E5EEDULL));
+  Campus campus;
+  campus.by_kind_.resize(6);
+
+  const auto n = config.buildings;
+  // Guarantee at least one of each essential kind even at tiny scales.
+  std::vector<BuildingKind> kinds;
+  kinds.reserve(n);
+  auto count_for = [&](double fraction, std::size_t minimum) {
+    return std::max<std::size_t>(
+        minimum, static_cast<std::size_t>(fraction * static_cast<double>(n)));
+  };
+  const std::size_t dorms = count_for(config.dorm_fraction, 1);
+  const std::size_t academic = count_for(config.academic_fraction, 1);
+  const std::size_t dining = count_for(config.dining_fraction, 1);
+  const std::size_t library = count_for(config.library_fraction, 1);
+  const std::size_t gym = count_for(config.gym_fraction, 1);
+  if (dorms + academic + dining + library + gym > n) {
+    throw std::invalid_argument(
+        "Campus: too few buildings for one of each kind");
+  }
+  for (std::size_t i = 0; i < dorms; ++i) kinds.push_back(BuildingKind::kDorm);
+  for (std::size_t i = 0; i < academic; ++i) {
+    kinds.push_back(BuildingKind::kAcademic);
+  }
+  for (std::size_t i = 0; i < dining; ++i) {
+    kinds.push_back(BuildingKind::kDining);
+  }
+  for (std::size_t i = 0; i < library; ++i) {
+    kinds.push_back(BuildingKind::kLibrary);
+  }
+  for (std::size_t i = 0; i < gym; ++i) kinds.push_back(BuildingKind::kGym);
+  while (kinds.size() < n) kinds.push_back(BuildingKind::kOther);
+  rng.shuffle(kinds);
+
+  campus.buildings_.reserve(n);
+  std::uint16_t next_ap = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    Building b;
+    b.kind = kinds[id];
+    // AP count varies around the mean; large public buildings get more.
+    const double mean = static_cast<double>(config.mean_aps_per_building);
+    const double boost =
+        (b.kind == BuildingKind::kLibrary || b.kind == BuildingKind::kDining)
+            ? 1.5
+            : 1.0;
+    const auto count = static_cast<std::uint16_t>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(rng.normal(mean * boost, mean * 0.3))));
+    b.first_ap = next_ap;
+    b.ap_count = count;
+    next_ap = static_cast<std::uint16_t>(next_ap + count);
+    campus.by_kind_[static_cast<std::size_t>(b.kind)].push_back(
+        static_cast<std::uint16_t>(id));
+    for (std::uint16_t a = 0; a < count; ++a) {
+      campus.ap_to_building_.push_back(static_cast<std::uint16_t>(id));
+    }
+    campus.buildings_.push_back(b);
+  }
+  campus.num_aps_ = next_ap;
+  return campus;
+}
+
+std::uint16_t Campus::building_of_ap(std::uint16_t ap) const {
+  if (ap >= ap_to_building_.size()) {
+    throw std::out_of_range("Campus::building_of_ap: bad AP id");
+  }
+  return ap_to_building_[ap];
+}
+
+}  // namespace pelican::mobility

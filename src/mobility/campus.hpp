@@ -1,0 +1,84 @@
+// Synthetic campus topology: buildings of different kinds, each hosting a
+// block of WiFi access points.
+//
+// This substitutes for the paper's real campus (156 buildings, 5104 APs):
+// the attacks and defenses depend only on the topology's *shape* — a mix of
+// dorms, academic and social buildings with ~20 APs each — which the
+// generator reproduces at a configurable scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mobility/types.hpp"
+
+namespace pelican::mobility {
+
+enum class BuildingKind : std::uint8_t {
+  kDorm = 0,
+  kAcademic,
+  kDining,
+  kLibrary,
+  kGym,
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(BuildingKind kind) noexcept;
+
+struct Building {
+  BuildingKind kind = BuildingKind::kOther;
+  std::uint16_t first_ap = 0;  ///< First AP id in this building's block.
+  std::uint16_t ap_count = 0;
+};
+
+struct CampusConfig {
+  std::size_t buildings = 40;
+  std::size_t mean_aps_per_building = 10;
+  // Fractions of each building kind; remainder becomes kOther. The defaults
+  // roughly mirror a residential campus.
+  double dorm_fraction = 0.30;
+  double academic_fraction = 0.40;
+  double dining_fraction = 0.10;
+  double library_fraction = 0.05;
+  double gym_fraction = 0.05;
+};
+
+/// Immutable campus map shared by all personas and simulations.
+class Campus {
+ public:
+  /// Deterministically generates a campus from a seed.
+  static Campus generate(const CampusConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_buildings() const noexcept {
+    return buildings_.size();
+  }
+  [[nodiscard]] std::size_t num_aps() const noexcept { return num_aps_; }
+
+  [[nodiscard]] const Building& building(std::size_t id) const {
+    return buildings_.at(id);
+  }
+
+  /// All building ids of one kind (possibly empty).
+  [[nodiscard]] std::span<const std::uint16_t> of_kind(
+      BuildingKind kind) const noexcept {
+    return by_kind_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Building that hosts the given AP.
+  [[nodiscard]] std::uint16_t building_of_ap(std::uint16_t ap) const;
+
+  /// Number of locations at the given spatial level.
+  [[nodiscard]] std::size_t num_locations(SpatialLevel level) const noexcept {
+    return level == SpatialLevel::kBuilding ? num_buildings() : num_aps();
+  }
+
+ private:
+  std::vector<Building> buildings_;
+  std::vector<std::vector<std::uint16_t>> by_kind_;
+  std::vector<std::uint16_t> ap_to_building_;
+  std::size_t num_aps_ = 0;
+};
+
+}  // namespace pelican::mobility

@@ -1,0 +1,127 @@
+#include "mobility/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pelican::mobility {
+
+StepFeatures make_step(const Session& session, SpatialLevel level) {
+  StepFeatures step;
+  step.entry_bin = static_cast<std::uint8_t>(session.entry_bin());
+  step.duration_bin = static_cast<std::uint8_t>(session.duration_bin());
+  step.day_of_week = static_cast<std::uint8_t>(session.day_of_week());
+  step.location = session.location(level);
+  return step;
+}
+
+std::vector<Window> make_windows(const Trajectory& trajectory,
+                                 SpatialLevel level) {
+  std::vector<Window> windows;
+  const auto& sessions = trajectory.sessions;
+  if (sessions.size() < 3) return windows;
+  windows.reserve(sessions.size() - 2);
+  for (std::size_t i = 0; i + 2 < sessions.size(); ++i) {
+    Window window;
+    window.steps[0] = make_step(sessions[i], level);
+    window.steps[1] = make_step(sessions[i + 1], level);
+    window.next_location = sessions[i + 2].location(level);
+    window.start_minute = sessions[i].start_minute;
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+WindowSplit split_windows(std::span<const Window> windows,
+                          double train_fraction) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("split_windows: fraction must be in (0, 1)");
+  }
+  WindowSplit split;
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(windows.size()) * train_fraction);
+  split.train.assign(windows.begin(),
+                     windows.begin() + static_cast<std::ptrdiff_t>(cut));
+  split.test.assign(windows.begin() + static_cast<std::ptrdiff_t>(cut),
+                    windows.end());
+  return split;
+}
+
+std::vector<Window> windows_in_first_weeks(std::span<const Window> windows,
+                                           int weeks) {
+  if (weeks <= 0) {
+    throw std::invalid_argument("windows_in_first_weeks: weeks must be > 0");
+  }
+  const std::int64_t limit =
+      static_cast<std::int64_t>(weeks) * kMinutesPerWeek;
+  std::vector<Window> subset;
+  for (const Window& w : windows) {
+    if (w.start_minute < limit) subset.push_back(w);
+  }
+  return subset;
+}
+
+std::vector<double> location_marginals(std::span<const Window> windows,
+                                       std::size_t num_locations) {
+  std::vector<double> counts(num_locations, 0.0);
+  double total = 0.0;
+  for (const Window& w : windows) {
+    for (const StepFeatures& step : w.steps) {
+      if (step.location >= num_locations) {
+        throw std::out_of_range("location_marginals: location out of domain");
+      }
+      counts[step.location] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total > 0.0) {
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+void encode_steps(std::span<const StepFeatures> steps,
+                  const EncodingSpec& spec, nn::Sequence& x, std::size_t row) {
+  if (x.size() != steps.size()) {
+    throw std::invalid_argument("encode_steps: sequence length mismatch");
+  }
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    const StepFeatures& step = steps[t];
+    if (step.location >= spec.num_locations) {
+      throw std::out_of_range("encode_steps: location outside domain");
+    }
+    auto out = x[t].row(row);
+    out[spec.entry_offset() + step.entry_bin] = 1.0f;
+    out[spec.duration_offset() + step.duration_bin] = 1.0f;
+    out[spec.location_offset() + step.location] = 1.0f;
+    out[spec.day_offset() + step.day_of_week] = 1.0f;
+  }
+}
+
+void encode_window(const Window& window, const EncodingSpec& spec,
+                   nn::Sequence& x, std::size_t row) {
+  encode_steps(window.steps, spec, x, row);
+}
+
+WindowDataset::WindowDataset(std::vector<Window> windows, EncodingSpec spec)
+    : windows_(std::move(windows)), spec_(spec) {
+  for (const Window& w : windows_) {
+    if (w.next_location >= spec_.num_locations) {
+      throw std::out_of_range("WindowDataset: label outside domain");
+    }
+  }
+}
+
+void WindowDataset::materialize(std::span<const std::uint32_t> indices,
+                                nn::Sequence& x,
+                                std::vector<std::int32_t>& y) const {
+  x.assign(kWindowSteps,
+           nn::Matrix(indices.size(), spec_.input_dim(), 0.0f));
+  y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Window& window = windows_.at(indices[i]);
+    encode_window(window, spec_, x, i);
+    y[i] = static_cast<std::int32_t>(window.next_location);
+  }
+}
+
+}  // namespace pelican::mobility

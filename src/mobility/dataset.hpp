@@ -1,0 +1,135 @@
+// Dataset pipeline: trajectories -> sliding windows -> one-hot minibatches.
+//
+// The prediction task follows Section IV-A exactly:
+//   M : (x_{t-2}, x_{t-1}) -> l_t,   x = [entry-bin, duration-bin, loc, dow]
+// Each timestep is encoded as a concatenation of one-hot blocks. The
+// location block always spans the *full* campus domain (all buildings or all
+// APs) regardless of which locations a particular user visits — the "domain
+// equalization" of Section III-A3 that makes transfer learning between the
+// multi-user source domain and single-user target domains trivial.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mobility/campus.hpp"
+#include "mobility/types.hpp"
+#include "nn/data.hpp"
+
+namespace pelican::mobility {
+
+inline constexpr std::size_t kWindowSteps = 2;  // (x_{t-2}, x_{t-1})
+
+/// Layout of the one-hot encoding of a timestep. Blocks, in order:
+/// entry bin (48) | duration bin (24) | location (num_locations) | dow (7).
+struct EncodingSpec {
+  SpatialLevel level = SpatialLevel::kBuilding;
+  std::size_t num_locations = 0;
+
+  static EncodingSpec for_campus(const Campus& campus, SpatialLevel level) {
+    return {level, campus.num_locations(level)};
+  }
+
+  [[nodiscard]] std::size_t entry_offset() const noexcept { return 0; }
+  [[nodiscard]] std::size_t duration_offset() const noexcept {
+    return kEntryBins;
+  }
+  [[nodiscard]] std::size_t location_offset() const noexcept {
+    return kEntryBins + kDurationBins;
+  }
+  [[nodiscard]] std::size_t day_offset() const noexcept {
+    return location_offset() + num_locations;
+  }
+  [[nodiscard]] std::size_t input_dim() const noexcept {
+    return day_offset() + kDaysPerWeek;
+  }
+
+  bool operator==(const EncodingSpec&) const = default;
+};
+
+/// Discretized features of one timestep.
+struct StepFeatures {
+  std::uint8_t entry_bin = 0;
+  std::uint8_t duration_bin = 0;
+  std::uint8_t day_of_week = 0;
+  std::uint16_t location = 0;
+
+  bool operator==(const StepFeatures&) const = default;
+};
+
+/// One supervised sample: two known steps plus the next location label.
+/// `start_minute` (of the oldest step) is kept for week-based subsetting
+/// (Table IV) and train/test splitting.
+struct Window {
+  StepFeatures steps[kWindowSteps];
+  std::uint16_t next_location = 0;
+  std::int64_t start_minute = 0;
+
+  bool operator==(const Window&) const = default;
+};
+
+/// Extracts discretized features from a session at a spatial level.
+[[nodiscard]] StepFeatures make_step(const Session& session,
+                                     SpatialLevel level);
+
+/// Slides a 3-session window over the trajectory.
+[[nodiscard]] std::vector<Window> make_windows(const Trajectory& trajectory,
+                                               SpatialLevel level);
+
+/// Time-ordered train/test split (the paper uses 80/20).
+struct WindowSplit {
+  std::vector<Window> train;
+  std::vector<Window> test;
+};
+[[nodiscard]] WindowSplit split_windows(std::span<const Window> windows,
+                                        double train_fraction = 0.8);
+
+/// Windows whose first step falls in the first `weeks` weeks (Table IV
+/// trains personalized models on 2/4/6/8-week prefixes).
+[[nodiscard]] std::vector<Window> windows_in_first_weeks(
+    std::span<const Window> windows, int weeks);
+
+/// Marginal distribution of the sensitive variable (location) in a window
+/// set: how often each location appears as a *historical* step. This is the
+/// prior "p" of the inversion attack (Section III-B2).
+[[nodiscard]] std::vector<double> location_marginals(
+    std::span<const Window> windows, std::size_t num_locations);
+
+/// Scatters one window into row `row` of a (batch x input_dim) sequence.
+void encode_window(const Window& window, const EncodingSpec& spec,
+                   nn::Sequence& x, std::size_t row);
+
+/// Encodes explicit step features (used by attacks to build candidate
+/// inputs without fabricating Session objects).
+void encode_steps(std::span<const StepFeatures> steps,
+                  const EncodingSpec& spec, nn::Sequence& x, std::size_t row);
+
+/// BatchSource over a window set; materializes one-hot batches on demand.
+class WindowDataset final : public nn::BatchSource {
+ public:
+  WindowDataset(std::vector<Window> windows, EncodingSpec spec);
+
+  [[nodiscard]] std::size_t size() const override { return windows_.size(); }
+  [[nodiscard]] std::size_t seq_len() const override { return kWindowSteps; }
+  [[nodiscard]] std::size_t input_dim() const override {
+    return spec_.input_dim();
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return spec_.num_locations;
+  }
+
+  void materialize(std::span<const std::uint32_t> indices, nn::Sequence& x,
+                   std::vector<std::int32_t>& y) const override;
+
+  [[nodiscard]] std::span<const Window> windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const EncodingSpec& spec() const noexcept { return spec_; }
+
+ private:
+  std::vector<Window> windows_;
+  EncodingSpec spec_;
+};
+
+}  // namespace pelican::mobility

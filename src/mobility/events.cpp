@@ -1,0 +1,106 @@
+#include "mobility/events.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pelican::mobility {
+
+std::vector<Trajectory> sessionize(std::span<const ApEvent> events,
+                                   const Campus& campus,
+                                   const SessionizeConfig& config) {
+  if (config.merge_below_minutes < 0 || config.min_session_minutes < 0 ||
+      config.absence_gap_minutes <= 0) {
+    throw std::invalid_argument("sessionize: negative thresholds");
+  }
+
+  // Group events per device, time-sorted.
+  std::map<std::uint32_t, std::vector<ApEvent>> per_device;
+  for (const ApEvent& event : events) {
+    if (event.ap >= campus.num_aps()) {
+      throw std::out_of_range("sessionize: AP id outside campus");
+    }
+    per_device[event.device_id].push_back(event);
+  }
+
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(per_device.size());
+
+  for (auto& [device_id, device_events] : per_device) {
+    std::sort(device_events.begin(), device_events.end(),
+              [](const ApEvent& a, const ApEvent& b) {
+                return a.timestamp_minute < b.timestamp_minute;
+              });
+
+    Trajectory trajectory;
+    trajectory.user_id = device_id;
+
+    // Build raw sessions: each association lasts until the next one (or the
+    // device's departure, bounded by the absence gap).
+    std::vector<Session> raw;
+    for (std::size_t i = 0; i < device_events.size(); ++i) {
+      const ApEvent& event = device_events[i];
+      std::int64_t end;
+      if (i + 1 < device_events.size()) {
+        const std::int64_t next = device_events[i + 1].timestamp_minute;
+        end = (next - event.timestamp_minute > config.absence_gap_minutes)
+                  ? event.timestamp_minute + config.absence_gap_minutes
+                  : next;
+      } else {
+        // Last event: close the session at the absence bound.
+        end = event.timestamp_minute + config.absence_gap_minutes;
+      }
+      Session session;
+      session.start_minute = event.timestamp_minute;
+      session.duration_minutes = static_cast<std::int32_t>(
+          end - event.timestamp_minute);
+      session.ap = event.ap;
+      session.building = campus.building_of_ap(event.ap);
+      if (session.duration_minutes > 0) raw.push_back(session);
+    }
+
+    // Merge same-building flaps: a short hop back to the same building is
+    // one continuous stay as far as mobility semantics are concerned.
+    std::vector<Session> merged;
+    for (const Session& session : raw) {
+      if (!merged.empty() && merged.back().building == session.building &&
+          session.start_minute == merged.back().end_minute() &&
+          session.duration_minutes < config.merge_below_minutes) {
+        merged.back().duration_minutes += session.duration_minutes;
+        continue;
+      }
+      merged.push_back(session);
+    }
+    // Second pass: absorb too-short sessions into the preceding stay when
+    // contiguous (noise suppression), else drop them.
+    std::vector<Session> cleaned;
+    for (const Session& session : merged) {
+      if (session.duration_minutes >= config.min_session_minutes) {
+        cleaned.push_back(session);
+        continue;
+      }
+      if (!cleaned.empty() &&
+          cleaned.back().end_minute() == session.start_minute) {
+        cleaned.back().duration_minutes += session.duration_minutes;
+      }
+      // else: isolated blip, dropped
+    }
+    trajectory.sessions = std::move(cleaned);
+    if (!trajectory.sessions.empty()) {
+      trajectories.push_back(std::move(trajectory));
+    }
+  }
+  return trajectories;
+}
+
+std::vector<ApEvent> to_events(const Trajectory& trajectory) {
+  std::vector<ApEvent> events;
+  events.reserve(trajectory.sessions.size());
+  for (const Session& session : trajectory.sessions) {
+    events.push_back(
+        {session.start_minute, trajectory.user_id, session.ap});
+  }
+  return events;
+}
+
+}  // namespace pelican::mobility

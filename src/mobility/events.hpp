@@ -1,0 +1,56 @@
+// Raw WiFi AP event log handling — the paper's preprocessing front door.
+//
+// Section IV-A: "Each AP event includes a timestamp, event type, MAC address
+// of the device and the AP... Using well known methods for extracting device
+// trajectories from WiFi logs, we extract fine-grained mobility trajectory".
+// This module implements that extraction so the library can consume real AP
+// logs, not just the synthetic simulator: association events are grouped per
+// device, AP flaps shorter than a threshold are merged, and gaps are closed
+// to the session-contiguity invariant the attacks rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mobility/campus.hpp"
+#include "mobility/types.hpp"
+
+namespace pelican::mobility {
+
+/// One raw AP log record. Only association events carry information here;
+/// disassociation is implied by the next association (devices on a campus
+/// network are effectively always associated somewhere while present).
+struct ApEvent {
+  std::int64_t timestamp_minute = 0;
+  std::uint32_t device_id = 0;
+  std::uint16_t ap = 0;
+
+  bool operator==(const ApEvent&) const = default;
+};
+
+struct SessionizeConfig {
+  /// Successive same-building associations closer than this are merged into
+  /// one session (AP flapping / roaming between rooms).
+  int merge_below_minutes = 10;
+  /// Sessions shorter than this after merging are dropped as noise.
+  int min_session_minutes = 5;
+  /// A device silent for longer than this is treated as having left campus;
+  /// the trajectory is split so no fake "session" spans the absence.
+  int absence_gap_minutes = 8 * 60;
+};
+
+/// Extracts per-device trajectories from a raw event log. Events may be
+/// unordered; they are grouped by device and sorted by time. Each session's
+/// duration runs until the device's next association (or the end of its
+/// presence window). The result satisfies is_contiguous() within each
+/// presence period.
+[[nodiscard]] std::vector<Trajectory> sessionize(
+    std::span<const ApEvent> events, const Campus& campus,
+    const SessionizeConfig& config = {});
+
+/// Inverse of sessionize for testing and export: emits one association
+/// event at each session start.
+[[nodiscard]] std::vector<ApEvent> to_events(const Trajectory& trajectory);
+
+}  // namespace pelican::mobility

@@ -1,0 +1,93 @@
+#include "mobility/persona.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pelican::mobility {
+
+std::vector<std::uint16_t> Persona::home_domain() const {
+  std::set<std::uint16_t> domain;
+  domain.insert(dorm);
+  for (const auto& slot : schedule) domain.insert(slot.building);
+  domain.insert(dining_halls.begin(), dining_halls.end());
+  domain.insert(library);
+  domain.insert(gym);
+  return {domain.begin(), domain.end()};
+}
+
+Persona generate_persona(const Campus& campus, std::uint32_t user_id,
+                         const PersonaConfig& config, Rng& rng) {
+  const auto dorms = campus.of_kind(BuildingKind::kDorm);
+  const auto academic = campus.of_kind(BuildingKind::kAcademic);
+  const auto dining = campus.of_kind(BuildingKind::kDining);
+  const auto libraries = campus.of_kind(BuildingKind::kLibrary);
+  const auto gyms = campus.of_kind(BuildingKind::kGym);
+  if (dorms.empty() || academic.empty() || dining.empty() ||
+      libraries.empty() || gyms.empty()) {
+    throw std::invalid_argument(
+        "generate_persona: campus lacks an essential building kind");
+  }
+
+  Persona persona;
+  persona.user_id = user_id;
+  persona.dorm = dorms[rng.below(dorms.size())];
+  persona.routine_strength =
+      rng.uniform(config.min_routine, config.max_routine);
+  persona.outing_rate = rng.uniform(config.min_outing, config.max_outing);
+  persona.gym_rate = rng.uniform(0.05, 0.4);
+  persona.study_rate = rng.uniform(0.2, 0.8);
+
+  // Course load: each course meets 2-3 times a week in a fixed room at a
+  // fixed hour, like a real timetable.
+  const auto courses = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(config.min_courses),
+                static_cast<std::int64_t>(config.max_courses)));
+  // Class hours start on the hour between 08:00 and 16:00.
+  for (std::size_t c = 0; c < courses; ++c) {
+    const std::uint16_t room = academic[rng.below(academic.size())];
+    const auto start_hour = static_cast<std::uint16_t>(rng.range(8, 16));
+    const auto duration =
+        static_cast<std::uint16_t>(rng.chance(0.5) ? 50 : 75);
+    const bool mon_wed = rng.chance(0.5);
+    const std::uint8_t days[3] = {
+        static_cast<std::uint8_t>(mon_wed ? 0 : 1),
+        static_cast<std::uint8_t>(mon_wed ? 2 : 3),
+        static_cast<std::uint8_t>(4)};
+    const std::size_t meetings = rng.chance(0.5) ? 2 : 3;
+    for (std::size_t m = 0; m < meetings; ++m) {
+      ClassSlot slot;
+      slot.day = days[m];
+      slot.start_minute = static_cast<std::uint16_t>(start_hour * 60);
+      slot.duration_minutes = duration;
+      slot.building = room;
+      persona.schedule.push_back(slot);
+    }
+  }
+  std::sort(persona.schedule.begin(), persona.schedule.end(),
+            [](const ClassSlot& a, const ClassSlot& b) {
+              if (a.day != b.day) return a.day < b.day;
+              return a.start_minute < b.start_minute;
+            });
+  // Drop exact-time collisions on the same day (a student can't be in two
+  // rooms at once); keep the earlier-generated course's slot.
+  persona.schedule.erase(
+      std::unique(persona.schedule.begin(), persona.schedule.end(),
+                  [](const ClassSlot& a, const ClassSlot& b) {
+                    return a.day == b.day && a.start_minute == b.start_minute;
+                  }),
+      persona.schedule.end());
+
+  const std::size_t hall_count = std::min<std::size_t>(
+      dining.size(), 1 + rng.below(2));
+  std::vector<std::uint16_t> halls(dining.begin(), dining.end());
+  rng.shuffle(halls);
+  halls.resize(hall_count);
+  persona.dining_halls = std::move(halls);
+
+  persona.library = libraries[rng.below(libraries.size())];
+  persona.gym = gyms[rng.below(gyms.size())];
+  return persona;
+}
+
+}  // namespace pelican::mobility

@@ -1,0 +1,58 @@
+// Per-user behavioral profile. A persona is what makes one student's traces
+// different from another's: dorm assignment, a weekly class schedule,
+// dining/library/gym habits, and two scalar knobs the paper's analysis
+// varies across users —
+//   * routine_strength: how reliably the schedule is followed (drives the
+//     mobility-predictability spectrum of Fig. 3c), and
+//   * outing_rate: propensity for unscheduled visits (drives the
+//     degree-of-mobility spectrum of Fig. 3b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mobility/campus.hpp"
+
+namespace pelican::mobility {
+
+/// A recurring weekly commitment (e.g. a class or a lab).
+struct ClassSlot {
+  std::uint8_t day = 0;        ///< 0 = Monday .. 6 = Sunday.
+  std::uint16_t start_minute = 0;  ///< Minute within the day.
+  std::uint16_t duration_minutes = 75;
+  std::uint16_t building = 0;
+};
+
+struct Persona {
+  std::uint32_t user_id = 0;
+  std::uint16_t dorm = 0;
+  std::vector<ClassSlot> schedule;        ///< Sorted by (day, start).
+  std::vector<std::uint16_t> dining_halls;  ///< Preferred, most-liked first.
+  std::uint16_t library = 0;
+  std::uint16_t gym = 0;
+  double routine_strength = 0.8;  ///< P(attend a scheduled slot).
+  double outing_rate = 0.1;       ///< P(unscheduled extra visit per gap).
+  double gym_rate = 0.2;          ///< P(evening gym visit).
+  double study_rate = 0.5;        ///< P(evening library visit).
+
+  /// Buildings this persona ever visits on purpose (dorm, classes, dining,
+  /// library, gym). The target domain D_t of Section III-A3.
+  [[nodiscard]] std::vector<std::uint16_t> home_domain() const;
+};
+
+struct PersonaConfig {
+  std::size_t min_courses = 3;
+  std::size_t max_courses = 6;
+  double min_routine = 0.55;
+  double max_routine = 0.95;
+  double min_outing = 0.02;
+  double max_outing = 0.35;
+};
+
+/// Deterministically generates a persona for `user_id` on `campus`.
+[[nodiscard]] Persona generate_persona(const Campus& campus,
+                                       std::uint32_t user_id,
+                                       const PersonaConfig& config, Rng& rng);
+
+}  // namespace pelican::mobility

@@ -1,0 +1,189 @@
+#include "mobility/simulator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pelican::mobility {
+
+namespace {
+
+/// A planned visit within one day; sessions are derived from the plan.
+struct Visit {
+  int start = 0;  // minute within day
+  int end = 0;
+  std::uint16_t building = 0;
+};
+
+/// Picks the AP for a visit: usually the preferred one, sometimes a
+/// neighbor (people sit in different rooms).
+std::uint16_t pick_ap(const Campus& campus, const Persona& persona,
+                      std::uint16_t building, double affinity, Rng& rng) {
+  const Building& b = campus.building(building);
+  const std::uint16_t base = preferred_ap(campus, persona.user_id, building);
+  if (b.ap_count <= 1 || rng.chance(affinity)) return base;
+  const std::uint16_t offset = static_cast<std::uint16_t>(
+      1 + rng.below(static_cast<std::uint64_t>(b.ap_count - 1)));
+  return static_cast<std::uint16_t>(
+      b.first_ap + (base - b.first_ap + offset) % b.ap_count);
+}
+
+/// Appends a visit, clamping to the day and skipping empty intervals.
+void push_visit(std::vector<Visit>& plan, int start, int end,
+                std::uint16_t building) {
+  start = std::max(start, 0);
+  end = std::min(end, kMinutesPerDay);
+  if (end <= start) return;
+  plan.push_back({start, end, building});
+}
+
+std::uint16_t random_outing_target(const Campus& campus,
+                                   const Persona& persona, Rng& rng) {
+  // Outings favor social buildings but can be anywhere on campus.
+  if (rng.chance(0.4)) {
+    const auto others = campus.of_kind(BuildingKind::kOther);
+    if (!others.empty()) return others[rng.below(others.size())];
+  }
+  if (rng.chance(0.3) && !persona.dining_halls.empty()) {
+    return persona.dining_halls[rng.below(persona.dining_halls.size())];
+  }
+  return static_cast<std::uint16_t>(rng.below(campus.num_buildings()));
+}
+
+/// Builds the day's visit plan: anchored on attended classes, with meals,
+/// study/gym and random outings filled into the gaps, dorm elsewhere.
+std::vector<Visit> plan_day(const Campus& campus, const Persona& persona,
+                            int day_of_week, Rng& rng) {
+  std::vector<Visit> anchors;
+
+  const bool weekend = day_of_week >= 5;
+
+  // Attended classes are immovable anchors.
+  for (const auto& slot : persona.schedule) {
+    if (slot.day != day_of_week) continue;
+    if (!rng.chance(persona.routine_strength)) continue;  // skipped class
+    push_visit(anchors, slot.start_minute,
+               slot.start_minute + slot.duration_minutes, slot.building);
+  }
+
+  // Lunch and dinner: routine users eat at consistent halls and times.
+  if (!persona.dining_halls.empty()) {
+    const std::uint16_t hall =
+        persona.dining_halls[rng.chance(0.8)
+                                 ? 0
+                                 : rng.below(persona.dining_halls.size())];
+    if (rng.chance(weekend ? 0.5 : 0.85)) {
+      const int lunch = 11 * 60 + 30 +
+                        static_cast<int>(rng.below(90));  // 11:30-13:00
+      push_visit(anchors, lunch, lunch + 30 + static_cast<int>(rng.below(31)),
+                 hall);
+    }
+    if (rng.chance(weekend ? 0.6 : 0.8)) {
+      const int dinner =
+          17 * 60 + 30 + static_cast<int>(rng.below(90));  // 17:30-19:00
+      push_visit(anchors, dinner,
+                 dinner + 30 + static_cast<int>(rng.below(31)), hall);
+    }
+  }
+
+  // Evening study session or gym.
+  if (!weekend && rng.chance(persona.study_rate)) {
+    const int start = 19 * 60 + 30 + static_cast<int>(rng.below(60));
+    push_visit(anchors, start, start + 60 + static_cast<int>(rng.below(121)),
+               persona.library);
+  }
+  if (rng.chance(persona.gym_rate)) {
+    const int start = 16 * 60 + static_cast<int>(rng.below(180));
+    push_visit(anchors, start, start + 45 + static_cast<int>(rng.below(46)),
+               persona.gym);
+  }
+
+  // Unscheduled outings.
+  const int outings = rng.chance(persona.outing_rate * (weekend ? 2.0 : 1.0))
+                          ? 1 + static_cast<int>(rng.below(2))
+                          : 0;
+  for (int i = 0; i < outings; ++i) {
+    const int start = 10 * 60 + static_cast<int>(rng.below(10 * 60));
+    push_visit(anchors, start, start + 20 + static_cast<int>(rng.below(101)),
+               random_outing_target(campus, persona, rng));
+  }
+
+  // Resolve overlaps deterministically: earlier start wins, later visits are
+  // pushed back (students are in one place at a time).
+  std::sort(anchors.begin(), anchors.end(), [](const Visit& a,
+                                               const Visit& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  std::vector<Visit> resolved;
+  for (Visit v : anchors) {
+    if (!resolved.empty() && v.start < resolved.back().end) {
+      const int shift = resolved.back().end - v.start;
+      v.start += shift;
+      v.end += shift;
+    }
+    if (v.start >= kMinutesPerDay) continue;
+    v.end = std::min(v.end, kMinutesPerDay);
+    if (v.end > v.start) resolved.push_back(v);
+  }
+
+  // Fill every gap with dorm time -> contiguous coverage of the whole day.
+  std::vector<Visit> plan;
+  int cursor = 0;
+  for (const Visit& v : resolved) {
+    if (v.start > cursor) {
+      push_visit(plan, cursor, v.start, persona.dorm);
+    }
+    plan.push_back(v);
+    cursor = v.end;
+  }
+  if (cursor < kMinutesPerDay) {
+    push_visit(plan, cursor, kMinutesPerDay, persona.dorm);
+  }
+
+  // Merge adjacent same-building visits (e.g. dorm-dorm around midnight).
+  std::vector<Visit> merged;
+  for (const Visit& v : plan) {
+    if (!merged.empty() && merged.back().building == v.building &&
+        merged.back().end == v.start) {
+      merged.back().end = v.end;
+    } else {
+      merged.push_back(v);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::uint16_t preferred_ap(const Campus& campus, std::uint32_t user_id,
+                           std::uint16_t building) {
+  const Building& b = campus.building(building);
+  const std::uint64_t h =
+      split_mix64((static_cast<std::uint64_t>(user_id) << 16) ^ building);
+  return static_cast<std::uint16_t>(b.first_ap + h % b.ap_count);
+}
+
+Trajectory simulate(const Campus& campus, const Persona& persona,
+                    const SimulationConfig& config, Rng rng) {
+  Trajectory trajectory;
+  trajectory.user_id = persona.user_id;
+
+  const int days = config.weeks * kDaysPerWeek;
+  for (int day = 0; day < days; ++day) {
+    const int dow = day % kDaysPerWeek;
+    const std::int64_t day_base = static_cast<std::int64_t>(day) *
+                                  kMinutesPerDay;
+    for (const Visit& visit : plan_day(campus, persona, dow, rng)) {
+      Session session;
+      session.start_minute = day_base + visit.start;
+      session.duration_minutes = visit.end - visit.start;
+      session.building = visit.building;
+      session.ap = pick_ap(campus, persona, visit.building,
+                           config.preferred_ap_affinity, rng);
+      trajectory.sessions.push_back(session);
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace pelican::mobility

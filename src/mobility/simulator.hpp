@@ -1,0 +1,38 @@
+// Session simulator: turns a persona into weeks of contiguous WiFi sessions.
+//
+// The simulation reproduces the trace semantics the paper extracts from real
+// AP logs: while a student is on campus their device is always associated
+// with some AP, so consecutive sessions are back-to-back in time
+// (entry(t) = entry(t-1) + duration(t-1)) — the continuity assumption behind
+// the time-based inversion attack. Days follow a wake → classes → meals →
+// study/gym → dorm structure with persona-controlled noise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "mobility/campus.hpp"
+#include "mobility/persona.hpp"
+#include "mobility/types.hpp"
+
+namespace pelican::mobility {
+
+struct SimulationConfig {
+  int weeks = 10;  ///< The paper's trace spans September-November (~10 wks).
+  /// Probability that a visit connects to the user's usual AP in a building
+  /// (vs a nearby alternate). Sticky APs are what make AP-level prediction
+  /// feasible at all.
+  double preferred_ap_affinity = 0.85;
+};
+
+/// Simulates `config.weeks` of sessions. Deterministic given the rng state.
+[[nodiscard]] Trajectory simulate(const Campus& campus, const Persona& persona,
+                                  const SimulationConfig& config, Rng rng);
+
+/// The AP a user habitually connects to inside a building (stable per
+/// (user, building) pair, independent of simulation time).
+[[nodiscard]] std::uint16_t preferred_ap(const Campus& campus,
+                                         std::uint32_t user_id,
+                                         std::uint16_t building);
+
+}  // namespace pelican::mobility

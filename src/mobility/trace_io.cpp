@@ -1,0 +1,141 @@
+#include "mobility/trace_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pelican::mobility {
+
+namespace {
+
+constexpr const char* kSessionHeader =
+    "user_id,start_minute,duration_minutes,building,ap";
+constexpr const char* kEventHeader = "device_id,timestamp_minute,ap";
+
+/// Splits a CSV line of integer fields; throws on junk.
+std::vector<std::int64_t> parse_int_row(const std::string& line,
+                                        std::size_t expected_fields,
+                                        std::size_t line_number) {
+  std::vector<std::int64_t> fields;
+  std::size_t begin = 0;
+  while (begin <= line.size()) {
+    const std::size_t comma = line.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? line.size() : comma;
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(line.data() + begin, line.data() + end, value);
+    if (ec != std::errc() || ptr != line.data() + end) {
+      throw std::runtime_error("CSV parse error at line " +
+                               std::to_string(line_number) + ": '" + line +
+                               "'");
+    }
+    fields.push_back(value);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (fields.size() != expected_fields) {
+    throw std::runtime_error("CSV field count mismatch at line " +
+                             std::to_string(line_number));
+  }
+  return fields;
+}
+
+void expect_header(std::istream& in, const char* header) {
+  std::string line;
+  if (!std::getline(in, line) || line != header) {
+    throw std::runtime_error(std::string("CSV header mismatch; expected '") +
+                             header + "'");
+  }
+}
+
+}  // namespace
+
+void write_sessions_csv(std::ostream& out,
+                        std::span<const Trajectory> trajectories) {
+  out << kSessionHeader << '\n';
+  for (const Trajectory& trajectory : trajectories) {
+    for (const Session& s : trajectory.sessions) {
+      out << trajectory.user_id << ',' << s.start_minute << ','
+          << s.duration_minutes << ',' << s.building << ',' << s.ap << '\n';
+    }
+  }
+}
+
+void write_sessions_csv(const std::filesystem::path& path,
+                        std::span<const Trajectory> trajectories) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  write_sessions_csv(out, trajectories);
+  if (!out.flush()) {
+    throw std::runtime_error("write failed: " + path.string());
+  }
+}
+
+std::vector<Trajectory> read_sessions_csv(std::istream& in) {
+  expect_header(in, kSessionHeader);
+  std::map<std::uint32_t, Trajectory> by_user;
+  std::string line;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = parse_int_row(line, 5, line_number);
+    Session s;
+    s.start_minute = fields[1];
+    s.duration_minutes = static_cast<std::int32_t>(fields[2]);
+    s.building = static_cast<std::uint16_t>(fields[3]);
+    s.ap = static_cast<std::uint16_t>(fields[4]);
+    auto& trajectory = by_user[static_cast<std::uint32_t>(fields[0])];
+    trajectory.user_id = static_cast<std::uint32_t>(fields[0]);
+    trajectory.sessions.push_back(s);
+  }
+  std::vector<Trajectory> out;
+  out.reserve(by_user.size());
+  for (auto& [id, trajectory] : by_user) {
+    std::sort(trajectory.sessions.begin(), trajectory.sessions.end(),
+              [](const Session& a, const Session& b) {
+                return a.start_minute < b.start_minute;
+              });
+    out.push_back(std::move(trajectory));
+  }
+  return out;
+}
+
+std::vector<Trajectory> read_sessions_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open for reading: " + path.string());
+  }
+  return read_sessions_csv(in);
+}
+
+void write_events_csv(std::ostream& out, std::span<const ApEvent> events) {
+  out << kEventHeader << '\n';
+  for (const ApEvent& event : events) {
+    out << event.device_id << ',' << event.timestamp_minute << ','
+        << event.ap << '\n';
+  }
+}
+
+std::vector<ApEvent> read_events_csv(std::istream& in) {
+  expect_header(in, kEventHeader);
+  std::vector<ApEvent> events;
+  std::string line;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = parse_int_row(line, 3, line_number);
+    events.push_back({fields[1], static_cast<std::uint32_t>(fields[0]),
+                      static_cast<std::uint16_t>(fields[2])});
+  }
+  return events;
+}
+
+}  // namespace pelican::mobility

@@ -1,0 +1,36 @@
+// CSV import/export for trajectories and raw AP event logs, so the library
+// can exchange traces with external tools (and so users with real WiFi logs
+// can feed them into the pipeline after anonymization).
+//
+// Formats (header line required):
+//   sessions:  user_id,start_minute,duration_minutes,building,ap
+//   events:    device_id,timestamp_minute,ap
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "mobility/events.hpp"
+#include "mobility/types.hpp"
+
+namespace pelican::mobility {
+
+/// Writes trajectories as session CSV rows (one file may hold many users).
+void write_sessions_csv(std::ostream& out,
+                        std::span<const Trajectory> trajectories);
+void write_sessions_csv(const std::filesystem::path& path,
+                        std::span<const Trajectory> trajectories);
+
+/// Reads a session CSV back into per-user trajectories (grouped by user_id,
+/// ordered by start time). Throws SerializeError-style std::runtime_error on
+/// malformed rows.
+[[nodiscard]] std::vector<Trajectory> read_sessions_csv(std::istream& in);
+[[nodiscard]] std::vector<Trajectory> read_sessions_csv(
+    const std::filesystem::path& path);
+
+/// Raw AP event logs in the paper's schema.
+void write_events_csv(std::ostream& out, std::span<const ApEvent> events);
+[[nodiscard]] std::vector<ApEvent> read_events_csv(std::istream& in);
+
+}  // namespace pelican::mobility

@@ -1,0 +1,67 @@
+#include "mobility/trace_stats.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace pelican::mobility {
+
+TraceStats compute_stats(const Trajectory& trajectory) {
+  TraceStats stats;
+  stats.sessions = trajectory.sessions.size();
+  if (trajectory.sessions.empty()) return stats;
+
+  std::set<std::uint16_t> buildings, aps;
+  std::map<std::uint16_t, double> minutes_by_building;
+  double total_minutes = 0.0;
+  double total_duration = 0.0;
+  for (const Session& s : trajectory.sessions) {
+    buildings.insert(s.building);
+    aps.insert(s.ap);
+    minutes_by_building[s.building] += s.duration_minutes;
+    total_minutes += s.duration_minutes;
+    total_duration += s.duration_minutes;
+  }
+  stats.distinct_buildings = buildings.size();
+  stats.distinct_aps = aps.size();
+  stats.mean_duration_minutes =
+      total_duration / static_cast<double>(stats.sessions);
+
+  const std::int64_t span = trajectory.sessions.back().end_minute() -
+                            trajectory.sessions.front().start_minute;
+  const double days =
+      std::max(1.0, static_cast<double>(span) / kMinutesPerDay);
+  stats.mean_sessions_per_day = static_cast<double>(stats.sessions) / days;
+
+  double entropy = 0.0;
+  double top_share = 0.0;
+  for (const auto& [building, minutes] : minutes_by_building) {
+    const double p = minutes / total_minutes;
+    if (p > 0.0) entropy -= p * std::log2(p);
+    top_share = std::max(top_share, p);
+  }
+  stats.building_entropy_bits = entropy;
+  stats.top_building_time_share = top_share;
+  return stats;
+}
+
+std::size_t degree_of_mobility(const Trajectory& trajectory,
+                               SpatialLevel level) {
+  std::set<std::uint16_t> distinct;
+  for (const Session& s : trajectory.sessions) {
+    distinct.insert(s.location(level));
+  }
+  return distinct.size();
+}
+
+bool is_contiguous(const Trajectory& trajectory) {
+  for (std::size_t i = 1; i < trajectory.sessions.size(); ++i) {
+    if (trajectory.sessions[i].start_minute !=
+        trajectory.sessions[i - 1].end_minute()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pelican::mobility

@@ -1,0 +1,38 @@
+// Per-user mobility characteristics used by the paper's analysis:
+// degree of mobility (Fig. 3b: number of distinct locations visited) and
+// summary statistics for sanity-checking generated traces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mobility/types.hpp"
+
+namespace pelican::mobility {
+
+struct TraceStats {
+  std::size_t sessions = 0;
+  std::size_t distinct_buildings = 0;
+  std::size_t distinct_aps = 0;
+  double mean_sessions_per_day = 0.0;
+  double mean_duration_minutes = 0.0;
+  /// Shannon entropy (bits) of the building visit distribution — higher
+  /// means less concentrated mobility.
+  double building_entropy_bits = 0.0;
+  /// Fraction of minutes spent in the single most-visited building.
+  double top_building_time_share = 0.0;
+};
+
+[[nodiscard]] TraceStats compute_stats(const Trajectory& trajectory);
+
+/// Degree of mobility at a spatial level: # of distinct locations visited
+/// (the x-axis of Fig. 3b).
+[[nodiscard]] std::size_t degree_of_mobility(const Trajectory& trajectory,
+                                             SpatialLevel level);
+
+/// True iff consecutive sessions are back-to-back (entry(t) =
+/// entry(t-1) + duration(t-1)) — the continuity property the time-based
+/// attack relies on.
+[[nodiscard]] bool is_contiguous(const Trajectory& trajectory);
+
+}  // namespace pelican::mobility

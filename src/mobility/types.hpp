@@ -1,0 +1,74 @@
+// Core mobility-trace types and the paper's discretization scheme
+// (Section IV-A): session-entry in 30-minute bins, session-duration in
+// 10-minute bins capped at 4 hours, location at building or AP granularity,
+// and day-of-week.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pelican::mobility {
+
+inline constexpr int kMinutesPerDay = 24 * 60;
+inline constexpr int kMinutesPerEntryBin = 30;
+inline constexpr int kMinutesPerDurationBin = 10;
+inline constexpr int kMaxDurationMinutes = 240;  // durations capped at 4 h
+inline constexpr int kEntryBins = kMinutesPerDay / kMinutesPerEntryBin;  // 48
+inline constexpr int kDurationBins =
+    kMaxDurationMinutes / kMinutesPerDurationBin;  // 24
+inline constexpr int kDaysPerWeek = 7;
+inline constexpr int kMinutesPerWeek = kDaysPerWeek * kMinutesPerDay;
+
+/// Location granularity of a model / experiment (Fig. 3a contrasts the two).
+enum class SpatialLevel : std::uint8_t { kBuilding = 0, kAp = 1 };
+
+[[nodiscard]] constexpr const char* to_string(SpatialLevel level) noexcept {
+  return level == SpatialLevel::kBuilding ? "bldg" : "ap";
+}
+
+/// One contiguous WiFi association period of a device. WiFi sessions are
+/// back-to-back while the user is on campus, which is the continuity
+/// property the time-based inversion attack exploits.
+struct Session {
+  std::int64_t start_minute = 0;  ///< Absolute minutes since trace start.
+  std::int32_t duration_minutes = 0;  ///< True (uncapped) duration.
+  std::uint16_t building = 0;
+  std::uint16_t ap = 0;  ///< Campus-global AP id.
+
+  /// 30-minute slot within the day, 0..47.
+  [[nodiscard]] int entry_bin() const noexcept {
+    return static_cast<int>((start_minute % kMinutesPerDay) /
+                            kMinutesPerEntryBin);
+  }
+
+  /// 10-minute duration bin, capped at 4 h, 0..23.
+  [[nodiscard]] int duration_bin() const noexcept {
+    const int capped =
+        duration_minutes >= kMaxDurationMinutes
+            ? kMaxDurationMinutes - 1
+            : (duration_minutes < 0 ? 0 : duration_minutes);
+    return capped / kMinutesPerDurationBin;
+  }
+
+  /// 0 = Monday ... 6 = Sunday (trace starts on a Monday).
+  [[nodiscard]] int day_of_week() const noexcept {
+    return static_cast<int>((start_minute / kMinutesPerDay) % kDaysPerWeek);
+  }
+
+  [[nodiscard]] std::int64_t end_minute() const noexcept {
+    return start_minute + duration_minutes;
+  }
+
+  /// Location id at the requested spatial level.
+  [[nodiscard]] std::uint16_t location(SpatialLevel level) const noexcept {
+    return level == SpatialLevel::kBuilding ? building : ap;
+  }
+};
+
+/// A single user's time-ordered session history.
+struct Trajectory {
+  std::uint32_t user_id = 0;
+  std::vector<Session> sessions;
+};
+
+}  // namespace pelican::mobility

@@ -1,0 +1,19 @@
+#include "models/general.hpp"
+
+#include "common/rng.hpp"
+
+namespace pelican::models {
+
+GeneralModel train_general_model(const mobility::WindowDataset& train,
+                                 const GeneralModelConfig& config,
+                                 const nn::BatchSource* validation) {
+  Rng rng(config.seed);
+  GeneralModel result{
+      nn::make_two_layer_lstm(train.input_dim(), config.hidden_dim,
+                              train.num_classes(), config.dropout, rng),
+      {}};
+  result.report = nn::train(result.model, train, config.train, validation);
+  return result;
+}
+
+}  // namespace pelican::models

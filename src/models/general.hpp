@@ -1,0 +1,46 @@
+// General (multi-user) next-location model — Fig. 1a.
+//
+// Trained in the cloud on pooled contributor trajectories: two LSTM layers
+// with dropout between them and a linear head over the final timestep. The
+// paper trains with lr 1e-4, weight decay 1e-6, hidden size 128, batch 128,
+// dropout 0.1; these are the defaults here (hidden size is configurable
+// because the benchmark suite runs at reduced scale).
+#pragma once
+
+#include <cstdint>
+
+#include "mobility/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace pelican::models {
+
+struct GeneralModelConfig {
+  std::size_t hidden_dim = 128;
+  double dropout = 0.1;
+  nn::TrainConfig train = default_train_config();
+  std::uint64_t seed = 1;
+
+  static nn::TrainConfig default_train_config() {
+    nn::TrainConfig config;
+    config.epochs = 10;
+    config.batch_size = 128;
+    config.lr = 1e-4;
+    config.weight_decay = 1e-6;
+    config.grad_clip = 5.0;
+    return config;
+  }
+};
+
+/// Result of general-model training: the model plus the training report.
+struct GeneralModel {
+  nn::SequenceClassifier model;
+  nn::TrainReport report;
+};
+
+/// Trains M_G from scratch on pooled multi-user windows.
+[[nodiscard]] GeneralModel train_general_model(
+    const mobility::WindowDataset& train, const GeneralModelConfig& config,
+    const nn::BatchSource* validation = nullptr);
+
+}  // namespace pelican::models

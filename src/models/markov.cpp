@@ -1,0 +1,117 @@
+#include "models/markov.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace pelican::models {
+
+MarkovChain::MarkovChain(std::size_t num_locations, int order,
+                         double smoothing)
+    : num_locations_(num_locations), order_(order), smoothing_(smoothing) {
+  if (num_locations == 0) {
+    throw std::invalid_argument("MarkovChain: empty location domain");
+  }
+  if (order != 1 && order != 2) {
+    throw std::invalid_argument("MarkovChain: order must be 1 or 2");
+  }
+  if (smoothing < 0.0) {
+    throw std::invalid_argument("MarkovChain: smoothing must be >= 0");
+  }
+  first_order_.assign(num_locations_ * num_locations_, 0.0);
+  first_totals_.assign(num_locations_, 0.0);
+  if (order_ == 2) {
+    second_order_.resize(num_locations_ * num_locations_);
+    second_totals_.assign(num_locations_ * num_locations_, 0.0);
+  }
+  marginals_.assign(num_locations_, 0.0);
+}
+
+void MarkovChain::fit(std::span<const mobility::Window> windows) {
+  for (const mobility::Window& w : windows) {
+    const std::uint16_t older = w.steps[0].location;
+    const std::uint16_t recent = w.steps[1].location;
+    const std::uint16_t next = w.next_location;
+    if (older >= num_locations_ || recent >= num_locations_ ||
+        next >= num_locations_) {
+      throw std::out_of_range("MarkovChain::fit: location outside domain");
+    }
+    first_order_[pair_index(recent, next)] += 1.0;
+    first_totals_[recent] += 1.0;
+    if (order_ == 2) {
+      const std::size_t pair = pair_index(older, recent);
+      if (second_order_[pair].empty()) {
+        second_order_[pair].assign(num_locations_, 0.0);
+      }
+      second_order_[pair][next] += 1.0;
+      second_totals_[pair] += 1.0;
+    }
+    marginals_[next] += 1.0;
+    marginal_total_ += 1.0;
+    ++total_transitions_;
+  }
+}
+
+std::vector<double> MarkovChain::predict(
+    const mobility::Window& window) const {
+  const std::uint16_t older = window.steps[0].location;
+  const std::uint16_t recent = window.steps[1].location;
+  if (older >= num_locations_ || recent >= num_locations_) {
+    throw std::out_of_range("MarkovChain::predict: location outside domain");
+  }
+
+  std::vector<double> probs(num_locations_, 0.0);
+  const double denom_smoothing =
+      smoothing_ * static_cast<double>(num_locations_);
+
+  if (order_ == 2) {
+    const std::size_t pair = pair_index(older, recent);
+    if (second_totals_[pair] > 0.0) {
+      const auto& counts = second_order_[pair];
+      const double denom = second_totals_[pair] + denom_smoothing;
+      for (std::size_t l = 0; l < num_locations_; ++l) {
+        probs[l] = (counts[l] + smoothing_) / denom;
+      }
+      return probs;
+    }
+    // Back off to first order below.
+  }
+
+  if (first_totals_[recent] > 0.0) {
+    const double denom = first_totals_[recent] + denom_smoothing;
+    for (std::size_t l = 0; l < num_locations_; ++l) {
+      probs[l] = (first_order_[pair_index(recent, l)] + smoothing_) / denom;
+    }
+    return probs;
+  }
+
+  // Unseen context entirely: visit marginals (or uniform if never fitted).
+  const double denom = marginal_total_ + denom_smoothing;
+  if (denom <= 0.0) {
+    std::fill(probs.begin(), probs.end(),
+              1.0 / static_cast<double>(num_locations_));
+    return probs;
+  }
+  for (std::size_t l = 0; l < num_locations_; ++l) {
+    probs[l] = (marginals_[l] + smoothing_) / denom;
+  }
+  return probs;
+}
+
+double MarkovChain::topk_accuracy(std::span<const mobility::Window> windows,
+                                  std::size_t k) const {
+  if (windows.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const mobility::Window& w : windows) {
+    const auto probs = predict(w);
+    const auto top = nn::topk_indices(std::span<const double>(probs), k);
+    if (std::find(top.begin(), top.end(),
+                  static_cast<std::size_t>(w.next_location)) != top.end()) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(windows.size());
+}
+
+}  // namespace pelican::models

@@ -1,0 +1,68 @@
+// Personalized mobility Markov chains — the classic pre-deep-learning
+// approach to next-location prediction the paper positions against
+// (Section II: "Personalized modeling in mobility has been generally
+// conducted via Markov models", citing Gambs et al., 2012).
+//
+// Provided as an additional baseline for the personalization comparison:
+// a first- or second-order chain over location ids with additive smoothing
+// and graceful back-off (order-2 context unseen -> order-1 -> visit
+// marginals). Markov baselines ignore the temporal features (entry bin,
+// duration, day) that the LSTM models consume, which is exactly the gap the
+// paper's deep models close.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mobility/dataset.hpp"
+
+namespace pelican::models {
+
+class MarkovChain {
+ public:
+  /// `order` is 1 (condition on l_{t-1}) or 2 (condition on l_{t-2}, l_{t-1}).
+  /// `smoothing` is the additive (Laplace) count given to every transition.
+  MarkovChain(std::size_t num_locations, int order, double smoothing = 0.05);
+
+  /// Accumulates transition counts from windows (may be called repeatedly;
+  /// counts are cumulative, mirroring Pelican's model-update flow).
+  void fit(std::span<const mobility::Window> windows);
+
+  /// Predicted distribution over the next location for a window's context.
+  [[nodiscard]] std::vector<double> predict(
+      const mobility::Window& window) const;
+
+  /// Fraction of windows whose true next location is in the top-k.
+  [[nodiscard]] double topk_accuracy(std::span<const mobility::Window> windows,
+                                     std::size_t k) const;
+
+  [[nodiscard]] int order() const noexcept { return order_; }
+  [[nodiscard]] std::size_t num_locations() const noexcept {
+    return num_locations_;
+  }
+  [[nodiscard]] std::size_t observed_transitions() const noexcept {
+    return total_transitions_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t pair_index(std::uint16_t older,
+                                       std::uint16_t recent) const noexcept {
+    return static_cast<std::size_t>(older) * num_locations_ + recent;
+  }
+
+  std::size_t num_locations_;
+  int order_;
+  double smoothing_;
+  // Sparse-ish count tables; first-order is dense (L x L), second-order is
+  // keyed by the flattened (l_{t-2}, l_{t-1}) pair.
+  std::vector<double> first_order_;   // L x L counts
+  std::vector<double> first_totals_;  // row sums
+  std::vector<std::vector<double>> second_order_;  // per pair, lazily sized
+  std::vector<double> second_totals_;
+  std::vector<double> marginals_;  // visit counts of next locations
+  double marginal_total_ = 0.0;
+  std::size_t total_transitions_ = 0;
+};
+
+}  // namespace pelican::models

@@ -1,0 +1,104 @@
+#include "models/personalize.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nn/lstm.hpp"
+
+namespace pelican::models {
+
+const char* to_string(PersonalizationMethod method) noexcept {
+  switch (method) {
+    case PersonalizationMethod::kReuse:
+      return "Reuse";
+    case PersonalizationMethod::kFreshLstm:
+      return "LSTM";
+    case PersonalizationMethod::kFeatureExtraction:
+      return "TL FE";
+    case PersonalizationMethod::kFineTuning:
+      return "TL FT";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Fig. 1b: freeze every general layer, stack a fresh LSTM between the
+/// frozen base and the (warm-started, trainable) head.
+nn::SequenceClassifier build_feature_extraction(
+    const nn::SequenceClassifier& general, Rng& rng) {
+  nn::SequenceClassifier model = general.clone();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    model.layer(i).set_trainable(false);
+  }
+  const std::size_t hidden = model.head().input_dim();
+  auto surplus = std::make_unique<nn::Lstm>(hidden, hidden, rng);
+  model.insert_layer(model.layer_count(), std::move(surplus));
+  model.head().set_trainable(true);
+  return model;
+}
+
+/// Fig. 1c: freeze the first LSTM (and anything before the last LSTM),
+/// re-train the last LSTM and the head.
+nn::SequenceClassifier build_fine_tuning(
+    const nn::SequenceClassifier& general) {
+  nn::SequenceClassifier model = general.clone();
+  // Find the last LSTM layer; everything before it is frozen.
+  std::size_t last_lstm = model.layer_count();
+  for (std::size_t i = model.layer_count(); i-- > 0;) {
+    if (model.layer(i).kind() == "lstm") {
+      last_lstm = i;
+      break;
+    }
+  }
+  if (last_lstm == model.layer_count()) {
+    throw std::invalid_argument("fine tuning: general model has no LSTM");
+  }
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    model.layer(i).set_trainable(i >= last_lstm);
+  }
+  model.head().set_trainable(true);
+  return model;
+}
+
+}  // namespace
+
+PersonalizedModel personalize(const nn::SequenceClassifier& general,
+                              const mobility::WindowDataset& user_train,
+                              const PersonalizationConfig& config) {
+  Rng rng(config.seed);
+  PersonalizedModel result;
+  switch (config.method) {
+    case PersonalizationMethod::kReuse:
+      result.model = general.clone();
+      return result;  // no training at all
+    case PersonalizationMethod::kFreshLstm:
+      result.model = nn::make_one_layer_lstm(
+          user_train.input_dim(), config.fresh_hidden_dim,
+          user_train.num_classes(), config.fresh_dropout, rng);
+      break;
+    case PersonalizationMethod::kFeatureExtraction:
+      result.model = build_feature_extraction(general, rng);
+      break;
+    case PersonalizationMethod::kFineTuning:
+      result.model = build_fine_tuning(general);
+      break;
+  }
+  result.report = nn::train(result.model, user_train, config.train);
+  return result;
+}
+
+PersonalizedModel update_personalized(
+    const nn::SequenceClassifier& current,
+    const mobility::WindowDataset& user_train,
+    const PersonalizationConfig& config) {
+  PersonalizedModel result;
+  result.model = current.clone();  // warm start; freeze flags preserved
+  if (config.method == PersonalizationMethod::kReuse) {
+    return result;  // nothing to update
+  }
+  result.report = nn::train(result.model, user_train, config.train);
+  return result;
+}
+
+}  // namespace pelican::models

@@ -1,0 +1,45 @@
+#include "nn/cv.hpp"
+
+namespace pelican::nn {
+
+std::vector<TimeSeriesFold> time_series_folds(std::size_t n, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("time_series_folds: k must be > 0");
+  if (n < k + 1) {
+    throw std::invalid_argument(
+        "time_series_folds: need at least k+1 samples");
+  }
+  std::vector<TimeSeriesFold> folds;
+  folds.reserve(k);
+  // k+1 slices; fold i trains on slices [0, i] and validates on slice i+1.
+  for (std::size_t i = 0; i < k; ++i) {
+    TimeSeriesFold fold;
+    fold.train_end = static_cast<std::uint32_t>(n * (i + 1) / (k + 1));
+    fold.validation_end = static_cast<std::uint32_t>(n * (i + 2) / (k + 1));
+    if (fold.train_end == 0 || fold.validation_end <= fold.train_end) {
+      continue;  // degenerate slice at very small n
+    }
+    folds.push_back(fold);
+  }
+  if (folds.empty()) {
+    throw std::invalid_argument("time_series_folds: n too small for k folds");
+  }
+  return folds;
+}
+
+double cross_validate(const BatchSource& data,
+                      std::span<const TimeSeriesFold> folds,
+                      const FoldScorer& score) {
+  if (folds.empty()) {
+    throw std::invalid_argument("cross_validate: no folds");
+  }
+  double total = 0.0;
+  for (const auto& fold : folds) {
+    const SubsetSource train = SubsetSource::range(data, 0, fold.train_end);
+    const SubsetSource validation =
+        SubsetSource::range(data, fold.train_end, fold.validation_end);
+    total += score(train, validation);
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,69 @@
+// Time-series cross-validation and grid search.
+//
+// The paper selects hyperparameters "on time-series based k-fold cross
+// validation" — folds are expanding prefixes so validation data is always
+// strictly in the future of its training data (no leakage across time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/data.hpp"
+
+namespace pelican::nn {
+
+/// One expanding-window fold: train on [0, train_end), validate on
+/// [train_end, validation_end).
+struct TimeSeriesFold {
+  std::uint32_t train_end = 0;
+  std::uint32_t validation_end = 0;
+};
+
+/// Splits n time-ordered samples into k expanding folds. The first fold
+/// trains on the first 1/(k+1) of the data; each later fold grows the
+/// training prefix by one slice and validates on the next slice.
+[[nodiscard]] std::vector<TimeSeriesFold> time_series_folds(std::size_t n,
+                                                            std::size_t k);
+
+/// Cross-validated score of one hyperparameter configuration: the mean of
+/// `score(train_view, validation_view)` over folds. Higher is better.
+using FoldScorer =
+    std::function<double(const BatchSource& train, const BatchSource& val)>;
+
+[[nodiscard]] double cross_validate(const BatchSource& data,
+                                    std::span<const TimeSeriesFold> folds,
+                                    const FoldScorer& score);
+
+/// Exhaustive grid search over configurations. `evaluate` returns the score
+/// of one configuration (typically via cross_validate). Ties keep the
+/// earliest configuration, so grids should be ordered cheapest-first.
+template <typename Config>
+struct GridSearchResult {
+  Config best{};
+  double best_score = 0.0;
+  std::vector<std::pair<Config, double>> scores;
+};
+
+template <typename Config, typename Evaluate>
+GridSearchResult<Config> grid_search(std::span<const Config> grid,
+                                     Evaluate&& evaluate) {
+  if (grid.empty()) {
+    throw std::invalid_argument("grid_search: empty grid");
+  }
+  GridSearchResult<Config> result;
+  bool first = true;
+  for (const Config& config : grid) {
+    const double score = evaluate(config);
+    result.scores.emplace_back(config, score);
+    if (first || score > result.best_score) {
+      result.best = config;
+      result.best_score = score;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace pelican::nn

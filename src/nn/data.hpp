@@ -1,0 +1,71 @@
+// BatchSource: the interface between datasets and the training/evaluation
+// machinery. Datasets stay in a compact discrete form (session windows) and
+// materialize one-hot minibatches on demand, which keeps AP-scale inputs
+// (thousands of location categories) affordable in memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pelican::nn {
+
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t seq_len() const = 0;
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+
+  /// Fills `x` (seq_len matrices of |indices| x input_dim) and `y`
+  /// (|indices| labels) for the requested sample indices.
+  virtual void materialize(std::span<const std::uint32_t> indices, Sequence& x,
+                           std::vector<std::int32_t>& y) const = 0;
+};
+
+/// A contiguous or arbitrary-index view over another BatchSource; used for
+/// train/validation folds and week-prefix subsets (Table IV) without copies.
+class SubsetSource final : public BatchSource {
+ public:
+  SubsetSource(const BatchSource& base, std::vector<std::uint32_t> indices)
+      : base_(&base), indices_(std::move(indices)) {}
+
+  [[nodiscard]] std::size_t size() const override { return indices_.size(); }
+  [[nodiscard]] std::size_t seq_len() const override {
+    return base_->seq_len();
+  }
+  [[nodiscard]] std::size_t input_dim() const override {
+    return base_->input_dim();
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return base_->num_classes();
+  }
+
+  void materialize(std::span<const std::uint32_t> indices, Sequence& x,
+                   std::vector<std::int32_t>& y) const override {
+    std::vector<std::uint32_t> mapped(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      mapped[i] = indices_[indices[i]];
+    }
+    base_->materialize(mapped, x, y);
+  }
+
+  /// Range view [begin, end) over `base`.
+  static SubsetSource range(const BatchSource& base, std::uint32_t begin,
+                            std::uint32_t end) {
+    std::vector<std::uint32_t> indices;
+    indices.reserve(end - begin);
+    for (std::uint32_t i = begin; i < end; ++i) indices.push_back(i);
+    return {base, std::move(indices)};
+  }
+
+ private:
+  const BatchSource* base_;
+  std::vector<std::uint32_t> indices_;
+};
+
+}  // namespace pelican::nn

@@ -1,0 +1,68 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace pelican::nn {
+
+Dropout::Dropout(double rate, std::size_t dim, std::uint64_t seed)
+    : rate_(rate), dim_(dim), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Sequence Dropout::forward(const Sequence& input, bool training) {
+  last_was_training_ = training && rate_ > 0.0;
+  if (!last_was_training_) return input;
+
+  const float scale = static_cast<float>(1.0 / (1.0 - rate_));
+  masks_.clear();
+  masks_.reserve(input.size());
+  Sequence output(input.size());
+  for (std::size_t t = 0; t < input.size(); ++t) {
+    Matrix mask(input[t].rows(), input[t].cols());
+    for (auto& m : mask.flat()) m = rng_.chance(rate_) ? 0.0f : scale;
+    hadamard(input[t], mask, output[t]);
+    masks_.push_back(std::move(mask));
+  }
+  return output;
+}
+
+Sequence Dropout::backward(const Sequence& grad_output) {
+  if (!last_was_training_) return grad_output;
+  if (grad_output.size() != masks_.size()) {
+    throw std::invalid_argument("Dropout::backward: no matching forward");
+  }
+  Sequence grad_input(grad_output.size());
+  for (std::size_t t = 0; t < grad_output.size(); ++t) {
+    if (grad_output[t].empty()) continue;  // empty means zero gradient
+    hadamard(grad_output[t], masks_[t], grad_input[t]);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<SequenceLayer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>();
+  copy->rate_ = rate_;
+  copy->dim_ = dim_;
+  copy->rng_ = rng_;
+  copy->set_trainable(trainable());
+  return copy;
+}
+
+void Dropout::save(BinaryWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_f64(rate_);
+  writer.write_u64(dim_);
+  writer.write_u8(trainable() ? 1 : 0);
+}
+
+std::unique_ptr<Dropout> Dropout::load(BinaryReader& reader) {
+  auto layer = std::make_unique<Dropout>();
+  layer->rate_ = reader.read_f64();
+  layer->dim_ = reader.read_u64();
+  layer->set_trainable(reader.read_u8() != 0);
+  return layer;
+}
+
+}  // namespace pelican::nn

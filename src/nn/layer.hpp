@@ -1,0 +1,66 @@
+// Layer abstraction for sequence models.
+//
+// A Sequence is a time-major list of (batch x dim) matrices. Layers cache
+// whatever they need during forward() and consume it in backward().
+// backward() always produces gradients with respect to the layer input —
+// even for frozen layers — because the model-inversion attack (paper
+// Section III-B2) differentiates the loss all the way down to the input
+// encoding. Freezing only affects whether the optimizer updates parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+
+/// Time-major minibatch: seq[t] is the (batch x dim) input at timestep t.
+using Sequence = std::vector<Matrix>;
+
+class SequenceLayer {
+ public:
+  virtual ~SequenceLayer() = default;
+
+  /// Maps an input sequence to an output sequence of the same length.
+  /// `training` toggles stochastic behavior (dropout).
+  virtual Sequence forward(const Sequence& input, bool training) = 0;
+
+  /// Backpropagates through the most recent forward() call. Accumulates
+  /// parameter gradients and returns gradients w.r.t. the layer input.
+  virtual Sequence backward(const Sequence& grad_output) = 0;
+
+  /// Trainable tensors, paired index-for-index with gradients().
+  virtual std::vector<Matrix*> parameters() = 0;
+  virtual std::vector<Matrix*> gradients() = 0;
+
+  void zero_grad() {
+    for (Matrix* g : gradients()) g->zero();
+  }
+
+  /// Frozen layers still compute input gradients but are skipped by the
+  /// optimizer (used by transfer-learning personalization, Fig. 1b/1c).
+  void set_trainable(bool trainable) noexcept { trainable_ = trainable; }
+  [[nodiscard]] bool trainable() const noexcept { return trainable_; }
+
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t output_dim() const = 0;
+
+  /// Deep copy, including weights; gradients and caches reset.
+  [[nodiscard]] virtual std::unique_ptr<SequenceLayer> clone() const = 0;
+
+  /// Stable type tag used by serialization ("lstm", "dropout").
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  virtual void save(BinaryWriter& writer) const = 0;
+
+ private:
+  bool trainable_ = true;
+};
+
+/// Reconstructs a layer written by SequenceLayer::save (dispatches on kind).
+[[nodiscard]] std::unique_ptr<SequenceLayer> load_layer(BinaryReader& reader);
+
+}  // namespace pelican::nn

@@ -1,0 +1,66 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+namespace pelican::nn {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : weight_(Matrix::xavier(out_dim, in_dim, rng)),
+      bias_(1, out_dim, 0.0f),
+      grad_weight_(out_dim, in_dim, 0.0f),
+      grad_bias_(1, out_dim, 0.0f) {}
+
+Matrix Linear::forward(const Matrix& x) {
+  if (x.cols() != weight_.cols()) {
+    throw std::invalid_argument("Linear::forward: input width mismatch");
+  }
+  cached_input_ = x;
+  Matrix y;
+  matmul_bt(x, weight_, y);
+  add_row_broadcast(y, bias_.row(0));
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_output) {
+  if (grad_output.rows() != cached_input_.rows() ||
+      grad_output.cols() != weight_.rows()) {
+    throw std::invalid_argument("Linear::backward: grad shape mismatch");
+  }
+  matmul_at(grad_output, cached_input_, grad_weight_, /*accumulate=*/true);
+  column_sums(grad_output, grad_bias_.row(0));
+  Matrix dx;
+  matmul(grad_output, weight_, dx);
+  return dx;
+}
+
+void Linear::save(BinaryWriter& writer) const {
+  writer.write_u64(weight_.rows());
+  writer.write_u64(weight_.cols());
+  writer.write_f32_span(weight_.flat());
+  writer.write_f32_span(bias_.flat());
+  writer.write_u8(trainable_ ? 1 : 0);
+}
+
+Linear Linear::load(BinaryReader& reader) {
+  const std::uint64_t out_dim = reader.read_u64();
+  const std::uint64_t in_dim = reader.read_u64();
+  Linear layer;
+  layer.weight_.resize(out_dim, in_dim);
+  const auto w = reader.read_f32_vector();
+  if (w.size() != layer.weight_.size()) {
+    throw SerializeError("Linear::load: weight size mismatch");
+  }
+  std::copy(w.begin(), w.end(), layer.weight_.data());
+  layer.bias_.resize(1, out_dim);
+  const auto b = reader.read_f32_vector();
+  if (b.size() != layer.bias_.size()) {
+    throw SerializeError("Linear::load: bias size mismatch");
+  }
+  std::copy(b.begin(), b.end(), layer.bias_.data());
+  layer.grad_weight_.resize(out_dim, in_dim);
+  layer.grad_bias_.resize(1, out_dim);
+  layer.trainable_ = reader.read_u8() != 0;
+  return layer;
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,60 @@
+// Fully-connected layer y = x W^T + b operating on single (batch x dim)
+// matrices. Used as the classification head over the last LSTM timestep
+// (Fig. 1a-c all end in a Linear layer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+
+class Linear {
+ public:
+  Linear() = default;
+
+  /// Xavier-initialized weight (out_dim x in_dim), zero bias.
+  Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  /// y = x W^T + b. Caches x for backward.
+  [[nodiscard]] Matrix forward(const Matrix& x);
+
+  /// Accumulates dW, db; returns dx.
+  [[nodiscard]] Matrix backward(const Matrix& grad_output);
+
+  [[nodiscard]] std::vector<Matrix*> parameters() { return {&weight_, &bias_}; }
+  [[nodiscard]] std::vector<Matrix*> gradients() {
+    return {&grad_weight_, &grad_bias_};
+  }
+  void zero_grad() {
+    grad_weight_.zero();
+    grad_bias_.zero();
+  }
+
+  void set_trainable(bool trainable) noexcept { trainable_ = trainable; }
+  [[nodiscard]] bool trainable() const noexcept { return trainable_; }
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return weight_.cols(); }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return weight_.rows(); }
+
+  [[nodiscard]] Matrix& weight() noexcept { return weight_; }
+  [[nodiscard]] const Matrix& weight() const noexcept { return weight_; }
+  [[nodiscard]] Matrix& bias() noexcept { return bias_; }
+  [[nodiscard]] const Matrix& bias() const noexcept { return bias_; }
+
+  void save(BinaryWriter& writer) const;
+  static Linear load(BinaryReader& reader);
+
+ private:
+  Matrix weight_;       // out_dim x in_dim
+  Matrix bias_;         // 1 x out_dim
+  Matrix grad_weight_;  // same shape as weight_
+  Matrix grad_bias_;
+  Matrix cached_input_;  // from the last forward()
+  bool trainable_ = true;
+};
+
+}  // namespace pelican::nn

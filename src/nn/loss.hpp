@@ -1,0 +1,42 @@
+// Softmax, temperature-scaled softmax (Equation 1 of the paper) and
+// cross-entropy loss.
+//
+// All softmax math runs in double precision with the max subtracted, so the
+// privacy layer's extreme temperatures (T down to 1e-5) saturate cleanly to
+// {0, 1} instead of producing NaNs, and the confidence *ordering* is exactly
+// preserved — the invariant that lets Pelican keep model accuracy unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+
+/// Row-wise softmax with temperature: p_i = exp(z_i / T) / sum exp(z_j / T).
+/// T = 1 is the standard softmax. Requires T > 0.
+[[nodiscard]] Matrix softmax(const Matrix& logits, double temperature = 1.0);
+
+/// Row-wise log-softmax (T = 1), numerically stable.
+[[nodiscard]] Matrix log_softmax(const Matrix& logits);
+
+/// Mean cross-entropy over the batch plus dL/dlogits.
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad_logits;  // batch x classes, already divided by batch size
+};
+
+/// labels[r] in [0, logits.cols()).
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Matrix& logits, std::span<const std::int32_t> labels);
+
+/// Indices of the k largest values in `scores`, ordered descending.
+/// Deterministic tie-break: lower index wins.
+[[nodiscard]] std::vector<std::size_t> topk_indices(
+    std::span<const float> scores, std::size_t k);
+[[nodiscard]] std::vector<std::size_t> topk_indices(
+    std::span<const double> scores, std::size_t k);
+
+}  // namespace pelican::nn

@@ -1,0 +1,199 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pelican::nn {
+
+namespace {
+
+inline float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : w_ih_(Matrix::xavier(4 * hidden_dim, input_dim, rng)),
+      w_hh_(Matrix::xavier(4 * hidden_dim, hidden_dim, rng)),
+      bias_(1, 4 * hidden_dim, 0.0f),
+      grad_w_ih_(4 * hidden_dim, input_dim, 0.0f),
+      grad_w_hh_(4 * hidden_dim, hidden_dim, 0.0f),
+      grad_bias_(1, 4 * hidden_dim, 0.0f) {
+  // Forget-gate bias starts at 1 so early training does not erase state —
+  // standard practice (Jozefowicz et al. 2015).
+  const std::size_t h = hidden_dim;
+  for (std::size_t j = 0; j < h; ++j) bias_(0, h + j) = 1.0f;
+}
+
+Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
+  if (input.empty()) throw std::invalid_argument("Lstm::forward: empty input");
+  const std::size_t steps = input.size();
+  const std::size_t batch = input[0].rows();
+  const std::size_t hidden = hidden_dim();
+
+  cache_.clear();
+  cache_.resize(steps);
+  Sequence output(steps);
+
+  Matrix h_prev(batch, hidden, 0.0f);
+  Matrix c_prev(batch, hidden, 0.0f);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const Matrix& x = input[t];
+    if (x.cols() != input_dim() || x.rows() != batch) {
+      throw std::invalid_argument("Lstm::forward: input shape mismatch");
+    }
+    StepCache& step = cache_[t];
+    step.input = x;
+    step.prev_hidden = h_prev;
+    step.prev_cell = c_prev;
+
+    // Pre-activations: gates = x W_ih^T + h_prev W_hh^T + b.
+    Matrix gates;
+    matmul_bt(x, w_ih_, gates);
+    matmul_bt(h_prev, w_hh_, gates, /*accumulate=*/true);
+    add_row_broadcast(gates, bias_.row(0));
+
+    step.cell.resize(batch, hidden);
+    step.tanh_cell.resize(batch, hidden);
+    Matrix h_next(batch, hidden);
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      float* g = gates.data() + r * 4 * hidden;
+      const float* cp = c_prev.data() + r * hidden;
+      float* c_out = step.cell.data() + r * hidden;
+      float* tanh_out = step.tanh_cell.data() + r * hidden;
+      float* h_out = h_next.data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const float gi = sigmoid(g[j]);
+        const float gf = sigmoid(g[hidden + j]);
+        const float gg = std::tanh(g[2 * hidden + j]);
+        const float go = sigmoid(g[3 * hidden + j]);
+        g[j] = gi;
+        g[hidden + j] = gf;
+        g[2 * hidden + j] = gg;
+        g[3 * hidden + j] = go;
+        const float c = gf * cp[j] + gi * gg;
+        const float tc = std::tanh(c);
+        c_out[j] = c;
+        tanh_out[j] = tc;
+        h_out[j] = go * tc;
+      }
+    }
+
+    step.gates = std::move(gates);
+    h_prev = h_next;
+    c_prev = step.cell;
+    output[t] = std::move(h_next);
+  }
+  return output;
+}
+
+Sequence Lstm::backward(const Sequence& grad_output) {
+  if (grad_output.size() != cache_.size() || cache_.empty()) {
+    throw std::invalid_argument("Lstm::backward: no matching forward cache");
+  }
+  const std::size_t steps = cache_.size();
+  const std::size_t batch = cache_[0].input.rows();
+  const std::size_t hidden = hidden_dim();
+
+  Sequence grad_input(steps);
+  Matrix dh_next(batch, hidden, 0.0f);  // dL/dh_t carried from t+1
+  Matrix dc_next(batch, hidden, 0.0f);  // dL/dc_t carried from t+1
+  Matrix dgates(batch, 4 * hidden);
+
+  for (std::size_t ti = steps; ti-- > 0;) {
+    const StepCache& step = cache_[ti];
+
+    // Total gradient on h_t: from this timestep's output plus recurrence.
+    Matrix dh = grad_output[ti];
+    if (dh.empty()) dh = Matrix(batch, hidden, 0.0f);
+    dh += dh_next;
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const float* g = step.gates.data() + r * 4 * hidden;
+      const float* tc = step.tanh_cell.data() + r * hidden;
+      const float* cp = step.prev_cell.data() + r * hidden;
+      const float* dh_row = dh.data() + r * hidden;
+      float* dc_row = dc_next.data() + r * hidden;
+      float* dg = dgates.data() + r * 4 * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const float gi = g[j];
+        const float gf = g[hidden + j];
+        const float gg = g[2 * hidden + j];
+        const float go = g[3 * hidden + j];
+        const float dho = dh_row[j];
+        // dL/dc_t = carried dc + dh * o * (1 - tanh(c)^2)
+        const float dc = dc_row[j] + dho * go * (1.0f - tc[j] * tc[j]);
+        const float di = dc * gg;
+        const float df = dc * cp[j];
+        const float dgg = dc * gi;
+        const float dgo = dho * tc[j];
+        // Through gate nonlinearities to pre-activations.
+        dg[j] = di * gi * (1.0f - gi);
+        dg[hidden + j] = df * gf * (1.0f - gf);
+        dg[2 * hidden + j] = dgg * (1.0f - gg * gg);
+        dg[3 * hidden + j] = dgo * go * (1.0f - go);
+        dc_row[j] = dc * gf;  // becomes dc_{t-1}
+      }
+    }
+
+    // Parameter gradients accumulate across timesteps and minibatches.
+    matmul_at(dgates, step.input, grad_w_ih_, /*accumulate=*/true);
+    matmul_at(dgates, step.prev_hidden, grad_w_hh_, /*accumulate=*/true);
+    column_sums(dgates, grad_bias_.row(0));
+
+    matmul(dgates, w_ih_, grad_input[ti]);
+    matmul(dgates, w_hh_, dh_next);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<SequenceLayer> Lstm::clone() const {
+  auto copy = std::make_unique<Lstm>();
+  copy->w_ih_ = w_ih_;
+  copy->w_hh_ = w_hh_;
+  copy->bias_ = bias_;
+  copy->grad_w_ih_ = Matrix(w_ih_.rows(), w_ih_.cols());
+  copy->grad_w_hh_ = Matrix(w_hh_.rows(), w_hh_.cols());
+  copy->grad_bias_ = Matrix(1, bias_.cols());
+  copy->set_trainable(trainable());
+  return copy;
+}
+
+void Lstm::save(BinaryWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_u64(input_dim());
+  writer.write_u64(hidden_dim());
+  writer.write_f32_span(w_ih_.flat());
+  writer.write_f32_span(w_hh_.flat());
+  writer.write_f32_span(bias_.flat());
+  writer.write_u8(trainable() ? 1 : 0);
+}
+
+std::unique_ptr<Lstm> Lstm::load(BinaryReader& reader) {
+  const std::uint64_t input_dim = reader.read_u64();
+  const std::uint64_t hidden = reader.read_u64();
+  auto layer = std::make_unique<Lstm>();
+  layer->w_ih_.resize(4 * hidden, input_dim);
+  layer->w_hh_.resize(4 * hidden, hidden);
+  layer->bias_.resize(1, 4 * hidden);
+
+  auto load_into = [](Matrix& m, const std::vector<float>& src,
+                      const char* what) {
+    if (src.size() != m.size()) {
+      throw SerializeError(std::string("Lstm::load size mismatch: ") + what);
+    }
+    std::copy(src.begin(), src.end(), m.data());
+  };
+  load_into(layer->w_ih_, reader.read_f32_vector(), "w_ih");
+  load_into(layer->w_hh_, reader.read_f32_vector(), "w_hh");
+  load_into(layer->bias_, reader.read_f32_vector(), "bias");
+
+  layer->grad_w_ih_.resize(4 * hidden, input_dim);
+  layer->grad_w_hh_.resize(4 * hidden, hidden);
+  layer->grad_bias_.resize(1, 4 * hidden);
+  layer->set_trainable(reader.read_u8() != 0);
+  return layer;
+}
+
+}  // namespace pelican::nn

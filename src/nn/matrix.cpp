@@ -1,0 +1,176 @@
+#include "nn/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace pelican::nn {
+
+namespace {
+
+/// Below this many multiply-adds the parallel split costs more than it saves.
+constexpr std::size_t kParallelFlopThreshold = 1u << 21;
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  check(rows_ == other.rows_ && cols_ == other.cols_, "Matrix+=: shape");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  check(rows_ == other.rows_ && cols_ == other.cols_, "Matrix-=: shape");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) noexcept {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+double Matrix::squared_norm() const noexcept {
+  double total = 0.0;
+  for (const float x : data_) total += static_cast<double>(x) * x;
+  return total;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, float stddev,
+                     Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = static_cast<float>(rng.normal(0.0, stddev));
+  return m;
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, float limit,
+                       Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = static_cast<float>(rng.uniform(-limit, limit));
+  return m;
+}
+
+Matrix Matrix::xavier(std::size_t fan_out, std::size_t fan_in, Rng& rng) {
+  const float limit = std::sqrt(
+      6.0f / static_cast<float>(fan_in + fan_out));
+  return uniform(fan_out, fan_in, limit, rng);
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  check(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (!accumulate || out.rows() != m || out.cols() != n) {
+    out.resize(m, n);
+  }
+
+  auto row_range = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* out_row = out.data() + i * n;
+      const float* a_row = a.data() + i * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;  // one-hot inputs are mostly zero
+        const float* b_row = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  };
+
+  if (m * k * n >= kParallelFlopThreshold && m > 1) {
+    const std::size_t chunks = std::min<std::size_t>(m, 8);
+    parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t lo = m * c / chunks;
+      const std::size_t hi = m * (c + 1) / chunks;
+      row_range(lo, hi);
+    });
+  } else {
+    row_range(0, m);
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out,
+               bool accumulate) {
+  check(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (!accumulate || out.rows() != m || out.cols() != n) {
+    out.resize(m, n);
+  }
+
+  auto row_range = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* a_row = a.data() + i * k;
+      float* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* b_row = b.data() + j * k;
+        float dot = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) dot += a_row[kk] * b_row[kk];
+        out_row[j] += dot;
+      }
+    }
+  };
+
+  if (m * k * n >= kParallelFlopThreshold && m > 1) {
+    const std::size_t chunks = std::min<std::size_t>(m, 8);
+    parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t lo = m * c / chunks;
+      const std::size_t hi = m * (c + 1) / chunks;
+      row_range(lo, hi);
+    });
+  } else {
+    row_range(0, m);
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out,
+               bool accumulate) {
+  check(a.rows() == b.rows(), "matmul_at: inner dimension mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (!accumulate || out.rows() != m || out.cols() != n) {
+    out.resize(m, n);
+  }
+  // Rank-1 update per shared row; serial because rows of `out` are written
+  // by every iteration (the k dimension is the batch, typically <= 256).
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a.data() + kk * m;
+    const float* b_row = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void add_row_broadcast(Matrix& m, std::span<const float> bias) {
+  check(bias.size() == m.cols(), "add_row_broadcast: width mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void column_sums(const Matrix& m, std::span<float> out) {
+  check(out.size() == m.cols(), "column_sums: width mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+  }
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape");
+  out.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+}
+
+}  // namespace pelican::nn

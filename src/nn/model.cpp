@@ -1,0 +1,189 @@
+#include "nn/model.hpp"
+
+#include <stdexcept>
+
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+
+namespace pelican::nn {
+
+namespace {
+constexpr std::uint32_t kModelFormatVersion = 1;
+}  // namespace
+
+void SequenceClassifier::add_layer(std::unique_ptr<SequenceLayer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+void SequenceClassifier::insert_layer(std::size_t index,
+                                      std::unique_ptr<SequenceLayer> layer) {
+  if (index > layers_.size()) {
+    throw std::out_of_range("insert_layer: index out of range");
+  }
+  layers_.insert(layers_.begin() + static_cast<std::ptrdiff_t>(index),
+                 std::move(layer));
+}
+
+std::size_t SequenceClassifier::input_dim() const {
+  if (layers_.empty()) return head_.input_dim();
+  return layers_.front()->input_dim();
+}
+
+Matrix SequenceClassifier::forward(const Sequence& input, bool training) {
+  if (input.empty()) {
+    throw std::invalid_argument("SequenceClassifier::forward: empty input");
+  }
+  cached_batch_ = input[0].rows();
+  cached_steps_ = input.size();
+
+  Sequence activations = input;
+  for (const auto& layer : layers_) {
+    activations = layer->forward(activations, training);
+  }
+  return head_.forward(activations.back());
+}
+
+Sequence SequenceClassifier::backward(const Matrix& grad_logits) {
+  if (grad_logits.rows() != cached_batch_) {
+    throw std::invalid_argument(
+        "SequenceClassifier::backward: batch mismatch with last forward");
+  }
+  const Matrix grad_last = head_.backward(grad_logits);
+
+  // Only the final timestep receives gradient from the head; earlier steps
+  // start empty (treated as zero by the layers).
+  Sequence grads(cached_steps_);
+  grads.back() = grad_last;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grads = (*it)->backward(grads);
+  }
+  return grads;
+}
+
+Matrix SequenceClassifier::predict_proba(const Sequence& input,
+                                         double temperature) {
+  return softmax(forward(input, /*training=*/false), temperature);
+}
+
+void SequenceClassifier::zero_grad() {
+  for (const auto& layer : layers_) layer->zero_grad();
+  head_.zero_grad();
+}
+
+std::vector<ParamRef> SequenceClassifier::trainable_params() {
+  std::vector<ParamRef> refs;
+  for (const auto& layer : layers_) {
+    if (!layer->trainable()) continue;
+    const auto params = layer->parameters();
+    const auto grads = layer->gradients();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      refs.push_back({params[i], grads[i]});
+    }
+  }
+  if (head_.trainable()) {
+    const auto params = head_.parameters();
+    const auto grads = head_.gradients();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      refs.push_back({params[i], grads[i]});
+    }
+  }
+  return refs;
+}
+
+std::vector<ParamRef> SequenceClassifier::all_params() {
+  std::vector<ParamRef> refs;
+  for (const auto& layer : layers_) {
+    const auto params = layer->parameters();
+    const auto grads = layer->gradients();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      refs.push_back({params[i], grads[i]});
+    }
+  }
+  const auto params = head_.parameters();
+  const auto grads = head_.gradients();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    refs.push_back({params[i], grads[i]});
+  }
+  return refs;
+}
+
+std::size_t SequenceClassifier::parameter_count() const {
+  std::size_t total = 0;
+  auto& self = const_cast<SequenceClassifier&>(*this);
+  for (const auto& ref : self.all_params()) total += ref.value->size();
+  return total;
+}
+
+SequenceClassifier SequenceClassifier::clone() const {
+  SequenceClassifier copy;
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  copy.head_ = head_;
+  return copy;
+}
+
+void SequenceClassifier::save(BinaryWriter& writer) const {
+  writer.write_u64(layers_.size());
+  for (const auto& layer : layers_) layer->save(writer);
+  head_.save(writer);
+}
+
+void SequenceClassifier::save_file(const std::filesystem::path& path) const {
+  BinaryWriter writer(path, kModelFormatVersion);
+  save(writer);
+  writer.finish();
+}
+
+SequenceClassifier SequenceClassifier::load(BinaryReader& reader) {
+  SequenceClassifier model;
+  const std::uint64_t count = reader.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    model.layers_.push_back(load_layer(reader));
+  }
+  model.head_ = Linear::load(reader);
+  return model;
+}
+
+SequenceClassifier SequenceClassifier::load_file(
+    const std::filesystem::path& path) {
+  BinaryReader reader(path, kModelFormatVersion);
+  return load(reader);
+}
+
+std::unique_ptr<SequenceLayer> load_layer(BinaryReader& reader) {
+  const std::string kind = reader.read_string();
+  if (kind == "lstm") return Lstm::load(reader);
+  if (kind == "dropout") return Dropout::load(reader);
+  throw SerializeError("load_layer: unknown layer kind '" + kind + "'");
+}
+
+SequenceClassifier make_two_layer_lstm(std::size_t input_dim,
+                                       std::size_t hidden_dim,
+                                       std::size_t num_classes,
+                                       double dropout_rate, Rng& rng) {
+  SequenceClassifier model;
+  model.add_layer(std::make_unique<Lstm>(input_dim, hidden_dim, rng));
+  if (dropout_rate > 0.0) {
+    model.add_layer(
+        std::make_unique<Dropout>(dropout_rate, hidden_dim, rng.fork(11)()));
+  }
+  model.add_layer(std::make_unique<Lstm>(hidden_dim, hidden_dim, rng));
+  model.set_head(Linear(hidden_dim, num_classes, rng));
+  return model;
+}
+
+SequenceClassifier make_one_layer_lstm(std::size_t input_dim,
+                                       std::size_t hidden_dim,
+                                       std::size_t num_classes,
+                                       double dropout_rate, Rng& rng) {
+  SequenceClassifier model;
+  model.add_layer(std::make_unique<Lstm>(input_dim, hidden_dim, rng));
+  if (dropout_rate > 0.0) {
+    model.add_layer(
+        std::make_unique<Dropout>(dropout_rate, hidden_dim, rng.fork(13)()));
+  }
+  model.set_head(Linear(hidden_dim, num_classes, rng));
+  return model;
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,107 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pelican::nn {
+
+double clip_gradient_norm(std::span<const ParamRef> params, double max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) total += p.grad->squared_norm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) *p.grad *= scale;
+  }
+  return norm;
+}
+
+namespace {
+
+void ensure_state(std::vector<std::vector<float>>& state,
+                  std::span<const ParamRef> params) {
+  if (state.size() == params.size()) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (state[i].size() != params[i].value->size()) {
+        throw std::invalid_argument(
+            "optimizer: parameter set changed; call reset()");
+      }
+    }
+    return;
+  }
+  if (!state.empty()) {
+    throw std::invalid_argument(
+        "optimizer: parameter set changed; call reset()");
+  }
+  state.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state[i].assign(params[i].value->size(), 0.0f);
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr must be > 0");
+}
+
+void Sgd::step(std::span<const ParamRef> params) {
+  ensure_state(velocity_, params);
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* value = params[i].value->data();
+    const float* grad = params[i].grad->data();
+    float* vel = velocity_[i].data();
+    const std::size_t n = params[i].value->size();
+    for (std::size_t j = 0; j < n; ++j) {
+      vel[j] = mu * vel[j] + grad[j];
+      value[j] -= lr * (vel[j] + wd * value[j]);
+    }
+  }
+}
+
+Adam::Adam(double lr, double weight_decay, double beta1, double beta2,
+           double epsilon)
+    : lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
+}
+
+void Adam::step(std::span<const ParamRef> params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(epsilon_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto step_size = static_cast<float>(lr_ / bias1);
+  const auto inv_bias2 = static_cast<float>(1.0 / bias2);
+  const auto lr = static_cast<float>(lr_);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* value = params[i].value->data();
+    const float* grad = params[i].grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::size_t n = params[i].value->size();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float g = grad[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      const float v_hat = v[j] * inv_bias2;
+      value[j] -= step_size * m[j] / (std::sqrt(v_hat) + eps) +
+                  lr * wd * value[j];
+    }
+  }
+}
+
+}  // namespace pelican::nn

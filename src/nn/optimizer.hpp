@@ -1,0 +1,86 @@
+// Gradient-based optimizers over a model's trainable parameters.
+//
+// Optimizers see only (parameter, gradient) pairs harvested from *trainable*
+// layers, which is how transfer-learning freezing is enforced: a frozen
+// layer's weights are never touched, bit for bit (a test asserts this).
+// Adam matches the paper's training setup (decoupled weight decay 1e-6,
+// learning rate 1e-4 for the general model).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+
+/// A parameter tensor paired with its gradient accumulator.
+struct ParamRef {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_gradient_norm(std::span<const ParamRef> params, double max_norm);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using current gradients, then leaves gradients
+  /// untouched (callers zero them at the start of the next step).
+  virtual void step(std::span<const ParamRef> params) = 0;
+
+  /// Resets internal state (moments); call when the parameter set changes.
+  virtual void reset() = 0;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+
+  void step(std::span<const ParamRef> params) override;
+  void reset() override { velocity_.clear(); }
+
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double lr() const noexcept { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<float>> velocity_;  // per-param, lazily sized
+};
+
+/// Adam (Kingma & Ba 2015) with decoupled weight decay (AdamW-style).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double weight_decay = 0.0, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+
+  void step(std::span<const ParamRef> params) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double lr() const noexcept { return lr_; }
+
+ private:
+  double lr_;
+  double weight_decay_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace pelican::nn

@@ -1,0 +1,196 @@
+#include "attack/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pelican::attack {
+namespace {
+
+using mobility::kDurationBins;
+using mobility::kEntryBins;
+using mobility::StepFeatures;
+using mobility::Window;
+
+Window sample_window() {
+  Window w;
+  w.steps[0] = {18, 8, 2, 5};  // 09:00, ~85 min, Wednesday, building 5
+  w.steps[1] = {21, 3, 2, 1};  // derived-consistent next step
+  w.next_location = 4;
+  return w;
+}
+
+std::vector<std::uint16_t> locations(std::initializer_list<std::uint16_t> l) {
+  return l;
+}
+
+TEST(DeriveBins, NextEntryFromContiguity) {
+  // 09:00 (bin 18) + 85 min (bin 8 -> 80 min) = 10:20 -> bin 20.
+  EXPECT_EQ(derive_next_entry_bin(18, 8), 20);
+  // Zero duration keeps the bin.
+  EXPECT_EQ(derive_next_entry_bin(18, 0), 18);
+}
+
+TEST(DeriveBins, NextEntryWrapsAtMidnight) {
+  // 23:30 (bin 47) + 230 min (bin 23) = 27:20 -> 03:20 next day -> bin 6.
+  EXPECT_EQ(derive_next_entry_bin(47, 23), 6);
+  EXPECT_TRUE(crosses_midnight(47, 23));
+  EXPECT_FALSE(crosses_midnight(18, 8));
+}
+
+TEST(DeriveBins, PrevEntryInverse) {
+  // 10:20 (bin 20) - 80 min = 09:00 -> bin 18.
+  EXPECT_EQ(derive_prev_entry_bin(20, 8), 18);
+  // Wrap backwards: 00:00 (bin 0) - 30 min = 23:30 previous day -> bin 47.
+  EXPECT_EQ(derive_prev_entry_bin(0, 3), 47);
+}
+
+TEST(DeriveBins, RoundTripWhenBinAligned) {
+  // For durations that are multiples of 30 min, derive_prev inverts
+  // derive_next exactly.
+  for (std::uint8_t e = 0; e < kEntryBins; ++e) {
+    for (const std::uint8_t d : {std::uint8_t{0}, std::uint8_t{3},
+                                 std::uint8_t{6}, std::uint8_t{12}}) {
+      const std::uint8_t next = derive_next_entry_bin(e, d);
+      EXPECT_EQ(derive_prev_entry_bin(next, d), e)
+          << "e=" << int(e) << " d=" << int(d);
+    }
+  }
+}
+
+TEST(BruteForce, EnumeratesFullFeatureSpace) {
+  const Window w = sample_window();
+  const auto guesses = locations({0, 1, 2, 3, 4, 5});
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kBruteForce, Adversary::kA1, w, guesses, {});
+  EXPECT_EQ(candidates.size(),
+            static_cast<std::size_t>(kEntryBins) * kDurationBins *
+                guesses.size() * 7);
+
+  // Known step is never modified; every candidate guesses at step 1.
+  for (std::size_t i = 0; i < candidates.size(); i += 997) {
+    EXPECT_EQ(candidates[i].steps[0], w.steps[0]);
+    EXPECT_EQ(candidates[i].guess, candidates[i].steps[1].location);
+  }
+}
+
+TEST(BruteForce, A2ModifiesStepZero) {
+  const Window w = sample_window();
+  const auto guesses = locations({0, 1});
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kBruteForce, Adversary::kA2, w, guesses, {});
+  for (std::size_t i = 0; i < candidates.size(); i += 131) {
+    EXPECT_EQ(candidates[i].steps[1], w.steps[1]);
+    EXPECT_EQ(candidates[i].guess, candidates[i].steps[0].location);
+  }
+}
+
+TEST(BruteForce, ThrowsForA3) {
+  const Window w = sample_window();
+  const auto guesses = locations({0});
+  EXPECT_THROW((void)enumerate_candidates(AttackMethod::kBruteForce,
+                                          Adversary::kA3, w, guesses, {}),
+               std::invalid_argument);
+}
+
+TEST(TimeBasedA1, DerivesEntryAndDayEnumeratesDurationLocation) {
+  const Window w = sample_window();
+  const auto guesses = locations({2, 4, 9});
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kTimeBased, Adversary::kA1, w, guesses, {});
+  EXPECT_EQ(candidates.size(),
+            static_cast<std::size_t>(kDurationBins) * guesses.size());
+
+  const std::uint8_t expected_entry = derive_next_entry_bin(18, 8);
+  std::set<std::uint16_t> guessed;
+  for (const Candidate& c : candidates) {
+    EXPECT_EQ(c.steps[0], w.steps[0]);          // known step untouched
+    EXPECT_EQ(c.steps[1].entry_bin, expected_entry);
+    EXPECT_EQ(c.steps[1].day_of_week, w.steps[0].day_of_week);
+    EXPECT_EQ(c.guess, c.steps[1].location);
+    guessed.insert(c.guess);
+  }
+  EXPECT_EQ(guessed, std::set<std::uint16_t>({2, 4, 9}));
+}
+
+TEST(TimeBasedA1, TrueCandidatePresentForContiguousSessions) {
+  // Construct a bin-aligned contiguous pair: the enumeration must contain
+  // the exact true step (the attack's completeness property).
+  Window w;
+  w.steps[0] = {10, 6, 1, 3};  // 05:00, 60 min
+  w.steps[1] = {12, 9, 1, 7};  // 06:00 (= 05:00 + 60 min), 90 min
+  w.next_location = 2;
+  const auto guesses = locations({5, 7, 9});
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kTimeBased, Adversary::kA1, w, guesses, {});
+  const bool found =
+      std::any_of(candidates.begin(), candidates.end(),
+                  [&](const Candidate& c) { return c.steps[1] == w.steps[1]; });
+  EXPECT_TRUE(found);
+}
+
+TEST(TimeBasedA1, AdvancesDayAcrossMidnight) {
+  Window w;
+  w.steps[0] = {47, 23, 4, 3};  // 23:30 Friday, capped-long stay
+  w.steps[1] = {6, 2, 5, 1};
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kTimeBased, Adversary::kA1, w, locations({1}), {});
+  for (const Candidate& c : candidates) {
+    EXPECT_EQ(c.steps[1].day_of_week, 5);  // Saturday
+  }
+}
+
+TEST(TimeBasedA2, DerivesBackwardsPerDuration) {
+  const Window w = sample_window();
+  const auto guesses = locations({0, 5});
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kTimeBased, Adversary::kA2, w, guesses, {});
+  EXPECT_EQ(candidates.size(),
+            static_cast<std::size_t>(kDurationBins) * guesses.size());
+  for (const Candidate& c : candidates) {
+    EXPECT_EQ(c.steps[1], w.steps[1]);
+    EXPECT_EQ(c.steps[0].entry_bin,
+              derive_prev_entry_bin(w.steps[1].entry_bin,
+                                    c.steps[0].duration_bin));
+    EXPECT_EQ(c.guess, c.steps[0].location);
+  }
+}
+
+TEST(TimeBasedA3, MarginalizesContextOverTemplates) {
+  const Window w = sample_window();
+  const auto guesses = locations({1, 2, 3});
+  std::vector<double> prior(10, 0.0);
+  prior[7] = 0.6;
+  prior[2] = 0.3;
+  prior[5] = 0.1;
+  const auto candidates = enumerate_candidates(
+      AttackMethod::kTimeBased, Adversary::kA3, w, guesses, prior);
+  ASSERT_FALSE(candidates.empty());
+
+  // Context locations for the older step come from the prior's top mass.
+  std::set<std::uint16_t> context_locations;
+  std::set<std::uint16_t> guessed;
+  for (const Candidate& c : candidates) {
+    context_locations.insert(c.steps[0].location);
+    guessed.insert(c.guess);
+    EXPECT_EQ(c.guess, c.steps[1].location);
+  }
+  EXPECT_EQ(context_locations, std::set<std::uint16_t>({7, 2, 5}));
+  EXPECT_EQ(guessed, std::set<std::uint16_t>({1, 2, 3}));
+  // A3 does not use any ground-truth feature of the attacked window.
+}
+
+TEST(Enumeration, RejectsEmptyGuessSetAndGradientMethod) {
+  const Window w = sample_window();
+  EXPECT_THROW((void)enumerate_candidates(AttackMethod::kTimeBased,
+                                          Adversary::kA1, w, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)enumerate_candidates(AttackMethod::kGradientDescent,
+                                 Adversary::kA1, w, locations({1}), {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pelican::attack

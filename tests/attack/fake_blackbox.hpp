@@ -1,0 +1,63 @@
+// A hand-constructed BlackBoxModel for attack unit tests: its confidence in
+// a "secret" output class is high exactly when the candidate input's
+// location block at a chosen step matches a planted secret location.
+// Inversion attacks must recover the planted location — no training needed.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/blackbox.hpp"
+
+namespace pelican::attack::testing {
+
+class PlantedBlackBox final : public BlackBoxModel {
+ public:
+  /// The model "reveals" `secret_location` at `sensitive_step`: querying
+  /// with that location yields confidence `hot` for `secret_output`,
+  /// anything else yields `cold` (both rows re-normalized).
+  PlantedBlackBox(mobility::EncodingSpec spec, std::size_t sensitive_step,
+                  std::uint16_t secret_location, std::uint16_t secret_output,
+                  float hot = 0.9f, float cold = 0.05f)
+      : spec_(spec),
+        step_(sensitive_step),
+        secret_location_(secret_location),
+        secret_output_(secret_output),
+        hot_(hot),
+        cold_(cold) {}
+
+  [[nodiscard]] nn::Matrix query(const nn::Sequence& input) override {
+    ++queries_;
+    const std::size_t batch = input[0].rows();
+    const std::size_t classes = num_classes();
+    nn::Matrix probs(batch, classes);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const bool match =
+          input[step_](r, spec_.location_offset() + secret_location_) > 0.5f;
+      const float conf = match ? hot_ : cold_;
+      const float rest =
+          (1.0f - conf) / static_cast<float>(classes - 1);
+      for (std::size_t c = 0; c < classes; ++c) probs(r, c) = rest;
+      probs(r, secret_output_) = conf;
+    }
+    return probs;
+  }
+
+  [[nodiscard]] std::size_t num_classes() const override {
+    return spec_.num_locations;
+  }
+  [[nodiscard]] const mobility::EncodingSpec& spec() const override {
+    return spec_;
+  }
+  [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
+
+ private:
+  mobility::EncodingSpec spec_;
+  std::size_t step_;
+  std::uint16_t secret_location_;
+  std::uint16_t secret_output_;
+  float hot_;
+  float cold_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace pelican::attack::testing

@@ -1,0 +1,103 @@
+#include "attack/prior.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fake_blackbox.hpp"
+
+namespace pelican::attack {
+namespace {
+
+using testing::PlantedBlackBox;
+
+mobility::EncodingSpec small_spec() {
+  return {mobility::SpatialLevel::kBuilding, 8};
+}
+
+std::vector<mobility::Window> some_windows(std::size_t n) {
+  std::vector<mobility::Window> windows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    windows[i].steps[0].location = static_cast<std::uint16_t>(i % 8);
+    windows[i].steps[1].location = static_cast<std::uint16_t>((i * 3) % 8);
+    windows[i].next_location = static_cast<std::uint16_t>((i + 1) % 8);
+  }
+  return windows;
+}
+
+TEST(Prior, TrueUsesTrainingMarginals) {
+  PlantedBlackBox model(small_spec(), 1, 2, 3);
+  std::vector<mobility::Window> train(2);
+  train[0].steps[0].location = 5;
+  train[0].steps[1].location = 5;
+  train[1].steps[0].location = 5;
+  train[1].steps[1].location = 1;
+  const auto p =
+      make_prior(PriorKind::kTrue, train, model, some_windows(3));
+  EXPECT_DOUBLE_EQ(p[5], 0.75);
+  EXPECT_DOUBLE_EQ(p[1], 0.25);
+  EXPECT_EQ(model.queries(), 0u) << "true prior must not query the model";
+}
+
+TEST(Prior, NoneIsUniform) {
+  PlantedBlackBox model(small_spec(), 1, 2, 3);
+  const auto p = make_prior(PriorKind::kNone, {}, model, some_windows(3));
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 1.0 / 8.0);
+}
+
+TEST(Prior, PredictAveragesModelOutputs) {
+  PlantedBlackBox model(small_spec(), 1, /*secret_location=*/2,
+                        /*secret_output=*/3);
+  const auto p =
+      make_prior(PriorKind::kPredict, {}, model, some_windows(8));
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-5);
+  // Class 3 is the planted model's favorite output.
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    if (c != 3) EXPECT_GT(p[3], p[c]);
+  }
+  EXPECT_GT(model.queries(), 0u);
+}
+
+TEST(Prior, EstimatePuts75OnTop) {
+  PlantedBlackBox model(small_spec(), 1, 2, 3);
+  const auto p =
+      make_prior(PriorKind::kEstimate, {}, model, some_windows(8));
+  EXPECT_DOUBLE_EQ(p[3], 0.75);
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    if (c != 3) EXPECT_NEAR(p[c], 0.25 / 7.0, 1e-12);
+  }
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Prior, PredictRequiresObservations) {
+  PlantedBlackBox model(small_spec(), 1, 2, 3);
+  EXPECT_THROW((void)make_prior(PriorKind::kPredict, {}, model, {}),
+               std::invalid_argument);
+}
+
+TEST(LocationsOfInterest, FiltersByConfidence) {
+  // hot = 0.9 on class 3; others share 0.1/7 ~ 0.014 > 1%? cold rows give
+  // 0.05 on class 3 and ~0.135 elsewhere... use thresholds around the
+  // planted confidences to verify filtering behavior.
+  PlantedBlackBox model(small_spec(), 1, 2, 3, /*hot=*/0.9f,
+                        /*cold=*/0.05f);
+  const auto windows = some_windows(8);
+
+  // Threshold above every off-class confidence: only class 3 survives.
+  const auto strict = locations_of_interest(model, windows, 0.5);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0], 3);
+
+  // Tiny threshold: everything survives.
+  const auto loose = locations_of_interest(model, windows, 1e-6);
+  EXPECT_EQ(loose.size(), 8u);
+}
+
+TEST(LocationsOfInterest, RequiresObservations) {
+  PlantedBlackBox model(small_spec(), 1, 2, 3);
+  EXPECT_THROW((void)locations_of_interest(model, {}, 0.01),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pelican::attack

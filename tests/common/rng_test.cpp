@@ -1,0 +1,170 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pelican {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, BelowIsBoundedAndCoversAll) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(21);
+  Rng a = parent.fork(3);
+  Rng b = Rng(21).fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkTagsDecorrelate) {
+  Rng parent(22);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng parent(23);
+  Rng twin(23);
+  (void)parent.fork(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(parent(), twin());
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(24);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalSingleBucket) {
+  Rng rng(25);
+  const std::vector<double> weights = {2.0};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.categorical(weights), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(26);
+  std::vector<int> xs(100);
+  for (int i = 0; i < 100; ++i) xs[static_cast<std::size_t>(i)] = i;
+  auto shuffled = xs;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(xs.begin(), xs.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(xs, shuffled);
+}
+
+TEST(SplitMix64, KnownAvalanche) {
+  // Different inputs must map to well-separated outputs.
+  EXPECT_NE(split_mix64(0), split_mix64(1));
+  EXPECT_NE(split_mix64(1), split_mix64(2));
+  const auto x = split_mix64(0x12345678);
+  const auto y = split_mix64(0x12345679);
+  int differing_bits = 0;
+  for (int b = 0; b < 64; ++b) {
+    differing_bits += ((x >> b) & 1) != ((y >> b) & 1);
+  }
+  EXPECT_GT(differing_bits, 16);
+}
+
+}  // namespace
+}  // namespace pelican

@@ -1,0 +1,114 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace pelican {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pelican_serialize_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(SerializeTest, RoundTripsAllPrimitives) {
+  {
+    BinaryWriter writer(path_, 3);
+    writer.write_u8(0xAB);
+    writer.write_u32(0xDEADBEEF);
+    writer.write_u64(0x0123456789ABCDEFULL);
+    writer.write_i64(-42);
+    writer.write_f32(3.25f);
+    writer.write_f64(-2.5e-300);
+    writer.write_string("pelican");
+    writer.finish();
+  }
+  BinaryReader reader(path_, 3);
+  EXPECT_EQ(reader.read_u8(), 0xAB);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.read_i64(), -42);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -2.5e-300);
+  EXPECT_EQ(reader.read_string(), "pelican");
+}
+
+TEST_F(SerializeTest, RoundTripsSpans) {
+  const std::vector<float> floats = {1.0f, -2.0f, 0.5f};
+  const std::vector<std::uint32_t> ints = {7, 8, 9, 10};
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_f32_span(floats);
+    writer.write_u32_span(ints);
+    writer.finish();
+  }
+  BinaryReader reader(path_, 1);
+  EXPECT_EQ(reader.read_f32_vector(), floats);
+  EXPECT_EQ(reader.read_u32_vector(), ints);
+}
+
+TEST_F(SerializeTest, EmptySpansRoundTrip) {
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_f32_span({});
+    writer.write_string("");
+    writer.finish();
+  }
+  BinaryReader reader(path_, 1);
+  EXPECT_TRUE(reader.read_f32_vector().empty());
+  EXPECT_TRUE(reader.read_string().empty());
+}
+
+TEST_F(SerializeTest, RejectsVersionMismatch) {
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_u32(99);
+    writer.finish();
+  }
+  EXPECT_THROW(BinaryReader(path_, 2), SerializeError);
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const std::uint32_t garbage[2] = {0x11111111, 1};
+    out.write(reinterpret_cast<const char*>(garbage), sizeof garbage);
+  }
+  EXPECT_THROW(BinaryReader(path_, 1), SerializeError);
+}
+
+TEST_F(SerializeTest, ThrowsOnTruncation) {
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_u32(5);
+    writer.finish();
+  }
+  BinaryReader reader(path_, 1);
+  EXPECT_EQ(reader.read_u32(), 5u);
+  EXPECT_THROW((void)reader.read_u64(), SerializeError);
+}
+
+TEST_F(SerializeTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(BinaryReader(path_ / "nope.bin", 1), SerializeError);
+}
+
+TEST_F(SerializeTest, WriterFailsOnBadPath) {
+  EXPECT_THROW(BinaryWriter("/nonexistent_dir_zz/file.bin", 1),
+               SerializeError);
+}
+
+}  // namespace
+}  // namespace pelican

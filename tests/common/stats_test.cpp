@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pelican::stats {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, StddevIsSqrtVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, IncompleteBetaEdges) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Stats, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.4), 0.4 * 0.4 * (3 - 0.8), 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(incomplete_beta(2.5, 1.5, 0.7),
+              1.0 - incomplete_beta(1.5, 2.5, 0.3), 1e-10);
+}
+
+TEST(Stats, StudentTKnownValues) {
+  // Two-sided p for t = 2.228, dof = 10 is ~0.05 (classic t-table value).
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10.0), 0.05, 2e-3);
+  // t = 0 gives p = 1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 5.0), 1.0, 1e-12);
+  // Large |t| gives tiny p.
+  EXPECT_LT(student_t_two_sided_p(50.0, 20.0), 1e-10);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x + 1.0);
+  const auto c = pearson(xs, ys);
+  EXPECT_NEAR(c.r, 1.0, 1e-12);
+  EXPECT_NEAR(c.slope, 2.0, 1e-12);
+  EXPECT_NEAR(c.intercept, 1.0, 1e-12);
+  EXPECT_LT(c.p_value, 1e-6);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {8.0, 6.0, 4.0, 2.0};
+  const auto c = pearson(xs, ys);
+  EXPECT_NEAR(c.r, -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonUncorrelatedHasHighP) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  const auto c = pearson(xs, ys);
+  EXPECT_LT(std::abs(c.r), 0.2);
+  EXPECT_GT(c.p_value, 0.01);
+}
+
+TEST(Stats, PearsonKnownModerateCorrelation) {
+  // Hand-checked example: r for these pairs is ~0.5298.
+  const std::vector<double> xs = {43, 21, 25, 42, 57, 59};
+  const std::vector<double> ys = {99, 65, 79, 75, 87, 81};
+  const auto c = pearson(xs, ys);
+  EXPECT_NEAR(c.r, 0.5298, 5e-3);
+}
+
+TEST(Stats, PearsonDegenerateInputs) {
+  const std::vector<double> constant = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> varying = {1.0, 2.0, 3.0, 4.0};
+  const auto c = pearson(constant, varying);
+  EXPECT_DOUBLE_EQ(c.r, 0.0);
+  EXPECT_DOUBLE_EQ(c.p_value, 1.0);
+
+  const std::vector<double> two = {1.0, 2.0};
+  const auto c2 = pearson(two, two);
+  EXPECT_DOUBLE_EQ(c2.r, 0.0);
+}
+
+TEST(Stats, PearsonThrowsOnSizeMismatch) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)pearson(a, b), std::invalid_argument);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> xs = {-10.0, 0.1, 0.2, 0.55, 0.9, 42.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -10 clamps into bin 0
+  EXPECT_EQ(h[1], 3u);  // 42 clamps into bin 1
+}
+
+TEST(Stats, HistogramThrowsOnBadArgs) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)histogram(xs, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pelican::stats

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pelican {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"method", "top-1", "top-3"});
+  t.add_row({"TL FE", "61.19", "79.05"});
+  t.add_row({"Reuse", "53.02", "63.68"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("TL FE"), std::string::npos);
+  EXPECT_NE(s.find("79.05"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "yyyy"});
+  t.add_row({"aaaaaa", "b"});
+  std::istringstream in(t.str());
+  std::string header, rule, row;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, StreamOperatorMatchesStr) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(Table, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table II");
+  EXPECT_NE(os.str().find("Table II"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pelican

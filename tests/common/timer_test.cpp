@@ -1,0 +1,60 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace pelican {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = sw.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+TEST(Stopwatch, MillisecondsConsistent) {
+  Stopwatch sw;
+  const double s = sw.seconds();
+  const double ms = sw.milliseconds();
+  EXPECT_GE(ms, s * 1e3);
+}
+
+TEST(CpuTime, MonotoneNondecreasing) {
+  const double a = process_cpu_seconds();
+  // Burn a little CPU.
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) x = x * 1.0000001 + 0.1;
+  const double b = process_cpu_seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(CpuTime, EstimatedCyclesScaleWithGhz) {
+  const auto low = estimated_cpu_cycles(1.0);
+  const auto high = estimated_cpu_cycles(4.0);
+  EXPECT_GE(high, low);
+}
+
+TEST(PhaseTimer, ReportsCosts) {
+  PhaseTimer timer;
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) x = x * 1.0000001 + 0.1;
+  const PhaseCost cost = timer.stop();
+  EXPECT_GT(cost.wall_seconds, 0.0);
+  EXPECT_GE(cost.cpu_seconds, 0.0);
+  EXPECT_EQ(cost.est_cycles,
+            static_cast<std::uint64_t>(cost.cpu_seconds * 2.2e9));
+}
+
+}  // namespace
+}  // namespace pelican

@@ -1,0 +1,106 @@
+#include "core/cloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/world.hpp"
+
+namespace pelican::core {
+namespace {
+
+models::GeneralModelConfig tiny_general_config() {
+  models::GeneralModelConfig config;
+  config.hidden_dim = 8;
+  config.train.epochs = 2;
+  config.train.batch_size = 64;
+  config.train.lr = 3e-3;
+  return config;
+}
+
+mobility::WindowDataset contributor_data(const pelican::testing::World& w) {
+  std::vector<mobility::Window> pooled;
+  for (const auto& trajectory : w.contributor_trajectories) {
+    const auto windows =
+        mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+  return {std::move(pooled), w.spec};
+}
+
+class CloudTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = pelican::testing::make_untrained_world(2, 2, 1);
+  }
+  pelican::testing::World world_;
+};
+
+TEST_F(CloudTest, TrainsAndVersionsGeneralModels) {
+  CloudServer cloud;
+  EXPECT_THROW((void)cloud.latest_version(), std::logic_error);
+
+  const auto data = contributor_data(world_);
+  const auto v1 = cloud.train_general(data, tiny_general_config());
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(cloud.latest_version(), 1u);
+  EXPECT_TRUE(cloud.has_version(1));
+  EXPECT_FALSE(cloud.has_version(2));
+
+  const auto v2 = cloud.train_general(data, tiny_general_config());
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(cloud.latest_version(), 2u);
+  EXPECT_TRUE(cloud.has_version(1)) << "old versions stay downloadable";
+}
+
+TEST_F(CloudTest, DownloadIsADeepCopy) {
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  const auto version = cloud.train_general(data, tiny_general_config());
+
+  auto downloaded = cloud.download_general(version);
+  // Mutating the downloaded copy must not affect later downloads.
+  downloaded.head().weight()(0, 0) += 10.0f;
+  auto fresh = cloud.download_general(version);
+  EXPECT_NE(downloaded.head().weight()(0, 0), fresh.head().weight()(0, 0));
+
+  EXPECT_THROW((void)cloud.download_general(99), std::out_of_range);
+}
+
+TEST_F(CloudTest, RecordsTrainingCostAndReport) {
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  const auto version = cloud.train_general(data, tiny_general_config());
+
+  const PhaseCost& cost = cloud.training_cost(version);
+  EXPECT_GT(cost.wall_seconds, 0.0);
+  EXPECT_GE(cost.cpu_seconds, 0.0);
+  // Cycles must be consistent with the measured CPU time (a tiny training
+  // under scheduler contention can legitimately round to ~0 cycles).
+  EXPECT_EQ(cost.est_cycles,
+            static_cast<std::uint64_t>(cost.cpu_seconds * 2.2e9));
+
+  const nn::TrainReport& report = cloud.training_report(version);
+  EXPECT_EQ(report.epochs_run, 2u);
+
+  EXPECT_THROW((void)cloud.training_cost(42), std::out_of_range);
+  EXPECT_THROW((void)cloud.training_report(42), std::out_of_range);
+}
+
+TEST_F(CloudTest, HostsPersonalizedModelsBehindPrivacyLayer) {
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  const auto version = cloud.train_general(data, tiny_general_config());
+
+  DeployedModel deployment(cloud.download_general(version), world_.spec,
+                           PrivacyLayer(1e-3), DeploymentSite::kInCloud);
+  EXPECT_FALSE(cloud.hosts_user(7));
+  cloud.host_personalized(7, std::move(deployment));
+  EXPECT_TRUE(cloud.hosts_user(7));
+
+  DeployedModel& hosted = cloud.hosted_model(7);
+  EXPECT_EQ(hosted.site(), DeploymentSite::kInCloud);
+  EXPECT_DOUBLE_EQ(hosted.temperature(), 1e-3);
+  EXPECT_THROW((void)cloud.hosted_model(8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pelican::core

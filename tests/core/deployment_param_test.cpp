@@ -1,0 +1,95 @@
+// Property sweep of the deployment + privacy layer on the real trained
+// world: for every temperature in the paper's Fig. 5b grid, the service's
+// top-k predictions must be identical to the undefended deployment, and the
+// confidence mass must saturate monotonically as T shrinks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/service.hpp"
+#include "support/world.hpp"
+
+namespace pelican::core {
+namespace {
+
+class DeploymentTemperatureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeploymentTemperatureSweep, TopPredictionIdenticalNoInversions) {
+  // At any temperature the argmax is identical to the undefended service,
+  // and resolvable (> 0) confidences never invert their relative order.
+  // Below the precision floor entries tie at zero — the saturation the
+  // defense relies on (see PrivacyLayer::apply precision note).
+  const auto& world = pelican::testing::trained_world();
+  DeployedModel plain(world.personal_model.clone(), world.spec,
+                      PrivacyLayer(1.0), DeploymentSite::kOnDevice);
+  DeployedModel defended(world.personal_model.clone(), world.spec,
+                         PrivacyLayer(GetParam()),
+                         DeploymentSite::kOnDevice);
+  for (const auto& window : world.user0_test) {
+    ASSERT_EQ(plain.predict_top_k(window, 1),
+              defended.predict_top_k(window, 1))
+        << "T=" << GetParam();
+
+    nn::Sequence x(mobility::kWindowSteps,
+                   nn::Matrix(1, world.spec.input_dim(), 0.0f));
+    mobility::encode_window(window, world.spec, x, 0);
+    const nn::Matrix warm = plain.query(x);
+    const nn::Matrix frozen = defended.query(x);
+    for (std::size_t a = 0; a < warm.cols(); ++a) {
+      for (std::size_t b = 0; b < warm.cols(); ++b) {
+        if (frozen(0, a) > 0.0f && frozen(0, b) > 0.0f &&
+            warm(0, a) > warm(0, b)) {
+          ASSERT_GE(frozen(0, a), frozen(0, b)) << "T=" << GetParam();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DeploymentTemperatureSweep, TopConfidenceAtLeastUndefended) {
+  const auto& world = pelican::testing::trained_world();
+  DeployedModel plain(world.personal_model.clone(), world.spec,
+                      PrivacyLayer(1.0), DeploymentSite::kOnDevice);
+  DeployedModel defended(world.personal_model.clone(), world.spec,
+                         PrivacyLayer(GetParam()),
+                         DeploymentSite::kOnDevice);
+
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(world.user0_test.size(), world.spec.input_dim(),
+                            0.0f));
+  for (std::size_t i = 0; i < world.user0_test.size(); ++i) {
+    mobility::encode_window(world.user0_test[i], world.spec, x, i);
+  }
+  const nn::Matrix warm = plain.query(x);
+  const nn::Matrix cold = defended.query(x);
+  for (std::size_t r = 0; r < warm.rows(); ++r) {
+    const float warm_top =
+        *std::max_element(warm.row(r).begin(), warm.row(r).end());
+    const float cold_top =
+        *std::max_element(cold.row(r).begin(), cold.row(r).end());
+    ASSERT_GE(cold_top + 1e-6f, warm_top) << "T=" << GetParam();
+  }
+}
+
+TEST_P(DeploymentTemperatureSweep, RowsStillSumToApproximatelyOne) {
+  const auto& world = pelican::testing::trained_world();
+  DeployedModel defended(world.personal_model.clone(), world.spec,
+                         PrivacyLayer(GetParam()),
+                         DeploymentSite::kOnDevice);
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(1, world.spec.input_dim(), 0.0f));
+  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
+  const nn::Matrix probs = defended.query(x);
+  double total = 0.0;
+  for (const float p : probs.row(0)) {
+    ASSERT_GE(p, 0.0f);
+    total += p;
+  }
+  ASSERT_NEAR(total, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig5bGrid, DeploymentTemperatureSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5));
+
+}  // namespace
+}  // namespace pelican::core

@@ -1,0 +1,130 @@
+#include "core/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/metrics.hpp"
+#include "support/world.hpp"
+
+namespace pelican::core {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = pelican::testing::make_untrained_world(3, 2, 1);
+    const auto data = contributor_data();
+    models::GeneralModelConfig config;
+    config.hidden_dim = 12;
+    config.train.epochs = 3;
+    config.train.lr = 3e-3;
+    (void)cloud_.train_general(data, config);
+
+    user_windows_ = mobility::make_windows(world_.user_trajectories[0],
+                                           mobility::SpatialLevel::kBuilding);
+  }
+
+  mobility::WindowDataset contributor_data() {
+    std::vector<mobility::Window> pooled;
+    for (const auto& trajectory : world_.contributor_trajectories) {
+      const auto windows = mobility::make_windows(
+          trajectory, mobility::SpatialLevel::kBuilding);
+      pooled.insert(pooled.end(), windows.begin(), windows.end());
+    }
+    return {std::move(pooled), world_.spec};
+  }
+
+  models::PersonalizationConfig personalization_config() {
+    models::PersonalizationConfig config;
+    config.method = models::PersonalizationMethod::kFeatureExtraction;
+    config.train.epochs = 3;
+    config.train.lr = 3e-3;
+    return config;
+  }
+
+  pelican::testing::World world_;
+  CloudServer cloud_;
+  std::vector<mobility::Window> user_windows_;
+};
+
+TEST_F(DeviceTest, PersonalizeDownloadsAndTrainsLocally) {
+  Device device(42, user_windows_, world_.spec);
+  EXPECT_FALSE(device.is_personalized());
+  EXPECT_THROW((void)device.personalized_model(), std::logic_error);
+
+  const PhaseCost cost = device.personalize(cloud_, personalization_config());
+  EXPECT_TRUE(device.is_personalized());
+  EXPECT_GT(cost.wall_seconds, 0.0);
+  EXPECT_EQ(device.personalization_report().epochs_run, 3u);
+}
+
+TEST_F(DeviceTest, PrivacyTemperatureValidationAndWiring) {
+  Device device(42, user_windows_, world_.spec);
+  EXPECT_DOUBLE_EQ(device.privacy_temperature(), 1.0);
+  EXPECT_THROW(device.set_privacy_temperature(0.0), std::invalid_argument);
+  device.set_privacy_temperature(1e-3);
+  EXPECT_DOUBLE_EQ(device.privacy_temperature(), 1e-3);
+
+  device.personalize(cloud_, personalization_config());
+  const DeployedModel deployment = device.deploy_local();
+  EXPECT_DOUBLE_EQ(deployment.temperature(), 1e-3);
+  EXPECT_EQ(deployment.site(), DeploymentSite::kOnDevice);
+}
+
+TEST_F(DeviceTest, DeployToCloudHostsModel) {
+  Device device(42, user_windows_, world_.spec);
+  device.personalize(cloud_, personalization_config());
+  device.set_privacy_temperature(1e-2);
+  device.deploy_to_cloud(cloud_);
+  ASSERT_TRUE(cloud_.hosts_user(42));
+  EXPECT_EQ(cloud_.hosted_model(42).site(), DeploymentSite::kInCloud);
+  EXPECT_DOUBLE_EQ(cloud_.hosted_model(42).temperature(), 1e-2);
+}
+
+TEST_F(DeviceTest, UpdateExtendsPrivateData) {
+  const auto split = mobility::split_windows(user_windows_, 0.5);
+  Device device(42, split.train, world_.spec);
+  device.personalize(cloud_, personalization_config());
+  const std::size_t before = device.private_data().size();
+
+  auto config = personalization_config();
+  config.train.epochs = 2;
+  const PhaseCost cost = device.update(split.test, config);
+  EXPECT_GT(cost.wall_seconds, 0.0);
+  EXPECT_EQ(device.private_data().size(), before + split.test.size());
+  EXPECT_EQ(device.personalization_report().epochs_run, 2u);
+}
+
+TEST_F(DeviceTest, UpdateBeforePersonalizeThrows) {
+  Device device(42, user_windows_, world_.spec);
+  EXPECT_THROW((void)device.update({}, personalization_config()),
+               std::logic_error);
+}
+
+TEST_F(DeviceTest, DeployBeforePersonalizeThrows) {
+  Device device(42, user_windows_, world_.spec);
+  EXPECT_THROW((void)device.deploy_local(), std::logic_error);
+  EXPECT_THROW(device.deploy_to_cloud(cloud_), std::logic_error);
+}
+
+TEST_F(DeviceTest, UpdateKeepsModelUseful) {
+  const auto split = mobility::split_windows(user_windows_, 0.6);
+  Device device(42, split.train, world_.spec);
+  device.personalize(cloud_, personalization_config());
+
+  const mobility::WindowDataset holdout(split.test, world_.spec);
+  auto& before_model =
+      const_cast<nn::SequenceClassifier&>(device.personalized_model());
+  const double before = nn::topk_accuracy(before_model, holdout, 3);
+
+  auto config = personalization_config();
+  config.train.epochs = 2;
+  (void)device.update(split.test, config);
+  auto& after_model =
+      const_cast<nn::SequenceClassifier&>(device.personalized_model());
+  const double after = nn::topk_accuracy(after_model, holdout, 3);
+  // Training on the holdout itself must not degrade accuracy there.
+  EXPECT_GE(after + 0.05, before);
+}
+
+}  // namespace
+}  // namespace pelican::core

@@ -1,0 +1,88 @@
+#include "core/pelican.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/world.hpp"
+
+namespace pelican::core {
+namespace {
+
+attack::InversionResult result_with(std::vector<std::size_t> ks,
+                                    std::vector<double> accs) {
+  attack::InversionResult r;
+  r.ks = std::move(ks);
+  r.topk_accuracy = std::move(accs);
+  return r;
+}
+
+TEST(LeakageReduction, ComputesPercentDrop) {
+  const auto base = result_with({1, 3}, {0.8, 0.6});
+  const auto defended = result_with({1, 3}, {0.4, 0.6});
+  const auto reduction = leakage_reduction_percent(base, defended);
+  ASSERT_EQ(reduction.size(), 2u);
+  EXPECT_DOUBLE_EQ(reduction[0], 50.0);
+  EXPECT_DOUBLE_EQ(reduction[1], 0.0);
+}
+
+TEST(LeakageReduction, ClampsNegativeToZero) {
+  // Defense "helping" the attack must report 0, not a negative reduction.
+  const auto base = result_with({1}, {0.5});
+  const auto defended = result_with({1}, {0.7});
+  EXPECT_DOUBLE_EQ(leakage_reduction_percent(base, defended)[0], 0.0);
+}
+
+TEST(LeakageReduction, ZeroBaselineGivesZero) {
+  const auto base = result_with({1}, {0.0});
+  const auto defended = result_with({1}, {0.0});
+  EXPECT_DOUBLE_EQ(leakage_reduction_percent(base, defended)[0], 0.0);
+}
+
+TEST(LeakageReduction, MismatchedGridsThrow) {
+  const auto base = result_with({1, 3}, {0.5, 0.6});
+  const auto defended = result_with({1, 5}, {0.5, 0.6});
+  EXPECT_THROW((void)leakage_reduction_percent(base, defended),
+               std::invalid_argument);
+}
+
+TEST(AuditDevice, RunsBothAttacksAndReportsReduction) {
+  const auto& world = pelican::testing::trained_world();
+  core::CloudServer cloud;
+  // Build a device around the already-personalized user-0 model by
+  // re-running the standard flow at minimal cost.
+  models::GeneralModelConfig general_config;
+  general_config.hidden_dim = 16;
+  general_config.train.epochs = 2;
+  general_config.train.lr = 3e-3;
+  std::vector<mobility::Window> pooled(world.general_train->windows().begin(),
+                                       world.general_train->windows().end());
+  (void)cloud.train_general(mobility::WindowDataset(pooled, world.spec),
+                            general_config);
+
+  core::Device device(1, world.user0_train, world.spec);
+  models::PersonalizationConfig config;
+  config.method = models::PersonalizationMethod::kFeatureExtraction;
+  config.train.epochs = 3;
+  config.train.lr = 3e-3;
+  device.personalize(cloud, config);
+  device.set_privacy_temperature(1e-3);
+
+  attack::InversionConfig attack_config;
+  attack_config.adversary = attack::Adversary::kA1;
+  attack_config.method = attack::AttackMethod::kTimeBased;
+  attack_config.ks = {1, 3};
+  attack_config.max_windows = 15;
+
+  const PrivacyAudit audit = audit_device(
+      device, world.user0_test, attack::PriorKind::kTrue, attack_config);
+  EXPECT_EQ(audit.baseline.windows_attacked, 15u);
+  EXPECT_EQ(audit.defended.windows_attacked, 15u);
+  ASSERT_EQ(audit.reduction_percent.size(), 2u);
+  for (const double r : audit.reduction_percent) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 100.0);
+  }
+  EXPECT_LE(audit.defended.at_k(3), audit.baseline.at_k(3) + 1e-9);
+}
+
+}  // namespace
+}  // namespace pelican::core

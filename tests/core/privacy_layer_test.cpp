@@ -1,0 +1,124 @@
+#include "core/privacy_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pelican::core {
+namespace {
+
+TEST(PrivacyLayer, RejectsNonPositiveTemperature) {
+  EXPECT_THROW(PrivacyLayer(0.0), std::invalid_argument);
+  EXPECT_THROW(PrivacyLayer(-0.5), std::invalid_argument);
+}
+
+TEST(PrivacyLayer, TransparentAtTemperatureOne) {
+  const PrivacyLayer layer(1.0);
+  EXPECT_TRUE(layer.is_transparent());
+  Rng rng(1);
+  const nn::Matrix logits = nn::Matrix::randn(3, 6, 2.0f, rng);
+  const nn::Matrix expected = nn::softmax(logits, 1.0);
+  EXPECT_EQ(layer.apply(logits), expected);
+}
+
+/// Property sweep over the paper's Fig. 5b temperature grid.
+class PrivacyLayerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrivacyLayerSweep, RowsRemainDistributions) {
+  const PrivacyLayer layer(GetParam());
+  Rng rng(2);
+  const nn::Matrix logits = nn::Matrix::randn(5, 9, 3.0f, rng);
+  const nn::Matrix probs = layer.apply(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (const float p : probs.row(r)) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST_P(PrivacyLayerSweep, PreservesConfidenceOrdering) {
+  // The accuracy-preservation invariant (Section V-B): scaling never
+  // reorders classes, so the service's top-k is untouched.
+  const PrivacyLayer layer(GetParam());
+  Rng rng(3);
+  const nn::Matrix logits = nn::Matrix::randn(4, 12, 2.0f, rng);
+  const nn::Matrix probs = layer.apply(logits);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    for (std::size_t a = 0; a < logits.cols(); ++a) {
+      for (std::size_t b = 0; b < logits.cols(); ++b) {
+        if (logits(r, a) > logits(r, b)) {
+          EXPECT_GE(probs(r, a), probs(r, b))
+              << "T=" << GetParam() << " reordered classes";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TemperatureGrid, PrivacyLayerSweep,
+                         ::testing::Values(1.0, 1e-1, 1e-2, 1e-3, 1e-4,
+                                           1e-5));
+
+TEST(PrivacyLayer, LowTemperatureSaturatesConfidences) {
+  const PrivacyLayer layer(1e-5);
+  nn::Matrix logits(1, 4);
+  logits(0, 0) = 1.0f;
+  logits(0, 1) = 0.9f;
+  logits(0, 2) = 0.5f;
+  logits(0, 3) = 0.0f;
+  const nn::Matrix probs = layer.apply(logits);
+  EXPECT_NEAR(probs(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(probs(0, 1), 0.0f, 1e-6);
+  EXPECT_NEAR(probs(0, 2), 0.0f, 1e-6);
+}
+
+TEST(PrivacyLayer, SmallerTemperatureSharpensMonotonically) {
+  nn::Matrix logits(1, 3);
+  logits(0, 0) = 0.7f;
+  logits(0, 1) = 0.4f;
+  logits(0, 2) = 0.1f;
+  double previous_top = 0.0;
+  for (const double t : {1.0, 0.5, 0.1, 0.01, 0.001}) {
+    const nn::Matrix probs = PrivacyLayer(t).apply(logits);
+    EXPECT_GE(probs(0, 0) + 1e-7, previous_top)
+        << "top confidence must not decrease as T shrinks";
+    previous_top = probs(0, 0);
+  }
+  EXPECT_GT(previous_top, 0.999);
+}
+
+TEST(PrivacyLayer, ConfidenceGapsShrinkInformationContent) {
+  // The defense's mechanism: with small T the gap between confidences for
+  // different *inputs* (not classes) collapses, starving the attack of
+  // signal. Model two inputs by two logit rows differing in the observed
+  // class score.
+  nn::Matrix logits(2, 3);
+  logits(0, 0) = 2.0f;  // input A: output class 0 strongly supported
+  logits(0, 1) = 1.0f;
+  logits(0, 2) = 0.0f;
+  logits(1, 0) = 1.2f;  // input B: class 0 weakly preferred
+  logits(1, 1) = 1.0f;
+  logits(1, 2) = 0.8f;
+
+  const nn::Matrix warm = PrivacyLayer(1.0).apply(logits);
+  const nn::Matrix cold = PrivacyLayer(1e-4).apply(logits);
+  const double warm_gap = std::abs(warm(0, 0) - warm(1, 0));
+  const double cold_gap = std::abs(cold(0, 0) - cold(1, 0));
+  EXPECT_GT(warm_gap, 0.2);
+  EXPECT_LT(cold_gap, 1e-3)
+      << "cold confidences must be indistinguishable across inputs";
+}
+
+TEST(PrivacyLayer, StrongTemperatureConstantIsUsable) {
+  const PrivacyLayer layer(PrivacyLayer::kStrongTemperature);
+  EXPECT_DOUBLE_EQ(layer.temperature(), 1e-3);
+}
+
+}  // namespace
+}  // namespace pelican::core

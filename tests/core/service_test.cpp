@@ -1,0 +1,120 @@
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/metrics.hpp"
+#include "support/world.hpp"
+
+namespace pelican::core {
+namespace {
+
+using pelican::testing::trained_world;
+
+DeployedModel make_deployment(double temperature) {
+  const auto& world = trained_world();
+  return DeployedModel(world.personal_model.clone(), world.spec,
+                       PrivacyLayer(temperature), DeploymentSite::kOnDevice);
+}
+
+TEST(DeployedModel, QueryReturnsDistributionsAndCounts) {
+  DeployedModel deployment = make_deployment(1.0);
+  const auto& world = trained_world();
+
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(2, world.spec.input_dim(), 0.0f));
+  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
+  mobility::encode_window(world.user0_test[1], world.spec, x, 1);
+
+  EXPECT_EQ(deployment.query_count(), 0u);
+  const nn::Matrix probs = deployment.query(x);
+  EXPECT_EQ(deployment.query_count(), 1u);
+  ASSERT_EQ(probs.rows(), 2u);
+  ASSERT_EQ(probs.cols(), world.spec.num_locations);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (const float p : probs.row(r)) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(DeployedModel, PredictTopKMatchesQueryRanking) {
+  DeployedModel deployment = make_deployment(1.0);
+  const auto& world = trained_world();
+  const auto& window = world.user0_test[0];
+
+  const auto top3 = deployment.predict_top_k(window, 3);
+  ASSERT_EQ(top3.size(), 3u);
+
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(1, world.spec.input_dim(), 0.0f));
+  mobility::encode_window(window, world.spec, x, 0);
+  const nn::Matrix probs = deployment.query(x);
+  const auto expected = nn::topk_indices(probs.row(0), 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top3[i], static_cast<std::uint16_t>(expected[i]));
+  }
+}
+
+TEST(DeployedModel, PrivacyLayerPreservesTopPredictionAndOrdering) {
+  // Section V-B's accuracy argument, stated at finite precision: the top
+  // prediction is always identical, and among confidences that remain
+  // resolvable (> 0) the ordering never inverts relative to the undefended
+  // deployment. Entries below the precision floor collapse to exact-zero
+  // ties — which is where the defense's privacy comes from.
+  DeployedModel plain = make_deployment(1.0);
+  DeployedModel cold = make_deployment(1e-4);
+  const auto& world = trained_world();
+  for (const auto& window : world.user0_test) {
+    EXPECT_EQ(plain.predict_top_k(window, 1), cold.predict_top_k(window, 1));
+
+    nn::Sequence x(mobility::kWindowSteps,
+                   nn::Matrix(1, world.spec.input_dim(), 0.0f));
+    mobility::encode_window(window, world.spec, x, 0);
+    const nn::Matrix warm = plain.query(x);
+    const nn::Matrix frozen = cold.query(x);
+    for (std::size_t a = 0; a < warm.cols(); ++a) {
+      for (std::size_t b = 0; b < warm.cols(); ++b) {
+        if (frozen(0, a) > 0.0f && frozen(0, b) > 0.0f &&
+            warm(0, a) > warm(0, b)) {
+          EXPECT_GE(frozen(0, a), frozen(0, b))
+              << "resolvable confidences reordered";
+        }
+      }
+    }
+  }
+}
+
+TEST(DeployedModel, ColdConfidencesSaturate) {
+  DeployedModel cold = make_deployment(1e-5);
+  const auto& world = trained_world();
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(1, world.spec.input_dim(), 0.0f));
+  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
+  const nn::Matrix probs = cold.query(x);
+  const float top = *std::max_element(probs.row(0).begin(),
+                                      probs.row(0).end());
+  EXPECT_GT(top, 0.999f);
+}
+
+TEST(DeployedModel, SwapModelReplacesInPlace) {
+  DeployedModel deployment = make_deployment(1.0);
+  const auto& world = trained_world();
+  const auto before = deployment.predict_top_k(world.user0_test[0], 1);
+
+  deployment.swap_model(world.general_model.clone());
+  // After swapping in the general model, predictions may differ, and the
+  // deployment still works.
+  const auto after = deployment.predict_top_k(world.user0_test[0], 1);
+  EXPECT_EQ(after.size(), 1u);
+  (void)before;
+}
+
+TEST(DeployedModel, SiteNamesStable) {
+  EXPECT_STREQ(to_string(DeploymentSite::kOnDevice), "device");
+  EXPECT_STREQ(to_string(DeploymentSite::kInCloud), "cloud");
+}
+
+}  // namespace
+}  // namespace pelican::core

@@ -1,0 +1,168 @@
+// End-to-end lifecycle test of the Pelican system (Fig. 4): cloud-based
+// initial training -> device-based personalization -> deployment -> privacy
+// audit (attack with and without the privacy layer) -> model update.
+#include <gtest/gtest.h>
+
+#include "core/pelican.hpp"
+#include "nn/metrics.hpp"
+#include "support/world.hpp"
+
+namespace pelican {
+namespace {
+
+class PelicanE2E : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new testing::World(testing::make_untrained_world(
+        /*weeks=*/5, /*contributors=*/4, /*users=*/1));
+
+    // Phase 1: cloud-based initial training.
+    std::vector<mobility::Window> pooled;
+    for (const auto& trajectory : world_->contributor_trajectories) {
+      const auto windows = mobility::make_windows(
+          trajectory, mobility::SpatialLevel::kBuilding);
+      pooled.insert(pooled.end(), windows.begin(), windows.end());
+    }
+    const mobility::WindowDataset contributors(std::move(pooled),
+                                               world_->spec);
+    models::GeneralModelConfig general_config;
+    general_config.hidden_dim = 24;
+    general_config.train.epochs = 6;
+    general_config.train.lr = 3e-3;
+    cloud_ = new core::CloudServer();
+    (void)cloud_->train_general(contributors, general_config);
+
+    // Phase 2: device-based personalization for the user.
+    const auto windows = mobility::make_windows(
+        world_->user_trajectories[0], mobility::SpatialLevel::kBuilding);
+    auto split = mobility::split_windows(windows, 0.8);
+    test_windows_ = new std::vector<mobility::Window>(std::move(split.test));
+    device_ = new core::Device(1, std::move(split.train), world_->spec);
+    models::PersonalizationConfig personal_config;
+    personal_config.method =
+        models::PersonalizationMethod::kFeatureExtraction;
+    personal_config.train.epochs = 8;
+    personal_config.train.lr = 3e-3;
+    personalization_cost_ =
+        device_->personalize(*cloud_, personal_config);
+  }
+
+  static void TearDownTestSuite() {
+    delete device_;
+    delete test_windows_;
+    delete cloud_;
+    delete world_;
+  }
+
+  static testing::World* world_;
+  static core::CloudServer* cloud_;
+  static core::Device* device_;
+  static std::vector<mobility::Window>* test_windows_;
+  static PhaseCost personalization_cost_;
+};
+
+testing::World* PelicanE2E::world_ = nullptr;
+core::CloudServer* PelicanE2E::cloud_ = nullptr;
+core::Device* PelicanE2E::device_ = nullptr;
+std::vector<mobility::Window>* PelicanE2E::test_windows_ = nullptr;
+PhaseCost PelicanE2E::personalization_cost_;
+
+TEST_F(PelicanE2E, PersonalizationIsCheaperThanCloudTraining) {
+  // Section V-C2's overhead claim, at our scale: the on-device phase costs
+  // a fraction of the cloud phase.
+  const PhaseCost& cloud_cost = cloud_->training_cost(1);
+  EXPECT_LT(personalization_cost_.cpu_seconds, cloud_cost.cpu_seconds)
+      << "device-side personalization must be cheaper than cloud training";
+}
+
+TEST_F(PelicanE2E, PersonalizedModelServesUsefulPredictions) {
+  const mobility::WindowDataset holdout(*test_windows_, world_->spec);
+  auto& model =
+      const_cast<nn::SequenceClassifier&>(device_->personalized_model());
+  const double top3 = nn::topk_accuracy(model, holdout, 3);
+  const double chance =
+      3.0 / static_cast<double>(world_->spec.num_locations);
+  EXPECT_GT(top3, chance + 0.2);
+}
+
+TEST_F(PelicanE2E, AttackLeaksWithoutDefenseAndDefenseCutsLeakage) {
+  attack::InversionConfig config;
+  config.adversary = attack::Adversary::kA1;
+  config.method = attack::AttackMethod::kTimeBased;
+  config.ks = {1, 3};
+  config.max_windows = 40;
+
+  // User enables the strong privacy setting.
+  device_->set_privacy_temperature(core::PrivacyLayer::kStrongTemperature);
+  const core::PrivacyAudit audit = core::audit_device(
+      *device_, *test_windows_, attack::PriorKind::kTrue, config);
+
+  const double chance_top3 =
+      3.0 / static_cast<double>(world_->spec.num_locations);
+  EXPECT_GT(audit.baseline.at_k(3), chance_top3 + 0.15)
+      << "undefended personalized model must leak history";
+  EXPECT_LE(audit.defended.at_k(3), audit.baseline.at_k(3))
+      << "privacy layer must not increase leakage";
+  ASSERT_EQ(audit.reduction_percent.size(), 2u);
+  EXPECT_GE(audit.reduction_percent[1], 0.0);
+}
+
+TEST_F(PelicanE2E, DefenseKeepsServiceTopPredictionAndAccuracy) {
+  device_->set_privacy_temperature(core::PrivacyLayer::kStrongTemperature);
+  core::DeployedModel defended = device_->deploy_local();
+  core::DeployedModel plain(device_->personalized_model().clone(),
+                            world_->spec, core::PrivacyLayer(1.0),
+                            core::DeploymentSite::kOnDevice);
+  // What the defense guarantees at finite precision: the top prediction is
+  // bit-identical, and a defended top-3 service is never worse than a
+  // top-1 service (the extra, possibly-saturated slots can only add hits).
+  // The paper's stronger "accuracy unchanged at every k" reading assumes
+  // unbounded confidence precision; EXPERIMENTS.md records the measured
+  // top-3 cost of the strong temperature.
+  std::size_t plain_top1_hits = 0, defended_top3_hits = 0;
+  for (const auto& window : *test_windows_) {
+    const auto plain_top1 = plain.predict_top_k(window, 1);
+    EXPECT_EQ(plain_top1, defended.predict_top_k(window, 1));
+    plain_top1_hits += (plain_top1[0] == window.next_location);
+    for (const auto loc : defended.predict_top_k(window, 3)) {
+      defended_top3_hits += (loc == window.next_location);
+    }
+  }
+  EXPECT_GE(defended_top3_hits, plain_top1_hits);
+}
+
+TEST_F(PelicanE2E, CloudDeploymentKeepsDefenseActive) {
+  device_->set_privacy_temperature(1e-4);
+  device_->deploy_to_cloud(*cloud_);
+  ASSERT_TRUE(cloud_->hosts_user(1));
+  core::DeployedModel& hosted = cloud_->hosted_model(1);
+
+  // Even in the cloud, confidences are saturated — the provider cannot see
+  // graded scores.
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(1, world_->spec.input_dim(), 0.0f));
+  mobility::encode_window((*test_windows_)[0], world_->spec, x, 0);
+  const nn::Matrix probs = hosted.query(x);
+  float top = 0.0f;
+  for (const float p : probs.row(0)) top = std::max(top, p);
+  EXPECT_GT(top, 0.999f);
+}
+
+TEST_F(PelicanE2E, ModelUpdateFlowsEndToEnd) {
+  // Phase 4: new data arrives, transfer learning re-runs, redeployment.
+  models::PersonalizationConfig config;
+  config.method = models::PersonalizationMethod::kFeatureExtraction;
+  config.train.epochs = 2;
+  config.train.lr = 1e-3;
+  const std::size_t before = device_->private_data().size();
+  const PhaseCost cost = device_->update(*test_windows_, config);
+  EXPECT_GT(cost.wall_seconds, 0.0);
+  EXPECT_EQ(device_->private_data().size(),
+            before + test_windows_->size());
+
+  const core::DeployedModel redeployed = device_->deploy_local();
+  EXPECT_EQ(redeployed.site(), core::DeploymentSite::kOnDevice);
+}
+
+}  // namespace
+}  // namespace pelican

@@ -1,0 +1,132 @@
+#include "mobility/campus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pelican::mobility {
+namespace {
+
+CampusConfig default_config() {
+  CampusConfig config;
+  config.buildings = 30;
+  config.mean_aps_per_building = 8;
+  return config;
+}
+
+TEST(Campus, GenerationIsDeterministic) {
+  const Campus a = Campus::generate(default_config(), 42);
+  const Campus b = Campus::generate(default_config(), 42);
+  ASSERT_EQ(a.num_buildings(), b.num_buildings());
+  ASSERT_EQ(a.num_aps(), b.num_aps());
+  for (std::size_t i = 0; i < a.num_buildings(); ++i) {
+    EXPECT_EQ(a.building(i).kind, b.building(i).kind);
+    EXPECT_EQ(a.building(i).first_ap, b.building(i).first_ap);
+    EXPECT_EQ(a.building(i).ap_count, b.building(i).ap_count);
+  }
+}
+
+TEST(Campus, DifferentSeedsDiffer) {
+  const Campus a = Campus::generate(default_config(), 1);
+  const Campus b = Campus::generate(default_config(), 2);
+  bool any_difference = a.num_aps() != b.num_aps();
+  for (std::size_t i = 0; !any_difference && i < a.num_buildings(); ++i) {
+    any_difference = a.building(i).kind != b.building(i).kind;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Campus, EveryEssentialKindPresent) {
+  const Campus campus = Campus::generate(default_config(), 7);
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kDorm).empty());
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kAcademic).empty());
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kDining).empty());
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kLibrary).empty());
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kGym).empty());
+}
+
+TEST(Campus, EssentialKindsEvenWhenTiny) {
+  CampusConfig config;
+  config.buildings = 6;
+  config.mean_aps_per_building = 2;
+  const Campus campus = Campus::generate(config, 3);
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kDorm).empty());
+  EXPECT_FALSE(campus.of_kind(BuildingKind::kGym).empty());
+}
+
+TEST(Campus, ApBlocksAreContiguousAndDisjoint) {
+  const Campus campus = Campus::generate(default_config(), 9);
+  std::uint16_t expected_first = 0;
+  for (std::size_t i = 0; i < campus.num_buildings(); ++i) {
+    const Building& b = campus.building(i);
+    EXPECT_EQ(b.first_ap, expected_first);
+    EXPECT_GE(b.ap_count, 1);
+    expected_first = static_cast<std::uint16_t>(expected_first + b.ap_count);
+  }
+  EXPECT_EQ(campus.num_aps(), expected_first);
+}
+
+TEST(Campus, BuildingOfApRoundTrips) {
+  const Campus campus = Campus::generate(default_config(), 11);
+  for (std::size_t i = 0; i < campus.num_buildings(); ++i) {
+    const Building& b = campus.building(i);
+    for (std::uint16_t a = 0; a < b.ap_count; ++a) {
+      EXPECT_EQ(campus.building_of_ap(
+                    static_cast<std::uint16_t>(b.first_ap + a)),
+                i);
+    }
+  }
+  EXPECT_THROW((void)campus.building_of_ap(
+                   static_cast<std::uint16_t>(campus.num_aps())),
+               std::out_of_range);
+}
+
+TEST(Campus, KindPartitionCoversAllBuildings) {
+  const Campus campus = Campus::generate(default_config(), 13);
+  std::set<std::uint16_t> seen;
+  for (const BuildingKind kind :
+       {BuildingKind::kDorm, BuildingKind::kAcademic, BuildingKind::kDining,
+        BuildingKind::kLibrary, BuildingKind::kGym, BuildingKind::kOther}) {
+    for (const std::uint16_t id : campus.of_kind(kind)) {
+      EXPECT_EQ(campus.building(id).kind, kind);
+      EXPECT_TRUE(seen.insert(id).second) << "building listed twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), campus.num_buildings());
+}
+
+TEST(Campus, NumLocationsPerSpatialLevel) {
+  const Campus campus = Campus::generate(default_config(), 15);
+  EXPECT_EQ(campus.num_locations(SpatialLevel::kBuilding),
+            campus.num_buildings());
+  EXPECT_EQ(campus.num_locations(SpatialLevel::kAp), campus.num_aps());
+  EXPECT_GT(campus.num_aps(), campus.num_buildings());
+}
+
+TEST(Campus, RejectsBadConfigs) {
+  CampusConfig zero;
+  zero.buildings = 0;
+  EXPECT_THROW((void)Campus::generate(zero, 1), std::invalid_argument);
+
+  CampusConfig no_aps = default_config();
+  no_aps.mean_aps_per_building = 0;
+  EXPECT_THROW((void)Campus::generate(no_aps, 1), std::invalid_argument);
+
+  CampusConfig too_small;
+  too_small.buildings = 3;  // cannot host one of each essential kind
+  EXPECT_THROW((void)Campus::generate(too_small, 1), std::invalid_argument);
+
+  CampusConfig bad_fractions = default_config();
+  bad_fractions.dorm_fraction = 0.9;
+  bad_fractions.academic_fraction = 0.9;
+  EXPECT_THROW((void)Campus::generate(bad_fractions, 1),
+               std::invalid_argument);
+}
+
+TEST(Campus, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(BuildingKind::kDorm), "dorm");
+  EXPECT_STREQ(to_string(BuildingKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace pelican::mobility

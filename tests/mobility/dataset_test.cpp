@@ -1,0 +1,221 @@
+#include "mobility/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mobility/simulator.hpp"
+
+namespace pelican::mobility {
+namespace {
+
+Session make_session(std::int64_t start, std::int32_t duration,
+                     std::uint16_t building, std::uint16_t ap = 0) {
+  Session s;
+  s.start_minute = start;
+  s.duration_minutes = duration;
+  s.building = building;
+  s.ap = ap;
+  return s;
+}
+
+TEST(SessionDiscretization, EntryBins) {
+  EXPECT_EQ(make_session(0, 10, 0).entry_bin(), 0);
+  EXPECT_EQ(make_session(29, 10, 0).entry_bin(), 0);
+  EXPECT_EQ(make_session(30, 10, 0).entry_bin(), 1);
+  EXPECT_EQ(make_session(23 * 60 + 59, 10, 0).entry_bin(), 47);
+  // Second day wraps back to bin 0.
+  EXPECT_EQ(make_session(kMinutesPerDay + 5, 10, 0).entry_bin(), 0);
+}
+
+TEST(SessionDiscretization, DurationBinsAndCap) {
+  EXPECT_EQ(make_session(0, 0, 0).duration_bin(), 0);
+  EXPECT_EQ(make_session(0, 9, 0).duration_bin(), 0);
+  EXPECT_EQ(make_session(0, 10, 0).duration_bin(), 1);
+  EXPECT_EQ(make_session(0, 239, 0).duration_bin(), 23);
+  // The 4-hour cap: anything longer lands in the last bin.
+  EXPECT_EQ(make_session(0, 240, 0).duration_bin(), 23);
+  EXPECT_EQ(make_session(0, 600, 0).duration_bin(), 23);
+}
+
+TEST(SessionDiscretization, DayOfWeek) {
+  EXPECT_EQ(make_session(0, 10, 0).day_of_week(), 0);
+  EXPECT_EQ(make_session(6 * kMinutesPerDay, 10, 0).day_of_week(), 6);
+  EXPECT_EQ(make_session(7 * kMinutesPerDay, 10, 0).day_of_week(), 0);
+}
+
+TEST(EncodingSpec, BlockLayout) {
+  EncodingSpec spec{SpatialLevel::kBuilding, 15};
+  EXPECT_EQ(spec.entry_offset(), 0u);
+  EXPECT_EQ(spec.duration_offset(), 48u);
+  EXPECT_EQ(spec.location_offset(), 72u);
+  EXPECT_EQ(spec.day_offset(), 87u);
+  EXPECT_EQ(spec.input_dim(), 94u);
+}
+
+TEST(MakeWindows, SlidesOverTrajectory) {
+  Trajectory t;
+  t.sessions = {make_session(0, 60, 1), make_session(60, 30, 2),
+                make_session(90, 30, 3), make_session(120, 60, 4)};
+  const auto windows = make_windows(t, SpatialLevel::kBuilding);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].steps[0].location, 1);
+  EXPECT_EQ(windows[0].steps[1].location, 2);
+  EXPECT_EQ(windows[0].next_location, 3);
+  EXPECT_EQ(windows[0].start_minute, 0);
+  EXPECT_EQ(windows[1].steps[0].location, 2);
+  EXPECT_EQ(windows[1].next_location, 4);
+}
+
+TEST(MakeWindows, ApLevelUsesApIds) {
+  Trajectory t;
+  t.sessions = {make_session(0, 60, 1, 10), make_session(60, 30, 2, 20),
+                make_session(90, 30, 3, 30)};
+  const auto windows = make_windows(t, SpatialLevel::kAp);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].steps[0].location, 10);
+  EXPECT_EQ(windows[0].next_location, 30);
+}
+
+TEST(MakeWindows, TooShortTrajectoryGivesNothing) {
+  Trajectory t;
+  t.sessions = {make_session(0, 60, 1), make_session(60, 30, 2)};
+  EXPECT_TRUE(make_windows(t, SpatialLevel::kBuilding).empty());
+}
+
+TEST(SplitWindows, TimeOrderedSplit) {
+  std::vector<Window> windows(10);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    windows[i].start_minute = static_cast<std::int64_t>(i) * 100;
+  }
+  const auto split = split_windows(windows, 0.8);
+  ASSERT_EQ(split.train.size(), 8u);
+  ASSERT_EQ(split.test.size(), 2u);
+  EXPECT_LT(split.train.back().start_minute,
+            split.test.front().start_minute);
+  EXPECT_THROW((void)split_windows(windows, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)split_windows(windows, 1.0), std::invalid_argument);
+}
+
+TEST(WindowsInFirstWeeks, FiltersByStartTime) {
+  std::vector<Window> windows(4);
+  windows[0].start_minute = 0;
+  windows[1].start_minute = kMinutesPerWeek - 1;
+  windows[2].start_minute = kMinutesPerWeek;
+  windows[3].start_minute = 3 * kMinutesPerWeek;
+  EXPECT_EQ(windows_in_first_weeks(windows, 1).size(), 2u);
+  EXPECT_EQ(windows_in_first_weeks(windows, 2).size(), 3u);
+  EXPECT_EQ(windows_in_first_weeks(windows, 4).size(), 4u);
+  EXPECT_THROW((void)windows_in_first_weeks(windows, 0),
+               std::invalid_argument);
+}
+
+TEST(LocationMarginals, CountsHistoricalSteps) {
+  std::vector<Window> windows(2);
+  windows[0].steps[0].location = 1;
+  windows[0].steps[1].location = 2;
+  windows[1].steps[0].location = 1;
+  windows[1].steps[1].location = 1;
+  const auto p = location_marginals(windows, 4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+  EXPECT_DOUBLE_EQ(p[2], 0.25);
+  EXPECT_DOUBLE_EQ(std::accumulate(p.begin(), p.end(), 0.0), 1.0);
+}
+
+TEST(LocationMarginals, EmptyAndOutOfRange) {
+  EXPECT_EQ(location_marginals({}, 3), std::vector<double>(3, 0.0));
+  std::vector<Window> windows(1);
+  windows[0].steps[0].location = 9;
+  EXPECT_THROW((void)location_marginals(windows, 3), std::out_of_range);
+}
+
+TEST(EncodeWindow, ExactlyFourOnesPerStep) {
+  EncodingSpec spec{SpatialLevel::kBuilding, 10};
+  Window w;
+  w.steps[0] = {5, 3, 2, 7};
+  w.steps[1] = {6, 0, 2, 1};
+  w.next_location = 4;
+
+  nn::Sequence x(kWindowSteps, nn::Matrix(1, spec.input_dim(), 0.0f));
+  encode_window(w, spec, x, 0);
+
+  for (std::size_t t = 0; t < kWindowSteps; ++t) {
+    float total = 0.0f;
+    for (const float v : x[t].row(0)) {
+      EXPECT_TRUE(v == 0.0f || v == 1.0f);
+      total += v;
+    }
+    EXPECT_FLOAT_EQ(total, 4.0f) << "step " << t;
+  }
+  EXPECT_FLOAT_EQ(x[0](0, spec.entry_offset() + 5), 1.0f);
+  EXPECT_FLOAT_EQ(x[0](0, spec.duration_offset() + 3), 1.0f);
+  EXPECT_FLOAT_EQ(x[0](0, spec.location_offset() + 7), 1.0f);
+  EXPECT_FLOAT_EQ(x[0](0, spec.day_offset() + 2), 1.0f);
+  EXPECT_FLOAT_EQ(x[1](0, spec.location_offset() + 1), 1.0f);
+}
+
+TEST(EncodeWindow, RejectsOutOfDomainLocation) {
+  EncodingSpec spec{SpatialLevel::kBuilding, 4};
+  Window w;
+  w.steps[0].location = 4;  // out of domain
+  nn::Sequence x(kWindowSteps, nn::Matrix(1, spec.input_dim(), 0.0f));
+  EXPECT_THROW(encode_window(w, spec, x, 0), std::out_of_range);
+}
+
+TEST(WindowDataset, MaterializesBatches) {
+  EncodingSpec spec{SpatialLevel::kBuilding, 8};
+  std::vector<Window> windows(5);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    windows[i].steps[0].location = static_cast<std::uint16_t>(i % 8);
+    windows[i].steps[1].location = static_cast<std::uint16_t>((i + 1) % 8);
+    windows[i].next_location = static_cast<std::uint16_t>((i + 2) % 8);
+  }
+  const WindowDataset data(windows, spec);
+  EXPECT_EQ(data.size(), 5u);
+  EXPECT_EQ(data.seq_len(), kWindowSteps);
+  EXPECT_EQ(data.input_dim(), spec.input_dim());
+  EXPECT_EQ(data.num_classes(), 8u);
+
+  nn::Sequence x;
+  std::vector<std::int32_t> y;
+  const std::vector<std::uint32_t> idx = {4, 0};
+  data.materialize(idx, x, y);
+  ASSERT_EQ(x.size(), kWindowSteps);
+  EXPECT_EQ(x[0].rows(), 2u);
+  EXPECT_EQ(y[0], 6);  // window 4: (4+2)%8
+  EXPECT_EQ(y[1], 2);  // window 0
+  EXPECT_FLOAT_EQ(x[0](0, spec.location_offset() + 4), 1.0f);
+  EXPECT_FLOAT_EQ(x[0](1, spec.location_offset() + 0), 1.0f);
+}
+
+TEST(WindowDataset, RejectsLabelOutsideDomain) {
+  EncodingSpec spec{SpatialLevel::kBuilding, 4};
+  std::vector<Window> windows(1);
+  windows[0].next_location = 4;
+  EXPECT_THROW(WindowDataset(windows, spec), std::out_of_range);
+}
+
+TEST(WindowDataset, DomainEqualizationUsesFullCampus) {
+  // A user who only ever visits 3 buildings still gets encoded over the
+  // whole campus domain (Section III-A3).
+  CampusConfig config;
+  config.buildings = 25;
+  config.mean_aps_per_building = 3;
+  const Campus campus = Campus::generate(config, 3);
+  const auto spec =
+      EncodingSpec::for_campus(campus, SpatialLevel::kBuilding);
+  EXPECT_EQ(spec.num_locations, 25u);
+
+  std::vector<Window> windows(1);
+  windows[0].steps[0].location = 1;
+  windows[0].steps[1].location = 2;
+  windows[0].next_location = 1;
+  const WindowDataset data(windows, spec);
+  EXPECT_EQ(data.num_classes(), 25u);
+  EXPECT_EQ(data.input_dim(), 48u + 24u + 25u + 7u);
+}
+
+}  // namespace
+}  // namespace pelican::mobility

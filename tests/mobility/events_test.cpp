@@ -1,0 +1,165 @@
+#include "mobility/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mobility/simulator.hpp"
+#include "mobility/trace_stats.hpp"
+
+namespace pelican::mobility {
+namespace {
+
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampusConfig config;
+    config.buildings = 10;
+    config.mean_aps_per_building = 3;
+    campus_ = Campus::generate(config, 42);
+  }
+
+  std::uint16_t ap_of(std::uint16_t building, std::uint16_t index = 0) {
+    return static_cast<std::uint16_t>(campus_.building(building).first_ap +
+                                      index);
+  }
+
+  Campus campus_;
+};
+
+TEST_F(EventsTest, BuildsSessionsFromAssociations) {
+  const std::vector<ApEvent> events = {
+      {0, 7, ap_of(1)},
+      {60, 7, ap_of(2)},
+      {90, 7, ap_of(3)},
+  };
+  const auto trajectories = sessionize(events, campus_);
+  ASSERT_EQ(trajectories.size(), 1u);
+  const auto& sessions = trajectories[0].sessions;
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(trajectories[0].user_id, 7u);
+  EXPECT_EQ(sessions[0].building, 1);
+  EXPECT_EQ(sessions[0].duration_minutes, 60);
+  EXPECT_EQ(sessions[1].duration_minutes, 30);
+  EXPECT_TRUE(is_contiguous(trajectories[0]));
+}
+
+TEST_F(EventsTest, SortsUnorderedEventsPerDevice) {
+  const std::vector<ApEvent> events = {
+      {90, 1, ap_of(3)},
+      {0, 1, ap_of(1)},
+      {60, 1, ap_of(2)},
+  };
+  const auto trajectories = sessionize(events, campus_);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_EQ(trajectories[0].sessions[0].building, 1);
+  EXPECT_EQ(trajectories[0].sessions[2].building, 3);
+}
+
+TEST_F(EventsTest, SeparatesDevices) {
+  const std::vector<ApEvent> events = {
+      {0, 1, ap_of(1)},
+      {0, 2, ap_of(2)},
+      {50, 1, ap_of(3)},
+      {50, 2, ap_of(4)},
+  };
+  const auto trajectories = sessionize(events, campus_);
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_EQ(trajectories[0].user_id, 1u);
+  EXPECT_EQ(trajectories[1].user_id, 2u);
+  EXPECT_EQ(trajectories[0].sessions[0].building, 1);
+  EXPECT_EQ(trajectories[1].sessions[0].building, 2);
+}
+
+TEST_F(EventsTest, MergesSameBuildingFlaps) {
+  // Rapid roam between two APs of building 2: one logical stay.
+  const std::vector<ApEvent> events = {
+      {0, 5, ap_of(2, 0)},
+      {60, 5, ap_of(2, 1)},  // flap within the building
+      {65, 5, ap_of(2, 0)},
+      {70, 5, ap_of(3, 0)},
+  };
+  SessionizeConfig config;
+  config.merge_below_minutes = 10;
+  config.min_session_minutes = 5;
+  const auto trajectories = sessionize(events, campus_, config);
+  ASSERT_EQ(trajectories.size(), 1u);
+  const auto& sessions = trajectories[0].sessions;
+  ASSERT_GE(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].building, 2);
+  EXPECT_EQ(sessions[0].duration_minutes, 70);  // merged stay
+  EXPECT_EQ(sessions[1].building, 3);
+}
+
+TEST_F(EventsTest, SplitsAtLongAbsence) {
+  SessionizeConfig config;
+  config.absence_gap_minutes = 120;
+  const std::vector<ApEvent> events = {
+      {0, 9, ap_of(1)},
+      {1000, 9, ap_of(2)},  // device was gone for ~16 h
+  };
+  const auto trajectories = sessionize(events, campus_, config);
+  ASSERT_EQ(trajectories.size(), 1u);
+  const auto& sessions = trajectories[0].sessions;
+  ASSERT_EQ(sessions.size(), 2u);
+  // First session is capped at the absence bound, not stretched to 1000.
+  EXPECT_EQ(sessions[0].duration_minutes, 120);
+  EXPECT_EQ(sessions[1].start_minute, 1000);
+}
+
+TEST_F(EventsTest, DropsIsolatedBlips) {
+  SessionizeConfig config;
+  config.min_session_minutes = 10;
+  config.merge_below_minutes = 0;  // no merging: the blip stands alone
+  const std::vector<ApEvent> events = {
+      {0, 3, ap_of(1)},
+      {60, 3, ap_of(2)},   // 3-minute blip
+      {63, 3, ap_of(1)},
+  };
+  const auto trajectories = sessionize(events, campus_, config);
+  ASSERT_EQ(trajectories.size(), 1u);
+  for (const Session& s : trajectories[0].sessions) {
+    EXPECT_GE(s.duration_minutes, 10);
+  }
+}
+
+TEST_F(EventsTest, RejectsBadInput) {
+  const std::vector<ApEvent> bad_ap = {
+      {0, 1, static_cast<std::uint16_t>(campus_.num_aps())}};
+  EXPECT_THROW((void)sessionize(bad_ap, campus_), std::out_of_range);
+
+  SessionizeConfig config;
+  config.absence_gap_minutes = 0;
+  const std::vector<ApEvent> ok = {{0, 1, ap_of(1)}};
+  EXPECT_THROW((void)sessionize(ok, campus_, config), std::invalid_argument);
+}
+
+TEST_F(EventsTest, RoundTripsSimulatedTraces) {
+  // sessionize(to_events(simulated)) must reproduce the building-level
+  // structure of the original trace (same buildings in the same order,
+  // durations preserved except the final open session).
+  Rng rng(9);
+  const auto persona = generate_persona(campus_, 5, PersonaConfig{}, rng);
+  SimulationConfig sim;
+  sim.weeks = 1;
+  const Trajectory original = simulate(campus_, persona, sim, Rng(10));
+
+  SessionizeConfig config;
+  config.merge_below_minutes = 0;
+  config.min_session_minutes = 0;
+  // Overnight dorm stays exceed the default absence bound; disable the
+  // split so the exact durations round-trip.
+  config.absence_gap_minutes = 2 * kMinutesPerDay;
+  const auto events = to_events(original);
+  const auto recovered = sessionize(events, campus_, config);
+  ASSERT_EQ(recovered.size(), 1u);
+  const auto& sessions = recovered[0].sessions;
+  ASSERT_EQ(sessions.size(), original.sessions.size());
+  for (std::size_t i = 0; i + 1 < sessions.size(); ++i) {
+    EXPECT_EQ(sessions[i].building, original.sessions[i].building);
+    EXPECT_EQ(sessions[i].start_minute, original.sessions[i].start_minute);
+    EXPECT_EQ(sessions[i].duration_minutes,
+              original.sessions[i].duration_minutes);
+  }
+}
+
+}  // namespace
+}  // namespace pelican::mobility

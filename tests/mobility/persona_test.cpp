@@ -1,0 +1,116 @@
+#include "mobility/persona.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pelican::mobility {
+namespace {
+
+class PersonaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampusConfig config;
+    config.buildings = 20;
+    config.mean_aps_per_building = 4;
+    campus_ = Campus::generate(config, 5);
+  }
+  Campus campus_;
+  PersonaConfig persona_config_;
+};
+
+TEST_F(PersonaTest, DeterministicGivenRng) {
+  Rng a(3), b(3);
+  const Persona pa = generate_persona(campus_, 1, persona_config_, a);
+  const Persona pb = generate_persona(campus_, 1, persona_config_, b);
+  EXPECT_EQ(pa.dorm, pb.dorm);
+  EXPECT_EQ(pa.schedule.size(), pb.schedule.size());
+  EXPECT_EQ(pa.library, pb.library);
+  EXPECT_DOUBLE_EQ(pa.routine_strength, pb.routine_strength);
+}
+
+TEST_F(PersonaTest, BuildingsHaveCorrectKinds) {
+  Rng rng(4);
+  const Persona p = generate_persona(campus_, 2, persona_config_, rng);
+  EXPECT_EQ(campus_.building(p.dorm).kind, BuildingKind::kDorm);
+  EXPECT_EQ(campus_.building(p.library).kind, BuildingKind::kLibrary);
+  EXPECT_EQ(campus_.building(p.gym).kind, BuildingKind::kGym);
+  for (const auto hall : p.dining_halls) {
+    EXPECT_EQ(campus_.building(hall).kind, BuildingKind::kDining);
+  }
+  for (const auto& slot : p.schedule) {
+    EXPECT_EQ(campus_.building(slot.building).kind, BuildingKind::kAcademic);
+  }
+}
+
+TEST_F(PersonaTest, ScheduleSortedAndCollisionFree) {
+  for (std::uint32_t user = 0; user < 20; ++user) {
+    Rng rng(100 + user);
+    const Persona p = generate_persona(campus_, user, persona_config_, rng);
+    for (std::size_t i = 1; i < p.schedule.size(); ++i) {
+      const auto& prev = p.schedule[i - 1];
+      const auto& cur = p.schedule[i];
+      const bool ordered =
+          prev.day < cur.day ||
+          (prev.day == cur.day && prev.start_minute < cur.start_minute);
+      EXPECT_TRUE(ordered) << "user " << user << " slot " << i;
+    }
+  }
+}
+
+TEST_F(PersonaTest, ScheduleWithinCourseBounds) {
+  Rng rng(6);
+  PersonaConfig config;
+  config.min_courses = 2;
+  config.max_courses = 4;
+  const Persona p = generate_persona(campus_, 3, config, rng);
+  // Each course meets 2-3 times; same-slot collisions may drop a few.
+  EXPECT_GE(p.schedule.size(), 2u);
+  EXPECT_LE(p.schedule.size(), 12u);
+  for (const auto& slot : p.schedule) {
+    EXPECT_LT(slot.day, 7);
+    EXPECT_GE(slot.start_minute, 8 * 60);
+    EXPECT_LE(slot.start_minute + slot.duration_minutes, 18 * 60);
+  }
+}
+
+TEST_F(PersonaTest, RatesWithinConfiguredRanges) {
+  for (std::uint32_t user = 0; user < 30; ++user) {
+    Rng rng(200 + user);
+    const Persona p = generate_persona(campus_, user, persona_config_, rng);
+    EXPECT_GE(p.routine_strength, persona_config_.min_routine);
+    EXPECT_LE(p.routine_strength, persona_config_.max_routine);
+    EXPECT_GE(p.outing_rate, persona_config_.min_outing);
+    EXPECT_LE(p.outing_rate, persona_config_.max_outing);
+  }
+}
+
+TEST_F(PersonaTest, HomeDomainContainsAllAnchors) {
+  Rng rng(7);
+  const Persona p = generate_persona(campus_, 4, persona_config_, rng);
+  const auto domain = p.home_domain();
+  const std::set<std::uint16_t> domain_set(domain.begin(), domain.end());
+  EXPECT_TRUE(domain_set.contains(p.dorm));
+  EXPECT_TRUE(domain_set.contains(p.library));
+  EXPECT_TRUE(domain_set.contains(p.gym));
+  for (const auto& slot : p.schedule) {
+    EXPECT_TRUE(domain_set.contains(slot.building));
+  }
+  // The user's domain is a strict subset of campus — the reason the paper
+  // needs domain equalization before transfer learning.
+  EXPECT_LT(domain.size(), campus_.num_buildings());
+}
+
+TEST_F(PersonaTest, DistinctUsersGetDistinctBehavior) {
+  Rng rng(8);
+  const Persona a = generate_persona(campus_, 10, persona_config_, rng);
+  const Persona b = generate_persona(campus_, 11, persona_config_, rng);
+  const bool differs = a.dorm != b.dorm ||
+                       a.schedule.size() != b.schedule.size() ||
+                       a.routine_strength != b.routine_strength;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace pelican::mobility

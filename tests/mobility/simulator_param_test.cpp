@@ -1,0 +1,108 @@
+// Property sweep over simulation seeds and horizons: every generated trace
+// must satisfy the structural invariants the attacks and datasets rely on,
+// regardless of persona randomness.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "mobility/dataset.hpp"
+#include "mobility/simulator.hpp"
+#include "mobility/trace_stats.hpp"
+
+namespace pelican::mobility {
+namespace {
+
+using Param = std::tuple<std::uint64_t /*seed*/, int /*weeks*/>;
+
+class TraceInvariants : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    CampusConfig config;
+    config.buildings = 15;
+    config.mean_aps_per_building = 4;
+    campus_ = Campus::generate(config, 77);
+    const auto [seed, weeks] = GetParam();
+    Rng rng(seed);
+    persona_ = generate_persona(campus_, static_cast<std::uint32_t>(seed),
+                                PersonaConfig{}, rng);
+    SimulationConfig sim;
+    sim.weeks = weeks;
+    trajectory_ = simulate(campus_, persona_, sim, Rng(seed * 31 + 7));
+    weeks_ = weeks;
+  }
+
+  Campus campus_;
+  Persona persona_;
+  Trajectory trajectory_;
+  int weeks_ = 0;
+};
+
+TEST_P(TraceInvariants, SessionsContiguousAndCoverSpan) {
+  ASSERT_FALSE(trajectory_.sessions.empty());
+  EXPECT_TRUE(is_contiguous(trajectory_));
+  EXPECT_EQ(trajectory_.sessions.front().start_minute, 0);
+  EXPECT_EQ(trajectory_.sessions.back().end_minute(),
+            static_cast<std::int64_t>(weeks_) * kMinutesPerWeek);
+}
+
+TEST_P(TraceInvariants, AllLocationsWithinCampusDomain) {
+  for (const Session& s : trajectory_.sessions) {
+    ASSERT_LT(s.building, campus_.num_buildings());
+    ASSERT_LT(s.ap, campus_.num_aps());
+    ASSERT_EQ(campus_.building_of_ap(s.ap), s.building);
+  }
+}
+
+TEST_P(TraceInvariants, DiscretizedFeaturesWithinBins) {
+  for (const Session& s : trajectory_.sessions) {
+    ASSERT_GE(s.entry_bin(), 0);
+    ASSERT_LT(s.entry_bin(), kEntryBins);
+    ASSERT_GE(s.duration_bin(), 0);
+    ASSERT_LT(s.duration_bin(), kDurationBins);
+    ASSERT_GE(s.day_of_week(), 0);
+    ASSERT_LT(s.day_of_week(), kDaysPerWeek);
+    ASSERT_GT(s.duration_minutes, 0);
+  }
+}
+
+TEST_P(TraceInvariants, WindowsAreWellFormedAtBothLevels) {
+  for (const SpatialLevel level :
+       {SpatialLevel::kBuilding, SpatialLevel::kAp}) {
+    const auto windows = make_windows(trajectory_, level);
+    ASSERT_EQ(windows.size(), trajectory_.sessions.size() - 2);
+    const auto spec = EncodingSpec::for_campus(campus_, level);
+    for (const Window& w : windows) {
+      ASSERT_LT(w.next_location, spec.num_locations);
+      ASSERT_LT(w.steps[0].location, spec.num_locations);
+      ASSERT_LE(w.start_minute,
+                static_cast<std::int64_t>(weeks_) * kMinutesPerWeek);
+    }
+    // Marginals over windows form a probability distribution.
+    const auto p = location_marginals(windows, spec.num_locations);
+    double total = 0.0;
+    for (const double v : p) {
+      ASSERT_GE(v, 0.0);
+      total += v;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(TraceInvariants, DormIsTheTopBuilding) {
+  const TraceStats stats = compute_stats(trajectory_);
+  EXPECT_GT(stats.top_building_time_share, 0.3);
+  EXPECT_GE(stats.mean_sessions_per_day, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWeeks, TraceInvariants,
+    ::testing::Combine(::testing::Values(1ULL, 7ULL, 42ULL, 1234ULL),
+                       ::testing::Values(1, 3, 6)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pelican::mobility

@@ -1,0 +1,160 @@
+#include "mobility/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mobility/trace_stats.hpp"
+
+namespace pelican::mobility {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampusConfig config;
+    config.buildings = 16;
+    config.mean_aps_per_building = 4;
+    campus_ = Campus::generate(config, 21);
+    Rng rng(22);
+    persona_ = generate_persona(campus_, 1, PersonaConfig{}, rng);
+  }
+
+  Trajectory simulate_weeks(int weeks, std::uint64_t seed = 33) {
+    SimulationConfig config;
+    config.weeks = weeks;
+    return simulate(campus_, persona_, config, Rng(seed));
+  }
+
+  Campus campus_;
+  Persona persona_;
+};
+
+TEST_F(SimulatorTest, SessionsAreContiguous) {
+  const Trajectory t = simulate_weeks(3);
+  ASSERT_FALSE(t.sessions.empty());
+  EXPECT_TRUE(is_contiguous(t))
+      << "WiFi sessions must be back-to-back (time-based attack premise)";
+}
+
+TEST_F(SimulatorTest, CoversTheFullSimulatedSpan) {
+  const Trajectory t = simulate_weeks(2);
+  EXPECT_EQ(t.sessions.front().start_minute, 0);
+  EXPECT_EQ(t.sessions.back().end_minute(),
+            static_cast<std::int64_t>(2) * kMinutesPerWeek);
+}
+
+TEST_F(SimulatorTest, DeterministicGivenSeed) {
+  const Trajectory a = simulate_weeks(2, 7);
+  const Trajectory b = simulate_weeks(2, 7);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].start_minute, b.sessions[i].start_minute);
+    EXPECT_EQ(a.sessions[i].building, b.sessions[i].building);
+    EXPECT_EQ(a.sessions[i].ap, b.sessions[i].ap);
+  }
+}
+
+TEST_F(SimulatorTest, SeedsChangeTheTrace) {
+  const Trajectory a = simulate_weeks(2, 7);
+  const Trajectory b = simulate_weeks(2, 8);
+  bool differs = a.sessions.size() != b.sessions.size();
+  for (std::size_t i = 0; !differs && i < a.sessions.size(); ++i) {
+    differs = a.sessions[i].building != b.sessions[i].building ||
+              a.sessions[i].start_minute != b.sessions[i].start_minute;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(SimulatorTest, ApsBelongToTheirBuildings) {
+  const Trajectory t = simulate_weeks(3);
+  for (const Session& s : t.sessions) {
+    EXPECT_EQ(campus_.building_of_ap(s.ap), s.building);
+  }
+}
+
+TEST_F(SimulatorTest, PositiveDurations) {
+  const Trajectory t = simulate_weeks(3);
+  for (const Session& s : t.sessions) {
+    EXPECT_GT(s.duration_minutes, 0);
+    EXPECT_LE(s.duration_minutes, kMinutesPerDay);
+  }
+}
+
+TEST_F(SimulatorTest, DormDominatesTime) {
+  const Trajectory t = simulate_weeks(4);
+  const TraceStats stats = compute_stats(t);
+  // Students sleep at home: the dorm should be the top building by time
+  // (paper cites users spending the majority of time at a single location).
+  EXPECT_GT(stats.top_building_time_share, 0.4);
+}
+
+TEST_F(SimulatorTest, VisitsClassBuildingsOfSchedule) {
+  const Trajectory t = simulate_weeks(4);
+  std::set<std::uint16_t> visited;
+  for (const Session& s : t.sessions) visited.insert(s.building);
+  // With routine_strength >= 0.55 over 4 weeks, every scheduled room is
+  // visited at least once with overwhelming probability.
+  for (const auto& slot : persona_.schedule) {
+    EXPECT_TRUE(visited.contains(slot.building))
+        << "scheduled building " << slot.building << " never visited";
+  }
+}
+
+TEST_F(SimulatorTest, PreferredApIsStablePerUserBuilding) {
+  const std::uint16_t ap1 = preferred_ap(campus_, 42, 3);
+  const std::uint16_t ap2 = preferred_ap(campus_, 42, 3);
+  EXPECT_EQ(ap1, ap2);
+  const Building& b = campus_.building(3);
+  EXPECT_GE(ap1, b.first_ap);
+  EXPECT_LT(ap1, b.first_ap + b.ap_count);
+}
+
+TEST_F(SimulatorTest, PreferredApDominatesVisits) {
+  SimulationConfig config;
+  config.weeks = 4;
+  config.preferred_ap_affinity = 0.9;
+  const Trajectory t = simulate(campus_, persona_, config, Rng(55));
+  std::size_t dorm_sessions = 0, dorm_on_preferred = 0;
+  const std::uint16_t expected =
+      preferred_ap(campus_, persona_.user_id, persona_.dorm);
+  for (const Session& s : t.sessions) {
+    if (s.building != persona_.dorm) continue;
+    ++dorm_sessions;
+    dorm_on_preferred += (s.ap == expected);
+  }
+  ASSERT_GT(dorm_sessions, 10u);
+  EXPECT_GT(static_cast<double>(dorm_on_preferred) /
+                static_cast<double>(dorm_sessions),
+            0.7);
+}
+
+TEST_F(SimulatorTest, MoreRoutineMeansFewerDistinctBuildings) {
+  Persona homebody = persona_;
+  homebody.outing_rate = 0.0;
+  homebody.gym_rate = 0.0;
+  homebody.study_rate = 0.0;
+  Persona wanderer = persona_;
+  wanderer.outing_rate = 0.6;
+  wanderer.gym_rate = 0.5;
+  wanderer.study_rate = 0.9;
+
+  SimulationConfig config;
+  config.weeks = 4;
+  const auto deg_home = degree_of_mobility(
+      simulate(campus_, homebody, config, Rng(66)), SpatialLevel::kBuilding);
+  const auto deg_wander = degree_of_mobility(
+      simulate(campus_, wanderer, config, Rng(66)), SpatialLevel::kBuilding);
+  EXPECT_LT(deg_home, deg_wander);
+}
+
+TEST_F(SimulatorTest, DayOfWeekCyclesOverTrace) {
+  const Trajectory t = simulate_weeks(2);
+  EXPECT_EQ(t.sessions.front().day_of_week(), 0);  // trace starts Monday
+  std::set<int> days;
+  for (const Session& s : t.sessions) days.insert(s.day_of_week());
+  EXPECT_EQ(days.size(), 7u);
+}
+
+}  // namespace
+}  // namespace pelican::mobility

@@ -1,0 +1,137 @@
+#include "mobility/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mobility/dataset.hpp"
+#include "mobility/simulator.hpp"
+
+namespace pelican::mobility {
+namespace {
+
+Trajectory small_trajectory(std::uint32_t user) {
+  Trajectory t;
+  t.user_id = user;
+  t.sessions = {
+      {0, 60, 1, 10},
+      {60, 30, 2, 20},
+      {90, 45, 1, 11},
+  };
+  return t;
+}
+
+TEST(TraceIo, SessionsRoundTripThroughStream) {
+  const std::vector<Trajectory> original = {small_trajectory(3),
+                                            small_trajectory(7)};
+  std::stringstream buffer;
+  write_sessions_csv(buffer, original);
+  const auto recovered = read_sessions_csv(buffer);
+  ASSERT_EQ(recovered.size(), 2u);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_EQ(recovered[u].user_id, original[u].user_id);
+    ASSERT_EQ(recovered[u].sessions.size(), original[u].sessions.size());
+    for (std::size_t i = 0; i < recovered[u].sessions.size(); ++i) {
+      EXPECT_EQ(recovered[u].sessions[i].start_minute,
+                original[u].sessions[i].start_minute);
+      EXPECT_EQ(recovered[u].sessions[i].duration_minutes,
+                original[u].sessions[i].duration_minutes);
+      EXPECT_EQ(recovered[u].sessions[i].building,
+                original[u].sessions[i].building);
+      EXPECT_EQ(recovered[u].sessions[i].ap, original[u].sessions[i].ap);
+    }
+  }
+}
+
+TEST(TraceIo, SessionsRoundTripThroughFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "pelican_trace_io_test.csv";
+  const std::vector<Trajectory> original = {small_trajectory(1)};
+  write_sessions_csv(path, original);
+  const auto recovered = read_sessions_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].sessions.size(), 3u);
+}
+
+TEST(TraceIo, ReaderSortsOutOfOrderRows) {
+  std::stringstream buffer;
+  buffer << "user_id,start_minute,duration_minutes,building,ap\n"
+         << "1,90,45,1,11\n"
+         << "1,0,60,1,10\n"
+         << "1,60,30,2,20\n";
+  const auto recovered = read_sessions_csv(buffer);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].sessions[0].start_minute, 0);
+  EXPECT_EQ(recovered[0].sessions[2].start_minute, 90);
+}
+
+TEST(TraceIo, RejectsBadHeaderAndRows) {
+  std::stringstream bad_header("wrong,header\n");
+  EXPECT_THROW((void)read_sessions_csv(bad_header), std::runtime_error);
+
+  std::stringstream bad_row;
+  bad_row << "user_id,start_minute,duration_minutes,building,ap\n"
+          << "1,oops,30,2,20\n";
+  EXPECT_THROW((void)read_sessions_csv(bad_row), std::runtime_error);
+
+  std::stringstream short_row;
+  short_row << "user_id,start_minute,duration_minutes,building,ap\n"
+            << "1,2,3\n";
+  EXPECT_THROW((void)read_sessions_csv(short_row), std::runtime_error);
+}
+
+TEST(TraceIo, EventsRoundTrip) {
+  const std::vector<ApEvent> original = {
+      {0, 1, 10}, {60, 1, 20}, {30, 2, 15}};
+  std::stringstream buffer;
+  write_events_csv(buffer, original);
+  const auto recovered = read_events_csv(buffer);
+  EXPECT_EQ(recovered, original);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_sessions_csv(std::filesystem::path(
+                   "/nonexistent_zz/file.csv")),
+               std::runtime_error);
+}
+
+TEST(TraceIo, SimulatedTraceSurvivesExportImportPipeline) {
+  // Full external-tool pipeline: simulate -> export events CSV -> import ->
+  // sessionize -> windows. The windows must be identical to windowing the
+  // original trajectory directly.
+  CampusConfig config;
+  config.buildings = 10;
+  config.mean_aps_per_building = 3;
+  const Campus campus = Campus::generate(config, 4);
+  Rng rng(5);
+  const auto persona = generate_persona(campus, 2, PersonaConfig{}, rng);
+  SimulationConfig sim;
+  sim.weeks = 1;
+  const Trajectory original = simulate(campus, persona, sim, Rng(6));
+
+  std::stringstream buffer;
+  write_events_csv(buffer, to_events(original));
+  const auto events = read_events_csv(buffer);
+
+  SessionizeConfig sessionize_config;
+  sessionize_config.merge_below_minutes = 0;
+  sessionize_config.min_session_minutes = 0;
+  sessionize_config.absence_gap_minutes = 2 * kMinutesPerDay;
+  const auto recovered = sessionize(events, campus, sessionize_config);
+  ASSERT_EQ(recovered.size(), 1u);
+
+  const auto original_windows =
+      make_windows(original, SpatialLevel::kBuilding);
+  auto recovered_windows =
+      make_windows(recovered[0], SpatialLevel::kBuilding);
+  ASSERT_EQ(recovered_windows.size(), original_windows.size());
+  // The trailing session's duration is unknowable from events alone; all
+  // earlier windows must match exactly.
+  for (std::size_t i = 0; i + 1 < recovered_windows.size(); ++i) {
+    EXPECT_EQ(recovered_windows[i], original_windows[i]) << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pelican::mobility

@@ -1,0 +1,94 @@
+#include "mobility/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pelican::mobility {
+namespace {
+
+Session make_session(std::int64_t start, std::int32_t duration,
+                     std::uint16_t building, std::uint16_t ap) {
+  Session s;
+  s.start_minute = start;
+  s.duration_minutes = duration;
+  s.building = building;
+  s.ap = ap;
+  return s;
+}
+
+TEST(TraceStats, EmptyTrajectory) {
+  const TraceStats stats = compute_stats(Trajectory{});
+  EXPECT_EQ(stats.sessions, 0u);
+  EXPECT_EQ(stats.distinct_buildings, 0u);
+}
+
+TEST(TraceStats, HandComputedValues) {
+  Trajectory t;
+  t.sessions = {
+      make_session(0, 60, 0, 0),    // building 0, 60 min
+      make_session(60, 60, 1, 5),   // building 1, 60 min
+      make_session(120, 120, 0, 1),  // building 0 again, different AP
+  };
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.sessions, 3u);
+  EXPECT_EQ(stats.distinct_buildings, 2u);
+  EXPECT_EQ(stats.distinct_aps, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_duration_minutes, 80.0);
+  // Time split: building 0 gets 180/240, building 1 gets 60/240.
+  EXPECT_DOUBLE_EQ(stats.top_building_time_share, 0.75);
+  const double expected_entropy =
+      -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+  EXPECT_NEAR(stats.building_entropy_bits, expected_entropy, 1e-12);
+}
+
+TEST(TraceStats, SingleBuildingHasZeroEntropy) {
+  Trajectory t;
+  t.sessions = {make_session(0, 30, 4, 9), make_session(30, 30, 4, 9)};
+  const TraceStats stats = compute_stats(t);
+  EXPECT_DOUBLE_EQ(stats.building_entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(stats.top_building_time_share, 1.0);
+}
+
+TEST(DegreeOfMobility, CountsDistinctPerLevel) {
+  Trajectory t;
+  t.sessions = {make_session(0, 10, 0, 0), make_session(10, 10, 0, 1),
+                make_session(20, 10, 1, 5)};
+  EXPECT_EQ(degree_of_mobility(t, SpatialLevel::kBuilding), 2u);
+  EXPECT_EQ(degree_of_mobility(t, SpatialLevel::kAp), 3u);
+}
+
+TEST(IsContiguous, DetectsGapsAndOverlaps) {
+  Trajectory good;
+  good.sessions = {make_session(0, 30, 0, 0), make_session(30, 15, 1, 1),
+                   make_session(45, 60, 0, 0)};
+  EXPECT_TRUE(is_contiguous(good));
+
+  Trajectory gap;
+  gap.sessions = {make_session(0, 30, 0, 0), make_session(40, 15, 1, 1)};
+  EXPECT_FALSE(is_contiguous(gap));
+
+  Trajectory overlap;
+  overlap.sessions = {make_session(0, 30, 0, 0), make_session(20, 15, 1, 1)};
+  EXPECT_FALSE(is_contiguous(overlap));
+}
+
+TEST(IsContiguous, TrivialCases) {
+  EXPECT_TRUE(is_contiguous(Trajectory{}));
+  Trajectory single;
+  single.sessions = {make_session(5, 10, 0, 0)};
+  EXPECT_TRUE(is_contiguous(single));
+}
+
+TEST(TraceStats, SessionsPerDayUsesSpan) {
+  Trajectory t;
+  // 4 sessions over exactly 2 days.
+  t.sessions = {make_session(0, 720, 0, 0), make_session(720, 720, 1, 1),
+                make_session(1440, 720, 0, 0),
+                make_session(2160, 720, 1, 1)};
+  const TraceStats stats = compute_stats(t);
+  EXPECT_NEAR(stats.mean_sessions_per_day, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pelican::mobility

@@ -1,0 +1,109 @@
+#include "models/general.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/metrics.hpp"
+#include "support/world.hpp"
+
+namespace pelican::models {
+namespace {
+
+using pelican::testing::trained_world;
+
+TEST(GeneralModel, ArchitectureMatchesFig1a) {
+  const auto& world = trained_world();
+  const auto& model = world.general_model;
+  // Two LSTM layers with dropout between, linear head.
+  ASSERT_EQ(model.layer_count(), 3u);
+  EXPECT_EQ(model.layer(0).kind(), "lstm");
+  EXPECT_EQ(model.layer(1).kind(), "dropout");
+  EXPECT_EQ(model.layer(2).kind(), "lstm");
+  EXPECT_EQ(model.input_dim(), world.spec.input_dim());
+  EXPECT_EQ(model.num_classes(), world.spec.num_locations);
+}
+
+TEST(GeneralModel, BeatsChanceOnItsTrainingDistribution) {
+  const auto& world = trained_world();
+  auto& model = const_cast<nn::SequenceClassifier&>(world.general_model);
+  const double top1 = nn::topk_accuracy(model, *world.general_train, 1);
+  const double chance = 1.0 / static_cast<double>(world.spec.num_locations);
+  EXPECT_GT(top1, 4.0 * chance)
+      << "general model failed to learn mobility structure";
+}
+
+TEST(GeneralModel, TopKGrowsWithK) {
+  const auto& world = trained_world();
+  auto& model = const_cast<nn::SequenceClassifier&>(world.general_model);
+  const std::vector<std::size_t> ks = {1, 2, 3};
+  const auto accs = nn::topk_accuracies(model, *world.general_train, ks);
+  EXPECT_LE(accs[0], accs[1]);
+  EXPECT_LE(accs[1], accs[2]);
+}
+
+TEST(GeneralModel, TrainingReportShowsLearning) {
+  // Retrain a tiny general model to inspect the report.
+  auto world = pelican::testing::make_untrained_world(3, 2, 0);
+  std::vector<mobility::Window> pooled;
+  for (const auto& trajectory : world.contributor_trajectories) {
+    const auto windows =
+        mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+  const mobility::WindowDataset data(std::move(pooled), world.spec);
+
+  GeneralModelConfig config;
+  config.hidden_dim = 12;
+  config.train.epochs = 4;
+  config.train.lr = 3e-3;
+  config.seed = 3;
+  const GeneralModel result = train_general_model(data, config);
+  ASSERT_EQ(result.report.epochs_run, 4u);
+  EXPECT_LT(result.report.epoch_loss.back(), result.report.epoch_loss.front());
+}
+
+TEST(GeneralModel, DeterministicGivenSeed) {
+  auto world = pelican::testing::make_untrained_world(2, 2, 0);
+  std::vector<mobility::Window> pooled;
+  for (const auto& trajectory : world.contributor_trajectories) {
+    const auto windows =
+        mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+  const mobility::WindowDataset data(std::move(pooled), world.spec);
+
+  GeneralModelConfig config;
+  config.hidden_dim = 8;
+  config.train.epochs = 2;
+  config.seed = 9;
+  GeneralModel a = train_general_model(data, config);
+  GeneralModel b = train_general_model(data, config);
+  EXPECT_EQ(a.report.epoch_loss, b.report.epoch_loss);
+
+  nn::Sequence x;
+  std::vector<std::int32_t> y;
+  const std::vector<std::uint32_t> idx = {0, 1};
+  data.materialize(idx, x, y);
+  EXPECT_EQ(a.model.forward(x), b.model.forward(x));
+}
+
+TEST(GeneralModel, ValidationSourcePluggable) {
+  auto world = pelican::testing::make_untrained_world(2, 2, 0);
+  std::vector<mobility::Window> pooled;
+  for (const auto& trajectory : world.contributor_trajectories) {
+    const auto windows =
+        mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+    pooled.insert(pooled.end(), windows.begin(), windows.end());
+  }
+  const auto split = mobility::split_windows(pooled, 0.8);
+  const mobility::WindowDataset train(split.train, world.spec);
+  const mobility::WindowDataset val(split.test, world.spec);
+
+  GeneralModelConfig config;
+  config.hidden_dim = 8;
+  config.train.epochs = 3;
+  const GeneralModel result = train_general_model(train, config, &val);
+  EXPECT_EQ(result.report.validation_top1.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pelican::models

@@ -1,0 +1,161 @@
+#include "models/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace pelican::models {
+namespace {
+
+mobility::Window window_of(std::uint16_t older, std::uint16_t recent,
+                           std::uint16_t next) {
+  mobility::Window w;
+  w.steps[0].location = older;
+  w.steps[1].location = recent;
+  w.next_location = next;
+  return w;
+}
+
+TEST(MarkovChain, RejectsBadConstruction) {
+  EXPECT_THROW(MarkovChain(0, 1), std::invalid_argument);
+  EXPECT_THROW(MarkovChain(5, 3), std::invalid_argument);
+  EXPECT_THROW(MarkovChain(5, 1, -1.0), std::invalid_argument);
+}
+
+TEST(MarkovChain, LearnsDeterministicFirstOrderTransitions) {
+  MarkovChain chain(4, 1, 0.01);
+  std::vector<mobility::Window> windows;
+  // 1 -> 2 always; 2 -> 3 always.
+  for (int i = 0; i < 10; ++i) {
+    windows.push_back(window_of(0, 1, 2));
+    windows.push_back(window_of(1, 2, 3));
+  }
+  chain.fit(windows);
+  EXPECT_EQ(chain.observed_transitions(), 20u);
+
+  const auto from1 = chain.predict(window_of(9 % 4, 1, 0));
+  EXPECT_GT(from1[2], 0.9);
+  const auto from2 = chain.predict(window_of(0, 2, 0));
+  EXPECT_GT(from2[3], 0.9);
+}
+
+TEST(MarkovChain, PredictionsAreDistributions) {
+  MarkovChain chain(6, 2, 0.1);
+  std::vector<mobility::Window> windows;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    windows.push_back(window_of(static_cast<std::uint16_t>(rng.below(6)),
+                                static_cast<std::uint16_t>(rng.below(6)),
+                                static_cast<std::uint16_t>(rng.below(6))));
+  }
+  chain.fit(windows);
+  for (int i = 0; i < 10; ++i) {
+    const auto probs =
+        chain.predict(window_of(static_cast<std::uint16_t>(rng.below(6)),
+                                static_cast<std::uint16_t>(rng.below(6)), 0));
+    double total = 0.0;
+    for (const double p : probs) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovChain, SecondOrderDisambiguatesWhereFirstOrderCannot) {
+  // Next location depends on where the user came FROM: (0,2)->1, (1,2)->3.
+  // A first-order chain conditioned only on "at 2" must split; the
+  // second-order chain should be near-certain.
+  std::vector<mobility::Window> windows;
+  for (int i = 0; i < 20; ++i) {
+    windows.push_back(window_of(0, 2, 1));
+    windows.push_back(window_of(1, 2, 3));
+  }
+  MarkovChain first(5, 1, 0.01);
+  first.fit(windows);
+  MarkovChain second(5, 2, 0.01);
+  second.fit(windows);
+
+  const auto first_probs = first.predict(window_of(0, 2, 0));
+  EXPECT_NEAR(first_probs[1], first_probs[3], 0.05);  // ambiguous
+
+  const auto second_probs = second.predict(window_of(0, 2, 0));
+  EXPECT_GT(second_probs[1], 0.9);  // disambiguated by l_{t-2}
+  EXPECT_LT(second_probs[3], 0.1);
+}
+
+TEST(MarkovChain, SecondOrderBacksOffToFirstOrder) {
+  MarkovChain chain(5, 2, 0.01);
+  std::vector<mobility::Window> windows;
+  for (int i = 0; i < 10; ++i) windows.push_back(window_of(0, 1, 2));
+  chain.fit(windows);
+  // Context (3, 1) was never seen at order 2, but "at 1" was: back off.
+  const auto probs = chain.predict(window_of(3, 1, 0));
+  EXPECT_GT(probs[2], 0.9);
+}
+
+TEST(MarkovChain, UnseenContextFallsBackToMarginals) {
+  MarkovChain chain(4, 1, 0.01);
+  std::vector<mobility::Window> windows;
+  for (int i = 0; i < 9; ++i) windows.push_back(window_of(0, 1, 3));
+  windows.push_back(window_of(0, 1, 2));
+  chain.fit(windows);
+  // Location 2 as context was never observed -> marginal over nexts,
+  // dominated by 3.
+  const auto probs = chain.predict(window_of(1, 2, 0));
+  EXPECT_GT(probs[3], probs[2]);
+  EXPECT_GT(probs[3], 0.5);
+}
+
+TEST(MarkovChain, UntrainedPredictsUniform) {
+  const MarkovChain chain(8, 1, 0.0);
+  const auto probs = chain.predict(window_of(1, 2, 0));
+  for (const double p : probs) EXPECT_NEAR(p, 1.0 / 8.0, 1e-12);
+}
+
+TEST(MarkovChain, CumulativeFitMatchesSingleFit) {
+  std::vector<mobility::Window> windows;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    windows.push_back(window_of(static_cast<std::uint16_t>(rng.below(5)),
+                                static_cast<std::uint16_t>(rng.below(5)),
+                                static_cast<std::uint16_t>(rng.below(5))));
+  }
+  MarkovChain whole(5, 2, 0.05);
+  whole.fit(windows);
+  MarkovChain incremental(5, 2, 0.05);
+  incremental.fit(std::span<const mobility::Window>(windows).subspan(0, 30));
+  incremental.fit(std::span<const mobility::Window>(windows).subspan(30));
+
+  for (int i = 0; i < 10; ++i) {
+    const auto w = window_of(static_cast<std::uint16_t>(rng.below(5)),
+                             static_cast<std::uint16_t>(rng.below(5)), 0);
+    EXPECT_EQ(whole.predict(w), incremental.predict(w));
+  }
+}
+
+TEST(MarkovChain, TopKAccuracyOnDeterministicChain) {
+  MarkovChain chain(4, 1, 0.01);
+  std::vector<mobility::Window> windows;
+  for (int i = 0; i < 10; ++i) windows.push_back(window_of(0, 1, 2));
+  chain.fit(windows);
+  EXPECT_DOUBLE_EQ(chain.topk_accuracy(windows, 1), 1.0);
+  EXPECT_DOUBLE_EQ(chain.topk_accuracy({}, 1), 0.0);
+
+  const std::vector<mobility::Window> wrong = {window_of(0, 1, 3)};
+  EXPECT_DOUBLE_EQ(chain.topk_accuracy(wrong, 1), 0.0);
+  EXPECT_LE(chain.topk_accuracy(wrong, 1),
+            chain.topk_accuracy(wrong, 4));  // monotone in k
+}
+
+TEST(MarkovChain, FitRejectsOutOfDomain) {
+  MarkovChain chain(3, 1);
+  const std::vector<mobility::Window> bad = {window_of(0, 1, 3)};
+  EXPECT_THROW(chain.fit(bad), std::out_of_range);
+  EXPECT_THROW((void)chain.predict(window_of(7, 0, 0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pelican::models

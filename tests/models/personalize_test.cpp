@@ -1,0 +1,163 @@
+#include "models/personalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/metrics.hpp"
+#include "support/world.hpp"
+
+namespace pelican::models {
+namespace {
+
+using pelican::testing::trained_world;
+
+PersonalizationConfig fast_config(PersonalizationMethod method) {
+  PersonalizationConfig config;
+  config.method = method;
+  config.train.epochs = 6;
+  config.train.batch_size = 32;
+  config.train.lr = 3e-3;
+  config.fresh_hidden_dim = 16;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Personalize, ReuseIsExactlyTheGeneralModel) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const auto result =
+      personalize(world.general_model, user_data,
+                  fast_config(PersonalizationMethod::kReuse));
+
+  nn::Sequence x;
+  std::vector<std::int32_t> y;
+  const std::vector<std::uint32_t> idx = {0, 1, 2};
+  user_data.materialize(idx, x, y);
+  auto& general = const_cast<nn::SequenceClassifier&>(world.general_model);
+  auto& reused = const_cast<nn::SequenceClassifier&>(result.model);
+  EXPECT_EQ(general.forward(x), reused.forward(x));
+  EXPECT_TRUE(result.report.epoch_loss.empty());  // no training happened
+}
+
+TEST(Personalize, FeatureExtractionArchitecture) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const auto result =
+      personalize(world.general_model, user_data,
+                  fast_config(PersonalizationMethod::kFeatureExtraction));
+  const auto& model = result.model;
+
+  // Fig. 1b: general layers + one surplus LSTM stacked before the head.
+  ASSERT_EQ(model.layer_count(), world.general_model.layer_count() + 1);
+  EXPECT_EQ(model.layer(model.layer_count() - 1).kind(), "lstm");
+  for (std::size_t i = 0; i + 1 < model.layer_count(); ++i) {
+    EXPECT_FALSE(model.layer(i).trainable())
+        << "general layer " << i << " must be frozen";
+  }
+  EXPECT_TRUE(model.layer(model.layer_count() - 1).trainable());
+  EXPECT_TRUE(model.head().trainable());
+}
+
+TEST(Personalize, FeatureExtractionFreezesGeneralWeightsBitExact) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const auto result =
+      personalize(world.general_model, user_data,
+                  fast_config(PersonalizationMethod::kFeatureExtraction));
+
+  auto& general = const_cast<nn::SequenceClassifier&>(world.general_model);
+  auto& personal = const_cast<nn::SequenceClassifier&>(result.model);
+  // Every frozen tensor equals the general model's, bit for bit.
+  for (std::size_t i = 0; i < general.layer_count(); ++i) {
+    const auto general_params = general.layer(i).parameters();
+    const auto personal_params = personal.layer(i).parameters();
+    ASSERT_EQ(general_params.size(), personal_params.size());
+    for (std::size_t p = 0; p < general_params.size(); ++p) {
+      EXPECT_EQ(*general_params[p], *personal_params[p])
+          << "layer " << i << " tensor " << p << " drifted";
+    }
+  }
+}
+
+TEST(Personalize, FineTuningFreezesOnlyEarlyLayers) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const auto result =
+      personalize(world.general_model, user_data,
+                  fast_config(PersonalizationMethod::kFineTuning));
+  const auto& model = result.model;
+
+  // Fig. 1c: same depth; first LSTM frozen, second LSTM + head trainable.
+  ASSERT_EQ(model.layer_count(), world.general_model.layer_count());
+  EXPECT_FALSE(model.layer(0).trainable());
+  EXPECT_TRUE(model.layer(model.layer_count() - 1).trainable());
+  EXPECT_TRUE(model.head().trainable());
+
+  // Frozen first LSTM is bit-identical to the general model's.
+  auto& general = const_cast<nn::SequenceClassifier&>(world.general_model);
+  auto& personal = const_cast<nn::SequenceClassifier&>(result.model);
+  EXPECT_EQ(*general.layer(0).parameters()[0],
+            *personal.layer(0).parameters()[0]);
+  // The tuned second LSTM must have moved.
+  EXPECT_NE(*general.layer(2).parameters()[0],
+            *personal.layer(2).parameters()[0]);
+}
+
+TEST(Personalize, FreshLstmIsSingleLayer) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  auto config = fast_config(PersonalizationMethod::kFreshLstm);
+  const auto result = personalize(world.general_model, user_data, config);
+  // One LSTM (+ dropout) + head, sized by fresh_hidden_dim.
+  EXPECT_LE(result.model.layer_count(), 2u);
+  EXPECT_EQ(result.model.layer(0).kind(), "lstm");
+  EXPECT_EQ(result.model.head().input_dim(), config.fresh_hidden_dim);
+}
+
+TEST(Personalize, TransferLearningBeatsReuseForRoutineUser) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset test_data(world.user0_test, world.spec);
+
+  auto& reuse_model = const_cast<nn::SequenceClassifier&>(world.general_model);
+  auto& fe_model = const_cast<nn::SequenceClassifier&>(world.personal_model);
+  const double reuse_top3 = nn::topk_accuracy(reuse_model, test_data, 3);
+  const double fe_top3 = nn::topk_accuracy(fe_model, test_data, 3);
+  // Table III: personalization helps (allow equality at tiny test scale).
+  EXPECT_GE(fe_top3 + 0.05, reuse_top3);
+  EXPECT_GT(fe_top3, 0.2);
+}
+
+TEST(Personalize, MethodNamesMatchPaperTables) {
+  EXPECT_STREQ(to_string(PersonalizationMethod::kReuse), "Reuse");
+  EXPECT_STREQ(to_string(PersonalizationMethod::kFreshLstm), "LSTM");
+  EXPECT_STREQ(to_string(PersonalizationMethod::kFeatureExtraction), "TL FE");
+  EXPECT_STREQ(to_string(PersonalizationMethod::kFineTuning), "TL FT");
+}
+
+TEST(UpdatePersonalized, WarmStartsFromCurrentModel) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+
+  auto config = fast_config(PersonalizationMethod::kFeatureExtraction);
+  config.train.epochs = 2;
+  const auto updated =
+      update_personalized(world.personal_model, user_data, config);
+
+  // Architecture unchanged; frozen layers still frozen.
+  ASSERT_EQ(updated.model.layer_count(), world.personal_model.layer_count());
+  for (std::size_t i = 0; i + 1 < updated.model.layer_count(); ++i) {
+    EXPECT_FALSE(updated.model.layer(i).trainable());
+  }
+  EXPECT_EQ(updated.report.epochs_run, 2u);
+}
+
+TEST(UpdatePersonalized, ReuseUpdateIsNoop) {
+  const auto& world = trained_world();
+  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  auto config = fast_config(PersonalizationMethod::kReuse);
+  const auto updated =
+      update_personalized(world.general_model, user_data, config);
+  EXPECT_TRUE(updated.report.epoch_loss.empty());
+}
+
+}  // namespace
+}  // namespace pelican::models

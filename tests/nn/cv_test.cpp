@@ -1,0 +1,128 @@
+#include "nn/cv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "synthetic_source.hpp"
+
+namespace pelican::nn {
+namespace {
+
+using testing::SyntheticSource;
+
+TEST(TimeSeriesFolds, ValidationAlwaysAfterTraining) {
+  const auto folds = time_series_folds(100, 5);
+  ASSERT_EQ(folds.size(), 5u);
+  for (const auto& fold : folds) {
+    EXPECT_GT(fold.train_end, 0u);
+    EXPECT_GT(fold.validation_end, fold.train_end);
+    EXPECT_LE(fold.validation_end, 100u);
+  }
+}
+
+TEST(TimeSeriesFolds, ExpandingWindows) {
+  const auto folds = time_series_folds(120, 4);
+  for (std::size_t i = 1; i < folds.size(); ++i) {
+    EXPECT_GT(folds[i].train_end, folds[i - 1].train_end);
+    EXPECT_EQ(folds[i].train_end, folds[i - 1].validation_end);
+  }
+  EXPECT_EQ(folds.back().validation_end, 120u);
+}
+
+TEST(TimeSeriesFolds, RejectsDegenerateArgs) {
+  EXPECT_THROW((void)time_series_folds(10, 0), std::invalid_argument);
+  EXPECT_THROW((void)time_series_folds(3, 5), std::invalid_argument);
+}
+
+TEST(TimeSeriesFolds, SmallestValidCase) {
+  const auto folds = time_series_folds(2, 1);
+  ASSERT_EQ(folds.size(), 1u);
+  EXPECT_EQ(folds[0].train_end, 1u);
+  EXPECT_EQ(folds[0].validation_end, 2u);
+}
+
+TEST(CrossValidate, AveragesFoldScores) {
+  const SyntheticSource data(100, 4, 2, 1);
+  const auto folds = time_series_folds(data.size(), 4);
+  int calls = 0;
+  const double score = cross_validate(
+      data, folds, [&](const BatchSource& train, const BatchSource& val) {
+        ++calls;
+        EXPECT_GT(train.size(), 0u);
+        EXPECT_GT(val.size(), 0u);
+        return static_cast<double>(calls);  // 1, 2, 3, 4
+      });
+  EXPECT_EQ(calls, 4);
+  EXPECT_DOUBLE_EQ(score, 2.5);
+}
+
+TEST(CrossValidate, RejectsEmptyFolds) {
+  const SyntheticSource data(10, 4, 2, 2);
+  EXPECT_THROW(
+      (void)cross_validate(data, {},
+                           [](const BatchSource&, const BatchSource&) {
+                             return 0.0;
+                           }),
+      std::invalid_argument);
+}
+
+TEST(GridSearch, PicksHighestScore) {
+  struct Config {
+    double lr;
+  };
+  const std::vector<Config> grid = {{0.1}, {0.01}, {0.001}};
+  const auto result = grid_search<Config>(
+      grid, [](const Config& c) { return c.lr == 0.01 ? 1.0 : 0.5; });
+  EXPECT_DOUBLE_EQ(result.best.lr, 0.01);
+  EXPECT_DOUBLE_EQ(result.best_score, 1.0);
+  EXPECT_EQ(result.scores.size(), 3u);
+}
+
+TEST(GridSearch, TiePrefersEarlierEntry) {
+  struct Config {
+    int id;
+  };
+  const std::vector<Config> grid = {{1}, {2}, {3}};
+  const auto result =
+      grid_search<Config>(grid, [](const Config&) { return 0.7; });
+  EXPECT_EQ(result.best.id, 1);
+}
+
+TEST(GridSearch, RejectsEmptyGrid) {
+  struct Config {};
+  const std::vector<Config> grid;
+  EXPECT_THROW((void)grid_search<Config>(
+                   grid, [](const Config&) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(GridSearch, EndToEndSelectsWorkingLr) {
+  // A real (tiny) hyperparameter search over the copy task: an absurd lr
+  // must lose to a sensible one.
+  const SyntheticSource data(200, 4, 2, 3);
+  const auto folds = time_series_folds(data.size(), 2);
+
+  struct Config {
+    double lr;
+  };
+  const std::vector<Config> grid = {{1e-7}, {5e-3}};
+  const auto result = grid_search<Config>(grid, [&](const Config& config) {
+    return cross_validate(
+        data, folds, [&](const BatchSource& train, const BatchSource& val) {
+          Rng rng(4);
+          auto model = make_one_layer_lstm(4, 8, 4, 0.0, rng);
+          TrainConfig tc;
+          tc.epochs = 10;
+          tc.batch_size = 16;
+          tc.lr = config.lr;
+          (void)pelican::nn::train(model, train, tc);
+          return topk_accuracy(model, val, 1);
+        });
+  });
+  EXPECT_DOUBLE_EQ(result.best.lr, 5e-3);
+}
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,109 @@
+#include "nn/dropout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pelican::nn {
+namespace {
+
+Sequence ones_sequence(std::size_t steps, std::size_t batch, std::size_t dim) {
+  return Sequence(steps, Matrix(batch, dim, 1.0f));
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout layer(0.5, 4, 1);
+  const Sequence input = ones_sequence(2, 3, 4);
+  const Sequence out = layer.forward(input, /*training=*/false);
+  ASSERT_EQ(out.size(), input.size());
+  for (std::size_t t = 0; t < out.size(); ++t) EXPECT_EQ(out[t], input[t]);
+}
+
+TEST(Dropout, ZeroRateIsIdentityEvenTraining) {
+  Dropout layer(0.0, 4, 2);
+  const Sequence input = ones_sequence(1, 2, 4);
+  EXPECT_EQ(layer.forward(input, true)[0], input[0]);
+}
+
+TEST(Dropout, TrainingZeroesApproximatelyRateFraction) {
+  Dropout layer(0.3, 1000, 3);
+  const Sequence input = ones_sequence(1, 10, 1000);
+  const Sequence out = layer.forward(input, true);
+  std::size_t zeros = 0;
+  for (const float v : out[0].flat()) zeros += (v == 0.0f);
+  const double fraction = static_cast<double>(zeros) / out[0].size();
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(Dropout, SurvivorsAreScaled) {
+  Dropout layer(0.25, 64, 4);
+  const Sequence input = ones_sequence(1, 4, 64);
+  const Sequence out = layer.forward(input, true);
+  for (const float v : out[0].flat()) {
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 1.0f / 0.75f) < 1e-5f);
+  }
+}
+
+TEST(Dropout, BackwardAppliesSameMask) {
+  Dropout layer(0.5, 32, 5);
+  const Sequence input = ones_sequence(1, 2, 32);
+  const Sequence out = layer.forward(input, true);
+  const Sequence grad_in = layer.backward(ones_sequence(1, 2, 32));
+  // Zeroed activations must have zero gradient; survivors share the scale.
+  for (std::size_t i = 0; i < out[0].size(); ++i) {
+    EXPECT_FLOAT_EQ(grad_in[0].flat()[i], out[0].flat()[i]);
+  }
+}
+
+TEST(Dropout, BackwardPassesEmptyGradThrough) {
+  Dropout layer(0.5, 8, 6);
+  const Sequence input = ones_sequence(3, 2, 8);
+  (void)layer.forward(input, true);
+  Sequence sparse_grads(3);
+  sparse_grads[2] = Matrix(2, 8, 1.0f);
+  const Sequence grad_in = layer.backward(sparse_grads);
+  EXPECT_TRUE(grad_in[0].empty());
+  EXPECT_TRUE(grad_in[1].empty());
+  EXPECT_FALSE(grad_in[2].empty());
+}
+
+TEST(Dropout, BackwardIdentityAtInference) {
+  Dropout layer(0.9, 4, 7);
+  const Sequence input = ones_sequence(1, 1, 4);
+  (void)layer.forward(input, false);
+  const Sequence grads = ones_sequence(1, 1, 4);
+  EXPECT_EQ(layer.backward(grads)[0], grads[0]);
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  EXPECT_THROW(Dropout(-0.1, 4, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, 4, 1), std::invalid_argument);
+}
+
+TEST(Dropout, HasNoParameters) {
+  Dropout layer(0.1, 4, 8);
+  EXPECT_TRUE(layer.parameters().empty());
+  EXPECT_TRUE(layer.gradients().empty());
+}
+
+TEST(Dropout, CloneKeepsConfiguration) {
+  Dropout layer(0.35, 16, 9);
+  auto clone = layer.clone();
+  auto* d = dynamic_cast<Dropout*>(clone.get());
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->rate(), 0.35);
+  EXPECT_EQ(d->input_dim(), 16u);
+}
+
+TEST(Dropout, MasksDifferAcrossCalls) {
+  Dropout layer(0.5, 128, 10);
+  const Sequence input = ones_sequence(1, 1, 128);
+  const Sequence a = layer.forward(input, true);
+  const Sequence b = layer.forward(input, true);
+  EXPECT_NE(a[0], b[0]);
+}
+
+}  // namespace
+}  // namespace pelican::nn

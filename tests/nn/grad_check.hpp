@@ -1,0 +1,50 @@
+// Finite-difference gradient checking shared by the nn test suites.
+//
+// All parameters are float32, so central differences carry ~1e-4 noise;
+// checks use a mixed absolute/relative tolerance sized for that.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/matrix.hpp"
+
+namespace pelican::nn::testing {
+
+/// Central-difference estimate of d(loss)/d(param[r][c]) where `loss`
+/// re-runs the full forward pass.
+inline double numeric_grad(Matrix& param, std::size_t r, std::size_t c,
+                           const std::function<double()>& loss,
+                           float eps = 1e-2f) {
+  const float saved = param(r, c);
+  param(r, c) = saved + eps;
+  const double up = loss();
+  param(r, c) = saved - eps;
+  const double down = loss();
+  param(r, c) = saved;
+  return (up - down) / (2.0 * static_cast<double>(eps));
+}
+
+/// Asserts every analytic gradient entry in `grad` matches the numeric
+/// estimate for `param` under `loss`.
+inline void expect_grad_matches(Matrix& param, const Matrix& grad,
+                                const std::function<double()>& loss,
+                                double abs_tol = 3e-3, double rel_tol = 6e-2,
+                                float eps = 1e-2f) {
+  ASSERT_EQ(param.rows(), grad.rows());
+  ASSERT_EQ(param.cols(), grad.cols());
+  for (std::size_t r = 0; r < param.rows(); ++r) {
+    for (std::size_t c = 0; c < param.cols(); ++c) {
+      const double expected = numeric_grad(param, r, c, loss, eps);
+      const double actual = grad(r, c);
+      const double tol =
+          abs_tol + rel_tol * std::max(std::abs(expected), std::abs(actual));
+      EXPECT_NEAR(actual, expected, tol)
+          << "gradient mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+}  // namespace pelican::nn::testing

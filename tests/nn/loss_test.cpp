@@ -1,0 +1,182 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pelican::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  const Matrix logits = Matrix::randn(4, 7, 3.0f, rng);
+  const Matrix probs = softmax(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (const float p : probs.row(r)) {
+      EXPECT_GE(p, 0.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, KnownValues) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 0.0f;
+  logits(0, 1) = std::log(3.0f);
+  const Matrix probs = softmax(logits);
+  EXPECT_NEAR(probs(0, 0), 0.25f, 1e-6);
+  EXPECT_NEAR(probs(0, 1), 0.75f, 1e-6);
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 10000.0f;
+  logits(0, 1) = 9999.0f;
+  logits(0, 2) = -10000.0f;
+  const Matrix probs = softmax(logits);
+  EXPECT_TRUE(std::isfinite(probs(0, 0)));
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+  EXPECT_NEAR(probs(0, 2), 0.0f, 1e-12);
+}
+
+TEST(Softmax, TemperatureSharpens) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 1.0f;
+  logits(0, 1) = 0.5f;
+  logits(0, 2) = 0.0f;
+  const Matrix warm = softmax(logits, 1.0);
+  const Matrix cold = softmax(logits, 0.1);
+  EXPECT_GT(cold(0, 0), warm(0, 0));
+  EXPECT_LT(cold(0, 2), warm(0, 2));
+}
+
+TEST(Softmax, ExtremeTemperatureSaturates) {
+  Matrix logits(1, 4);
+  logits(0, 0) = 0.3f;
+  logits(0, 1) = 0.2f;
+  logits(0, 2) = 0.1f;
+  logits(0, 3) = 0.0f;
+  const Matrix probs = softmax(logits, 1e-5);
+  EXPECT_NEAR(probs(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(probs(0, 1), 0.0f, 1e-6);
+}
+
+TEST(Softmax, TemperaturePreservesOrdering) {
+  Rng rng(2);
+  const Matrix logits = Matrix::randn(8, 10, 2.0f, rng);
+  for (const double t : {10.0, 1.0, 0.1, 1e-3}) {
+    const Matrix probs = softmax(logits, t);
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      for (std::size_t a = 0; a < logits.cols(); ++a) {
+        for (std::size_t b = a + 1; b < logits.cols(); ++b) {
+          if (logits(r, a) > logits(r, b)) {
+            EXPECT_GE(probs(r, a), probs(r, b))
+                << "ordering violated at T=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Softmax, RejectsNonPositiveTemperature) {
+  const Matrix logits(1, 2);
+  EXPECT_THROW((void)softmax(logits, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)softmax(logits, -1.0), std::invalid_argument);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  Rng rng(3);
+  const Matrix logits = Matrix::randn(3, 5, 2.0f, rng);
+  const Matrix lp = log_softmax(logits);
+  const Matrix p = softmax(logits);
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_NEAR(std::exp(lp.flat()[i]), p.flat()[i], 1e-5);
+  }
+}
+
+TEST(CrossEntropy, KnownValue) {
+  Matrix logits(1, 2, 0.0f);  // uniform -> loss = ln 2
+  const std::vector<std::int32_t> labels = {0};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(2.0), 1e-6);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits(0, 1) = 50.0f;
+  const std::vector<std::int32_t> labels = {1};
+  EXPECT_NEAR(softmax_cross_entropy(logits, labels).loss, 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, GradientIsProbMinusOneHotOverBatch) {
+  Rng rng(4);
+  const Matrix logits = Matrix::randn(4, 5, 1.0f, rng);
+  const std::vector<std::int32_t> labels = {1, 0, 4, 2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const Matrix probs = softmax(logits);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const float expected =
+          (probs(r, c) -
+           (static_cast<std::int32_t>(c) == labels[r] ? 1.0f : 0.0f)) /
+          4.0f;
+      EXPECT_NEAR(result.grad_logits(r, c), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(5);
+  const Matrix logits = Matrix::randn(3, 6, 1.0f, rng);
+  const std::vector<std::int32_t> labels = {0, 3, 5};
+  const auto result = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (const float g : result.grad_logits.row(r)) total += g;
+    EXPECT_NEAR(total, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  const Matrix logits(2, 3, 0.0f);
+  const std::vector<std::int32_t> wrong_count = {0};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, wrong_count),
+               std::invalid_argument);
+  const std::vector<std::int32_t> out_of_range = {0, 3};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, out_of_range),
+               std::invalid_argument);
+  const std::vector<std::int32_t> negative = {0, -1};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, negative),
+               std::invalid_argument);
+}
+
+TEST(TopK, ReturnsDescendingIndices) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = topk_indices(std::span<const float>(scores), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopK, TieBreaksByLowerIndex) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  const auto top = topk_indices(std::span<const float>(scores), 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopK, KLargerThanSizeClamps) {
+  const std::vector<double> scores = {1.0, 2.0};
+  const auto top = topk_indices(std::span<const double>(scores), 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,105 @@
+// Property sweep: all three GEMM variants must agree with the reference
+// triple loop across a grid of shapes, including degenerate (1-sized) and
+// parallel-path (large) shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+namespace {
+
+using Shape = std::tuple<int, int, int>;  // m, k, n
+
+Matrix naive(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float total = 0.0f;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        total += a(i, kk) * b(kk, j);
+      }
+      out(i, j) = total;
+    }
+  }
+  return out;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = m(r, c);
+  }
+  return out;
+}
+
+class MatmulShapeSweep : public ::testing::TestWithParam<Shape> {
+ protected:
+  void SetUp() override {
+    const auto [m, k, n] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+    a_ = Matrix::randn(static_cast<std::size_t>(m),
+                       static_cast<std::size_t>(k), 1.0f, rng);
+    b_ = Matrix::randn(static_cast<std::size_t>(k),
+                       static_cast<std::size_t>(n), 1.0f, rng);
+    expected_ = naive(a_, b_);
+    // Tolerance grows with the reduction length (float accumulation).
+    tol_ = 1e-5f * static_cast<float>(k) + 1e-4f;
+  }
+
+  Matrix a_, b_, expected_;
+  float tol_ = 1e-4f;
+};
+
+TEST_P(MatmulShapeSweep, PlainMatchesReference) {
+  Matrix out;
+  matmul(a_, b_, out);
+  ASSERT_EQ(out.rows(), expected_.rows());
+  ASSERT_EQ(out.cols(), expected_.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], expected_.flat()[i], tol_) << "index " << i;
+  }
+}
+
+TEST_P(MatmulShapeSweep, TransposedBMatchesReference) {
+  const Matrix bt = transpose(b_);
+  Matrix out;
+  matmul_bt(a_, bt, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], expected_.flat()[i], tol_) << "index " << i;
+  }
+}
+
+TEST_P(MatmulShapeSweep, TransposedAMatchesReference) {
+  const Matrix at = transpose(a_);
+  Matrix out;
+  matmul_at(at, b_, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], expected_.flat()[i], tol_) << "index " << i;
+  }
+}
+
+TEST_P(MatmulShapeSweep, AccumulateEqualsTwoApplications) {
+  Matrix out;
+  matmul(a_, b_, out);
+  matmul(a_, b_, out, /*accumulate=*/true);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], 2.0f * expected_.flat()[i], 2.0f * tol_);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapeSweep,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 7, 3}, Shape{5, 1, 4},
+                      Shape{3, 4, 1}, Shape{8, 16, 8}, Shape{17, 13, 29},
+                      Shape{64, 96, 80}, Shape{130, 150, 128}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,79 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/trainer.hpp"
+#include "synthetic_source.hpp"
+
+namespace pelican::nn {
+namespace {
+
+using testing::SyntheticSource;
+
+TEST(TopKHit, BasicRanking) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  EXPECT_TRUE(topk_hit(scores, 1, 1));
+  EXPECT_FALSE(topk_hit(scores, 3, 1));
+  EXPECT_TRUE(topk_hit(scores, 3, 2));
+  EXPECT_FALSE(topk_hit(scores, 0, 3));
+  EXPECT_TRUE(topk_hit(scores, 0, 4));
+}
+
+TEST(TopKHit, TieBreakMatchesTopkIndices) {
+  // Equal scores: the lower index ranks first.
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  EXPECT_TRUE(topk_hit(scores, 0, 1));
+  EXPECT_FALSE(topk_hit(scores, 1, 1));
+  EXPECT_TRUE(topk_hit(scores, 1, 2));
+  EXPECT_FALSE(topk_hit(scores, 2, 2));
+}
+
+TEST(TopKAccuracy, PerfectAndChanceModels) {
+  const SyntheticSource data(400, 5, 2, 1);
+  Rng rng(2);
+  auto model = make_one_layer_lstm(5, 16, 5, 0.0, rng);
+
+  // Untrained: near-chance for top-1 on 5 classes (loose bound).
+  const double untrained = topk_accuracy(model, data, 1);
+  EXPECT_LT(untrained, 0.6);
+
+  TrainConfig config;
+  config.epochs = 30;
+  config.batch_size = 32;
+  config.lr = 5e-3;
+  (void)train(model, data, config);
+  EXPECT_GT(topk_accuracy(model, data, 1), 0.9);
+}
+
+TEST(TopKAccuracy, MonotoneInK) {
+  const SyntheticSource data(200, 6, 2, 3);
+  Rng rng(4);
+  auto model = make_one_layer_lstm(6, 8, 6, 0.0, rng);
+  const std::vector<std::size_t> ks = {1, 2, 3, 4, 5, 6};
+  const auto accs = topk_accuracies(model, data, ks);
+  ASSERT_EQ(accs.size(), ks.size());
+  for (std::size_t i = 1; i < accs.size(); ++i) {
+    EXPECT_GE(accs[i], accs[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(accs.back(), 1.0);  // k = classes always hits
+}
+
+TEST(TopKAccuracy, EmptyDataIsZero) {
+  const SyntheticSource data(0, 4, 2, 5);
+  Rng rng(6);
+  auto model = make_one_layer_lstm(4, 8, 4, 0.0, rng);
+  EXPECT_DOUBLE_EQ(topk_accuracy(model, data, 1), 0.0);
+}
+
+TEST(TopKAccuracy, SingleBatchMatchesMultiBatch) {
+  const SyntheticSource data(150, 5, 2, 7);
+  Rng rng(8);
+  auto model = make_one_layer_lstm(5, 8, 5, 0.0, rng);
+  const double one_pass = topk_accuracy(model, data, 2, /*batch_size=*/1000);
+  const double many_pass = topk_accuracy(model, data, 2, /*batch_size=*/16);
+  EXPECT_DOUBLE_EQ(one_pass, many_pass);
+}
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,163 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pelican::nn {
+namespace {
+
+/// Quadratic bowl f(w) = 0.5 * ||w - target||^2; gradient = w - target.
+struct Bowl {
+  Matrix w{1, 4, 0.0f};
+  Matrix grad{1, 4, 0.0f};
+  Matrix target{1, 4, 0.0f};
+
+  Bowl() {
+    for (std::size_t i = 0; i < 4; ++i) {
+      target.flat()[i] = static_cast<float>(i) - 1.5f;
+    }
+  }
+
+  void compute_grad() {
+    for (std::size_t i = 0; i < 4; ++i) {
+      grad.flat()[i] = w.flat()[i] - target.flat()[i];
+    }
+  }
+
+  [[nodiscard]] double distance() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double d = w.flat()[i] - target.flat()[i];
+      total += d * d;
+    }
+    return std::sqrt(total);
+  }
+
+  [[nodiscard]] std::vector<ParamRef> params() { return {{&w, &grad}}; }
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Bowl bowl;
+  Sgd opt(0.1);
+  for (int i = 0; i < 200; ++i) {
+    bowl.compute_grad();
+    opt.step(bowl.params());
+  }
+  EXPECT_LT(bowl.distance(), 1e-4);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Bowl plain, with_momentum;
+  Sgd opt_plain(0.01);
+  Sgd opt_momentum(0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    plain.compute_grad();
+    opt_plain.step(plain.params());
+    with_momentum.compute_grad();
+    opt_momentum.step(with_momentum.params());
+  }
+  EXPECT_LT(with_momentum.distance(), plain.distance());
+}
+
+TEST(Sgd, SingleStepMatchesHandComputation) {
+  Matrix w(1, 1, 2.0f);
+  Matrix g(1, 1, 0.5f);
+  Sgd opt(0.1);
+  const std::vector<ParamRef> params = {{&w, &g}};
+  opt.step(params);
+  EXPECT_NEAR(w(0, 0), 2.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Matrix w(1, 1, 1.0f);
+  Matrix g(1, 1, 0.0f);  // zero gradient: only decay acts
+  Sgd opt(0.1, 0.0, 0.5);
+  const std::vector<ParamRef> params = {{&w, &g}};
+  opt.step(params);
+  EXPECT_NEAR(w(0, 0), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, RejectsNonPositiveLr) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(-1.0), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Bowl bowl;
+  Adam opt(0.05);
+  for (int i = 0; i < 500; ++i) {
+    bowl.compute_grad();
+    opt.step(bowl.params());
+  }
+  EXPECT_LT(bowl.distance(), 1e-3);
+}
+
+TEST(Adam, FirstStepHasMagnitudeNearLr) {
+  // With bias correction, the first Adam step is ~lr regardless of gradient
+  // scale.
+  Matrix w(1, 1, 0.0f);
+  Matrix g(1, 1, 123.0f);
+  Adam opt(0.01);
+  const std::vector<ParamRef> params = {{&w, &g}};
+  opt.step(params);
+  EXPECT_NEAR(std::abs(w(0, 0)), 0.01f, 1e-4f);
+}
+
+TEST(Adam, WeightDecayIsDecoupled) {
+  Matrix w(1, 1, 1.0f);
+  Matrix g(1, 1, 0.0f);
+  Adam opt(0.1, /*weight_decay=*/0.5);
+  const std::vector<ParamRef> params = {{&w, &g}};
+  opt.step(params);
+  // Zero gradient: only the decoupled decay term lr * wd * w applies.
+  EXPECT_NEAR(w(0, 0), 1.0f - 0.1f * 0.5f * 1.0f, 1e-5f);
+}
+
+TEST(Adam, ThrowsWhenParamSetChangesWithoutReset) {
+  Matrix w1(1, 2), g1(1, 2), w2(1, 3), g2(1, 3);
+  Adam opt(0.01);
+  const std::vector<ParamRef> first = {{&w1, &g1}};
+  opt.step(first);
+  const std::vector<ParamRef> second = {{&w2, &g2}};
+  EXPECT_THROW(opt.step(second), std::invalid_argument);
+  opt.reset();
+  EXPECT_NO_THROW(opt.step(second));
+}
+
+TEST(Adam, RejectsNonPositiveLr) {
+  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+}
+
+TEST(ClipGradientNorm, ScalesDownLargeGradients) {
+  Matrix w(1, 2);
+  Matrix g(1, 2);
+  g(0, 0) = 3.0f;
+  g(0, 1) = 4.0f;  // norm 5
+  const std::vector<ParamRef> params = {{&w, &g}};
+  const double pre_norm = clip_gradient_norm(params, 1.0);
+  EXPECT_NEAR(pre_norm, 5.0, 1e-6);
+  EXPECT_NEAR(std::sqrt(g.squared_norm()), 1.0, 1e-5);
+  EXPECT_NEAR(g(0, 0) / g(0, 1), 0.75f, 1e-5f);  // direction preserved
+}
+
+TEST(ClipGradientNorm, LeavesSmallGradientsAlone) {
+  Matrix w(1, 1);
+  Matrix g(1, 1, 0.5f);
+  const std::vector<ParamRef> params = {{&w, &g}};
+  (void)clip_gradient_norm(params, 1.0);
+  EXPECT_FLOAT_EQ(g(0, 0), 0.5f);
+}
+
+TEST(ClipGradientNorm, GlobalNormAcrossParams) {
+  Matrix w1(1, 1), w2(1, 1);
+  Matrix g1(1, 1, 3.0f), g2(1, 1, 4.0f);
+  const std::vector<ParamRef> params = {{&w1, &g1}, {&w2, &g2}};
+  const double norm = clip_gradient_norm(params, 2.5);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(g1(0, 0), 1.5f, 1e-5f);
+  EXPECT_NEAR(g2(0, 0), 2.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace pelican::nn

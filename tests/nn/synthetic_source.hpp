@@ -1,0 +1,58 @@
+// A tiny deterministic BatchSource for nn-level tests: the label equals the
+// one-hot index active at the final timestep, so a working model/trainer can
+// fit it quickly and a broken gradient can't.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/data.hpp"
+
+namespace pelican::nn::testing {
+
+class SyntheticSource final : public BatchSource {
+ public:
+  SyntheticSource(std::size_t samples, std::size_t classes, std::size_t steps,
+                  std::uint64_t seed, double label_noise = 0.0)
+      : classes_(classes), steps_(steps) {
+    Rng rng(seed);
+    hot_.resize(samples * steps);
+    labels_.resize(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      for (std::size_t t = 0; t < steps; ++t) {
+        hot_[s * steps + t] =
+            static_cast<std::uint32_t>(rng.below(classes));
+      }
+      const auto last = hot_[s * steps + steps - 1];
+      labels_[s] = rng.chance(label_noise)
+                       ? static_cast<std::int32_t>(rng.below(classes))
+                       : static_cast<std::int32_t>(last);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] std::size_t seq_len() const override { return steps_; }
+  [[nodiscard]] std::size_t input_dim() const override { return classes_; }
+  [[nodiscard]] std::size_t num_classes() const override { return classes_; }
+
+  void materialize(std::span<const std::uint32_t> indices, Sequence& x,
+                   std::vector<std::int32_t>& y) const override {
+    x.assign(steps_, Matrix(indices.size(), classes_, 0.0f));
+    y.resize(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const std::size_t s = indices[i];
+      for (std::size_t t = 0; t < steps_; ++t) {
+        x[t](i, hot_[s * steps_ + t]) = 1.0f;
+      }
+      y[i] = labels_[s];
+    }
+  }
+
+ private:
+  std::size_t classes_;
+  std::size_t steps_;
+  std::vector<std::uint32_t> hot_;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace pelican::nn::testing

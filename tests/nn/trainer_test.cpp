@@ -1,0 +1,157 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/metrics.hpp"
+#include "synthetic_source.hpp"
+
+namespace pelican::nn {
+namespace {
+
+using testing::SyntheticSource;
+
+TrainConfig fast_config() {
+  TrainConfig config;
+  config.epochs = 25;
+  config.batch_size = 32;
+  config.lr = 5e-3;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Trainer, LearnsCopyTask) {
+  const SyntheticSource data(600, 6, 2, /*seed=*/1);
+  Rng rng(2);
+  auto model = make_one_layer_lstm(6, 16, 6, 0.0, rng);
+  const auto report = train(model, data, fast_config());
+
+  EXPECT_EQ(report.epochs_run, 25u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_GT(topk_accuracy(model, data, 1), 0.9);
+}
+
+TEST(Trainer, LossDecreasesMonotonicallyEarly) {
+  const SyntheticSource data(400, 5, 2, 3);
+  Rng rng(4);
+  auto model = make_one_layer_lstm(5, 12, 5, 0.0, rng);
+  const auto report = train(model, data, fast_config());
+  EXPECT_LT(report.epoch_loss[5], report.epoch_loss[0]);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const SyntheticSource data(200, 4, 2, 5);
+  Rng rng_a(6), rng_b(6);
+  auto model_a = make_one_layer_lstm(4, 8, 4, 0.0, rng_a);
+  auto model_b = make_one_layer_lstm(4, 8, 4, 0.0, rng_b);
+  TrainConfig config = fast_config();
+  config.epochs = 5;
+  const auto report_a = train(model_a, data, config);
+  const auto report_b = train(model_b, data, config);
+  EXPECT_EQ(report_a.epoch_loss, report_b.epoch_loss);
+
+  Sequence x;
+  std::vector<std::int32_t> y;
+  const std::vector<std::uint32_t> idx = {0, 1, 2};
+  data.materialize(idx, x, y);
+  EXPECT_EQ(model_a.forward(x), model_b.forward(x));
+}
+
+TEST(Trainer, FrozenLayerNeverChanges) {
+  const SyntheticSource data(300, 5, 2, 8);
+  Rng rng(9);
+  auto model = make_two_layer_lstm(5, 8, 5, 0.0, rng);
+  model.layer(0).set_trainable(false);
+  const Matrix frozen_before = *model.layer(0).parameters()[0];
+  const Matrix tunable_before = *model.layer(1).parameters()[0];
+
+  TrainConfig config = fast_config();
+  config.epochs = 5;
+  (void)train(model, data, config);
+
+  EXPECT_EQ(*model.layer(0).parameters()[0], frozen_before)
+      << "frozen layer must stay bit-identical";
+  EXPECT_NE(*model.layer(1).parameters()[0], tunable_before);
+}
+
+TEST(Trainer, ValidationAccuracyTracked) {
+  const SyntheticSource data(400, 4, 2, 10);
+  const SyntheticSource val(100, 4, 2, 11);
+  Rng rng(12);
+  auto model = make_one_layer_lstm(4, 12, 4, 0.0, rng);
+  TrainConfig config = fast_config();
+  config.epochs = 8;
+  const auto report = train(model, data, config, &val);
+  EXPECT_EQ(report.validation_top1.size(), report.epochs_run);
+  EXPECT_GT(report.validation_top1.back(), report.validation_top1.front());
+}
+
+TEST(Trainer, EarlyStoppingHaltsAndRestoresBest) {
+  // Validation is pure noise, so no epoch can durably improve: training must
+  // stop after `patience` stalls instead of running all epochs.
+  const SyntheticSource data(200, 4, 2, 13);
+  const SyntheticSource val(50, 4, 2, 14, /*label_noise=*/1.0);
+  Rng rng(15);
+  auto model = make_one_layer_lstm(4, 8, 4, 0.0, rng);
+  TrainConfig config = fast_config();
+  config.epochs = 50;
+  config.patience = 3;
+  const auto report = train(model, data, config, &val);
+  EXPECT_TRUE(report.early_stopped);
+  EXPECT_LT(report.epochs_run, 50u);
+}
+
+TEST(Trainer, LrDecayChangesTrajectory) {
+  const SyntheticSource data(200, 4, 2, 16);
+  Rng rng_a(17), rng_b(17);
+  auto model_a = make_one_layer_lstm(4, 8, 4, 0.0, rng_a);
+  auto model_b = make_one_layer_lstm(4, 8, 4, 0.0, rng_b);
+  TrainConfig config = fast_config();
+  config.epochs = 10;
+  const auto plain = train(model_a, data, config);
+  config.lr_decay = 0.5;
+  const auto decayed = train(model_b, data, config);
+  EXPECT_NE(plain.epoch_loss.back(), decayed.epoch_loss.back());
+}
+
+TEST(Trainer, RejectsBadInputs) {
+  Rng rng(18);
+  auto model = make_one_layer_lstm(4, 8, 4, 0.0, rng);
+  const SyntheticSource empty(0, 4, 2, 19);
+  EXPECT_THROW((void)train(model, empty, fast_config()),
+               std::invalid_argument);
+
+  const SyntheticSource data(10, 4, 2, 20);
+  TrainConfig config = fast_config();
+  config.batch_size = 0;
+  EXPECT_THROW((void)train(model, data, config), std::invalid_argument);
+}
+
+TEST(Trainer, EvaluateLossMatchesTrainingSignal) {
+  const SyntheticSource data(300, 5, 2, 21);
+  Rng rng(22);
+  auto model = make_one_layer_lstm(5, 12, 5, 0.0, rng);
+  const double before = evaluate_loss(model, data);
+  (void)train(model, data, fast_config());
+  const double after = evaluate_loss(model, data);
+  EXPECT_LT(after, before);
+}
+
+TEST(SubsetSource, ViewsBaseWithoutCopy) {
+  const SyntheticSource data(100, 4, 2, 23);
+  const SubsetSource first_half = SubsetSource::range(data, 0, 50);
+  EXPECT_EQ(first_half.size(), 50u);
+  EXPECT_EQ(first_half.num_classes(), 4u);
+
+  Sequence x_base, x_view;
+  std::vector<std::int32_t> y_base, y_view;
+  const std::vector<std::uint32_t> idx = {10};
+  data.materialize(idx, x_base, y_base);
+  const std::vector<std::uint32_t> idx_view = {10};
+  first_half.materialize(idx_view, x_view, y_view);
+  EXPECT_EQ(x_base[0], x_view[0]);
+  EXPECT_EQ(y_base, y_view);
+}
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,119 @@
+// Shared miniature world for module/integration tests: a small campus, a
+// handful of simulated users, and (lazily, cached per test binary) a trained
+// general model plus one personalized model. Training happens once; all
+// suites in the binary reuse the result, keeping ctest fast.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mobility/campus.hpp"
+#include "mobility/dataset.hpp"
+#include "mobility/persona.hpp"
+#include "mobility/simulator.hpp"
+#include "models/general.hpp"
+#include "models/personalize.hpp"
+
+namespace pelican::testing {
+
+struct World {
+  mobility::Campus campus;
+  mobility::EncodingSpec spec;  // building level
+  std::vector<mobility::Persona> contributor_personas;
+  std::vector<mobility::Trajectory> contributor_trajectories;
+  std::vector<mobility::Persona> user_personas;
+  std::vector<mobility::Trajectory> user_trajectories;
+  std::unique_ptr<mobility::WindowDataset> general_train;
+  nn::SequenceClassifier general_model;
+  // Personalized (TL FE) model for user 0 plus its train/test windows.
+  nn::SequenceClassifier personal_model;
+  std::vector<mobility::Window> user0_train;
+  std::vector<mobility::Window> user0_test;
+};
+
+inline mobility::CampusConfig small_campus_config() {
+  mobility::CampusConfig config;
+  config.buildings = 12;
+  config.mean_aps_per_building = 4;
+  return config;
+}
+
+/// Simulated world without any trained models (cheap).
+inline World make_untrained_world(int weeks = 4, std::size_t contributors = 4,
+                                  std::size_t users = 2) {
+  World world;
+  world.campus = mobility::Campus::generate(small_campus_config(), 99);
+  world.spec = mobility::EncodingSpec::for_campus(
+      world.campus, mobility::SpatialLevel::kBuilding);
+
+  Rng rng(1234);
+  const mobility::PersonaConfig persona_config;
+  const mobility::SimulationConfig sim_config{.weeks = weeks};
+
+  for (std::size_t u = 0; u < contributors + users; ++u) {
+    Rng user_rng = rng.fork(u + 1);
+    const auto persona = mobility::generate_persona(
+        world.campus, static_cast<std::uint32_t>(u), persona_config,
+        user_rng);
+    auto trajectory = mobility::simulate(world.campus, persona, sim_config,
+                                         rng.fork(1000 + u));
+    if (u < contributors) {
+      world.contributor_personas.push_back(persona);
+      world.contributor_trajectories.push_back(std::move(trajectory));
+    } else {
+      world.user_personas.push_back(persona);
+      world.user_trajectories.push_back(std::move(trajectory));
+    }
+  }
+  return world;
+}
+
+/// Fully trained world (general + TL FE personalized model for user 0).
+/// Built once per process.
+inline const World& trained_world() {
+  static const World world = [] {
+    World w = make_untrained_world(/*weeks=*/5, /*contributors=*/4,
+                                   /*users=*/2);
+    // Pool contributor windows for the general model.
+    std::vector<mobility::Window> pooled;
+    for (const auto& trajectory : w.contributor_trajectories) {
+      const auto windows =
+          mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+      pooled.insert(pooled.end(), windows.begin(), windows.end());
+    }
+    w.general_train =
+        std::make_unique<mobility::WindowDataset>(std::move(pooled), w.spec);
+
+    models::GeneralModelConfig general_config;
+    general_config.hidden_dim = 24;
+    general_config.train.epochs = 6;
+    general_config.train.batch_size = 64;
+    general_config.train.lr = 3e-3;  // tiny model: faster lr than paper scale
+    general_config.seed = 7;
+    w.general_model =
+        models::train_general_model(*w.general_train, general_config).model;
+
+    // Personalize for user 0 with TL feature extraction.
+    const auto windows = mobility::make_windows(
+        w.user_trajectories[0], mobility::SpatialLevel::kBuilding);
+    auto split = mobility::split_windows(windows, 0.8);
+    w.user0_train = std::move(split.train);
+    w.user0_test = std::move(split.test);
+
+    models::PersonalizationConfig personal_config;
+    personal_config.method = models::PersonalizationMethod::kFeatureExtraction;
+    personal_config.train.epochs = 8;
+    personal_config.train.batch_size = 32;
+    personal_config.train.lr = 3e-3;
+    personal_config.seed = 11;
+    const mobility::WindowDataset user_data(w.user0_train, w.spec);
+    w.personal_model =
+        models::personalize(w.general_model, user_data, personal_config)
+            .model;
+    return w;
+  }();
+  return world;
+}
+
+}  // namespace pelican::testing
