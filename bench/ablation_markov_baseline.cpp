@@ -12,6 +12,7 @@
 #include "harness/pipeline.hpp"
 #include "models/markov.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 int main() {
   using namespace pelican;
@@ -33,7 +34,7 @@ int main() {
 
   for (std::size_t u = 0; u < user_count; ++u) {
     auto& user = pipeline.users()[u];
-    const mobility::WindowDataset test(user.test_windows, pipeline.spec());
+    const models::WindowDataset test(user.test_windows, pipeline.spec());
 
     models::MarkovChain order1(pipeline.spec().num_locations, 1);
     order1.fit(user.train_windows);

@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "harness/attack_runner.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 namespace {
 
@@ -28,7 +29,7 @@ stats::Correlation analyze(Pipeline& pipeline, Table& table) {
   std::vector<double> model_accuracy, attack_accuracy;
   for (std::size_t u = 0; u < pipeline.users().size(); ++u) {
     auto& user = pipeline.users()[u];
-    const mobility::WindowDataset test(user.test_windows, pipeline.spec());
+    const models::WindowDataset test(user.test_windows, pipeline.spec());
     const double top1 = 100.0 * nn::topk_accuracy(user.model, test, 1);
     model_accuracy.push_back(top1);
     attack_accuracy.push_back(100.0 * sweep.per_user[u].at_k(3));

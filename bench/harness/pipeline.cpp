@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::bench {
 
@@ -94,7 +95,7 @@ void Pipeline::build_world() {
     pooled.insert(pooled.end(), windows.begin(), windows.end());
   }
   contributor_data_ =
-      std::make_unique<mobility::WindowDataset>(std::move(pooled), spec_);
+      std::make_unique<models::WindowDataset>(std::move(pooled), spec_);
 
   users_.clear();
   users_.reserve(scale_.users);
@@ -173,7 +174,7 @@ void Pipeline::train_or_load() {
   PhaseTimer personal_timer;
   const auto config = personalization_config();
   for (std::size_t u = 0; u < users_.size(); ++u) {
-    const mobility::WindowDataset data(users_[u].train_windows, spec_);
+    const models::WindowDataset data(users_[u].train_windows, spec_);
     users_[u].model = models::personalize(general_, data, config).model;
     users_[u].model.save_file(dir /
                               ("user" + std::to_string(u) + "-fe.bin"));
@@ -215,7 +216,7 @@ models::PersonalizedModel Pipeline::personalized(
       weeks == 0 ? user.train_windows
                  : mobility::windows_in_first_weeks(user.train_windows,
                                                     weeks);
-  const mobility::WindowDataset data(std::move(windows), spec_);
+  const models::WindowDataset data(std::move(windows), spec_);
   auto config = personalization_config();
   config.method = method;
   result = models::personalize(general_, data, config);

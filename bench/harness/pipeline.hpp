@@ -21,6 +21,7 @@
 #include "common/timer.hpp"
 #include "mobility/campus.hpp"
 #include "mobility/dataset.hpp"
+#include "models/window_dataset.hpp"
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
 #include "models/general.hpp"
@@ -79,7 +80,7 @@ class Pipeline {
   [[nodiscard]] std::vector<UserArtifacts>& users() noexcept { return users_; }
 
   /// Pooled contributor windows (the general model's training set).
-  [[nodiscard]] const mobility::WindowDataset& contributor_data() const {
+  [[nodiscard]] const models::WindowDataset& contributor_data() const {
     return *contributor_data_;
   }
 
@@ -115,7 +116,7 @@ class Pipeline {
   mobility::SpatialLevel level_;
   mobility::Campus campus_;
   mobility::EncodingSpec spec_;
-  std::unique_ptr<mobility::WindowDataset> contributor_data_;
+  std::unique_ptr<models::WindowDataset> contributor_data_;
   nn::SequenceClassifier general_;
   std::vector<UserArtifacts> users_;
   PhaseCost general_cost_;

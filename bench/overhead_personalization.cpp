@@ -13,6 +13,7 @@
 #include "harness/pipeline.hpp"
 #include "models/general.hpp"
 #include "models/personalize.hpp"
+#include "models/window_dataset.hpp"
 
 int main() {
   using namespace pelican;
@@ -37,7 +38,7 @@ int main() {
 
   auto personal_config = pipeline.personalization_config();
   auto& user = pipeline.users()[0];
-  const mobility::WindowDataset user_data(user.train_windows,
+  const models::WindowDataset user_data(user.train_windows,
                                           pipeline.spec());
 
   personal_config.method = models::PersonalizationMethod::kFeatureExtraction;

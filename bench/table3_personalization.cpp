@@ -9,6 +9,7 @@
 #include "common/table.hpp"
 #include "harness/pipeline.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 namespace {
 
@@ -30,8 +31,8 @@ MethodRow evaluate_method(Pipeline& pipeline,
   for (std::size_t u = 0; u < user_count; ++u) {
     auto personalized = pipeline.personalized(u, method);
     auto& user = pipeline.users()[u];
-    const mobility::WindowDataset train(user.train_windows, pipeline.spec());
-    const mobility::WindowDataset test(user.test_windows, pipeline.spec());
+    const models::WindowDataset train(user.train_windows, pipeline.spec());
+    const models::WindowDataset test(user.test_windows, pipeline.spec());
     row.train_top1 += nn::topk_accuracy(personalized.model, train, 1);
     const auto test_accs = nn::topk_accuracies(personalized.model, test, ks);
     row.test_top1 += test_accs[0];

@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "harness/pipeline.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 namespace {
 
@@ -65,10 +66,10 @@ int main() {
       for (std::size_t u = 0; u < user_count; ++u) {
         auto personalized = pipeline.personalized(u, method, weeks);
         auto& user = pipeline.users()[u];
-        const mobility::WindowDataset train(
+        const models::WindowDataset train(
             mobility::windows_in_first_weeks(user.train_windows, weeks),
             pipeline.spec());
-        const mobility::WindowDataset test(user.test_windows,
+        const models::WindowDataset test(user.test_windows,
                                            pipeline.spec());
         train_acc += nn::topk_accuracy(personalized.model, train, 1);
         test_acc += nn::topk_accuracy(personalized.model, test, 1);

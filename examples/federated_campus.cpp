@@ -16,6 +16,7 @@
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 using namespace pelican;
 
@@ -47,7 +48,7 @@ int main() {
   general_config.hidden_dim = 32;
   general_config.train.epochs = 6;
   general_config.train.lr = 2e-3;
-  const auto v1 = cloud.train_general(mobility::WindowDataset(pooled, spec),
+  const auto v1 = cloud.train_general(models::WindowDataset(pooled, spec),
                                       general_config);
   std::cout << "cloud: general model v" << v1 << " trained on "
             << pooled.size() << " windows\n";
@@ -118,7 +119,7 @@ int main() {
   models::PersonalizationConfig update_config = personal_config;
   update_config.train.epochs = 3;
   for (auto& student : fleet) {
-    const mobility::WindowDataset holdout(student.test_windows, spec);
+    const models::WindowDataset holdout(student.test_windows, spec);
     auto& before_model = const_cast<nn::SequenceClassifier&>(
         student.device->personalized_model());
     const double before = 100.0 * nn::topk_accuracy(before_model, holdout, 3);

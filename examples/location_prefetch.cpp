@@ -15,6 +15,7 @@
 #include "core/pelican.hpp"
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
+#include "models/window_dataset.hpp"
 
 using namespace pelican;
 
@@ -66,7 +67,7 @@ int main() {
   general_config.hidden_dim = 32;
   general_config.train.epochs = 6;
   general_config.train.lr = 2e-3;
-  (void)cloud.train_general(mobility::WindowDataset(pooled, spec),
+  (void)cloud.train_general(models::WindowDataset(pooled, spec),
                             general_config);
 
   Rng user_rng = rng.fork(55);

@@ -13,6 +13,7 @@
 #include "core/pelican.hpp"
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
+#include "models/window_dataset.hpp"
 
 using namespace pelican;
 
@@ -44,7 +45,7 @@ int main() {
   general_config.hidden_dim = 32;
   general_config.train.epochs = 6;
   general_config.train.lr = 2e-3;
-  (void)cloud.train_general(mobility::WindowDataset(pooled, spec),
+  (void)cloud.train_general(models::WindowDataset(pooled, spec),
                             general_config);
 
   Rng victim_rng = rng.fork(77);

@@ -11,6 +11,7 @@
 #include "core/pelican.hpp"
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
+#include "models/window_dataset.hpp"
 
 using namespace pelican;
 
@@ -47,7 +48,7 @@ int main() {
   general_config.hidden_dim = 32;
   general_config.train.epochs = 6;
   general_config.train.lr = 2e-3;
-  const mobility::WindowDataset contributors(contributor_windows, spec);
+  const models::WindowDataset contributors(contributor_windows, spec);
   const auto version = cloud.train_general(contributors, general_config);
   std::cout << "cloud trained general model v" << version << " in "
             << cloud.training_cost(version).wall_seconds << " s\n";

@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::attack {
 
@@ -34,7 +35,7 @@ std::vector<double> score_candidates(BlackBoxModel& model,
     nn::Sequence x(mobility::kWindowSteps,
                    nn::Matrix(count, spec.input_dim(), 0.0f));
     for (std::size_t i = 0; i < count; ++i) {
-      mobility::encode_steps(candidates[start + i].steps, spec, x, i);
+      models::encode_steps(candidates[start + i].steps, spec, x, i);
     }
     const nn::Matrix confidences = model.query(x);
     for (std::size_t i = 0; i < count; ++i) {

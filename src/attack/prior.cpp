@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "models/window_dataset.hpp"
 
 namespace pelican::attack {
 
@@ -12,7 +13,7 @@ nn::Matrix query_windows(BlackBoxModel& model,
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(windows.size(), model.spec().input_dim(), 0.0f));
   for (std::size_t i = 0; i < windows.size(); ++i) {
-    mobility::encode_window(windows[i], model.spec(), x, i);
+    models::encode_window(windows[i], model.spec(), x, i);
   }
   return model.query(x);
 }

@@ -1,9 +1,10 @@
 #include "core/cloud.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 
 std::uint32_t CloudServer::train_general(
-    const mobility::WindowDataset& contributors,
+    const models::WindowDataset& contributors,
     const models::GeneralModelConfig& config) {
   PhaseTimer timer;
   models::GeneralModel trained =

@@ -14,6 +14,7 @@
 #include "common/timer.hpp"
 #include "core/service.hpp"
 #include "models/general.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 
@@ -21,7 +22,7 @@ class CloudServer {
  public:
   /// Trains a new general-model version on pooled contributor data and
   /// returns its version id (monotonically increasing from 1).
-  std::uint32_t train_general(const mobility::WindowDataset& contributors,
+  std::uint32_t train_general(const models::WindowDataset& contributors,
                               const models::GeneralModelConfig& config);
 
   /// "Downloads" a general model to a device (returns a deep copy — the

@@ -1,6 +1,7 @@
 #include "core/device.hpp"
 
 #include <stdexcept>
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 
@@ -35,7 +36,7 @@ PhaseCost Device::update(std::vector<mobility::Window> new_windows,
   std::vector<mobility::Window> all(data_.windows().begin(),
                                     data_.windows().end());
   all.insert(all.end(), new_windows.begin(), new_windows.end());
-  data_ = mobility::WindowDataset(std::move(all), spec_);
+  data_ = models::WindowDataset(std::move(all), spec_);
   personalized_ =
       models::update_personalized(personalized_->model, data_, config);
   last_config_ = config;

@@ -13,6 +13,7 @@
 #include "core/cloud.hpp"
 #include "core/service.hpp"
 #include "mobility/dataset.hpp"
+#include "models/window_dataset.hpp"
 #include "models/personalize.hpp"
 
 namespace pelican::core {
@@ -55,13 +56,13 @@ class Device {
   [[nodiscard]] const nn::TrainReport& personalization_report() const;
 
   /// The device's private dataset (for owner-side evaluation only).
-  [[nodiscard]] const mobility::WindowDataset& private_data() const noexcept {
+  [[nodiscard]] const models::WindowDataset& private_data() const noexcept {
     return data_;
   }
 
  private:
   std::uint32_t user_id_;
-  mobility::WindowDataset data_;
+  models::WindowDataset data_;
   mobility::EncodingSpec spec_;
   double temperature_ = 1.0;
   std::optional<models::PersonalizedModel> personalized_;

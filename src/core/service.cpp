@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include "nn/loss.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 
@@ -8,9 +9,18 @@ std::vector<std::uint16_t> DeployedModel::predict_top_k(
     const mobility::Window& window, std::size_t k) {
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(1, spec_.input_dim(), 0.0f));
-  mobility::encode_window(window, spec_, x, 0);
-  const nn::Matrix confidences = query(x);
-  const auto top = nn::topk_indices(confidences.row(0), k);
+  models::encode_window(window, spec_, x, 0);
+  // Rank in the log domain: softmax at any temperature is strictly monotone
+  // in the logits, so the top-k of the privacy-scaled confidences IS the
+  // top-k of the logits. Ranking there sidesteps the float saturation of
+  // the magnitude path at strong temperatures (ranks 2..k would otherwise
+  // collapse into exact-zero ties), which is what keeps service quality
+  // bit-identical with the privacy layer on — the Section V-B invariant.
+  // A k-slot response reveals only the ordered index list it necessarily
+  // reveals; graded magnitudes remain behind query().
+  ++queries_;
+  const nn::Matrix logits = model_.forward(x, /*training=*/false);
+  const auto top = nn::topk_indices(logits.row(0), k);
   std::vector<std::uint16_t> locations;
   locations.reserve(top.size());
   for (const std::size_t i : top) {

@@ -79,49 +79,4 @@ std::vector<double> location_marginals(std::span<const Window> windows,
   return counts;
 }
 
-void encode_steps(std::span<const StepFeatures> steps,
-                  const EncodingSpec& spec, nn::Sequence& x, std::size_t row) {
-  if (x.size() != steps.size()) {
-    throw std::invalid_argument("encode_steps: sequence length mismatch");
-  }
-  for (std::size_t t = 0; t < steps.size(); ++t) {
-    const StepFeatures& step = steps[t];
-    if (step.location >= spec.num_locations) {
-      throw std::out_of_range("encode_steps: location outside domain");
-    }
-    auto out = x[t].row(row);
-    out[spec.entry_offset() + step.entry_bin] = 1.0f;
-    out[spec.duration_offset() + step.duration_bin] = 1.0f;
-    out[spec.location_offset() + step.location] = 1.0f;
-    out[spec.day_offset() + step.day_of_week] = 1.0f;
-  }
-}
-
-void encode_window(const Window& window, const EncodingSpec& spec,
-                   nn::Sequence& x, std::size_t row) {
-  encode_steps(window.steps, spec, x, row);
-}
-
-WindowDataset::WindowDataset(std::vector<Window> windows, EncodingSpec spec)
-    : windows_(std::move(windows)), spec_(spec) {
-  for (const Window& w : windows_) {
-    if (w.next_location >= spec_.num_locations) {
-      throw std::out_of_range("WindowDataset: label outside domain");
-    }
-  }
-}
-
-void WindowDataset::materialize(std::span<const std::uint32_t> indices,
-                                nn::Sequence& x,
-                                std::vector<std::int32_t>& y) const {
-  x.assign(kWindowSteps,
-           nn::Matrix(indices.size(), spec_.input_dim(), 0.0f));
-  y.resize(indices.size());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const Window& window = windows_.at(indices[i]);
-    encode_window(window, spec_, x, i);
-    y[i] = static_cast<std::int32_t>(window.next_location);
-  }
-}
-
 }  // namespace pelican::mobility

@@ -1,12 +1,17 @@
-// Dataset pipeline: trajectories -> sliding windows -> one-hot minibatches.
+// Dataset pipeline: trajectories -> sliding windows of discrete features.
 //
 // The prediction task follows Section IV-A exactly:
 //   M : (x_{t-2}, x_{t-1}) -> l_t,   x = [entry-bin, duration-bin, loc, dow]
-// Each timestep is encoded as a concatenation of one-hot blocks. The
+// Each timestep is described as a tuple of discretized features; the
+// EncodingSpec fixes the one-hot block layout used by the models layer. The
 // location block always spans the *full* campus domain (all buildings or all
 // APs) regardless of which locations a particular user visits — the "domain
 // equalization" of Section III-A3 that makes transfer learning between the
 // multi-user source domain and single-user target domains trivial.
+//
+// This header is nn-free on purpose: the mobility layer depends only on
+// common. The one-hot materialization lives one layer up, in
+// models/window_dataset.hpp.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +20,6 @@
 
 #include "mobility/campus.hpp"
 #include "mobility/types.hpp"
-#include "nn/data.hpp"
 
 namespace pelican::mobility {
 
@@ -95,41 +99,5 @@ struct WindowSplit {
 /// prior "p" of the inversion attack (Section III-B2).
 [[nodiscard]] std::vector<double> location_marginals(
     std::span<const Window> windows, std::size_t num_locations);
-
-/// Scatters one window into row `row` of a (batch x input_dim) sequence.
-void encode_window(const Window& window, const EncodingSpec& spec,
-                   nn::Sequence& x, std::size_t row);
-
-/// Encodes explicit step features (used by attacks to build candidate
-/// inputs without fabricating Session objects).
-void encode_steps(std::span<const StepFeatures> steps,
-                  const EncodingSpec& spec, nn::Sequence& x, std::size_t row);
-
-/// BatchSource over a window set; materializes one-hot batches on demand.
-class WindowDataset final : public nn::BatchSource {
- public:
-  WindowDataset(std::vector<Window> windows, EncodingSpec spec);
-
-  [[nodiscard]] std::size_t size() const override { return windows_.size(); }
-  [[nodiscard]] std::size_t seq_len() const override { return kWindowSteps; }
-  [[nodiscard]] std::size_t input_dim() const override {
-    return spec_.input_dim();
-  }
-  [[nodiscard]] std::size_t num_classes() const override {
-    return spec_.num_locations;
-  }
-
-  void materialize(std::span<const std::uint32_t> indices, nn::Sequence& x,
-                   std::vector<std::int32_t>& y) const override;
-
-  [[nodiscard]] std::span<const Window> windows() const noexcept {
-    return windows_;
-  }
-  [[nodiscard]] const EncodingSpec& spec() const noexcept { return spec_; }
-
- private:
-  std::vector<Window> windows_;
-  EncodingSpec spec_;
-};
 
 }  // namespace pelican::mobility

@@ -1,10 +1,11 @@
 #include "models/general.hpp"
 
 #include "common/rng.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::models {
 
-GeneralModel train_general_model(const mobility::WindowDataset& train,
+GeneralModel train_general_model(const models::WindowDataset& train,
                                  const GeneralModelConfig& config,
                                  const nn::BatchSource* validation) {
   Rng rng(config.seed);

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "mobility/dataset.hpp"
+#include "models/window_dataset.hpp"
 #include "nn/model.hpp"
 #include "nn/trainer.hpp"
 
@@ -40,7 +41,7 @@ struct GeneralModel {
 
 /// Trains M_G from scratch on pooled multi-user windows.
 [[nodiscard]] GeneralModel train_general_model(
-    const mobility::WindowDataset& train, const GeneralModelConfig& config,
+    const models::WindowDataset& train, const GeneralModelConfig& config,
     const nn::BatchSource* validation = nullptr);
 
 }  // namespace pelican::models

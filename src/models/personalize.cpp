@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "nn/lstm.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::models {
 
@@ -64,7 +65,7 @@ nn::SequenceClassifier build_fine_tuning(
 }  // namespace
 
 PersonalizedModel personalize(const nn::SequenceClassifier& general,
-                              const mobility::WindowDataset& user_train,
+                              const models::WindowDataset& user_train,
                               const PersonalizationConfig& config) {
   Rng rng(config.seed);
   PersonalizedModel result;
@@ -90,7 +91,7 @@ PersonalizedModel personalize(const nn::SequenceClassifier& general,
 
 PersonalizedModel update_personalized(
     const nn::SequenceClassifier& current,
-    const mobility::WindowDataset& user_train,
+    const models::WindowDataset& user_train,
     const PersonalizationConfig& config) {
   PersonalizedModel result;
   result.model = current.clone();  // warm start; freeze flags preserved

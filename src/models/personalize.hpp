@@ -17,6 +17,7 @@
 #include <string>
 
 #include "mobility/dataset.hpp"
+#include "models/window_dataset.hpp"
 #include "nn/model.hpp"
 #include "nn/trainer.hpp"
 
@@ -60,7 +61,7 @@ struct PersonalizedModel {
 /// model and the user's private training windows. `general` is not modified.
 [[nodiscard]] PersonalizedModel personalize(
     const nn::SequenceClassifier& general,
-    const mobility::WindowDataset& user_train,
+    const models::WindowDataset& user_train,
     const PersonalizationConfig& config);
 
 /// Re-invokes transfer learning on an existing personalized model with
@@ -68,7 +69,7 @@ struct PersonalizedModel {
 /// Parameters are initialized from `current`; freeze flags are preserved.
 [[nodiscard]] PersonalizedModel update_personalized(
     const nn::SequenceClassifier& current,
-    const mobility::WindowDataset& user_train,
+    const models::WindowDataset& user_train,
     const PersonalizationConfig& config);
 
 }  // namespace pelican::models

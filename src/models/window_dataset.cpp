@@ -1,0 +1,55 @@
+#include "models/window_dataset.hpp"
+
+#include <stdexcept>
+
+namespace pelican::models {
+
+void encode_steps(std::span<const mobility::StepFeatures> steps,
+                  const mobility::EncodingSpec& spec, nn::Sequence& x,
+                  std::size_t row) {
+  if (x.size() != steps.size()) {
+    throw std::invalid_argument("encode_steps: sequence length mismatch");
+  }
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    const mobility::StepFeatures& step = steps[t];
+    if (step.location >= spec.num_locations) {
+      throw std::out_of_range("encode_steps: location outside domain");
+    }
+    auto out = x[t].row(row);
+    out[spec.entry_offset() + step.entry_bin] = 1.0f;
+    out[spec.duration_offset() + step.duration_bin] = 1.0f;
+    out[spec.location_offset() + step.location] = 1.0f;
+    out[spec.day_offset() + step.day_of_week] = 1.0f;
+  }
+}
+
+void encode_window(const mobility::Window& window,
+                   const mobility::EncodingSpec& spec, nn::Sequence& x,
+                   std::size_t row) {
+  encode_steps(window.steps, spec, x, row);
+}
+
+WindowDataset::WindowDataset(std::vector<mobility::Window> windows,
+                             mobility::EncodingSpec spec)
+    : windows_(std::move(windows)), spec_(spec) {
+  for (const mobility::Window& w : windows_) {
+    if (w.next_location >= spec_.num_locations) {
+      throw std::out_of_range("WindowDataset: label outside domain");
+    }
+  }
+}
+
+void WindowDataset::materialize(std::span<const std::uint32_t> indices,
+                                nn::Sequence& x,
+                                std::vector<std::int32_t>& y) const {
+  x.assign(mobility::kWindowSteps,
+           nn::Matrix(indices.size(), spec_.input_dim(), 0.0f));
+  y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const mobility::Window& window = windows_.at(indices[i]);
+    encode_window(window, spec_, x, i);
+    y[i] = static_cast<std::int32_t>(window.next_location);
+  }
+}
+
+}  // namespace pelican::models

@@ -1,0 +1,63 @@
+// One-hot materialization of mobility windows for the nn stack.
+//
+// The mobility layer stays in a compact discrete form (StepFeatures /
+// Window, see mobility/dataset.hpp); this file owns the bridge into the
+// nn layer: scattering windows into one-hot minibatches and exposing a
+// window set as an nn::BatchSource. Keeping the bridge here preserves the
+// layer lattice — mobility depends only on common, and models sits above
+// both mobility and nn.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mobility/dataset.hpp"
+#include "nn/data.hpp"
+
+namespace pelican::models {
+
+/// Scatters one window into row `row` of a (batch x input_dim) sequence.
+void encode_window(const mobility::Window& window,
+                   const mobility::EncodingSpec& spec, nn::Sequence& x,
+                   std::size_t row);
+
+/// Encodes explicit step features (used by attacks to build candidate
+/// inputs without fabricating Session objects).
+void encode_steps(std::span<const mobility::StepFeatures> steps,
+                  const mobility::EncodingSpec& spec, nn::Sequence& x,
+                  std::size_t row);
+
+/// BatchSource over a window set; materializes one-hot batches on demand.
+class WindowDataset final : public nn::BatchSource {
+ public:
+  WindowDataset(std::vector<mobility::Window> windows,
+                mobility::EncodingSpec spec);
+
+  [[nodiscard]] std::size_t size() const override { return windows_.size(); }
+  [[nodiscard]] std::size_t seq_len() const override {
+    return mobility::kWindowSteps;
+  }
+  [[nodiscard]] std::size_t input_dim() const override {
+    return spec_.input_dim();
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return spec_.num_locations;
+  }
+
+  void materialize(std::span<const std::uint32_t> indices, nn::Sequence& x,
+                   std::vector<std::int32_t>& y) const override;
+
+  [[nodiscard]] std::span<const mobility::Window> windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const mobility::EncodingSpec& spec() const noexcept {
+    return spec_;
+  }
+
+ private:
+  std::vector<mobility::Window> windows_;
+  mobility::EncodingSpec spec_;
+};
+
+}  // namespace pelican::models

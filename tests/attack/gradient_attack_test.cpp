@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "nn/trainer.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::attack {
 namespace {
@@ -45,7 +46,7 @@ class GradientAttackTest : public ::testing::Test {
   void SetUp() override {
     spec_ = {mobility::SpatialLevel::kBuilding, 10};
     windows_ = copy_task_windows(400, 10, 3);
-    const mobility::WindowDataset data(windows_, spec_);
+    const models::WindowDataset data(windows_, spec_);
     Rng rng(4);
     model_ = nn::make_one_layer_lstm(spec_.input_dim(), 24, 10, 0.0, rng);
     nn::TrainConfig tc;

@@ -133,7 +133,7 @@ TEST(Inversion, ScoreCandidatesExposesPerLocationScores) {
                        /*query_batch=*/16);
   ASSERT_EQ(scores.size(), 8u);
   for (std::size_t l = 0; l < 8; ++l) {
-    if (l != 6) EXPECT_GT(scores[6], scores[l]);
+    if (l != 6) { EXPECT_GT(scores[6], scores[l]); }
   }
 }
 

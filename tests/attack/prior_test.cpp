@@ -53,7 +53,7 @@ TEST(Prior, PredictAveragesModelOutputs) {
   EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-5);
   // Class 3 is the planted model's favorite output.
   for (std::size_t c = 0; c < p.size(); ++c) {
-    if (c != 3) EXPECT_GT(p[3], p[c]);
+    if (c != 3) { EXPECT_GT(p[3], p[c]); }
   }
   EXPECT_GT(model.queries(), 0u);
 }
@@ -64,7 +64,7 @@ TEST(Prior, EstimatePuts75OnTop) {
       make_prior(PriorKind::kEstimate, {}, model, some_windows(8));
   EXPECT_DOUBLE_EQ(p[3], 0.75);
   for (std::size_t c = 0; c < p.size(); ++c) {
-    if (c != 3) EXPECT_NEAR(p[c], 0.25 / 7.0, 1e-12);
+    if (c != 3) { EXPECT_NEAR(p[c], 0.25 / 7.0, 1e-12); }
   }
   EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 namespace {
@@ -16,7 +17,7 @@ models::GeneralModelConfig tiny_general_config() {
   return config;
 }
 
-mobility::WindowDataset contributor_data(const pelican::testing::World& w) {
+models::WindowDataset contributor_data(const pelican::testing::World& w) {
   std::vector<mobility::Window> pooled;
   for (const auto& trajectory : w.contributor_trajectories) {
     const auto windows =

@@ -8,6 +8,7 @@
 
 #include "core/service.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 namespace {
@@ -32,7 +33,7 @@ TEST_P(DeploymentTemperatureSweep, TopPredictionIdenticalNoInversions) {
 
     nn::Sequence x(mobility::kWindowSteps,
                    nn::Matrix(1, world.spec.input_dim(), 0.0f));
-    mobility::encode_window(window, world.spec, x, 0);
+    models::encode_window(window, world.spec, x, 0);
     const nn::Matrix warm = plain.query(x);
     const nn::Matrix frozen = defended.query(x);
     for (std::size_t a = 0; a < warm.cols(); ++a) {
@@ -58,7 +59,7 @@ TEST_P(DeploymentTemperatureSweep, TopConfidenceAtLeastUndefended) {
                  nn::Matrix(world.user0_test.size(), world.spec.input_dim(),
                             0.0f));
   for (std::size_t i = 0; i < world.user0_test.size(); ++i) {
-    mobility::encode_window(world.user0_test[i], world.spec, x, i);
+    models::encode_window(world.user0_test[i], world.spec, x, i);
   }
   const nn::Matrix warm = plain.query(x);
   const nn::Matrix cold = defended.query(x);
@@ -78,7 +79,7 @@ TEST_P(DeploymentTemperatureSweep, RowsStillSumToApproximatelyOne) {
                          DeploymentSite::kOnDevice);
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(1, world.spec.input_dim(), 0.0f));
-  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
+  models::encode_window(world.user0_test[0], world.spec, x, 0);
   const nn::Matrix probs = defended.query(x);
   double total = 0.0;
   for (const float p : probs.row(0)) {

@@ -4,6 +4,7 @@
 
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 namespace {
@@ -23,7 +24,7 @@ class DeviceTest : public ::testing::Test {
                                            mobility::SpatialLevel::kBuilding);
   }
 
-  mobility::WindowDataset contributor_data() {
+  models::WindowDataset contributor_data() {
     std::vector<mobility::Window> pooled;
     for (const auto& trajectory : world_.contributor_trajectories) {
       const auto windows = mobility::make_windows(
@@ -111,7 +112,7 @@ TEST_F(DeviceTest, UpdateKeepsModelUseful) {
   Device device(42, split.train, world_.spec);
   device.personalize(cloud_, personalization_config());
 
-  const mobility::WindowDataset holdout(split.test, world_.spec);
+  const models::WindowDataset holdout(split.test, world_.spec);
   auto& before_model =
       const_cast<nn::SequenceClassifier&>(device.personalized_model());
   const double before = nn::topk_accuracy(before_model, holdout, 3);

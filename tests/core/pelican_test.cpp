@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 namespace {
@@ -55,7 +56,7 @@ TEST(AuditDevice, RunsBothAttacksAndReportsReduction) {
   general_config.train.lr = 3e-3;
   std::vector<mobility::Window> pooled(world.general_train->windows().begin(),
                                        world.general_train->windows().end());
-  (void)cloud.train_general(mobility::WindowDataset(pooled, world.spec),
+  (void)cloud.train_general(models::WindowDataset(pooled, world.spec),
                             general_config);
 
   core::Device device(1, world.user0_train, world.spec);

@@ -6,6 +6,7 @@
 
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::core {
 namespace {
@@ -24,8 +25,8 @@ TEST(DeployedModel, QueryReturnsDistributionsAndCounts) {
 
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(2, world.spec.input_dim(), 0.0f));
-  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
-  mobility::encode_window(world.user0_test[1], world.spec, x, 1);
+  models::encode_window(world.user0_test[0], world.spec, x, 0);
+  models::encode_window(world.user0_test[1], world.spec, x, 1);
 
   EXPECT_EQ(deployment.query_count(), 0u);
   const nn::Matrix probs = deployment.query(x);
@@ -49,7 +50,7 @@ TEST(DeployedModel, PredictTopKMatchesQueryRanking) {
 
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(1, world.spec.input_dim(), 0.0f));
-  mobility::encode_window(window, world.spec, x, 0);
+  models::encode_window(window, world.spec, x, 0);
   const nn::Matrix probs = deployment.query(x);
   const auto expected = nn::topk_indices(probs.row(0), 3);
   for (std::size_t i = 0; i < 3; ++i) {
@@ -71,7 +72,7 @@ TEST(DeployedModel, PrivacyLayerPreservesTopPredictionAndOrdering) {
 
     nn::Sequence x(mobility::kWindowSteps,
                    nn::Matrix(1, world.spec.input_dim(), 0.0f));
-    mobility::encode_window(window, world.spec, x, 0);
+    models::encode_window(window, world.spec, x, 0);
     const nn::Matrix warm = plain.query(x);
     const nn::Matrix frozen = cold.query(x);
     for (std::size_t a = 0; a < warm.cols(); ++a) {
@@ -86,12 +87,26 @@ TEST(DeployedModel, PrivacyLayerPreservesTopPredictionAndOrdering) {
   }
 }
 
+TEST(DeployedModel, PredictTopKInvariantUnderStrongTemperature) {
+  // The service's rank query is computed in the log domain, so the full
+  // top-k list — not just the top prediction — is bit-identical no matter
+  // how strong the privacy temperature is. (The magnitude path saturates
+  // ranks 2..k into exact-zero ties; ranking there would degrade deeper
+  // prefetch slots, see examples/location_prefetch.cpp.)
+  DeployedModel plain = make_deployment(1.0);
+  DeployedModel cold = make_deployment(PrivacyLayer::kStrongTemperature);
+  const auto& world = trained_world();
+  for (const auto& window : world.user0_test) {
+    EXPECT_EQ(plain.predict_top_k(window, 5), cold.predict_top_k(window, 5));
+  }
+}
+
 TEST(DeployedModel, ColdConfidencesSaturate) {
   DeployedModel cold = make_deployment(1e-5);
   const auto& world = trained_world();
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(1, world.spec.input_dim(), 0.0f));
-  mobility::encode_window(world.user0_test[0], world.spec, x, 0);
+  models::encode_window(world.user0_test[0], world.spec, x, 0);
   const nn::Matrix probs = cold.query(x);
   const float top = *std::max_element(probs.row(0).begin(),
                                       probs.row(0).end());

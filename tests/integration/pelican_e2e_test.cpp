@@ -6,6 +6,7 @@
 #include "core/pelican.hpp"
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican {
 namespace {
@@ -23,7 +24,7 @@ class PelicanE2E : public ::testing::Test {
           trajectory, mobility::SpatialLevel::kBuilding);
       pooled.insert(pooled.end(), windows.begin(), windows.end());
     }
-    const mobility::WindowDataset contributors(std::move(pooled),
+    const models::WindowDataset contributors(std::move(pooled),
                                                world_->spec);
     models::GeneralModelConfig general_config;
     general_config.hidden_dim = 24;
@@ -76,7 +77,7 @@ TEST_F(PelicanE2E, PersonalizationIsCheaperThanCloudTraining) {
 }
 
 TEST_F(PelicanE2E, PersonalizedModelServesUsefulPredictions) {
-  const mobility::WindowDataset holdout(*test_windows_, world_->spec);
+  const models::WindowDataset holdout(*test_windows_, world_->spec);
   auto& model =
       const_cast<nn::SequenceClassifier&>(device_->personalized_model());
   const double top3 = nn::topk_accuracy(model, holdout, 3);
@@ -141,7 +142,7 @@ TEST_F(PelicanE2E, CloudDeploymentKeepsDefenseActive) {
   // graded scores.
   nn::Sequence x(mobility::kWindowSteps,
                  nn::Matrix(1, world_->spec.input_dim(), 0.0f));
-  mobility::encode_window((*test_windows_)[0], world_->spec, x, 0);
+  models::encode_window((*test_windows_)[0], world_->spec, x, 0);
   const nn::Matrix probs = hosted.query(x);
   float top = 0.0f;
   for (const float p : probs.row(0)) top = std::max(top, p);

@@ -131,91 +131,5 @@ TEST(LocationMarginals, EmptyAndOutOfRange) {
   EXPECT_THROW((void)location_marginals(windows, 3), std::out_of_range);
 }
 
-TEST(EncodeWindow, ExactlyFourOnesPerStep) {
-  EncodingSpec spec{SpatialLevel::kBuilding, 10};
-  Window w;
-  w.steps[0] = {5, 3, 2, 7};
-  w.steps[1] = {6, 0, 2, 1};
-  w.next_location = 4;
-
-  nn::Sequence x(kWindowSteps, nn::Matrix(1, spec.input_dim(), 0.0f));
-  encode_window(w, spec, x, 0);
-
-  for (std::size_t t = 0; t < kWindowSteps; ++t) {
-    float total = 0.0f;
-    for (const float v : x[t].row(0)) {
-      EXPECT_TRUE(v == 0.0f || v == 1.0f);
-      total += v;
-    }
-    EXPECT_FLOAT_EQ(total, 4.0f) << "step " << t;
-  }
-  EXPECT_FLOAT_EQ(x[0](0, spec.entry_offset() + 5), 1.0f);
-  EXPECT_FLOAT_EQ(x[0](0, spec.duration_offset() + 3), 1.0f);
-  EXPECT_FLOAT_EQ(x[0](0, spec.location_offset() + 7), 1.0f);
-  EXPECT_FLOAT_EQ(x[0](0, spec.day_offset() + 2), 1.0f);
-  EXPECT_FLOAT_EQ(x[1](0, spec.location_offset() + 1), 1.0f);
-}
-
-TEST(EncodeWindow, RejectsOutOfDomainLocation) {
-  EncodingSpec spec{SpatialLevel::kBuilding, 4};
-  Window w;
-  w.steps[0].location = 4;  // out of domain
-  nn::Sequence x(kWindowSteps, nn::Matrix(1, spec.input_dim(), 0.0f));
-  EXPECT_THROW(encode_window(w, spec, x, 0), std::out_of_range);
-}
-
-TEST(WindowDataset, MaterializesBatches) {
-  EncodingSpec spec{SpatialLevel::kBuilding, 8};
-  std::vector<Window> windows(5);
-  for (std::size_t i = 0; i < windows.size(); ++i) {
-    windows[i].steps[0].location = static_cast<std::uint16_t>(i % 8);
-    windows[i].steps[1].location = static_cast<std::uint16_t>((i + 1) % 8);
-    windows[i].next_location = static_cast<std::uint16_t>((i + 2) % 8);
-  }
-  const WindowDataset data(windows, spec);
-  EXPECT_EQ(data.size(), 5u);
-  EXPECT_EQ(data.seq_len(), kWindowSteps);
-  EXPECT_EQ(data.input_dim(), spec.input_dim());
-  EXPECT_EQ(data.num_classes(), 8u);
-
-  nn::Sequence x;
-  std::vector<std::int32_t> y;
-  const std::vector<std::uint32_t> idx = {4, 0};
-  data.materialize(idx, x, y);
-  ASSERT_EQ(x.size(), kWindowSteps);
-  EXPECT_EQ(x[0].rows(), 2u);
-  EXPECT_EQ(y[0], 6);  // window 4: (4+2)%8
-  EXPECT_EQ(y[1], 2);  // window 0
-  EXPECT_FLOAT_EQ(x[0](0, spec.location_offset() + 4), 1.0f);
-  EXPECT_FLOAT_EQ(x[0](1, spec.location_offset() + 0), 1.0f);
-}
-
-TEST(WindowDataset, RejectsLabelOutsideDomain) {
-  EncodingSpec spec{SpatialLevel::kBuilding, 4};
-  std::vector<Window> windows(1);
-  windows[0].next_location = 4;
-  EXPECT_THROW(WindowDataset(windows, spec), std::out_of_range);
-}
-
-TEST(WindowDataset, DomainEqualizationUsesFullCampus) {
-  // A user who only ever visits 3 buildings still gets encoded over the
-  // whole campus domain (Section III-A3).
-  CampusConfig config;
-  config.buildings = 25;
-  config.mean_aps_per_building = 3;
-  const Campus campus = Campus::generate(config, 3);
-  const auto spec =
-      EncodingSpec::for_campus(campus, SpatialLevel::kBuilding);
-  EXPECT_EQ(spec.num_locations, 25u);
-
-  std::vector<Window> windows(1);
-  windows[0].steps[0].location = 1;
-  windows[0].steps[1].location = 2;
-  windows[0].next_location = 1;
-  const WindowDataset data(windows, spec);
-  EXPECT_EQ(data.num_classes(), 25u);
-  EXPECT_EQ(data.input_dim(), 48u + 24u + 25u + 7u);
-}
-
 }  // namespace
 }  // namespace pelican::mobility

@@ -4,6 +4,7 @@
 
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::models {
 namespace {
@@ -49,7 +50,7 @@ TEST(GeneralModel, TrainingReportShowsLearning) {
         mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
     pooled.insert(pooled.end(), windows.begin(), windows.end());
   }
-  const mobility::WindowDataset data(std::move(pooled), world.spec);
+  const models::WindowDataset data(std::move(pooled), world.spec);
 
   GeneralModelConfig config;
   config.hidden_dim = 12;
@@ -69,7 +70,7 @@ TEST(GeneralModel, DeterministicGivenSeed) {
         mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
     pooled.insert(pooled.end(), windows.begin(), windows.end());
   }
-  const mobility::WindowDataset data(std::move(pooled), world.spec);
+  const models::WindowDataset data(std::move(pooled), world.spec);
 
   GeneralModelConfig config;
   config.hidden_dim = 8;
@@ -95,8 +96,8 @@ TEST(GeneralModel, ValidationSourcePluggable) {
     pooled.insert(pooled.end(), windows.begin(), windows.end());
   }
   const auto split = mobility::split_windows(pooled, 0.8);
-  const mobility::WindowDataset train(split.train, world.spec);
-  const mobility::WindowDataset val(split.test, world.spec);
+  const models::WindowDataset train(split.train, world.spec);
+  const models::WindowDataset val(split.test, world.spec);
 
   GeneralModelConfig config;
   config.hidden_dim = 8;

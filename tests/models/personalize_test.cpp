@@ -4,6 +4,7 @@
 
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
+#include "models/window_dataset.hpp"
 
 namespace pelican::models {
 namespace {
@@ -23,7 +24,7 @@ PersonalizationConfig fast_config(PersonalizationMethod method) {
 
 TEST(Personalize, ReuseIsExactlyTheGeneralModel) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   const auto result =
       personalize(world.general_model, user_data,
                   fast_config(PersonalizationMethod::kReuse));
@@ -40,7 +41,7 @@ TEST(Personalize, ReuseIsExactlyTheGeneralModel) {
 
 TEST(Personalize, FeatureExtractionArchitecture) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   const auto result =
       personalize(world.general_model, user_data,
                   fast_config(PersonalizationMethod::kFeatureExtraction));
@@ -59,7 +60,7 @@ TEST(Personalize, FeatureExtractionArchitecture) {
 
 TEST(Personalize, FeatureExtractionFreezesGeneralWeightsBitExact) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   const auto result =
       personalize(world.general_model, user_data,
                   fast_config(PersonalizationMethod::kFeatureExtraction));
@@ -80,7 +81,7 @@ TEST(Personalize, FeatureExtractionFreezesGeneralWeightsBitExact) {
 
 TEST(Personalize, FineTuningFreezesOnlyEarlyLayers) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   const auto result =
       personalize(world.general_model, user_data,
                   fast_config(PersonalizationMethod::kFineTuning));
@@ -104,7 +105,7 @@ TEST(Personalize, FineTuningFreezesOnlyEarlyLayers) {
 
 TEST(Personalize, FreshLstmIsSingleLayer) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   auto config = fast_config(PersonalizationMethod::kFreshLstm);
   const auto result = personalize(world.general_model, user_data, config);
   // One LSTM (+ dropout) + head, sized by fresh_hidden_dim.
@@ -115,7 +116,7 @@ TEST(Personalize, FreshLstmIsSingleLayer) {
 
 TEST(Personalize, TransferLearningBeatsReuseForRoutineUser) {
   const auto& world = trained_world();
-  const mobility::WindowDataset test_data(world.user0_test, world.spec);
+  const models::WindowDataset test_data(world.user0_test, world.spec);
 
   auto& reuse_model = const_cast<nn::SequenceClassifier&>(world.general_model);
   auto& fe_model = const_cast<nn::SequenceClassifier&>(world.personal_model);
@@ -135,7 +136,7 @@ TEST(Personalize, MethodNamesMatchPaperTables) {
 
 TEST(UpdatePersonalized, WarmStartsFromCurrentModel) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
 
   auto config = fast_config(PersonalizationMethod::kFeatureExtraction);
   config.train.epochs = 2;
@@ -152,7 +153,7 @@ TEST(UpdatePersonalized, WarmStartsFromCurrentModel) {
 
 TEST(UpdatePersonalized, ReuseUpdateIsNoop) {
   const auto& world = trained_world();
-  const mobility::WindowDataset user_data(world.user0_train, world.spec);
+  const models::WindowDataset user_data(world.user0_train, world.spec);
   auto config = fast_config(PersonalizationMethod::kReuse);
   const auto updated =
       update_personalized(world.general_model, user_data, config);

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "mobility/campus.hpp"
 #include "mobility/dataset.hpp"
+#include "models/window_dataset.hpp"
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
 #include "models/general.hpp"
@@ -24,7 +25,7 @@ struct World {
   std::vector<mobility::Trajectory> contributor_trajectories;
   std::vector<mobility::Persona> user_personas;
   std::vector<mobility::Trajectory> user_trajectories;
-  std::unique_ptr<mobility::WindowDataset> general_train;
+  std::unique_ptr<models::WindowDataset> general_train;
   nn::SequenceClassifier general_model;
   // Personalized (TL FE) model for user 0 plus its train/test windows.
   nn::SequenceClassifier personal_model;
@@ -83,7 +84,7 @@ inline const World& trained_world() {
       pooled.insert(pooled.end(), windows.begin(), windows.end());
     }
     w.general_train =
-        std::make_unique<mobility::WindowDataset>(std::move(pooled), w.spec);
+        std::make_unique<models::WindowDataset>(std::move(pooled), w.spec);
 
     models::GeneralModelConfig general_config;
     general_config.hidden_dim = 24;
@@ -107,7 +108,7 @@ inline const World& trained_world() {
     personal_config.train.batch_size = 32;
     personal_config.train.lr = 3e-3;
     personal_config.seed = 11;
-    const mobility::WindowDataset user_data(w.user0_train, w.spec);
+    const models::WindowDataset user_data(w.user0_train, w.spec);
     w.personal_model =
         models::personalize(w.general_model, user_data, personal_config)
             .model;

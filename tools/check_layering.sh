@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Enforces the layer lattice of src/ (see the root CMakeLists.txt):
+#
+#   common -> {nn, mobility} -> models -> attack -> core
+#
+# A layer may include itself and anything strictly below it. nn and mobility
+# are siblings: neither may include the other. Run from the repo root; exits
+# nonzero and prints every offending include on violation.
+set -u
+
+declare -A allowed=(
+  [common]="common"
+  [nn]="common nn"
+  [mobility]="common mobility"
+  [models]="common nn mobility models"
+  [attack]="common nn mobility models attack"
+  [core]="common nn mobility models attack core"
+)
+
+status=0
+for layer in common nn mobility models attack core; do
+  allow="${allowed[$layer]}"
+  # Project includes look like: #include "dir/header.hpp"
+  while IFS= read -r line; do
+    dir=$(sed -E 's/.*#include "([a-z_]+)\/.*/\1/' <<<"$line")
+    ok=0
+    for a in $allow; do
+      [[ "$dir" == "$a" ]] && ok=1
+    done
+    if [[ $ok -eq 0 ]]; then
+      echo "layering violation in src/$layer: $line (may include only: $allow)"
+      status=1
+    fi
+  done < <(grep -rHn '#include "' "src/$layer" | grep -v '#include "[^/]*"$')
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "layering OK: common -> {nn, mobility} -> models -> attack -> core"
+fi
+exit $status
