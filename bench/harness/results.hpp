@@ -1,0 +1,44 @@
+// Machine-readable bench output — the first step of the CI-tracked bench
+// trajectory (ROADMAP): every bench that prints a Table can also drop it as
+// JSON into a results directory, which CI uploads as a workflow artifact.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace pelican::bench {
+
+/// PELICAN_BENCH_RESULTS_DIR, default "build/bench_results" — the same
+/// invoking-directory-relative convention as the model cache
+/// (PELICAN_CACHE_DIR, "build/bench_cache").
+inline std::filesystem::path bench_results_dir() {
+  if (const char* env = std::getenv("PELICAN_BENCH_RESULTS_DIR")) {
+    return env;
+  }
+  return "build/bench_results";
+}
+
+/// Writes `table` as <results-dir>/<name>.json and logs the path. Failures
+/// (unwritable directory) only warn: losing a results file must never fail
+/// a bench run.
+inline void write_bench_json(const std::string& name, const Table& table) {
+  namespace fs = std::filesystem;
+  const fs::path dir = bench_results_dir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path path = dir / (name + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: could not write bench results to " << path << "\n";
+    return;
+  }
+  out << table.to_json();
+  std::cout << "bench results: " << path.string() << "\n";
+}
+
+}  // namespace pelican::bench

@@ -5,9 +5,12 @@
 // time-based method and gradient descent ~9x. Absolute times depend on
 // hardware and scale; the *ratios* are the reproduction target.
 #include <iostream>
+#include <thread>
 
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "harness/attack_runner.hpp"
+#include "harness/results.hpp"
 
 int main() {
   using namespace pelican;
@@ -74,10 +77,54 @@ int main() {
   table.add_row({"time-based", Table::num(seconds_per_window[2], 4), "1.0x",
                  "0.68", "1.0x"});
   std::cout << table;
+  bench::write_bench_json("table2_attack_runtime", table);
 
   const bool shape_holds = seconds_per_window[0] > 20.0 * tb &&
                            seconds_per_window[1] > tb;
   std::cout << "shape (BF >> GD > TB): " << (shape_holds ? "HOLDS" : "DIFFERS")
             << "\n";
+
+  // ROADMAP "Attack parallelism": brute-force candidate enumeration now
+  // fills per-entry-bin slices across ThreadPool::global(). Measure the
+  // enumeration speedup against the serial reference on the same window.
+  {
+    auto& user = pipeline.users()[0];
+    std::vector<std::uint16_t> all_locations(pipeline.spec().num_locations);
+    for (std::size_t i = 0; i < all_locations.size(); ++i) {
+      all_locations[i] = static_cast<std::uint16_t>(i);
+    }
+    const mobility::Window& window = user.train_windows.front();
+    const int reps = 30;
+    std::size_t candidates = 0;
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      candidates = attack::enumerate_candidates(
+                       attack::AttackMethod::kBruteForce,
+                       attack::Adversary::kA1, window, all_locations, {},
+                       /*parallel=*/false)
+                       .size();
+    }
+    const double serial_ms = watch.milliseconds() / reps;
+    watch.reset();
+    for (int r = 0; r < reps; ++r) {
+      candidates = attack::enumerate_candidates(
+                       attack::AttackMethod::kBruteForce,
+                       attack::Adversary::kA1, window, all_locations, {},
+                       /*parallel=*/true)
+                       .size();
+    }
+    const double parallel_ms = watch.milliseconds() / reps;
+
+    Table enum_table({"candidates", "threads", "serial ms", "parallel ms",
+                      "speedup"});
+    enum_table.add_row(
+        {std::to_string(candidates),
+         std::to_string(std::thread::hardware_concurrency()),
+         Table::num(serial_ms, 3), Table::num(parallel_ms, 3),
+         Table::num(serial_ms / parallel_ms, 2) + "x"});
+    print_banner(std::cout, "brute-force enumeration parallelism");
+    std::cout << enum_table;
+    bench::write_bench_json("table2_enumeration_speedup", enum_table);
+  }
   return 0;
 }

@@ -1,0 +1,159 @@
+// Serving cluster: thousands of users querying personalized deployments
+// concurrently through the pelican_serve engine.
+//
+//  1. Train one small general model in the "cloud" (weights are shared —
+//     per-user fine-tuning does not change serving cost, so for a serving
+//     demo every user deploys a clone with their own privacy temperature).
+//  2. Register ~1000 per-user deployments in a sharded DeploymentRegistry,
+//     adopting any models the CloudServer already hosts.
+//  3. Run concurrent client threads submitting prediction requests to the
+//     BatchScheduler, which coalesces same-user requests into batched LSTM
+//     forwards drained across the thread pool.
+//  4. Print the ServerStats surface: throughput, batch-size histogram, and
+//     p50/p99 latency.
+//
+// Build & run:  ./build/examples/serving_cluster
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/pelican.hpp"
+#include "mobility/persona.hpp"
+#include "mobility/simulator.hpp"
+#include "models/window_dataset.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace pelican;
+
+int main() {
+  // --- 1. A tiny campus and one cloud-trained general model ----------
+  mobility::CampusConfig campus_config;
+  campus_config.buildings = 16;
+  campus_config.mean_aps_per_building = 4;
+  const auto campus = mobility::Campus::generate(campus_config, /*seed=*/17);
+  const auto spec = mobility::EncodingSpec::for_campus(
+      campus, mobility::SpatialLevel::kBuilding);
+
+  Rng rng(17);
+  const mobility::SimulationConfig sim{.weeks = 4};
+  std::vector<mobility::Window> contributor_windows;
+  std::vector<mobility::Window> query_windows;
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    Rng persona_rng = rng.fork(u + 1);
+    const auto persona = mobility::generate_persona(
+        campus, u, mobility::PersonaConfig{}, persona_rng);
+    const auto trajectory =
+        mobility::simulate(campus, persona, sim, rng.fork(100 + u));
+    const auto windows =
+        mobility::make_windows(trajectory, mobility::SpatialLevel::kBuilding);
+    contributor_windows.insert(contributor_windows.end(), windows.begin(),
+                               windows.end());
+    query_windows.insert(query_windows.end(), windows.begin(), windows.end());
+  }
+
+  core::CloudServer cloud;
+  models::GeneralModelConfig general_config;
+  general_config.hidden_dim = 16;
+  general_config.train.epochs = 3;
+  general_config.train.lr = 2e-3;
+  const models::WindowDataset contributors(contributor_windows, spec);
+  const auto version = cloud.train_general(contributors, general_config);
+  std::cout << "cloud trained general model v" << version << " in "
+            << Table::num(cloud.training_cost(version).wall_seconds, 2)
+            << " s\n";
+
+  // --- 2. A registry of per-user deployments -------------------------
+  const std::size_t num_users = 1000;
+  serve::DeploymentRegistry registry(/*shards=*/32);
+
+  // A few users are already hosted in the cloud tier; the serving engine
+  // subsumes that hosting.
+  for (std::uint32_t user = 0; user < 8; ++user) {
+    cloud.host_personalized(
+        user, core::DeployedModel(cloud.download_general(version), spec,
+                                  core::PrivacyLayer(1.0),
+                                  core::DeploymentSite::kInCloud));
+  }
+  const std::size_t adopted = registry.adopt_hosted(cloud);
+
+  for (std::uint32_t user = static_cast<std::uint32_t>(adopted);
+       user < num_users; ++user) {
+    // Every user picks their own (private) temperature; serving quality is
+    // unaffected by construction, so the engine never needs to know it.
+    const double temperature = (user % 2 == 0)
+                                   ? 1.0
+                                   : core::PrivacyLayer::kStrongTemperature;
+    registry.deploy(user, core::DeployedModel(
+                              cloud.download_general(version), spec,
+                              core::PrivacyLayer(temperature),
+                              core::DeploymentSite::kInCloud));
+  }
+  std::cout << "registry: " << registry.size() << " deployments ("
+            << adopted << " adopted from the cloud tier) across "
+            << registry.shard_count() << " shards\n";
+
+  // --- 3. Concurrent clients against the batch scheduler -------------
+  serve::BatchScheduler scheduler(
+      registry, {.max_batch = 64,
+                 .max_delay = std::chrono::microseconds(1000)});
+
+  const std::size_t clients = 4;
+  const std::size_t requests_per_client = 2000;
+  std::cout << "serving " << clients * requests_per_client
+            << " requests from " << clients << " client threads...\n";
+
+  const Stopwatch watch;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  std::vector<std::size_t> answered(clients, 0);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng client_rng(9000 + c);
+      std::vector<std::future<serve::PredictResponse>> futures;
+      futures.reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        serve::PredictRequest request;
+        request.user_id =
+            static_cast<std::uint32_t>(client_rng.below(num_users));
+        request.window =
+            query_windows[client_rng.below(query_windows.size())];
+        request.k = 3;
+        futures.push_back(scheduler.submit(request));
+      }
+      for (auto& future : futures) {
+        if (future.get().ok) ++answered[c];
+      }
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const double seconds = watch.seconds();
+
+  std::size_t total_answered = 0;
+  for (const std::size_t a : answered) total_answered += a;
+
+  // --- 4. The measurement surface -------------------------------------
+  const auto snap = scheduler.stats().snapshot();
+  print_banner(std::cout, "serving cluster stats");
+  Table table({"metric", "value"});
+  table.add_row({"requests served", std::to_string(snap.requests_served)});
+  table.add_row({"requests answered ok", std::to_string(total_answered)});
+  table.add_row({"requests/sec",
+                 Table::num(static_cast<double>(total_answered) / seconds, 0)});
+  table.add_row({"batched forwards", std::to_string(snap.batches_run)});
+  table.add_row({"mean batch size", Table::num(snap.mean_batch_size, 2)});
+  table.add_row({"max batch size", std::to_string(snap.max_batch_size)});
+  table.add_row({"p50 latency ms", Table::num(snap.p50_latency_ms, 3)});
+  table.add_row({"p99 latency ms", Table::num(snap.p99_latency_ms, 3)});
+  std::cout << table;
+
+  std::string histogram;
+  for (std::size_t b = 0; b < snap.batch_size_log2_histogram.size(); ++b) {
+    if (b > 0) histogram += "  ";
+    histogram += ">=" + std::to_string(std::size_t{1} << b) + ":" +
+                 std::to_string(snap.batch_size_log2_histogram[b]);
+  }
+  std::cout << "batch-size histogram (log2 buckets): " << histogram << "\n";
+  return 0;
+}

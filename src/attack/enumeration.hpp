@@ -51,9 +51,14 @@ struct Candidate {
 /// locations for brute force, the locations-of-interest otherwise).
 /// `prior`: marginals over locations; A3 uses it to pick plausible context
 /// locations for the fully-unknown older step. Unused by A1/A2.
+/// `parallel`: brute-force enumeration (the dominant candidate count) fills
+/// per-entry-bin output slices across ThreadPool::global(); the slices are
+/// disjoint and fixed-size, so the ordering is identical to the serial path
+/// (pass false for the serial reference, used by tests and the Table II
+/// speedup measurement). The other methods are cheap and always serial.
 [[nodiscard]] std::vector<Candidate> enumerate_candidates(
     AttackMethod method, Adversary adversary, const mobility::Window& window,
     std::span<const std::uint16_t> guess_locations,
-    std::span<const double> prior);
+    std::span<const double> prior, bool parallel = true);
 
 }  // namespace pelican::attack

@@ -36,6 +36,18 @@ double median(std::span<const double> xs) {
   return 0.5 * (lo + hi);
 }
 
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const double rank = q / 100.0 * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= copy.size()) return copy.back();
+  const double frac = rank - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[lo + 1] - copy[lo]);
+}
+
 namespace {
 
 /// Continued-fraction evaluation for the incomplete beta function

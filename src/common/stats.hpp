@@ -21,6 +21,12 @@ namespace pelican::stats {
 /// Sample median (copies and partially sorts). Returns 0 for an empty span.
 [[nodiscard]] double median(std::span<const double> xs);
 
+/// Percentile with linear interpolation between closest ranks (the
+/// "inclusive" definition: q = 0 is the minimum, q = 100 the maximum).
+/// `q` is clamped into [0, 100]. Returns 0 for an empty span. Used by the
+/// serving engine's latency reporting (p50/p99).
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
 /// Result of a correlation / simple-regression analysis.
 struct Correlation {
   double r = 0.0;        ///< Pearson correlation coefficient in [-1, 1].

@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -53,6 +54,86 @@ std::string Table::str() const {
   }
   os << '\n';
   for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+
+/// True when the whole cell matches the JSON number grammar
+/// (-?int frac? exp?). Deliberately stricter than strtod, which also
+/// accepts hex floats, leading '+', bare '.5', and inf/nan — none of which
+/// are valid unquoted JSON tokens.
+bool is_json_number(const std::string& cell) {
+  const char* p = cell.c_str();
+  if (*p == '-') ++p;
+  if (*p == '0') {
+    ++p;  // a leading zero must stand alone ("007" is not JSON)
+  } else if (std::isdigit(static_cast<unsigned char>(*p))) {
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  } else {
+    return false;
+  }
+  if (*p == '.') {
+    ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  return *p == '\0';
+}
+
+void emit_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void emit_json_cell(std::ostringstream& os, const std::string& cell) {
+  if (is_json_number(cell)) {
+    os << cell;
+  } else {
+    emit_json_string(os, cell);
+  }
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"headers\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ", ";
+    emit_json_string(os, headers_[c]);
+  }
+  os << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    [";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      emit_json_cell(os, rows_[r][c]);
+    }
+    os << ']';
+  }
+  os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
   return os.str();
 }
 

@@ -25,6 +25,12 @@ class Table {
   /// Renders the table with a header rule, e.g. for std::cout << table.str().
   [[nodiscard]] std::string str() const;
 
+  /// Machine-readable emitter for the CI-tracked bench trajectory:
+  /// {"headers": [...], "rows": [[...], ...]}. Cells that match the JSON
+  /// number grammar are emitted as JSON numbers, everything else as escaped
+  /// strings.
+  [[nodiscard]] std::string to_json() const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
 

@@ -1,4 +1,7 @@
 #include "core/cloud.hpp"
+
+#include <utility>
+
 #include "models/window_dataset.hpp"
 
 namespace pelican::core {
@@ -55,11 +58,20 @@ void CloudServer::host_personalized(std::uint32_t user_id,
 }
 
 DeployedModel& CloudServer::hosted_model(std::uint32_t user_id) {
-  const auto it = hosted_.find(user_id);
-  if (it == hosted_.end()) {
+  DeployedModel* model = find_hosted(user_id);
+  if (model == nullptr) {
     throw std::out_of_range("CloudServer: user has no hosted model");
   }
-  return it->second;
+  return *model;
+}
+
+DeployedModel* CloudServer::find_hosted(std::uint32_t user_id) {
+  const auto it = hosted_.find(user_id);
+  return it == hosted_.end() ? nullptr : &it->second;
+}
+
+std::map<std::uint32_t, DeployedModel> CloudServer::take_hosted() {
+  return std::exchange(hosted_, {});
 }
 
 }  // namespace pelican::core

@@ -49,7 +49,20 @@ class CloudServer {
   [[nodiscard]] bool hosts_user(std::uint32_t user_id) const {
     return hosted_.contains(user_id);
   }
+
+  /// The hosted deployment of `user_id`. Throws std::out_of_range when the
+  /// user is not hosted — use find_hosted() for a non-throwing lookup.
   [[nodiscard]] DeployedModel& hosted_model(std::uint32_t user_id);
+
+  /// Non-throwing lookup: nullptr when the user is not hosted.
+  [[nodiscard]] DeployedModel* find_hosted(std::uint32_t user_id);
+
+  /// Releases every hosted deployment to the caller; afterwards the cloud
+  /// server hosts no users. This is the hand-off to the serving engine's
+  /// DeploymentRegistry (serve::DeploymentRegistry::adopt_hosted), which
+  /// shards ownership so concurrent register/lookup/swap scales past this
+  /// single-threaded map.
+  [[nodiscard]] std::map<std::uint32_t, DeployedModel> take_hosted();
 
  private:
   struct VersionEntry {

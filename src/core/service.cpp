@@ -7,9 +7,18 @@ namespace pelican::core {
 
 std::vector<std::uint16_t> DeployedModel::predict_top_k(
     const mobility::Window& window, std::size_t k) {
+  return predict_top_k_batch(std::span<const mobility::Window>(&window, 1),
+                             k)[0];
+}
+
+std::vector<std::vector<std::uint16_t>> DeployedModel::predict_top_k_batch(
+    std::span<const mobility::Window> windows, std::size_t k) {
+  if (windows.empty()) return {};
   nn::Sequence x(mobility::kWindowSteps,
-                 nn::Matrix(1, spec_.input_dim(), 0.0f));
-  models::encode_window(window, spec_, x, 0);
+                 nn::Matrix(windows.size(), spec_.input_dim(), 0.0f));
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    models::encode_window(windows[r], spec_, x, r);
+  }
   // Rank in the log domain: softmax at any temperature is strictly monotone
   // in the logits, so the top-k of the privacy-scaled confidences IS the
   // top-k of the logits. Ranking there sidesteps the float saturation of
@@ -18,15 +27,20 @@ std::vector<std::uint16_t> DeployedModel::predict_top_k(
   // bit-identical with the privacy layer on — the Section V-B invariant.
   // A k-slot response reveals only the ordered index list it necessarily
   // reveals; graded magnitudes remain behind query().
-  ++queries_;
+  queries_ += windows.size();
   const nn::Matrix logits = model_.forward(x, /*training=*/false);
-  const auto top = nn::topk_indices(logits.row(0), k);
-  std::vector<std::uint16_t> locations;
-  locations.reserve(top.size());
-  for (const std::size_t i : top) {
-    locations.push_back(static_cast<std::uint16_t>(i));
+  const auto top_rows = nn::topk_rows(logits, k);
+  std::vector<std::vector<std::uint16_t>> out;
+  out.reserve(top_rows.size());
+  for (const auto& top : top_rows) {
+    std::vector<std::uint16_t> locations;
+    locations.reserve(top.size());
+    for (const std::size_t i : top) {
+      locations.push_back(static_cast<std::uint16_t>(i));
+    }
+    out.push_back(std::move(locations));
   }
-  return locations;
+  return out;
 }
 
 }  // namespace pelican::core

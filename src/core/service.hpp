@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,16 @@ class DeployedModel final : public attack::BlackBoxModel {
   /// primary operation (e.g. prefetching content for likely destinations).
   [[nodiscard]] std::vector<std::uint16_t> predict_top_k(
       const mobility::Window& window, std::size_t k);
+
+  /// Batched top-k: encodes all windows into one multi-row sequence and runs
+  /// ONE forward pass, so a coalescing serving engine amortizes the LSTM
+  /// across B queries. Row r of the result is bit-identical to
+  /// predict_top_k(windows[r], k): every kernel under forward() accumulates
+  /// per-row in a fixed order and the top-k reduction is per-row, so batching
+  /// never changes what any user is served (the Section V-B service-quality
+  /// invariant, now also batch-size-independent).
+  [[nodiscard]] std::vector<std::vector<std::uint16_t>> predict_top_k_batch(
+      std::span<const mobility::Window> windows, std::size_t k);
 
   [[nodiscard]] DeploymentSite site() const noexcept { return site_; }
   [[nodiscard]] std::size_t query_count() const noexcept { return queries_; }

@@ -112,4 +112,14 @@ std::vector<std::size_t> topk_indices(std::span<const double> scores,
   return topk_impl(scores, k);
 }
 
+std::vector<std::vector<std::size_t>> topk_rows(const Matrix& scores,
+                                                std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(scores.rows());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    out.push_back(topk_impl(scores.row(r), k));
+  }
+  return out;
+}
+
 }  // namespace pelican::nn

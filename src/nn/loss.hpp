@@ -39,4 +39,12 @@ struct LossResult {
 [[nodiscard]] std::vector<std::size_t> topk_indices(
     std::span<const double> scores, std::size_t k);
 
+/// Per-row top-k over a (batch x classes) score matrix: row r of the result
+/// equals topk_indices(scores.row(r), k). The reduction is strictly per-row,
+/// so a batched forward followed by topk_rows produces exactly the results
+/// of the corresponding single-row queries — the invariant the serving
+/// engine's request coalescing relies on.
+[[nodiscard]] std::vector<std::vector<std::size_t>> topk_rows(
+    const Matrix& scores, std::size_t k);
+
 }  // namespace pelican::nn

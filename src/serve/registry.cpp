@@ -1,0 +1,74 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+namespace pelican::serve {
+
+DeploymentRegistry::DeploymentRegistry(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+std::size_t DeploymentRegistry::shard_of(
+    std::uint32_t user_id) const noexcept {
+  // Fibonacci hash so both sequential and strided user ids spread evenly.
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(user_id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+}
+
+void DeploymentRegistry::deploy(std::uint32_t user_id,
+                                core::DeployedModel model) {
+  Shard& shard = shards_[shard_of(user_id)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.models.insert_or_assign(user_id, std::move(model));
+}
+
+std::size_t DeploymentRegistry::adopt_hosted(core::CloudServer& cloud) {
+  auto hosted = cloud.take_hosted();
+  const std::size_t count = hosted.size();
+  for (auto& [user_id, model] : hosted) {
+    deploy(user_id, std::move(model));
+  }
+  return count;
+}
+
+void DeploymentRegistry::swap_model(std::uint32_t user_id,
+                                    nn::SequenceClassifier model) {
+  with_model(user_id, [&model](core::DeployedModel& deployed) {
+    deployed.swap_model(std::move(model));
+  });
+}
+
+bool DeploymentRegistry::contains(std::uint32_t user_id) const {
+  const Shard& shard = shards_[shard_of(user_id)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.models.contains(user_id);
+}
+
+bool DeploymentRegistry::erase(std::uint32_t user_id) {
+  Shard& shard = shards_[shard_of(user_id)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.models.erase(user_id) > 0;
+}
+
+std::size_t DeploymentRegistry::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.models.size();
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> DeploymentRegistry::user_ids() const {
+  std::vector<std::uint32_t> ids;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [user_id, model] : shard.models) {
+      ids.push_back(user_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace pelican::serve

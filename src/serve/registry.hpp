@@ -1,0 +1,92 @@
+// DeploymentRegistry: the serving engine's ownership layer for per-user
+// deployments (the paper's cloud-hosted deployment mode, Section V-A3, at
+// many-user scale).
+//
+// The registry owns DeployedModels keyed by user id and is sharded into N
+// independently locked shards, so concurrent register / lookup / swap from
+// serving workers scales past a single mutex. A shard's lock is held for the
+// whole duration of a model access (with_model) because forward passes
+// mutate per-model activation caches — per-user exclusivity is a
+// correctness requirement, not just a performance choice. Requests for
+// different users land on different shards with high probability, which is
+// where the concurrency comes from.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "core/service.hpp"
+
+namespace pelican::serve {
+
+class DeploymentRegistry {
+ public:
+  /// `shards` independently locked partitions; more shards = less lock
+  /// contention across users (diminishing past the worker count).
+  explicit DeploymentRegistry(std::size_t shards = 16);
+
+  DeploymentRegistry(const DeploymentRegistry&) = delete;
+  DeploymentRegistry& operator=(const DeploymentRegistry&) = delete;
+
+  /// Registers (or replaces) the deployment of `user_id`.
+  void deploy(std::uint32_t user_id, core::DeployedModel model);
+
+  /// Moves every model hosted by `cloud` into the registry (the serving
+  /// engine subsumes CloudServer's single-map hosting). Returns the number
+  /// of deployments adopted.
+  std::size_t adopt_hosted(core::CloudServer& cloud);
+
+  /// Replaces the model of an existing deployment in place (Pelican model
+  /// update, Section V-A4). Throws std::out_of_range when the user is not
+  /// deployed.
+  void swap_model(std::uint32_t user_id, nn::SequenceClassifier model);
+
+  [[nodiscard]] bool contains(std::uint32_t user_id) const;
+
+  /// Removes the deployment of `user_id`; returns false when absent.
+  bool erase(std::uint32_t user_id);
+
+  /// Total deployments across all shards (locks each shard in turn).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Shard index of a user (exposed for tests and stats).
+  [[nodiscard]] std::size_t shard_of(std::uint32_t user_id) const noexcept;
+
+  /// All deployed user ids, sorted ascending (deterministic; locks each
+  /// shard in turn, so the snapshot is per-shard consistent).
+  [[nodiscard]] std::vector<std::uint32_t> user_ids() const;
+
+  /// Runs `fn(DeployedModel&)` with the user's shard locked and returns its
+  /// result. The lock spans the whole call — forward passes are stateful —
+  /// so keep `fn` to model work only. Throws std::out_of_range when the
+  /// user is not deployed.
+  template <typename Fn>
+  decltype(auto) with_model(std::uint32_t user_id, Fn&& fn) {
+    Shard& shard = shards_[shard_of(user_id)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.models.find(user_id);
+    if (it == shard.models.end()) {
+      throw std::out_of_range("DeploymentRegistry: user not deployed");
+    }
+    return std::forward<Fn>(fn)(it->second);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint32_t, core::DeployedModel> models;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace pelican::serve

@@ -1,0 +1,169 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace pelican::serve {
+
+BatchScheduler::BatchScheduler(DeploymentRegistry& registry,
+                               SchedulerConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("BatchScheduler: max_batch must be > 0");
+  }
+  drainer_ = std::thread([this] { drain_loop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  drainer_.join();
+}
+
+std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = Clock::now();
+  std::future<PredictResponse> future = pending.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+std::vector<PredictResponse> BatchScheduler::serve(
+    std::span<const PredictRequest> requests) {
+  const Clock::time_point entered = Clock::now();
+  std::vector<Pending> items;
+  items.reserve(requests.size());
+  std::vector<std::future<PredictResponse>> futures;
+  futures.reserve(requests.size());
+  for (const PredictRequest& request : requests) {
+    Pending pending;
+    pending.request = request;
+    pending.enqueued = entered;
+    futures.push_back(pending.promise.get_future());
+    items.push_back(std::move(pending));
+  }
+  execute(std::move(items));
+
+  std::vector<PredictResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+void BatchScheduler::drain_loop() {
+  for (;;) {
+    std::vector<Pending> items;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped with nothing left to answer
+
+      // Hold for stragglers that could join a batch — but never past the
+      // oldest request's max_delay deadline, and not at all once a full
+      // batch is already queued or we are shutting down.
+      const Clock::time_point deadline =
+          queue_.front().enqueued + config_.max_delay;
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stop_ || queue_.size() >= config_.max_batch;
+      });
+
+      items.reserve(queue_.size());
+      while (!queue_.empty()) {
+        items.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    execute(std::move(items));
+  }
+}
+
+void BatchScheduler::execute(std::vector<Pending> items) {
+  if (items.empty()) return;
+
+  // Coalesce: group request indices by (user, k) in arrival order, then cut
+  // each group into max_batch chunks. std::map keeps chunk construction
+  // deterministic given the same input order.
+  std::map<std::pair<std::uint32_t, std::size_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    groups[{items[i].request.user_id, items[i].request.k}].push_back(i);
+  }
+  struct Chunk {
+    std::uint32_t user_id = 0;
+    std::size_t k = 0;
+    std::span<const std::size_t> indices;
+  };
+  std::vector<Chunk> chunks;
+  for (const auto& [key, indices] : groups) {
+    for (std::size_t start = 0; start < indices.size();
+         start += config_.max_batch) {
+      const std::size_t count =
+          std::min(config_.max_batch, indices.size() - start);
+      chunks.push_back({key.first, key.second,
+                        std::span<const std::size_t>(indices).subspan(start,
+                                                                      count)});
+    }
+  }
+
+  // One pool task per coalesced batch: chunks of distinct users run
+  // concurrently; chunks of the same user serialize on the shard lock.
+  parallel_for(chunks.size(), [&](std::size_t c) {
+    const Chunk& chunk = chunks[c];
+    std::vector<mobility::Window> windows;
+    windows.reserve(chunk.indices.size());
+    for (const std::size_t i : chunk.indices) {
+      windows.push_back(items[i].request.window);
+    }
+
+    std::vector<std::vector<std::uint16_t>> results;
+    bool ok = true;
+    try {
+      registry_.with_model(chunk.user_id, [&](core::DeployedModel& model) {
+        const Stopwatch watch;
+        results = model.predict_top_k_batch(windows, chunk.k);
+        stats_.record_batch(windows.size(), watch.seconds());
+      });
+    } catch (...) {
+      // Not deployed (registry's out_of_range) or the deployment rejected
+      // the batch (e.g. a window outside the model's encoding domain).
+      // Swallowing everything here is deliberate: an exception escaping a
+      // drain would otherwise tear down the drainer thread (std::terminate)
+      // and leave every outstanding future hanging. The requests in this
+      // chunk are answered ok = false instead.
+      ok = false;
+    }
+
+    const Clock::time_point now = Clock::now();
+    for (std::size_t j = 0; j < chunk.indices.size(); ++j) {
+      Pending& pending = items[chunk.indices[j]];
+      PredictResponse response;
+      response.user_id = chunk.user_id;
+      response.ok = ok;
+      if (ok) response.locations = std::move(results[j]);
+      response.latency_ms =
+          std::chrono::duration<double, std::milli>(now - pending.enqueued)
+              .count();
+      if (ok) {
+        stats_.record_request(response.latency_ms);
+      } else {
+        stats_.record_rejected();
+      }
+      pending.promise.set_value(std::move(response));
+    }
+  });
+}
+
+}  // namespace pelican::serve

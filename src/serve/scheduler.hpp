@@ -1,0 +1,108 @@
+// BatchScheduler: turns a stream of single-window prediction requests into
+// batched, parallel forwards over the DeploymentRegistry.
+//
+// Requests enter a queue (submit) or arrive as a ready-made span (serve).
+// The scheduler coalesces requests that target the same deployment into one
+// multi-row predict_top_k_batch call — one LSTM forward serves B queries —
+// under a max-batch / max-delay policy: a drain fires as soon as a full
+// batch is queued, or when the oldest request has waited max_delay,
+// whichever comes first. Drains execute across ThreadPool::global() workers,
+// one coalesced batch per task, so distinct users' batches run on distinct
+// cores while the registry's shard locks keep each model single-threaded.
+//
+// Responses are deterministic: batching never reorders or changes results
+// (predict_top_k_batch is bit-identical per row to single queries), so
+// service quality is independent of load, batch size, and shard count.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+
+namespace pelican::serve {
+
+struct PredictRequest {
+  std::uint32_t user_id = 0;
+  mobility::Window window;
+  std::size_t k = 3;  ///< how many next-location candidates to return
+};
+
+struct PredictResponse {
+  std::uint32_t user_id = 0;
+  /// false when the user has no deployment, or when the deployment rejected
+  /// the batch (e.g. a window outside the model's encoding domain).
+  bool ok = false;
+  std::vector<std::uint16_t> locations;  ///< top-k, empty when !ok
+  double latency_ms = 0.0;  ///< submission (or serve() entry) to response
+};
+
+struct SchedulerConfig {
+  /// Most rows coalesced into one forward. 1 degenerates to single-query
+  /// serving (useful as a baseline).
+  std::size_t max_batch = 32;
+  /// Longest a queued request may wait for co-batchable requests before a
+  /// drain fires anyway (the latency side of the batching trade-off).
+  std::chrono::microseconds max_delay{2000};
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(DeploymentRegistry& registry, SchedulerConfig config = {});
+
+  /// Stops the drain thread after answering everything still queued.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues one request; the future resolves once a drain has served it.
+  /// Never throws through the future: an unknown user yields ok = false.
+  [[nodiscard]] std::future<PredictResponse> submit(PredictRequest request);
+
+  /// Synchronous batch entry point: coalesces and serves `requests`
+  /// immediately on the calling thread + pool workers, bypassing the queue.
+  /// Response i answers requests[i].
+  [[nodiscard]] std::vector<PredictResponse> serve(
+      std::span<const PredictRequest> requests);
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    PredictRequest request;
+    std::promise<PredictResponse> promise;
+    Clock::time_point enqueued;
+  };
+
+  void drain_loop();
+
+  /// Groups items by (user id, k), chunks groups to max_batch, and runs the
+  /// chunks across the thread pool. Fulfills every promise.
+  void execute(std::vector<Pending> items);
+
+  DeploymentRegistry& registry_;
+  SchedulerConfig config_;
+  ServerStats stats_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::thread drainer_;
+};
+
+}  // namespace pelican::serve

@@ -1,0 +1,80 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace pelican::serve {
+
+namespace {
+
+std::size_t log2_bucket(std::size_t batch_size) {
+  std::size_t bucket = 0;
+  while (batch_size > 1) {
+    batch_size >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void ServerStats::record_batch(std::size_t batch_size,
+                               double forward_seconds) {
+  if (batch_size == 0) return;
+  const std::size_t bucket = log2_bucket(batch_size);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batch_rows_ += batch_size;
+  max_batch_ = std::max(max_batch_, batch_size);
+  if (batch_hist_.size() <= bucket) batch_hist_.resize(bucket + 1, 0);
+  ++batch_hist_[bucket];
+  forward_seconds_ += forward_seconds;
+}
+
+void ServerStats::record_request(double latency_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  latencies_ms_.push_back(latency_ms);
+}
+
+void ServerStats::record_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.requests_served = requests_;
+  snap.requests_rejected = rejected_;
+  snap.batches_run = batches_;
+  snap.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batch_rows_) /
+                          static_cast<double>(batches_);
+  snap.max_batch_size = max_batch_;
+  snap.batch_size_log2_histogram = batch_hist_;
+  snap.total_forward_seconds = forward_seconds_;
+  snap.p50_latency_ms = stats::percentile(latencies_ms_, 50.0);
+  snap.p99_latency_ms = stats::percentile(latencies_ms_, 99.0);
+  snap.max_latency_ms =
+      latencies_ms_.empty()
+          ? 0.0
+          : *std::max_element(latencies_ms_.begin(), latencies_ms_.end());
+  return snap;
+}
+
+void ServerStats::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  requests_ = 0;
+  rejected_ = 0;
+  batches_ = 0;
+  batch_rows_ = 0;
+  max_batch_ = 0;
+  batch_hist_.clear();
+  forward_seconds_ = 0.0;
+  latencies_ms_.clear();
+}
+
+}  // namespace pelican::serve

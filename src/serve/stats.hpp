@@ -1,0 +1,62 @@
+// ServerStats: the measurement surface of the serving engine.
+//
+// Throughput claims ("batched serving is Nx single-query") are only as good
+// as their instrumentation, so the scheduler records every request, every
+// executed batch, and per-request queue-to-response latency here. Snapshots
+// aggregate into the numbers the benches print: totals, a log2 batch-size
+// histogram, and p50/p99 latency via common::stats percentiles.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace pelican::serve {
+
+class ServerStats {
+ public:
+  /// One executed batched forward of `batch_size` rows taking
+  /// `forward_seconds` inside the model (lock held, encode + forward + topk).
+  void record_batch(std::size_t batch_size, double forward_seconds);
+
+  /// One answered request, measured from submission to response.
+  void record_request(double latency_ms);
+
+  /// One rejected request (user not deployed).
+  void record_rejected();
+
+  struct Snapshot {
+    std::size_t requests_served = 0;
+    std::size_t requests_rejected = 0;
+    std::size_t batches_run = 0;
+    double mean_batch_size = 0.0;
+    std::size_t max_batch_size = 0;
+    /// bucket b counts batches with size in [2^b, 2^(b+1)).
+    std::vector<std::size_t> batch_size_log2_histogram;
+    double total_forward_seconds = 0.0;
+    double p50_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+  };
+
+  /// Consistent aggregate of everything recorded so far.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t requests_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t batch_rows_ = 0;
+  std::size_t max_batch_ = 0;
+  std::vector<std::size_t> batch_hist_;
+  double forward_seconds_ = 0.0;
+  // Every per-request latency sample; benches run bounded request counts,
+  // so unbounded growth is a non-issue at this stage (a reservoir is the
+  // obvious upgrade once the engine serves open-ended traffic).
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace pelican::serve

@@ -181,6 +181,29 @@ TEST(TimeBasedA3, MarginalizesContextOverTemplates) {
   // A3 does not use any ground-truth feature of the attacked window.
 }
 
+TEST(BruteForce, ParallelEnumerationMatchesSerialOrdering) {
+  // The parallel path fills disjoint per-entry-bin slices across the thread
+  // pool; the merged candidate list must be element-for-element identical to
+  // the serial reference (deterministic merge), for both adversaries.
+  const Window w = sample_window();
+  const auto guesses = locations({0, 3, 5, 9});
+  for (const Adversary adversary : {Adversary::kA1, Adversary::kA2}) {
+    const auto serial =
+        enumerate_candidates(AttackMethod::kBruteForce, adversary, w, guesses,
+                             {}, /*parallel=*/false);
+    const auto parallel =
+        enumerate_candidates(AttackMethod::kBruteForce, adversary, w, guesses,
+                             {}, /*parallel=*/true);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i].guess, parallel[i].guess) << "index " << i;
+      for (std::size_t s = 0; s < mobility::kWindowSteps; ++s) {
+        ASSERT_EQ(serial[i].steps[s], parallel[i].steps[s]) << "index " << i;
+      }
+    }
+  }
+}
+
 TEST(Enumeration, RejectsEmptyGuessSetAndGradientMethod) {
   const Window w = sample_window();
   EXPECT_THROW((void)enumerate_candidates(AttackMethod::kTimeBased,

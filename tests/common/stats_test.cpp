@@ -127,5 +127,27 @@ TEST(Stats, HistogramThrowsOnBadArgs) {
   EXPECT_THROW((void)histogram(xs, 1.0, 0.0, 4), std::invalid_argument);
 }
 
+TEST(Stats, PercentileInterpolatesBetweenRanks) {
+  // Unsorted on purpose: percentile sorts a copy.
+  const std::vector<double> xs = {30.0, 10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);   // between 20 and 30
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);   // 10 + 0.75 * (20 - 10)
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), median(xs));
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile(empty, 50.0), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+  // Out-of-range q clamps instead of reading out of bounds.
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 2.0);
+}
+
 }  // namespace
 }  // namespace pelican::stats

@@ -66,5 +66,51 @@ TEST(Table, BannerContainsTitle) {
   EXPECT_NE(os.str().find("Table II"), std::string::npos);
 }
 
+TEST(Table, ToJsonEmitsHeadersAndTypedCells) {
+  Table t({"method", "sec", "note"});
+  t.add_row({"brute force", "82.18", "slow"});
+  t.add_row({"time-based", "0.68"});  // short row: missing cell renders ""
+  const std::string json = t.to_json();
+
+  EXPECT_NE(json.find("\"headers\": [\"method\", \"sec\", \"note\"]"),
+            std::string::npos);
+  // Numeric-looking cells become JSON numbers, text stays quoted.
+  EXPECT_NE(json.find("[\"brute force\", 82.18, \"slow\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("[\"time-based\", 0.68, \"\"]"), std::string::npos);
+}
+
+TEST(Table, ToJsonEscapesSpecialCharacters) {
+  Table t({"a\"b"});
+  t.add_row({"line\nbreak\\and \"quote\""});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\\\and \\\"quote\\\""),
+            std::string::npos);
+}
+
+TEST(Table, ToJsonOnlyUnquotesStrictJsonNumbers) {
+  Table t({"a", "b", "c", "d", "e", "f"});
+  // All of these are strtod-parsable but are NOT valid bare JSON tokens:
+  // numeric-prefixed text, infinities, hex floats, bare fractions, leading
+  // '+', and leading zeros. Every one must stay a quoted string.
+  t.add_row({"2.5x", "inf", "0x10", ".5", "+3", "007"});
+  const std::string json = t.to_json();
+  for (const char* cell : {"2.5x", "inf", "0x10", ".5", "+3", "007"}) {
+    EXPECT_NE(json.find('"' + std::string(cell) + '"'), std::string::npos)
+        << cell << " must be emitted quoted";
+  }
+  // While the real number shapes the benches emit stay numbers.
+  Table n({"w", "x", "y", "z"});
+  n.add_row({"0", "-0.5", "82.18", "1e5"});
+  const std::string njson = n.to_json();
+  EXPECT_NE(njson.find("[0, -0.5, 82.18, 1e5]"), std::string::npos);
+}
+
+TEST(Table, ToJsonEmptyTableIsWellFormed) {
+  Table t({"only"});
+  EXPECT_EQ(t.to_json(), "{\n  \"headers\": [\"only\"],\n  \"rows\": []\n}\n");
+}
+
 }  // namespace
 }  // namespace pelican

@@ -103,5 +103,45 @@ TEST_F(CloudTest, HostsPersonalizedModelsBehindPrivacyLayer) {
   EXPECT_THROW((void)cloud.hosted_model(8), std::out_of_range);
 }
 
+TEST_F(CloudTest, FindHostedIsTheNonThrowingLookup) {
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  const auto version = cloud.train_general(data, tiny_general_config());
+
+  EXPECT_EQ(cloud.find_hosted(7), nullptr)
+      << "unknown user resolves to nullptr, not a throw";
+
+  cloud.host_personalized(7,
+                          DeployedModel(cloud.download_general(version),
+                                        world_.spec, PrivacyLayer(1.0),
+                                        DeploymentSite::kInCloud));
+  DeployedModel* hosted = cloud.find_hosted(7);
+  ASSERT_NE(hosted, nullptr);
+  EXPECT_EQ(hosted, &cloud.hosted_model(7))
+      << "both lookups resolve to the same deployment";
+}
+
+TEST_F(CloudTest, TakeHostedHandsOwnershipToTheCaller) {
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  const auto version = cloud.train_general(data, tiny_general_config());
+
+  cloud.host_personalized(1,
+                          DeployedModel(cloud.download_general(version),
+                                        world_.spec, PrivacyLayer(1e-3),
+                                        DeploymentSite::kInCloud));
+  cloud.host_personalized(2,
+                          DeployedModel(cloud.download_general(version),
+                                        world_.spec, PrivacyLayer(1.0),
+                                        DeploymentSite::kInCloud));
+
+  auto hosted = cloud.take_hosted();
+  EXPECT_EQ(hosted.size(), 2u);
+  EXPECT_DOUBLE_EQ(hosted.at(1).temperature(), 1e-3);
+  EXPECT_FALSE(cloud.hosts_user(1));
+  EXPECT_FALSE(cloud.hosts_user(2));
+  EXPECT_TRUE(cloud.take_hosted().empty()) << "second take finds nothing";
+}
+
 }  // namespace
 }  // namespace pelican::core

@@ -1,0 +1,148 @@
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve_support.hpp"
+
+namespace pelican::serve {
+namespace {
+
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_deployment;
+using pelican::serve_testing::tiny_model;
+
+TEST(DeploymentRegistryTest, DeployContainsEraseSize) {
+  DeploymentRegistry registry(4);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.contains(7));
+
+  registry.deploy(7, tiny_deployment(1));
+  registry.deploy(9, tiny_deployment(2));
+  EXPECT_TRUE(registry.contains(7));
+  EXPECT_TRUE(registry.contains(9));
+  EXPECT_EQ(registry.size(), 2u);
+
+  EXPECT_TRUE(registry.erase(7));
+  EXPECT_FALSE(registry.erase(7)) << "second erase finds nothing";
+  EXPECT_FALSE(registry.contains(7));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(DeploymentRegistryTest, DeployReplacesExistingDeployment) {
+  DeploymentRegistry registry(2);
+  registry.deploy(1, tiny_deployment(1, /*temperature=*/1.0));
+  registry.deploy(1, tiny_deployment(2, /*temperature=*/1e-3));
+  EXPECT_EQ(registry.size(), 1u);
+  const double temperature = registry.with_model(
+      1, [](core::DeployedModel& model) { return model.temperature(); });
+  EXPECT_DOUBLE_EQ(temperature, 1e-3);
+}
+
+TEST(DeploymentRegistryTest, WithModelThrowsForUnknownUser) {
+  DeploymentRegistry registry(4);
+  registry.deploy(1, tiny_deployment(1));
+  EXPECT_THROW(
+      registry.with_model(2, [](core::DeployedModel&) { return 0; }),
+      std::out_of_range);
+}
+
+TEST(DeploymentRegistryTest, ShardingCoversAllShardsAndIsStable) {
+  DeploymentRegistry registry(8);
+  std::set<std::size_t> used;
+  for (std::uint32_t user = 0; user < 1000; ++user) {
+    const std::size_t shard = registry.shard_of(user);
+    EXPECT_LT(shard, registry.shard_count());
+    EXPECT_EQ(shard, registry.shard_of(user)) << "stable per user";
+    used.insert(shard);
+  }
+  EXPECT_EQ(used.size(), registry.shard_count())
+      << "1000 sequential users should touch every one of 8 shards";
+}
+
+TEST(DeploymentRegistryTest, ZeroShardsClampsToOne) {
+  DeploymentRegistry registry(0);
+  EXPECT_EQ(registry.shard_count(), 1u);
+  registry.deploy(3, tiny_deployment(1));
+  EXPECT_TRUE(registry.contains(3));
+}
+
+TEST(DeploymentRegistryTest, UserIdsSortedAcrossShards) {
+  DeploymentRegistry registry(8);
+  for (const std::uint32_t user : {42u, 7u, 1000000u, 0u, 8u}) {
+    registry.deploy(user, tiny_deployment(user));
+  }
+  EXPECT_EQ(registry.user_ids(),
+            (std::vector<std::uint32_t>{0, 7, 8, 42, 1000000}));
+}
+
+TEST(DeploymentRegistryTest, SwapModelReplacesInPlace) {
+  DeploymentRegistry registry(4);
+  registry.deploy(5, tiny_deployment(1));
+
+  Rng rng(123);
+  const auto window = random_window(rng);
+  const auto before = registry.with_model(5, [&](core::DeployedModel& model) {
+    return model.predict_top_k(window, 3);
+  });
+
+  registry.swap_model(5, tiny_model(99));
+  const auto after = registry.with_model(5, [&](core::DeployedModel& model) {
+    return model.predict_top_k(window, 3);
+  });
+  // Different random weights rank differently with overwhelming probability;
+  // equality here would mean the swap silently kept the old model.
+  EXPECT_NE(before, after);
+
+  EXPECT_THROW(registry.swap_model(6, tiny_model(1)), std::out_of_range);
+}
+
+TEST(DeploymentRegistryTest, AdoptHostedSubsumesCloudHosting) {
+  core::CloudServer cloud;
+  cloud.host_personalized(3, tiny_deployment(3, 1e-3));
+  cloud.host_personalized(4, tiny_deployment(4));
+
+  DeploymentRegistry registry(4);
+  EXPECT_EQ(registry.adopt_hosted(cloud), 2u);
+  EXPECT_TRUE(registry.contains(3));
+  EXPECT_TRUE(registry.contains(4));
+  const double temperature = registry.with_model(
+      3, [](core::DeployedModel& model) { return model.temperature(); });
+  EXPECT_DOUBLE_EQ(temperature, 1e-3);
+
+  EXPECT_FALSE(cloud.hosts_user(3)) << "the cloud tier hands ownership over";
+  EXPECT_EQ(registry.adopt_hosted(cloud), 0u) << "nothing left to adopt";
+}
+
+TEST(DeploymentRegistryTest, ConcurrentDeployAndQueryAcrossShards) {
+  DeploymentRegistry registry(8);
+  constexpr std::uint32_t kUsersPerThread = 25;
+  constexpr std::size_t kThreads = 4;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Rng rng(777 + t);
+      for (std::uint32_t i = 0; i < kUsersPerThread; ++i) {
+        const auto user =
+            static_cast<std::uint32_t>(t * kUsersPerThread + i);
+        registry.deploy(user, serve_testing::tiny_deployment(user));
+        const auto window = random_window(rng);
+        const auto top =
+            registry.with_model(user, [&](core::DeployedModel& model) {
+              return model.predict_top_k(window, 3);
+            });
+        EXPECT_EQ(top.size(), 3u);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.size(), kThreads * kUsersPerThread);
+}
+
+}  // namespace
+}  // namespace pelican::serve

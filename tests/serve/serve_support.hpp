@@ -1,0 +1,50 @@
+// Shared helpers for serve-layer tests: tiny untrained deployments (weights
+// are random but deterministic — serving correctness is about routing,
+// batching, and ranking invariance, none of which need a trained model).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/service.hpp"
+#include "mobility/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace pelican::serve_testing {
+
+inline constexpr std::size_t kLocations = 10;
+inline constexpr std::size_t kHidden = 8;
+
+inline mobility::EncodingSpec tiny_spec() {
+  return {mobility::SpatialLevel::kBuilding, kLocations};
+}
+
+/// Deterministic per-seed model so distinct users can have distinct weights.
+inline nn::SequenceClassifier tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::make_one_layer_lstm(tiny_spec().input_dim(), kHidden, kLocations,
+                                 /*dropout_rate=*/0.0, rng);
+}
+
+inline core::DeployedModel tiny_deployment(std::uint64_t seed,
+                                           double temperature = 1.0) {
+  return {tiny_model(seed), tiny_spec(), core::PrivacyLayer(temperature),
+          core::DeploymentSite::kInCloud};
+}
+
+inline mobility::Window random_window(Rng& rng) {
+  mobility::Window window;
+  for (auto& step : window.steps) {
+    step.entry_bin =
+        static_cast<std::uint8_t>(rng.below(mobility::kEntryBins));
+    step.duration_bin =
+        static_cast<std::uint8_t>(rng.below(mobility::kDurationBins));
+    step.day_of_week =
+        static_cast<std::uint8_t>(rng.below(mobility::kDaysPerWeek));
+    step.location = static_cast<std::uint16_t>(rng.below(kLocations));
+  }
+  window.next_location = static_cast<std::uint16_t>(rng.below(kLocations));
+  return window;
+}
+
+}  // namespace pelican::serve_testing

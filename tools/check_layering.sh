@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Enforces the layer lattice of src/ (see the root CMakeLists.txt):
 #
-#   common -> {nn, mobility} -> models -> attack -> core
+#   common -> {nn, mobility} -> models -> attack -> core -> serve
 #
 # A layer may include itself and anything strictly below it. nn and mobility
 # are siblings: neither may include the other. Run from the repo root; exits
@@ -15,10 +15,11 @@ declare -A allowed=(
   [models]="common nn mobility models"
   [attack]="common nn mobility models attack"
   [core]="common nn mobility models attack core"
+  [serve]="common nn mobility models attack core serve"
 )
 
 status=0
-for layer in common nn mobility models attack core; do
+for layer in common nn mobility models attack core serve; do
   allow="${allowed[$layer]}"
   # Project includes look like: #include "dir/header.hpp"
   while IFS= read -r line; do
@@ -35,6 +36,6 @@ for layer in common nn mobility models attack core; do
 done
 
 if [[ $status -eq 0 ]]; then
-  echo "layering OK: common -> {nn, mobility} -> models -> attack -> core"
+  echo "layering OK: common -> {nn, mobility} -> models -> attack -> core -> serve"
 fi
 exit $status
