@@ -11,6 +11,8 @@ namespace pelican::bench {
 
 namespace {
 
+// Version under which every cached artifact is stored (store::ModelKey
+// version). Bump to invalidate all cached models at once.
 constexpr std::uint32_t kCacheFormatVersion = 1;
 
 std::string level_tag(mobility::SpatialLevel level) {
@@ -66,8 +68,14 @@ std::filesystem::path Pipeline::cache_root() {
                         : std::filesystem::path(env);
 }
 
+std::string Pipeline::store_scope(const std::string& tag) const {
+  return scale_.cache_key() + "-" + level_tag(level_) + "/" + tag;
+}
+
 Pipeline::Pipeline(const ScaleConfig& scale, mobility::SpatialLevel level)
-    : scale_(scale), level_(level) {
+    : scale_(scale),
+      store_(std::make_unique<store::FilesystemBackend>(cache_root())),
+      level_(level) {
   build_world();
   train_or_load();
 }
@@ -129,25 +137,29 @@ models::PersonalizationConfig Pipeline::personalization_config() const {
 }
 
 void Pipeline::train_or_load() {
-  const auto dir = cache_root() / (scale_.cache_key() + "-" +
-                                   level_tag(level_));
-  std::filesystem::create_directories(dir);
-  const auto general_path = dir / "general.bin";
+  const std::string general_scope = store_scope("general");
+  const std::string fe_scope = store_scope("personal-fe");
 
   bool loaded = false;
-  if (std::filesystem::exists(general_path)) {
-    try {
-      general_ = nn::SequenceClassifier::load_file(general_path);
+  try {
+    if (auto general = store_.find({general_scope, 0, kCacheFormatVersion})) {
+      general_ = *std::move(general);
       loaded = true;
       for (std::size_t u = 0; u < users_.size(); ++u) {
-        const auto user_path =
-            dir / ("user" + std::to_string(u) + "-fe.bin");
-        users_[u].model = nn::SequenceClassifier::load_file(user_path);
+        auto user_model = store_.find({fe_scope,
+                                       static_cast<std::uint32_t>(u),
+                                       kCacheFormatVersion});
+        if (!user_model) {
+          std::cerr << "cache incomplete (user " << u << "); retraining\n";
+          loaded = false;
+          break;
+        }
+        users_[u].model = *std::move(user_model);
       }
-    } catch (const std::exception& e) {
-      std::cerr << "cache incomplete (" << e.what() << "); retraining\n";
-      loaded = false;
     }
+  } catch (const std::exception& e) {
+    std::cerr << "cache unreadable (" << e.what() << "); retraining\n";
+    loaded = false;
   }
   if (loaded) return;
 
@@ -168,7 +180,7 @@ void Pipeline::train_or_load() {
         models::train_general_model(*contributor_data_, general_config).model;
     general_cost_ = timer.stop();
   }
-  general_.save_file(general_path);
+  store_.put({general_scope, 0, kCacheFormatVersion}, general_.clone());
 
   std::cerr << "[pipeline] personalizing " << users_.size() << " users...\n";
   PhaseTimer personal_timer;
@@ -176,8 +188,8 @@ void Pipeline::train_or_load() {
   for (std::size_t u = 0; u < users_.size(); ++u) {
     const models::WindowDataset data(users_[u].train_windows, spec_);
     users_[u].model = models::personalize(general_, data, config).model;
-    users_[u].model.save_file(dir /
-                              ("user" + std::to_string(u) + "-fe.bin"));
+    store_.put({fe_scope, static_cast<std::uint32_t>(u), kCacheFormatVersion},
+               users_[u].model.clone());
   }
   personalization_cost_ = personal_timer.stop();
   // Store a per-user average so the overhead bench reports the paper's
@@ -193,22 +205,20 @@ void Pipeline::train_or_load() {
 models::PersonalizedModel Pipeline::personalized(
     std::size_t user_index, models::PersonalizationMethod method,
     int weeks) {
-  const auto dir = cache_root() / (scale_.cache_key() + "-" +
-                                   level_tag(level_));
-  std::filesystem::create_directories(dir);
-  std::ostringstream name;
-  name << "user" << user_index << "-" << static_cast<int>(method) << "-w"
-       << weeks << ".bin";
-  const auto path = dir / name.str();
+  std::ostringstream tag;
+  tag << "personal-m" << static_cast<int>(method) << "-w" << weeks;
+  const store::ModelKey key{store_scope(tag.str()),
+                            static_cast<std::uint32_t>(user_index),
+                            kCacheFormatVersion};
 
   models::PersonalizedModel result;
-  if (std::filesystem::exists(path)) {
-    try {
-      result.model = nn::SequenceClassifier::load_file(path);
+  try {
+    if (auto cached = store_.find(key)) {
+      result.model = *std::move(cached);
       return result;
-    } catch (const std::exception&) {
-      // fall through to retrain
     }
+  } catch (const std::exception&) {
+    // undecodable cache entry: fall through to retrain
   }
 
   const auto& user = users_.at(user_index);
@@ -220,7 +230,7 @@ models::PersonalizedModel Pipeline::personalized(
   auto config = personalization_config();
   config.method = method;
   result = models::personalize(general_, data, config);
-  result.model.save_file(path);
+  store_.put(key, result.model.clone());
   return result;
 }
 

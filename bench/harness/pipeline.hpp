@@ -2,8 +2,10 @@
 //
 // Builds the synthetic campus world at a configurable scale, trains the
 // general model and per-user personalized models, and caches every trained
-// model on disk (keyed by scale + spatial level + method) so the 13
-// experiment binaries re-train the pipeline once, not 13 times.
+// model in a filesystem-backed store::ModelStore (scoped by scale + spatial
+// level + method) so the 13 experiment binaries re-train the pipeline once,
+// not 13 times — and so the cached artifacts live in the same versioned
+// store the rest of the system reads.
 //
 // Scale is selected with PELICAN_BENCH_SCALE:
 //   tiny    — seconds; for smoke-testing the suite
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "store/model_store.hpp"
 #include "mobility/campus.hpp"
 #include "mobility/dataset.hpp"
 #include "models/window_dataset.hpp"
@@ -96,7 +99,7 @@ class Pipeline {
   [[nodiscard]] bool trained_fresh() const noexcept { return trained_fresh_; }
 
   /// Trains (or loads) a personalized model for `user_index` with an
-  /// arbitrary method and training-week budget; cached on disk.
+  /// arbitrary method and training-week budget; cached in the model store.
   /// `weeks = 0` means the full training split.
   [[nodiscard]] models::PersonalizedModel personalized(
       std::size_t user_index, models::PersonalizationMethod method,
@@ -105,14 +108,25 @@ class Pipeline {
   /// The default personalization config used throughout the benches.
   [[nodiscard]] models::PersonalizationConfig personalization_config() const;
 
-  /// Cache root (PELICAN_CACHE_DIR, default "build/bench_cache").
+  /// Cache root (PELICAN_CACHE_DIR, default "build/bench_cache") — the
+  /// filesystem root of the pipeline's model store.
   [[nodiscard]] static std::filesystem::path cache_root();
+
+  /// The store holding every cached artifact of this pipeline (also usable
+  /// by serving benches to publish model updates from the same source).
+  [[nodiscard]] store::ModelStore& model_store() noexcept { return store_; }
 
  private:
   void build_world();
   void train_or_load();
 
+  /// Store scope of this pipeline's artifacts with a method `tag`, e.g.
+  /// "tiny-...-bldg/general" — namespaced by everything that affects
+  /// trained weights.
+  [[nodiscard]] std::string store_scope(const std::string& tag) const;
+
   ScaleConfig scale_;
+  store::ModelStore store_;
   mobility::SpatialLevel level_;
   mobility::Campus campus_;
   mobility::EncodingSpec spec_;

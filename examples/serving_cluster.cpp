@@ -1,5 +1,6 @@
 // Serving cluster: thousands of users querying personalized deployments
-// concurrently through the pelican_serve engine.
+// concurrently through the pelican_serve engine — including a live model
+// update published mid-traffic.
 //
 //  1. Train one small general model in the "cloud" (weights are shared —
 //     per-user fine-tuning does not change serving cost, so for a serving
@@ -9,11 +10,17 @@
 //  3. Run concurrent client threads submitting prediction requests to the
 //     BatchScheduler, which coalesces same-user requests into batched LSTM
 //     forwards drained across the thread pool.
-//  4. Print the ServerStats surface: throughput, batch-size histogram, and
-//     p50/p99 latency.
+//  4. While a second traffic wave is in flight, retrain and live-publish a
+//     v2 model for 10% of users through the shared store::ModelStore —
+//     DeploymentRegistry::publish installs each without stalling serving —
+//     and print served-version counts before/after.
+//  5. Print the ServerStats surface: throughput, batch-size histogram,
+//     p50/p99 latency, and admission-control counters.
 //
 // Build & run:  ./build/examples/serving_cluster
+#include <future>
 #include <iostream>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -26,6 +33,58 @@
 #include "serve/scheduler.hpp"
 
 using namespace pelican;
+
+namespace {
+
+/// One wave of concurrent client traffic; returns responses-served counts
+/// keyed by the model version that answered.
+std::map<std::uint32_t, std::size_t> run_wave(
+    serve::BatchScheduler& scheduler,
+    const std::vector<mobility::Window>& query_windows,
+    std::size_t num_users, std::size_t clients,
+    std::size_t requests_per_client, std::uint64_t seed_base) {
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  std::vector<std::map<std::uint32_t, std::size_t>> per_client(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng client_rng(seed_base + c);
+      std::vector<std::future<serve::PredictResponse>> futures;
+      futures.reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        serve::PredictRequest request;
+        request.user_id =
+            static_cast<std::uint32_t>(client_rng.below(num_users));
+        request.window =
+            query_windows[client_rng.below(query_windows.size())];
+        request.k = 3;
+        futures.push_back(scheduler.submit(request));
+      }
+      for (auto& future : futures) {
+        const auto response = future.get();
+        if (response.ok) ++per_client[c][response.model_version];
+      }
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+
+  std::map<std::uint32_t, std::size_t> by_version;
+  for (const auto& counts : per_client) {
+    for (const auto& [version, count] : counts) by_version[version] += count;
+  }
+  return by_version;
+}
+
+void print_versions(const char* label,
+                    const std::map<std::uint32_t, std::size_t>& by_version) {
+  std::cout << label;
+  for (const auto& [version, count] : by_version) {
+    std::cout << "  v" << version << ": " << count;
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
 
 int main() {
   // --- 1. A tiny campus and one cloud-trained general model ----------
@@ -74,7 +133,8 @@ int main() {
     cloud.host_personalized(
         user, core::DeployedModel(cloud.download_general(version), spec,
                                   core::PrivacyLayer(1.0),
-                                  core::DeploymentSite::kInCloud));
+                                  core::DeploymentSite::kInCloud,
+                                  /*model_version=*/version));
   }
   const std::size_t adopted = registry.adopt_hosted(cloud);
 
@@ -88,52 +148,61 @@ int main() {
     registry.deploy(user, core::DeployedModel(
                               cloud.download_general(version), spec,
                               core::PrivacyLayer(temperature),
-                              core::DeploymentSite::kInCloud));
+                              core::DeploymentSite::kInCloud,
+                              /*model_version=*/version));
   }
   std::cout << "registry: " << registry.size() << " deployments ("
             << adopted << " adopted from the cloud tier) across "
             << registry.shard_count() << " shards\n";
 
-  // --- 3. Concurrent clients against the batch scheduler -------------
+  // The registry pulls model updates from the cloud's store, where the
+  // re-personalization pipeline publishes per-user versions.
+  registry.attach_store(cloud.shared_model_store(), "personal");
+
+  // --- 3. Wave 1: concurrent clients against the batch scheduler -----
   serve::BatchScheduler scheduler(
       registry, {.max_batch = 64,
                  .max_delay = std::chrono::microseconds(1000)});
 
   const std::size_t clients = 4;
   const std::size_t requests_per_client = 2000;
-  std::cout << "serving " << clients * requests_per_client
-            << " requests from " << clients << " client threads...\n";
+  std::cout << "serving " << 2 * clients * requests_per_client
+            << " requests from " << clients
+            << " client threads in two waves...\n";
 
   const Stopwatch watch;
-  std::vector<std::thread> client_threads;
-  client_threads.reserve(clients);
-  std::vector<std::size_t> answered(clients, 0);
-  for (std::size_t c = 0; c < clients; ++c) {
-    client_threads.emplace_back([&, c] {
-      Rng client_rng(9000 + c);
-      std::vector<std::future<serve::PredictResponse>> futures;
-      futures.reserve(requests_per_client);
-      for (std::size_t i = 0; i < requests_per_client; ++i) {
-        serve::PredictRequest request;
-        request.user_id =
-            static_cast<std::uint32_t>(client_rng.below(num_users));
-        request.window =
-            query_windows[client_rng.below(query_windows.size())];
-        request.k = 3;
-        futures.push_back(scheduler.submit(request));
-      }
-      for (auto& future : futures) {
-        if (future.get().ok) ++answered[c];
-      }
-    });
-  }
-  for (auto& thread : client_threads) thread.join();
+  const auto wave1 =
+      run_wave(scheduler, query_windows, num_users, clients,
+               requests_per_client, /*seed_base=*/9000);
+
+  // --- 4. Wave 2 with a live model update mid-traffic ----------------
+  // "Retrain" in the cloud (a v2 general model on the same contributors),
+  // stage a per-user copy in the store for 10% of users, and publish each
+  // while wave 2 traffic is being served. publish() builds the replacement
+  // off-lock and installs it with a pointer swap, so neither the updated
+  // user nor shard neighbors stall.
+  const auto v2 = cloud.train_general(contributors, general_config);
+  std::thread updater([&] {
+    for (std::uint32_t user = 0; user < num_users; user += 10) {
+      cloud.model_store().put({"personal", user, v2},
+                              cloud.download_general(v2));
+      registry.publish(user, v2);
+    }
+  });
+  const auto wave2 =
+      run_wave(scheduler, query_windows, num_users, clients,
+               requests_per_client, /*seed_base=*/9500);
+  updater.join();
   const double seconds = watch.seconds();
 
-  std::size_t total_answered = 0;
-  for (const std::size_t a : answered) total_answered += a;
+  print_versions("served versions, wave 1 (pre-update): ", wave1);
+  print_versions("served versions, wave 2 (live update): ", wave2);
 
-  // --- 4. The measurement surface -------------------------------------
+  std::size_t total_answered = 0;
+  for (const auto& [v, count] : wave1) total_answered += count;
+  for (const auto& [v, count] : wave2) total_answered += count;
+
+  // --- 5. The measurement surface -------------------------------------
   const auto snap = scheduler.stats().snapshot();
   print_banner(std::cout, "serving cluster stats");
   Table table({"metric", "value"});
@@ -144,6 +213,8 @@ int main() {
   table.add_row({"batched forwards", std::to_string(snap.batches_run)});
   table.add_row({"mean batch size", Table::num(snap.mean_batch_size, 2)});
   table.add_row({"max batch size", std::to_string(snap.max_batch_size)});
+  table.add_row({"peak queue depth", std::to_string(snap.peak_queue_depth)});
+  table.add_row({"shed by admission", std::to_string(snap.requests_shed)});
   table.add_row({"p50 latency ms", Table::num(snap.p50_latency_ms, 3)});
   table.add_row({"p99 latency ms", Table::num(snap.p99_latency_ms, 3)});
   std::cout << table;

@@ -1,10 +1,23 @@
 #include "core/cloud.hpp"
 
+#include <string>
 #include <utility>
 
 #include "models/window_dataset.hpp"
 
 namespace pelican::core {
+
+CloudServer::CloudServer(std::shared_ptr<store::ModelStore> model_store)
+    : store_(std::move(model_store)) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("CloudServer: model store must be non-null");
+  }
+}
+
+void CloudServer::throw_unknown_version(std::uint32_t version) {
+  throw std::out_of_range("CloudServer: unknown general-model version " +
+                          std::to_string(version));
+}
 
 std::uint32_t CloudServer::train_general(
     const models::WindowDataset& contributors,
@@ -12,43 +25,42 @@ std::uint32_t CloudServer::train_general(
   PhaseTimer timer;
   models::GeneralModel trained =
       models::train_general_model(contributors, config);
-  const std::uint32_t version = next_version_++;
-  versions_.emplace(version,
-                    VersionEntry{std::move(trained.model),
-                                 std::move(trained.report), timer.stop()});
+  const std::uint32_t version =
+      store_->put_next(kGeneralScope, 0, std::move(trained.model));
+  meta_.emplace(version,
+                VersionMeta{std::move(trained.report), timer.stop()});
   return version;
 }
 
 nn::SequenceClassifier CloudServer::download_general(
     std::uint32_t version) const {
-  const auto it = versions_.find(version);
-  if (it == versions_.end()) {
-    throw std::out_of_range("CloudServer: unknown general-model version");
-  }
-  return it->second.model.clone();
+  auto model = store_->find({kGeneralScope, 0, version});
+  if (!model) throw_unknown_version(version);
+  return *std::move(model);
 }
 
 std::uint32_t CloudServer::latest_version() const {
-  if (versions_.empty()) {
+  const auto version = store_->find_latest(kGeneralScope, 0);
+  if (!version) {
     throw std::logic_error("CloudServer: no general model trained yet");
   }
-  return versions_.rbegin()->first;
+  return *version;
+}
+
+bool CloudServer::has_version(std::uint32_t version) const {
+  return store_->contains({kGeneralScope, 0, version});
 }
 
 const PhaseCost& CloudServer::training_cost(std::uint32_t version) const {
-  const auto it = versions_.find(version);
-  if (it == versions_.end()) {
-    throw std::out_of_range("CloudServer: unknown version");
-  }
+  const auto it = meta_.find(version);
+  if (it == meta_.end()) throw_unknown_version(version);
   return it->second.cost;
 }
 
 const nn::TrainReport& CloudServer::training_report(
     std::uint32_t version) const {
-  const auto it = versions_.find(version);
-  if (it == versions_.end()) {
-    throw std::out_of_range("CloudServer: unknown version");
-  }
+  const auto it = meta_.find(version);
+  if (it == meta_.end()) throw_unknown_version(version);
   return it->second.report;
 }
 

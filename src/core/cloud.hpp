@@ -3,10 +3,17 @@
 // personalized models for cloud deployment. Compute costs of each phase are
 // accounted (the paper contrasts ~43,000 billion cycles of cloud training
 // with ~15 billion of on-device personalization).
+//
+// General-model versions live in the shared store::ModelStore (scope
+// kGeneralScope, user 0) rather than a private map, so the serving engine
+// and model-update path (Section V-A4) read the exact artifacts the cloud
+// trained. The cloud keeps only per-version training metadata (report +
+// cost) alongside.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -15,32 +22,57 @@
 #include "core/service.hpp"
 #include "models/general.hpp"
 #include "models/window_dataset.hpp"
+#include "store/model_store.hpp"
 
 namespace pelican::core {
 
 class CloudServer {
  public:
-  /// Trains a new general-model version on pooled contributor data and
-  /// returns its version id (monotonically increasing from 1).
+  /// Store scope holding general-model versions (user_id 0 by convention).
+  static constexpr const char* kGeneralScope = "general";
+
+  /// A fresh cloud with its own in-memory model store.
+  CloudServer() : CloudServer(std::make_shared<store::ModelStore>()) {}
+
+  /// A cloud publishing into a shared store (e.g. one the serving engine
+  /// also reads, or a filesystem-backed store that survives restarts).
+  /// Must be non-null.
+  explicit CloudServer(std::shared_ptr<store::ModelStore> model_store);
+
+  /// Trains a new general-model version on pooled contributor data, puts it
+  /// into the model store, and returns its version id (monotonically
+  /// increasing from 1).
   std::uint32_t train_general(const models::WindowDataset& contributors,
                               const models::GeneralModelConfig& config);
 
   /// "Downloads" a general model to a device (returns a deep copy — the
-  /// cloud keeps serving the version to other users).
+  /// cloud keeps serving the version to other users). Throws
+  /// std::out_of_range naming the version id when it is unknown.
   [[nodiscard]] nn::SequenceClassifier download_general(
       std::uint32_t version) const;
 
   [[nodiscard]] std::uint32_t latest_version() const;
-  [[nodiscard]] bool has_version(std::uint32_t version) const {
-    return versions_.contains(version);
-  }
+  [[nodiscard]] bool has_version(std::uint32_t version) const;
 
-  /// Wall/CPU cost of training a given version.
+  /// Wall/CPU cost of training a given version. Throws std::out_of_range
+  /// naming the version id when it is unknown.
   [[nodiscard]] const PhaseCost& training_cost(std::uint32_t version) const;
 
-  /// Training report (losses, validation curve) of a given version.
+  /// Training report (losses, validation curve) of a given version. Throws
+  /// std::out_of_range naming the version id when it is unknown.
   [[nodiscard]] const nn::TrainReport& training_report(
       std::uint32_t version) const;
+
+  /// The store backing this cloud's general-model versions; the serving
+  /// tier attaches to the same store to publish and pull model updates.
+  [[nodiscard]] store::ModelStore& model_store() noexcept { return *store_; }
+  [[nodiscard]] const store::ModelStore& model_store() const noexcept {
+    return *store_;
+  }
+  [[nodiscard]] std::shared_ptr<store::ModelStore> shared_model_store()
+      const noexcept {
+    return store_;
+  }
 
   /// Hosts a personalized model for cloud deployment; the cloud can query
   /// it only through the privacy-preserving DeployedModel interface.
@@ -65,14 +97,15 @@ class CloudServer {
   [[nodiscard]] std::map<std::uint32_t, DeployedModel> take_hosted();
 
  private:
-  struct VersionEntry {
-    nn::SequenceClassifier model;
+  [[noreturn]] static void throw_unknown_version(std::uint32_t version);
+
+  struct VersionMeta {
     nn::TrainReport report;
     PhaseCost cost;
   };
-  std::map<std::uint32_t, VersionEntry> versions_;
+  std::shared_ptr<store::ModelStore> store_;
+  std::map<std::uint32_t, VersionMeta> meta_;
   std::map<std::uint32_t, DeployedModel> hosted_;
-  std::uint32_t next_version_ = 1;
 };
 
 }  // namespace pelican::core

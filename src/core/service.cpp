@@ -27,7 +27,7 @@ std::vector<std::vector<std::uint16_t>> DeployedModel::predict_top_k_batch(
   // bit-identical with the privacy layer on — the Section V-B invariant.
   // A k-slot response reveals only the ordered index list it necessarily
   // reveals; graded magnitudes remain behind query().
-  queries_ += windows.size();
+  add_queries(windows.size());
   const nn::Matrix logits = model_.forward(x, /*training=*/false);
   const auto top_rows = nn::topk_rows(logits, k);
   std::vector<std::vector<std::uint16_t>> out;

@@ -8,6 +8,7 @@
 // defense effective in both placements.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -30,18 +31,49 @@ enum class DeploymentSite : std::uint8_t { kOnDevice = 0, kInCloud };
 /// A personalized model as exposed to the mobile service.
 class DeployedModel final : public attack::BlackBoxModel {
  public:
+  /// `model_version` tags which stored model version (store::ModelKey
+  /// version) this deployment serves; 0 means "unversioned" (built directly
+  /// from a model object rather than published from a store).
   DeployedModel(nn::SequenceClassifier model, mobility::EncodingSpec spec,
-                PrivacyLayer privacy, DeploymentSite site)
+                PrivacyLayer privacy, DeploymentSite site,
+                std::uint32_t model_version = 0)
       : model_(std::move(model)),
         spec_(spec),
         privacy_(privacy),
-        site_(site) {}
+        site_(site),
+        model_version_(model_version) {}
 
   /// Black-box prediction: forward pass + privacy-scaled softmax. This is
   /// the ONLY read path; raw logits never leave the deployment.
+  ///
+  /// Query accounting is per ROW served, not per forward call: a batched
+  /// input of B rows spends B units of the attack query budget, exactly as
+  /// B single queries would. Anything else would make privacy audits
+  /// (Section V, attack query counts) depend on how the adversary batches.
   [[nodiscard]] nn::Matrix query(const nn::Sequence& input) override {
-    ++queries_;
+    add_queries(input.empty() ? 0 : input.front().rows());
     return privacy_.apply(model_.forward(input, /*training=*/false));
+  }
+
+  // Movable so deployments can live in containers and be handed between
+  // tiers; moving is not thread-safe (unlike the query counter, which is
+  // atomic because a publisher reads it while serving threads add to it).
+  DeployedModel(DeployedModel&& other) noexcept
+      : model_(std::move(other.model_)),
+        spec_(other.spec_),
+        privacy_(other.privacy_),
+        site_(other.site_),
+        model_version_(other.model_version_),
+        queries_(other.queries_.load(std::memory_order_relaxed)) {}
+  DeployedModel& operator=(DeployedModel&& other) noexcept {
+    model_ = std::move(other.model_);
+    spec_ = other.spec_;
+    privacy_ = other.privacy_;
+    site_ = other.site_;
+    model_version_ = other.model_version_;
+    queries_.store(other.queries_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
   }
 
   [[nodiscard]] std::size_t num_classes() const override {
@@ -67,12 +99,31 @@ class DeployedModel final : public attack::BlackBoxModel {
       std::span<const mobility::Window> windows, std::size_t k);
 
   [[nodiscard]] DeploymentSite site() const noexcept { return site_; }
-  [[nodiscard]] std::size_t query_count() const noexcept { return queries_; }
+  [[nodiscard]] std::size_t query_count() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double temperature() const noexcept {
     return privacy_.temperature();
   }
+  [[nodiscard]] const PrivacyLayer& privacy() const noexcept {
+    return privacy_;
+  }
+  /// Which stored model version this deployment serves (0 = unversioned).
+  [[nodiscard]] std::uint32_t model_version() const noexcept {
+    return model_version_;
+  }
 
-  /// Replaces the model in place (Pelican model update, Section V-A4).
+  /// Model-update bookkeeping: the attack query budget is cumulative per
+  /// USER, not per model object, so a replacement deployment published for
+  /// the same user inherits the count the old one accumulated.
+  void set_query_count(std::size_t count) noexcept {
+    queries_.store(count, std::memory_order_relaxed);
+  }
+
+  /// Replaces the model in place (on-device Pelican model update, Section
+  /// V-A4). The serving engine's multi-user path does NOT use this — it
+  /// publishes a whole replacement DeployedModel so in-flight forwards keep
+  /// a consistent model (serve::DeploymentRegistry::publish).
   void swap_model(nn::SequenceClassifier model) { model_ = std::move(model); }
 
   /// Owner-only access (the user's device); not part of the service API.
@@ -81,11 +132,18 @@ class DeployedModel final : public attack::BlackBoxModel {
   }
 
  private:
+  void add_queries(std::size_t rows) noexcept {
+    queries_.fetch_add(rows, std::memory_order_relaxed);
+  }
+
   nn::SequenceClassifier model_;
   mobility::EncodingSpec spec_;
   PrivacyLayer privacy_;
   DeploymentSite site_;
-  std::size_t queries_ = 0;
+  std::uint32_t model_version_ = 0;
+  // Atomic: a publisher snapshots the count (DeploymentRegistry::publish)
+  // while serving threads add to it under only their per-deployment lock.
+  std::atomic<std::size_t> queries_{0};
 };
 
 }  // namespace pelican::core

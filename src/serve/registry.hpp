@@ -2,27 +2,118 @@
 // deployments (the paper's cloud-hosted deployment mode, Section V-A3, at
 // many-user scale).
 //
-// The registry owns DeployedModels keyed by user id and is sharded into N
-// independently locked shards, so concurrent register / lookup / swap from
-// serving workers scales past a single mutex. A shard's lock is held for the
-// whole duration of a model access (with_model) because forward passes
-// mutate per-model activation caches — per-user exclusivity is a
-// correctness requirement, not just a performance choice. Requests for
-// different users land on different shards with high probability, which is
-// where the concurrency comes from.
+// The registry maps user ids to deployment SLOTS across N independently
+// locked shards. A shard's lock protects only the map — it is held for a
+// hash lookup, never for model work. All model access goes through
+// DeploymentHandle, a stable reference to one user's slot with two locks of
+// its own:
+//
+//   serve_mutex — serializes forwards. Forward passes mutate per-model
+//       activation caches, so per-user exclusivity is a correctness
+//       requirement; distinct users never share this lock.
+//   ptr_mutex   — guards the shared_ptr<DeployedModel> itself, held only
+//       for pointer copies/swaps (nanoseconds), never across model work.
+//
+// Model updates (the paper's Section V-A4 re-personalize-and-redeploy loop)
+// therefore never stall serving: publish() builds the replacement model
+// entirely off-lock — reading it out of the store::ModelStore is the
+// expensive step — and installs it with a pointer swap under ptr_mutex. An
+// in-flight forward keeps the old model alive through its shared_ptr and
+// finishes on a consistent model; the next request picks up the new one.
+// Other users, even on the same shard, never observe the update at all.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/cloud.hpp"
 #include "core/service.hpp"
+#include "store/model_store.hpp"
 
 namespace pelican::serve {
+
+/// A stable reference to one user's deployment slot. Handles stay valid
+/// across publish()/swap_model()/re-deploy() for the same user (the slot is
+/// reused); they outlive even erase() — an erased slot keeps answering
+/// through existing handles until the last one drops.
+class DeploymentHandle {
+ public:
+  DeploymentHandle() = default;  ///< empty handle; operator bool is false
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return slot_ != nullptr;
+  }
+
+  /// Runs `fn(DeployedModel&)` with this deployment's serve lock held and
+  /// returns its result. Only requests for the SAME user contend here.
+  template <typename Fn>
+  decltype(auto) with_model(Fn&& fn) const {
+    require();
+    const std::lock_guard<std::mutex> serve_lock(slot_->serve_mutex);
+    // Snapshot the pointer under ptr_mutex: a concurrent publish may swap
+    // it at any moment, and this forward must run on one consistent model.
+    const std::shared_ptr<core::DeployedModel> model = slot_->load();
+    return std::forward<Fn>(fn)(*model);
+  }
+
+  /// Shared-ownership snapshot of the current model for metadata reads
+  /// (version, temperature, spec). Do NOT run forwards through it: forwards
+  /// are stateful and require the serve lock that with_model takes.
+  [[nodiscard]] std::shared_ptr<const core::DeployedModel> snapshot() const {
+    require();
+    return slot_->load();
+  }
+
+  /// Installs `next` as this deployment's model with an atomic pointer
+  /// swap. Does not take the serve lock: an in-flight forward finishes on
+  /// the old model (kept alive by its snapshot) while later requests see
+  /// `next`. Returns the model that was replaced.
+  std::shared_ptr<core::DeployedModel> publish(
+      std::shared_ptr<core::DeployedModel> next) const {
+    require();
+    if (next == nullptr) {
+      throw std::invalid_argument("DeploymentHandle: cannot publish null");
+    }
+    return slot_->exchange(std::move(next));
+  }
+
+ private:
+  friend class DeploymentRegistry;
+
+  struct Slot {
+    mutable std::mutex serve_mutex;
+    mutable std::mutex ptr_mutex;
+    std::shared_ptr<core::DeployedModel> model;
+
+    [[nodiscard]] std::shared_ptr<core::DeployedModel> load() const {
+      const std::lock_guard<std::mutex> lock(ptr_mutex);
+      return model;
+    }
+    std::shared_ptr<core::DeployedModel> exchange(
+        std::shared_ptr<core::DeployedModel> next) {
+      const std::lock_guard<std::mutex> lock(ptr_mutex);
+      std::swap(model, next);
+      return next;  // the previous model
+    }
+  };
+
+  explicit DeploymentHandle(std::shared_ptr<Slot> slot)
+      : slot_(std::move(slot)) {}
+
+  void require() const {
+    if (slot_ == nullptr) {
+      throw std::logic_error("DeploymentHandle: empty handle");
+    }
+  }
+
+  std::shared_ptr<Slot> slot_;
+};
 
 class DeploymentRegistry {
  public:
@@ -33,22 +124,56 @@ class DeploymentRegistry {
   DeploymentRegistry(const DeploymentRegistry&) = delete;
   DeploymentRegistry& operator=(const DeploymentRegistry&) = delete;
 
-  /// Registers (or replaces) the deployment of `user_id`.
-  void deploy(std::uint32_t user_id, core::DeployedModel model);
+  /// Registers the deployment of `user_id` and returns its handle. When the
+  /// user is already deployed, the replacement is installed into the
+  /// existing slot (an atomic publish), so handles held elsewhere keep
+  /// working and observe the new model — and the slot's cumulative query
+  /// count is added to the incoming deployment's (the per-user attack
+  /// budget survives re-deploys).
+  DeploymentHandle deploy(std::uint32_t user_id, core::DeployedModel model);
+
+  /// The handle of `user_id`'s deployment. Throws std::out_of_range when
+  /// the user is not deployed — find_handle is the non-throwing variant.
+  [[nodiscard]] DeploymentHandle handle(std::uint32_t user_id) const;
+
+  /// Empty handle (operator bool false) when the user is not deployed.
+  [[nodiscard]] DeploymentHandle find_handle(std::uint32_t user_id) const;
 
   /// Moves every model hosted by `cloud` into the registry (the serving
   /// engine subsumes CloudServer's single-map hosting). Returns the number
   /// of deployments adopted.
   std::size_t adopt_hosted(core::CloudServer& cloud);
 
-  /// Replaces the model of an existing deployment in place (Pelican model
-  /// update, Section V-A4). Throws std::out_of_range when the user is not
-  /// deployed.
+  /// Binds the registry to the model store and scope that publish() reads
+  /// replacement models from. Typically the cloud tier's store
+  /// (CloudServer::shared_model_store()) with a scope the re-personalization
+  /// pipeline writes to. Must be non-null.
+  void attach_store(std::shared_ptr<const store::ModelStore> model_store,
+                    std::string scope);
+
+  /// Pelican model update (Section V-A4), stall-free. Reads version
+  /// `version` of the user's model from the attached store (scope as set by
+  /// attach_store, user_id as key) — deliberately OFF every serving lock,
+  /// since deserializing/cloning a model is the expensive step — wraps it
+  /// in a DeployedModel inheriting the current deployment's encoding spec,
+  /// privacy layer, site, and cumulative query count, and installs it with
+  /// an atomic pointer swap.
+  ///
+  /// Throws std::logic_error when no store is attached, std::out_of_range
+  /// when the user is not deployed or the store has no such version.
+  void publish(std::uint32_t user_id, std::uint32_t version);
+
+  /// Replaces the model of an existing deployment with a directly supplied
+  /// one (version tag 0 = unversioned; prefer publish(), which records
+  /// which store version is live). Same atomicity as publish. Throws
+  /// std::out_of_range when the user is not deployed.
   void swap_model(std::uint32_t user_id, nn::SequenceClassifier model);
 
   [[nodiscard]] bool contains(std::uint32_t user_id) const;
 
   /// Removes the deployment of `user_id`; returns false when absent.
+  /// Outstanding handles to the erased slot remain usable (see
+  /// DeploymentHandle) — erase only unlists the user.
   bool erase(std::uint32_t user_id);
 
   /// Total deployments across all shards (locks each shard in turn).
@@ -65,28 +190,33 @@ class DeploymentRegistry {
   /// shard in turn, so the snapshot is per-shard consistent).
   [[nodiscard]] std::vector<std::uint32_t> user_ids() const;
 
-  /// Runs `fn(DeployedModel&)` with the user's shard locked and returns its
-  /// result. The lock spans the whole call — forward passes are stateful —
-  /// so keep `fn` to model work only. Throws std::out_of_range when the
-  /// user is not deployed.
+  /// Runs `fn(DeployedModel&)` with only this deployment's serve lock held
+  /// and returns its result; the shard lock is held just for the handle
+  /// lookup. Throws std::out_of_range when the user is not deployed.
   template <typename Fn>
-  decltype(auto) with_model(std::uint32_t user_id, Fn&& fn) {
-    Shard& shard = shards_[shard_of(user_id)];
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.models.find(user_id);
-    if (it == shard.models.end()) {
-      throw std::out_of_range("DeploymentRegistry: user not deployed");
-    }
-    return std::forward<Fn>(fn)(it->second);
+  decltype(auto) with_model(std::uint32_t user_id, Fn&& fn) const {
+    return handle(user_id).with_model(std::forward<Fn>(fn));
   }
 
  private:
+  /// Shared tail of publish/swap_model: wraps `model` in a DeployedModel
+  /// inheriting the slot's spec, privacy layer, site, and cumulative query
+  /// count, then installs it atomically.
+  static void install_replacement(const DeploymentHandle& slot_handle,
+                                  nn::SequenceClassifier model,
+                                  std::uint32_t version);
+
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::uint32_t, core::DeployedModel> models;
+    std::unordered_map<std::uint32_t, std::shared_ptr<DeploymentHandle::Slot>>
+        slots;
   };
 
   std::vector<Shard> shards_;
+
+  mutable std::mutex store_mutex_;  ///< guards the two fields below
+  std::shared_ptr<const store::ModelStore> store_;
+  std::string store_scope_;
 };
 
 }  // namespace pelican::serve

@@ -16,6 +16,9 @@ BatchScheduler::BatchScheduler(DeploymentRegistry& registry,
   if (config_.max_batch == 0) {
     throw std::invalid_argument("BatchScheduler: max_batch must be > 0");
   }
+  if (config_.max_queue == 0) {
+    throw std::invalid_argument("BatchScheduler: max_queue must be > 0");
+  }
   drainer_ = std::thread([this] { drain_loop(); });
 }
 
@@ -25,7 +28,20 @@ BatchScheduler::~BatchScheduler() {
     stop_ = true;
   }
   queue_cv_.notify_all();
+  space_cv_.notify_all();  // unblock kBlock submitters parked at the bound
   drainer_.join();
+}
+
+void BatchScheduler::answer_rejected(Pending pending) {
+  PredictResponse response;
+  response.user_id = pending.request.user_id;
+  response.ok = false;
+  response.rejected = true;
+  response.latency_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - pending.enqueued)
+                            .count();
+  stats_.record_shed();
+  pending.promise.set_value(std::move(response));
 }
 
 std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
@@ -33,11 +49,41 @@ std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
   pending.request = std::move(request);
   pending.enqueued = Clock::now();
   std::future<PredictResponse> future = pending.promise.get_future();
+
+  std::vector<Pending> shed;  // answered after the lock is released
+  std::size_t depth = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= config_.max_queue && !stop_) {
+      switch (config_.policy) {
+        case QueuePolicy::kBlock:
+          space_cv_.wait(lock, [this] {
+            return stop_ || queue_.size() < config_.max_queue;
+          });
+          break;
+        case QueuePolicy::kReject:
+          lock.unlock();
+          answer_rejected(std::move(pending));
+          return future;
+        case QueuePolicy::kShedOldest:
+          shed.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          break;
+      }
+    }
+    if (stop_) {
+      // Shutdown raced the submit: the drainer only answers what was queued
+      // before stop, so refuse rather than enqueue into a dying engine.
+      lock.unlock();
+      answer_rejected(std::move(pending));
+      return future;
+    }
     queue_.push_back(std::move(pending));
+    depth = queue_.size();
   }
   queue_cv_.notify_all();
+  stats_.record_queue_depth(depth);
+  for (Pending& victim : shed) answer_rejected(std::move(victim));
   return future;
 }
 
@@ -86,6 +132,7 @@ void BatchScheduler::drain_loop() {
         queue_.pop_front();
       }
     }
+    space_cv_.notify_all();  // the queue just emptied: admit blocked callers
     execute(std::move(items));
   }
 }
@@ -119,7 +166,8 @@ void BatchScheduler::execute(std::vector<Pending> items) {
   }
 
   // One pool task per coalesced batch: chunks of distinct users run
-  // concurrently; chunks of the same user serialize on the shard lock.
+  // concurrently; chunks of the same user serialize on that deployment's
+  // serve lock (never on a shard or registry lock).
   parallel_for(chunks.size(), [&](std::size_t c) {
     const Chunk& chunk = chunks[c];
     std::vector<mobility::Window> windows;
@@ -129,10 +177,12 @@ void BatchScheduler::execute(std::vector<Pending> items) {
     }
 
     std::vector<std::vector<std::uint16_t>> results;
+    std::uint32_t model_version = 0;
     bool ok = true;
     try {
       registry_.with_model(chunk.user_id, [&](core::DeployedModel& model) {
         const Stopwatch watch;
+        model_version = model.model_version();
         results = model.predict_top_k_batch(windows, chunk.k);
         stats_.record_batch(windows.size(), watch.seconds());
       });
@@ -152,6 +202,7 @@ void BatchScheduler::execute(std::vector<Pending> items) {
       PredictResponse response;
       response.user_id = chunk.user_id;
       response.ok = ok;
+      response.model_version = model_version;
       if (ok) response.locations = std::move(results[j]);
       response.latency_ms =
           std::chrono::duration<double, std::milli>(now - pending.enqueued)

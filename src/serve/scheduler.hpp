@@ -1,18 +1,44 @@
 // BatchScheduler: turns a stream of single-window prediction requests into
 // batched, parallel forwards over the DeploymentRegistry.
 //
-// Requests enter a queue (submit) or arrive as a ready-made span (serve).
-// The scheduler coalesces requests that target the same deployment into one
-// multi-row predict_top_k_batch call — one LSTM forward serves B queries —
-// under a max-batch / max-delay policy: a drain fires as soon as a full
-// batch is queued, or when the oldest request has waited max_delay,
+// Requests enter a bounded queue (submit) or arrive as a ready-made span
+// (serve). The scheduler coalesces requests that target the same deployment
+// into one multi-row predict_top_k_batch call — one LSTM forward serves B
+// queries — under a max-batch / max-delay policy: a drain fires as soon as a
+// full batch is queued, or when the oldest request has waited max_delay,
 // whichever comes first. Drains execute across ThreadPool::global() workers,
 // one coalesced batch per task, so distinct users' batches run on distinct
-// cores while the registry's shard locks keep each model single-threaded.
+// cores while per-deployment serve locks keep each model single-threaded.
 //
 // Responses are deterministic: batching never reorders or changes results
 // (predict_top_k_batch is bit-identical per row to single queries), so
 // service quality is independent of load, batch size, and shard count.
+//
+// Admission control. The submit queue is bounded (SchedulerConfig::
+// max_queue); what happens at the bound is the QueuePolicy:
+//
+//   kBlock      — submit() blocks until the drain frees space. Applies
+//       backpressure to the caller: nothing is ever dropped, total order is
+//       preserved, but a slow engine propagates its slowness upstream and a
+//       caller on a latency budget may miss it while parked. The right
+//       default for closed-loop clients (benches, batch jobs) that would
+//       only re-submit anyway.
+//   kReject     — submit() answers the NEW request immediately with
+//       ok = false / rejected = true. Bounds both queue memory and caller
+//       wait time, and under sustained overload sheds exactly the overload
+//       fraction — but fresh requests (most likely still wanted) pay, while
+//       stale queued ones keep their seats. Right for open-loop traffic
+//       where the caller has a fallback (e.g. serve the general model).
+//   kShedOldest — the OLDEST queued request is answered rejected and the
+//       new one takes its seat. Freshness-optimal: under overload the queue
+//       holds the newest max_queue requests, matching mobile serving where
+//       a stale prediction is worthless once the user has moved on — at the
+//       cost of wasting the queue time already invested in the shed victim.
+//
+// Rejected-by-admission responses have ok = false and rejected = true
+// (requests for unknown users keep rejected = false: they were admitted,
+// there is just nothing to serve them with). ServerStats counts shed
+// requests and tracks the peak queue depth so overload is observable.
 #pragma once
 
 #include <chrono>
@@ -38,12 +64,33 @@ struct PredictRequest {
 
 struct PredictResponse {
   std::uint32_t user_id = 0;
-  /// false when the user has no deployment, or when the deployment rejected
-  /// the batch (e.g. a window outside the model's encoding domain).
+  /// false when the user has no deployment, when the deployment rejected
+  /// the batch (e.g. a window outside the model's encoding domain), or when
+  /// admission control shed the request (then rejected is also true).
   bool ok = false;
+  /// true iff admission control (QueuePolicy kReject / kShedOldest, or a
+  /// shutdown race) refused the request before it reached a model.
+  bool rejected = false;
+  /// store::ModelKey version of the model that served this response
+  /// (DeployedModel::model_version; 0 = unversioned deployment). Lets
+  /// clients observe live model updates mid-traffic.
+  std::uint32_t model_version = 0;
   std::vector<std::uint16_t> locations;  ///< top-k, empty when !ok
   double latency_ms = 0.0;  ///< submission (or serve() entry) to response
 };
+
+/// Admission policy at the submit-queue bound — see the header comment for
+/// the trade-offs.
+enum class QueuePolicy : std::uint8_t { kBlock = 0, kReject, kShedOldest };
+
+[[nodiscard]] constexpr const char* to_string(QueuePolicy policy) noexcept {
+  switch (policy) {
+    case QueuePolicy::kBlock: return "block";
+    case QueuePolicy::kReject: return "reject";
+    case QueuePolicy::kShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
 
 struct SchedulerConfig {
   /// Most rows coalesced into one forward. 1 degenerates to single-query
@@ -52,6 +99,12 @@ struct SchedulerConfig {
   /// Longest a queued request may wait for co-batchable requests before a
   /// drain fires anyway (the latency side of the batching trade-off).
   std::chrono::microseconds max_delay{2000};
+  /// Submit-queue bound; admission control engages at this depth.
+  /// Must be > 0 — an unbounded queue turns overload into unbounded memory
+  /// growth and unbounded tail latency, which is exactly what this config
+  /// exists to prevent.
+  std::size_t max_queue = 4096;
+  QueuePolicy policy = QueuePolicy::kBlock;
 };
 
 class BatchScheduler {
@@ -64,13 +117,16 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Enqueues one request; the future resolves once a drain has served it.
-  /// Never throws through the future: an unknown user yields ok = false.
+  /// Enqueues one request; the future resolves once a drain has served it
+  /// (or immediately, rejected, when admission control refuses it — see
+  /// QueuePolicy). Never throws through the future: an unknown user yields
+  /// ok = false.
   [[nodiscard]] std::future<PredictResponse> submit(PredictRequest request);
 
   /// Synchronous batch entry point: coalesces and serves `requests`
-  /// immediately on the calling thread + pool workers, bypassing the queue.
-  /// Response i answers requests[i].
+  /// immediately on the calling thread + pool workers, bypassing the queue
+  /// (and therefore admission control — the caller already holds all the
+  /// memory). Response i answers requests[i].
   [[nodiscard]] std::vector<PredictResponse> serve(
       std::span<const PredictRequest> requests);
 
@@ -94,12 +150,16 @@ class BatchScheduler {
   /// chunks across the thread pool. Fulfills every promise.
   void execute(std::vector<Pending> items);
 
+  /// Answers one request shed by admission control (records stats).
+  void answer_rejected(Pending pending);
+
   DeploymentRegistry& registry_;
   SchedulerConfig config_;
   ServerStats stats_;
 
   std::mutex mutex_;
-  std::condition_variable queue_cv_;
+  std::condition_variable queue_cv_;  ///< drainer waits: work available
+  std::condition_variable space_cv_;  ///< blocked submitters wait: space
   std::deque<Pending> queue_;
   bool stop_ = false;
   std::thread drainer_;

@@ -43,11 +43,23 @@ void ServerStats::record_rejected() {
   ++rejected_;
 }
 
+void ServerStats::record_shed() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
+void ServerStats::record_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  peak_queue_depth_ = std::max(peak_queue_depth_, depth);
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
   snap.requests_served = requests_;
   snap.requests_rejected = rejected_;
+  snap.requests_shed = shed_;
+  snap.peak_queue_depth = peak_queue_depth_;
   snap.batches_run = batches_;
   snap.mean_batch_size =
       batches_ == 0 ? 0.0
@@ -69,6 +81,8 @@ void ServerStats::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   requests_ = 0;
   rejected_ = 0;
+  shed_ = 0;
+  peak_queue_depth_ = 0;
   batches_ = 0;
   batch_rows_ = 0;
   max_batch_ = 0;

@@ -22,12 +22,22 @@ class ServerStats {
   /// One answered request, measured from submission to response.
   void record_request(double latency_ms);
 
-  /// One rejected request (user not deployed).
+  /// One rejected request (user not deployed / undecodable batch).
   void record_rejected();
+
+  /// One request shed by admission control (QueuePolicy kReject or
+  /// kShedOldest) before reaching a model.
+  void record_shed();
+
+  /// Submit-queue depth observed after an enqueue; tracks the peak so
+  /// overload (queue at its bound) is visible in the snapshot.
+  void record_queue_depth(std::size_t depth);
 
   struct Snapshot {
     std::size_t requests_served = 0;
     std::size_t requests_rejected = 0;
+    std::size_t requests_shed = 0;
+    std::size_t peak_queue_depth = 0;
     std::size_t batches_run = 0;
     double mean_batch_size = 0.0;
     std::size_t max_batch_size = 0;
@@ -48,6 +58,8 @@ class ServerStats {
   mutable std::mutex mutex_;
   std::size_t requests_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t peak_queue_depth_ = 0;
   std::size_t batches_ = 0;
   std::size_t batch_rows_ = 0;
   std::size_t max_batch_ = 0;

@@ -1,0 +1,240 @@
+#include "store/model_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace pelican::store {
+
+namespace {
+
+void validate_scope(const std::string& scope) {
+  if (scope.empty()) {
+    throw std::invalid_argument("ModelKey: scope must be non-empty");
+  }
+  if (scope.front() == '/' || scope.find("..") != std::string::npos) {
+    throw std::invalid_argument(
+        "ModelKey: scope must be relative and must not contain '..' "
+        "(got '" + scope + "')");
+  }
+}
+
+}  // namespace
+
+std::string ModelKey::to_string() const {
+  return scope + "/u" + std::to_string(user_id) + "/v" +
+         std::to_string(version);
+}
+
+// ---------------------------------------------------------------- memory --
+
+void MemoryBackend::put(const ModelKey& key, nn::SequenceClassifier model) {
+  models_.insert_or_assign(key, std::move(model));
+}
+
+std::optional<nn::SequenceClassifier> MemoryBackend::get(
+    const ModelKey& key) const {
+  const auto it = models_.find(key);
+  if (it == models_.end()) return std::nullopt;
+  return it->second.clone();
+}
+
+bool MemoryBackend::contains(const ModelKey& key) const {
+  return models_.contains(key);
+}
+
+bool MemoryBackend::erase(const ModelKey& key) {
+  return models_.erase(key) > 0;
+}
+
+std::vector<std::uint32_t> MemoryBackend::versions(
+    const std::string& scope, std::uint32_t user_id) const {
+  std::vector<std::uint32_t> out;
+  // ModelKey orders by (scope, user_id, version), so the slot is one
+  // contiguous map range starting at version 0.
+  for (auto it = models_.lower_bound({scope, user_id, 0});
+       it != models_.end() && it->first.scope == scope &&
+       it->first.user_id == user_id;
+       ++it) {
+    out.push_back(it->first.version);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ filesystem --
+
+FilesystemBackend::FilesystemBackend(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+std::filesystem::path FilesystemBackend::slot_dir(
+    const std::string& scope, std::uint32_t user_id) const {
+  validate_scope(scope);
+  return root_ / std::filesystem::path(scope) /
+         ("u" + std::to_string(user_id));
+}
+
+std::filesystem::path FilesystemBackend::path_of(const ModelKey& key) const {
+  return slot_dir(key.scope, key.user_id) /
+         ("v" + std::to_string(key.version) + ".bin");
+}
+
+void FilesystemBackend::put(const ModelKey& key,
+                            nn::SequenceClassifier model) {
+  const auto path = path_of(key);
+  std::filesystem::create_directories(path.parent_path());
+  model.save_file(path);
+}
+
+std::optional<nn::SequenceClassifier> FilesystemBackend::get(
+    const ModelKey& key) const {
+  const auto path = path_of(key);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  // Propagates SerializeError for truncated/corrupt checkpoints — callers
+  // (e.g. the bench pipeline) decide whether that means "retrain".
+  return nn::SequenceClassifier::load_file(path);
+}
+
+bool FilesystemBackend::contains(const ModelKey& key) const {
+  return std::filesystem::exists(path_of(key));
+}
+
+bool FilesystemBackend::erase(const ModelKey& key) {
+  std::error_code ec;
+  return std::filesystem::remove(path_of(key), ec) && !ec;
+}
+
+std::vector<std::uint32_t> FilesystemBackend::versions(
+    const std::string& scope, std::uint32_t user_id) const {
+  std::vector<std::uint32_t> out;
+  const auto dir = slot_dir(scope, user_id);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 6 || name.front() != 'v' || !name.ends_with(".bin")) {
+      continue;  // foreign file in the cache directory
+    }
+    std::uint32_t version = 0;
+    const char* first = name.data() + 1;
+    const char* last = name.data() + name.size() - 4;
+    const auto [ptr, parse_ec] = std::from_chars(first, last, version);
+    if (parse_ec != std::errc{} || ptr != last) continue;
+    out.push_back(version);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------------------ ModelStore --
+
+ModelStore::ModelStore(std::unique_ptr<StoreBackend> backend)
+    : backend_(backend ? std::move(backend)
+                       : std::make_unique<MemoryBackend>()) {}
+
+void ModelStore::put(const ModelKey& key, nn::SequenceClassifier model) {
+  validate_scope(key.scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  backend_->put(key, std::move(model));
+}
+
+std::uint32_t ModelStore::put_next(const std::string& scope,
+                                   std::uint32_t user_id,
+                                   nn::SequenceClassifier model) {
+  validate_scope(scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto stored = backend_->versions(scope, user_id);
+  const std::uint32_t version = stored.empty() ? 1 : stored.back() + 1;
+  backend_->put({scope, user_id, version}, std::move(model));
+  return version;
+}
+
+nn::SequenceClassifier ModelStore::get(const ModelKey& key) const {
+  auto model = find(key);
+  if (!model) {
+    throw std::out_of_range("ModelStore: no model stored under " +
+                            key.to_string());
+  }
+  return *std::move(model);
+}
+
+std::optional<nn::SequenceClassifier> ModelStore::find(
+    const ModelKey& key) const {
+  validate_scope(key.scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->get(key);
+}
+
+bool ModelStore::contains(const ModelKey& key) const {
+  validate_scope(key.scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->contains(key);
+}
+
+std::uint32_t ModelStore::latest(const std::string& scope,
+                                 std::uint32_t user_id) const {
+  const auto version = find_latest(scope, user_id);
+  if (!version) {
+    throw std::out_of_range("ModelStore: no versions stored under " + scope +
+                            "/u" + std::to_string(user_id));
+  }
+  return *version;
+}
+
+std::optional<std::uint32_t> ModelStore::find_latest(
+    const std::string& scope, std::uint32_t user_id) const {
+  validate_scope(scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto stored = backend_->versions(scope, user_id);
+  if (stored.empty()) return std::nullopt;
+  return stored.back();
+}
+
+bool ModelStore::pin(const ModelKey& key) {
+  validate_scope(key.scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!backend_->contains(key)) return false;
+  pins_.insert(key);
+  return true;
+}
+
+bool ModelStore::unpin(const ModelKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pins_.erase(key) > 0;
+}
+
+bool ModelStore::pinned(const ModelKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pins_.contains(key);
+}
+
+std::size_t ModelStore::trim(const std::string& scope, std::uint32_t user_id,
+                             std::size_t keep_latest) {
+  validate_scope(scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto stored = backend_->versions(scope, user_id);
+  if (stored.size() <= keep_latest) return 0;
+  std::size_t evicted = 0;
+  for (std::size_t i = 0; i + keep_latest < stored.size(); ++i) {
+    const ModelKey key{scope, user_id, stored[i]};
+    if (pins_.contains(key)) continue;
+    if (backend_->erase(key)) ++evicted;
+  }
+  return evicted;
+}
+
+bool ModelStore::erase(const ModelKey& key) {
+  validate_scope(key.scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pins_.erase(key);
+  return backend_->erase(key);
+}
+
+std::vector<std::uint32_t> ModelStore::versions(const std::string& scope,
+                                                std::uint32_t user_id) const {
+  validate_scope(scope);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->versions(scope, user_id);
+}
+
+}  // namespace pelican::store

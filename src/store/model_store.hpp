@@ -1,0 +1,188 @@
+// Versioned model store (ROADMAP "model cache -> model store"): the single
+// source of truth for trained model artifacts across the system.
+//
+// Models are keyed by (scope, user_id, version). `scope` is a free-form
+// namespace string — the cloud tier stores general models under "general",
+// the serving tier publishes re-personalized models under a per-deployment
+// scope, and the bench pipeline namespaces its cache by scale config. Within
+// one (scope, user) slot, versions are monotone integers; `put_next`
+// allocates them, `latest` resolves them, and `pin`/`trim` manage retention
+// (a pinned version — e.g. the one a deployment currently serves — survives
+// any trim).
+//
+// Storage is pluggable behind StoreBackend: MemoryBackend keeps clones
+// in-process (the cloud tier's version map), FilesystemBackend persists
+// checkpoints via common/serialize (the bench pipeline's cross-run cache).
+// Both hand out deep copies on get, so a stored model keeps serving other
+// readers no matter what the caller does with its copy.
+//
+// ModelStore is thread-safe: every operation runs under one internal mutex,
+// which makes concurrent put_next version allocation race-free. Reads clone
+// under the lock, so a get costs one model copy end to end — the design
+// assumption is that callers (e.g. DeploymentRegistry::publish) treat get as
+// the expensive, off-critical-path step of a model update.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace pelican::store {
+
+/// Identity of one stored model artifact.
+struct ModelKey {
+  std::string scope;          ///< namespace, e.g. "general" or "bench/tiny"
+  std::uint32_t user_id = 0;  ///< 0 by convention for non-per-user models
+  std::uint32_t version = 0;  ///< monotone within (scope, user_id)
+
+  [[nodiscard]] bool operator==(const ModelKey&) const = default;
+  [[nodiscard]] auto operator<=>(const ModelKey&) const = default;
+
+  /// "scope/u<user>/v<version>" — used in error messages and fs layout.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Pluggable storage for ModelStore. Implementations need not be
+/// thread-safe: ModelStore serializes all backend calls.
+class StoreBackend {
+ public:
+  virtual ~StoreBackend() = default;
+
+  /// Stores (or replaces) the artifact under `key`. Takes ownership so an
+  /// in-memory backend can keep the model without an extra clone.
+  virtual void put(const ModelKey& key, nn::SequenceClassifier model) = 0;
+
+  /// Deep copy of the artifact, or nullopt when absent. May throw
+  /// SerializeError when the artifact exists but cannot be decoded
+  /// (truncated/corrupt checkpoint).
+  [[nodiscard]] virtual std::optional<nn::SequenceClassifier> get(
+      const ModelKey& key) const = 0;
+
+  [[nodiscard]] virtual bool contains(const ModelKey& key) const = 0;
+
+  /// Removes the artifact; false when absent.
+  virtual bool erase(const ModelKey& key) = 0;
+
+  /// All stored versions of (scope, user_id), ascending. Empty when none.
+  [[nodiscard]] virtual std::vector<std::uint32_t> versions(
+      const std::string& scope, std::uint32_t user_id) const = 0;
+};
+
+/// In-process storage: the store owns clones of every put model.
+class MemoryBackend final : public StoreBackend {
+ public:
+  void put(const ModelKey& key, nn::SequenceClassifier model) override;
+  [[nodiscard]] std::optional<nn::SequenceClassifier> get(
+      const ModelKey& key) const override;
+  [[nodiscard]] bool contains(const ModelKey& key) const override;
+  bool erase(const ModelKey& key) override;
+  [[nodiscard]] std::vector<std::uint32_t> versions(
+      const std::string& scope, std::uint32_t user_id) const override;
+
+ private:
+  std::map<ModelKey, nn::SequenceClassifier> models_;
+};
+
+/// Checkpoint files under `root`/<scope>/u<user>/v<version>.bin, written and
+/// read through common/serialize (nn::SequenceClassifier save/load). A
+/// second FilesystemBackend over the same root sees everything an earlier
+/// one stored — this is what makes the bench pipeline cache survive runs.
+class FilesystemBackend final : public StoreBackend {
+ public:
+  /// `root` is created lazily on first put. Scopes may contain '/' (they
+  /// become subdirectories) but must be relative and must not contain "..".
+  explicit FilesystemBackend(std::filesystem::path root);
+
+  void put(const ModelKey& key, nn::SequenceClassifier model) override;
+  [[nodiscard]] std::optional<nn::SequenceClassifier> get(
+      const ModelKey& key) const override;
+  [[nodiscard]] bool contains(const ModelKey& key) const override;
+  bool erase(const ModelKey& key) override;
+  [[nodiscard]] std::vector<std::uint32_t> versions(
+      const std::string& scope, std::uint32_t user_id) const override;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_of(const ModelKey& key) const;
+  [[nodiscard]] std::filesystem::path slot_dir(const std::string& scope,
+                                               std::uint32_t user_id) const;
+
+  std::filesystem::path root_;
+};
+
+/// Every operation validates the key's scope (non-empty, relative, no
+/// "..") and throws std::invalid_argument on violation — uniformly across
+/// backends, so a store is backend-swappable without behavior changes on
+/// the read path.
+class ModelStore {
+ public:
+  /// Defaults to an in-memory backend.
+  explicit ModelStore(std::unique_ptr<StoreBackend> backend = nullptr);
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Stores `model` under an explicit key (replacing any existing entry).
+  void put(const ModelKey& key, nn::SequenceClassifier model);
+
+  /// Stores `model` under the next free version of (scope, user_id) —
+  /// latest + 1, or 1 when the slot is empty — and returns that version.
+  /// Atomic with respect to concurrent put_next on the same slot.
+  std::uint32_t put_next(const std::string& scope, std::uint32_t user_id,
+                         nn::SequenceClassifier model);
+
+  /// Deep copy of the stored model. Throws std::out_of_range naming the key
+  /// when absent; propagates SerializeError for undecodable artifacts.
+  [[nodiscard]] nn::SequenceClassifier get(const ModelKey& key) const;
+
+  /// Like get, but nullopt when absent (still throws SerializeError for an
+  /// artifact that exists and cannot be decoded).
+  [[nodiscard]] std::optional<nn::SequenceClassifier> find(
+      const ModelKey& key) const;
+
+  [[nodiscard]] bool contains(const ModelKey& key) const;
+
+  /// Newest stored version of (scope, user_id). Throws std::out_of_range
+  /// when the slot is empty; find_latest is the non-throwing variant.
+  [[nodiscard]] std::uint32_t latest(const std::string& scope,
+                                     std::uint32_t user_id) const;
+  [[nodiscard]] std::optional<std::uint32_t> find_latest(
+      const std::string& scope, std::uint32_t user_id) const;
+
+  /// Marks a version as not evictable by trim (e.g. the version a live
+  /// deployment serves). False when the key is not stored.
+  bool pin(const ModelKey& key);
+  /// Removes a pin; false when the key was not pinned.
+  bool unpin(const ModelKey& key);
+  [[nodiscard]] bool pinned(const ModelKey& key) const;
+
+  /// Evicts stored versions of (scope, user_id) except the newest
+  /// `keep_latest` and every pinned version. Returns the number evicted.
+  std::size_t trim(const std::string& scope, std::uint32_t user_id,
+                   std::size_t keep_latest = 1);
+
+  /// Unconditional removal (pins do not protect against explicit erase);
+  /// drops the pin too. False when absent.
+  bool erase(const ModelKey& key);
+
+  [[nodiscard]] std::vector<std::uint32_t> versions(
+      const std::string& scope, std::uint32_t user_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<StoreBackend> backend_;
+  std::set<ModelKey> pins_;
+};
+
+}  // namespace pelican::store

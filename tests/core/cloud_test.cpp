@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "support/world.hpp"
 #include "models/window_dataset.hpp"
 
@@ -84,6 +87,54 @@ TEST_F(CloudTest, RecordsTrainingCostAndReport) {
 
   EXPECT_THROW((void)cloud.training_cost(42), std::out_of_range);
   EXPECT_THROW((void)cloud.training_report(42), std::out_of_range);
+}
+
+TEST_F(CloudTest, UnknownVersionErrorsNameTheVersion) {
+  // The error contract: every unknown-version path throws std::out_of_range
+  // whose message carries the requested version id, so a failed model
+  // download in a multi-version deployment is diagnosable from the message
+  // alone (the old map::at "invalid map<K, T> key" said nothing).
+  CloudServer cloud;
+  const auto data = contributor_data(world_);
+  (void)cloud.train_general(data, tiny_general_config());
+
+  const auto expect_names_version = [](auto&& call, const char* version_id) {
+    try {
+      call();
+      FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range& e) {
+      EXPECT_NE(std::string(e.what()).find(version_id), std::string::npos)
+          << "message must name version " << version_id
+          << ", got: " << e.what();
+    }
+  };
+  expect_names_version([&] { (void)cloud.download_general(99); }, "99");
+  expect_names_version([&] { (void)cloud.training_cost(42); }, "42");
+  expect_names_version([&] { (void)cloud.training_report(7); }, "7");
+}
+
+TEST_F(CloudTest, GeneralVersionsLiveInTheModelStore) {
+  // The cloud's version map IS the shared model store: artifacts trained
+  // here are readable by anything holding the store (serving publish,
+  // benches), under the documented scope/user/version convention.
+  auto shared = std::make_shared<store::ModelStore>();
+  CloudServer cloud(shared);
+  const auto data = contributor_data(world_);
+  const auto v1 = cloud.train_general(data, tiny_general_config());
+
+  EXPECT_TRUE(shared->contains({CloudServer::kGeneralScope, 0, v1}));
+  EXPECT_EQ(shared->latest(CloudServer::kGeneralScope, 0), v1);
+  EXPECT_EQ(cloud.shared_model_store().get(), shared.get());
+
+  // A version put into the store out-of-band is downloadable (the store is
+  // authoritative), though it has no training metadata.
+  shared->put({CloudServer::kGeneralScope, 0, 50},
+              cloud.download_general(v1));
+  EXPECT_TRUE(cloud.has_version(50));
+  EXPECT_NO_THROW((void)cloud.download_general(50));
+  EXPECT_THROW((void)cloud.training_cost(50), std::out_of_range);
+
+  EXPECT_THROW(CloudServer(nullptr), std::invalid_argument);
 }
 
 TEST_F(CloudTest, HostsPersonalizedModelsBehindPrivacyLayer) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "nn/metrics.hpp"
 #include "support/world.hpp"
@@ -30,7 +31,8 @@ TEST(DeployedModel, QueryReturnsDistributionsAndCounts) {
 
   EXPECT_EQ(deployment.query_count(), 0u);
   const nn::Matrix probs = deployment.query(x);
-  EXPECT_EQ(deployment.query_count(), 1u);
+  EXPECT_EQ(deployment.query_count(), 2u)
+      << "a 2-row query spends 2 units of the query budget";
   ASSERT_EQ(probs.rows(), 2u);
   ASSERT_EQ(probs.cols(), world.spec.num_locations);
   for (std::size_t r = 0; r < probs.rows(); ++r) {
@@ -111,6 +113,39 @@ TEST(DeployedModel, ColdConfidencesSaturate) {
   const float top = *std::max_element(probs.row(0).begin(),
                                       probs.row(0).end());
   EXPECT_GT(top, 0.999f);
+}
+
+TEST(DeployedModel, QueryAccountingIsBatchSizeIndependent) {
+  // Privacy audits budget ATTACK QUERIES; an adversary must not be able to
+  // shrink its measured footprint by batching candidates into fewer
+  // forwards. Serving B windows — as one batched call, as B singles, or as
+  // one B-row black-box query — must always cost B budget units.
+  const auto& world = trained_world();
+  ASSERT_GE(world.user0_test.size(), 3u);
+  const std::span<const mobility::Window> windows(world.user0_test.data(), 3);
+
+  DeployedModel batched = make_deployment(1.0);
+  (void)batched.predict_top_k_batch(windows, 3);
+  EXPECT_EQ(batched.query_count(), windows.size());
+
+  DeployedModel singles = make_deployment(1.0);
+  for (const auto& window : windows) (void)singles.predict_top_k(window, 3);
+  EXPECT_EQ(singles.query_count(), batched.query_count());
+
+  DeployedModel black_box = make_deployment(1.0);
+  nn::Sequence x(mobility::kWindowSteps,
+                 nn::Matrix(windows.size(), world.spec.input_dim(), 0.0f));
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    models::encode_window(windows[r], world.spec, x, r);
+  }
+  (void)black_box.query(x);
+  EXPECT_EQ(black_box.query_count(), windows.size())
+      << "query() must count rows, not forward calls";
+
+  // The count is settable for model-update bookkeeping (a published
+  // replacement inherits its predecessor's cumulative count).
+  black_box.set_query_count(100);
+  EXPECT_EQ(black_box.query_count(), 100u);
 }
 
 TEST(DeployedModel, SwapModelReplacesInPlace) {

@@ -1,0 +1,168 @@
+// Admission control of the BatchScheduler submit queue: all three
+// QueuePolicy modes against a deliberately full queue.
+//
+// The queue is made observably full without timing games by exploiting the
+// drain loop's straggler wait: with max_batch and max_delay both huge, the
+// drainer parks on its delay deadline while the queue keeps admitting — so
+// a test can fill the queue to max_queue deterministically, trigger the
+// policy, and then let scheduler destruction flush the survivors (shutdown
+// answers everything still queued).
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve_support.hpp"
+
+namespace pelican::serve {
+namespace {
+
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_deployment;
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<DeploymentRegistry>(4);
+    for (std::uint32_t user = 0; user < 5; ++user) {
+      registry_->deploy(user, tiny_deployment(user));
+    }
+  }
+
+  /// A config whose drainer will not drain on its own for `max_queue` + a
+  /// few requests: the policy decision is the only observable behavior.
+  static SchedulerConfig parked_config(std::size_t max_queue,
+                                       QueuePolicy policy) {
+    return {.max_batch = 1000,
+            .max_delay = std::chrono::seconds(30),
+            .max_queue = max_queue,
+            .policy = policy};
+  }
+
+  std::unique_ptr<DeploymentRegistry> registry_;
+};
+
+TEST_F(AdmissionTest, RejectsZeroMaxQueue) {
+  EXPECT_THROW(BatchScheduler(*registry_, {.max_queue = 0}),
+               std::invalid_argument);
+}
+
+TEST_F(AdmissionTest, RejectPolicyAnswersNewRequestImmediately) {
+  Rng rng(3);
+  std::vector<std::future<PredictResponse>> futures;
+  {
+    BatchScheduler scheduler(*registry_,
+                             parked_config(2, QueuePolicy::kReject));
+    for (std::size_t i = 0; i < 5; ++i) {
+      futures.push_back(scheduler.submit({0, random_window(rng), 3}));
+    }
+    // Requests 2..4 found the queue full: answered rejected right away,
+    // without waiting for any drain.
+    for (std::size_t i = 2; i < 5; ++i) {
+      ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(5)),
+                std::future_status::ready)
+          << "rejection must not wait for the drainer";
+      const auto response = futures[i].get();
+      EXPECT_FALSE(response.ok);
+      EXPECT_TRUE(response.rejected);
+      EXPECT_TRUE(response.locations.empty());
+    }
+    const auto snap = scheduler.stats().snapshot();
+    EXPECT_EQ(snap.requests_shed, 3u);
+    EXPECT_EQ(snap.peak_queue_depth, 2u);
+  }
+  // Shutdown flushed the two admitted requests; they were served.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto response = futures[i].get();
+    EXPECT_TRUE(response.ok);
+    EXPECT_FALSE(response.rejected);
+  }
+}
+
+TEST_F(AdmissionTest, ShedOldestPolicyDropsFromTheFront) {
+  Rng rng(4);
+  std::vector<std::future<PredictResponse>> futures;
+  {
+    BatchScheduler scheduler(*registry_,
+                             parked_config(2, QueuePolicy::kShedOldest));
+    for (std::size_t i = 0; i < 4; ++i) {
+      futures.push_back(scheduler.submit({1, random_window(rng), 3}));
+    }
+    // Submit 2 shed request 0; submit 3 shed request 1.
+    for (std::size_t i = 0; i < 2; ++i) {
+      ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(5)),
+                std::future_status::ready)
+          << "the shed victim's future must resolve immediately";
+      const auto response = futures[i].get();
+      EXPECT_FALSE(response.ok);
+      EXPECT_TRUE(response.rejected);
+    }
+    EXPECT_EQ(scheduler.stats().snapshot().requests_shed, 2u);
+  }
+  // The two NEWEST requests kept their seats and were served on shutdown.
+  for (std::size_t i = 2; i < 4; ++i) {
+    const auto response = futures[i].get();
+    EXPECT_TRUE(response.ok);
+    EXPECT_FALSE(response.rejected);
+  }
+}
+
+TEST_F(AdmissionTest, BlockPolicyAppliesBackpressureWithoutDropping) {
+  // Tiny queue, fast drains: submitters must block at the bound rather
+  // than drop, and every request must eventually be answered ok.
+  Rng rng(5);
+  BatchScheduler scheduler(*registry_,
+                           {.max_batch = 4,
+                            .max_delay = std::chrono::microseconds(200),
+                            .max_queue = 4,
+                            .policy = QueuePolicy::kBlock});
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kPerThread = 40;
+  std::vector<std::thread> submitters;
+  std::vector<std::size_t> answered(kThreads, 0);
+  submitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng thread_rng(100 + t);
+      std::vector<std::future<PredictResponse>> futures;
+      futures.reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        futures.push_back(scheduler.submit(
+            {static_cast<std::uint32_t>(thread_rng.below(5)),
+             random_window(thread_rng), 3}));
+      }
+      for (auto& future : futures) {
+        if (future.get().ok) ++answered[t];
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  std::size_t total = 0;
+  for (const std::size_t a : answered) total += a;
+  EXPECT_EQ(total, kThreads * kPerThread) << "block mode never sheds";
+
+  const auto snap = scheduler.stats().snapshot();
+  EXPECT_EQ(snap.requests_shed, 0u);
+  EXPECT_LE(snap.peak_queue_depth, 4u + kThreads)
+      << "the queue bound must actually bound the queue (one straggler per "
+         "parked submitter can land after a drain empties it)";
+}
+
+TEST_F(AdmissionTest, ShedResponseIsDistinguishableFromUnknownUser) {
+  Rng rng(6);
+  BatchScheduler scheduler(*registry_, {});
+  auto unknown = scheduler.submit({999, random_window(rng), 3});
+  const auto response = unknown.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.rejected)
+      << "an unknown user was admitted but unservable; rejected is reserved "
+         "for admission control";
+}
+
+}  // namespace
+}  // namespace pelican::serve

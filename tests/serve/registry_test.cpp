@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -79,18 +80,24 @@ TEST(DeploymentRegistryTest, UserIdsSortedAcrossShards) {
             (std::vector<std::uint32_t>{0, 7, 8, 42, 1000000}));
 }
 
-TEST(DeploymentRegistryTest, SwapModelReplacesInPlace) {
+TEST(DeploymentRegistryTest, SwapModelInstallsReplacement) {
   DeploymentRegistry registry(4);
   registry.deploy(5, tiny_deployment(1));
 
   Rng rng(123);
   const auto window = random_window(rng);
+  std::size_t queries_before = 0;
   const auto before = registry.with_model(5, [&](core::DeployedModel& model) {
-    return model.predict_top_k(window, 3);
+    auto top = model.predict_top_k(window, 3);
+    queries_before = model.query_count();
+    return top;
   });
 
   registry.swap_model(5, tiny_model(99));
   const auto after = registry.with_model(5, [&](core::DeployedModel& model) {
+    // The replacement keeps the deployment's identity: spec, privacy, site,
+    // and the cumulative query count all carry over.
+    EXPECT_GE(model.query_count(), queries_before);
     return model.predict_top_k(window, 3);
   });
   // Different random weights rank differently with overwhelming probability;
@@ -98,6 +105,72 @@ TEST(DeploymentRegistryTest, SwapModelReplacesInPlace) {
   EXPECT_NE(before, after);
 
   EXPECT_THROW(registry.swap_model(6, tiny_model(1)), std::out_of_range);
+}
+
+TEST(DeploymentRegistryTest, DeployReturnsStableHandle) {
+  DeploymentRegistry registry(4);
+  const DeploymentHandle handle = registry.deploy(9, tiny_deployment(1));
+  ASSERT_TRUE(handle);
+
+  Rng rng(5);
+  const auto window = random_window(rng);
+  const auto before = handle.with_model([&](core::DeployedModel& model) {
+    return model.predict_top_k(window, 3);
+  });
+
+  // Re-deploying the same user installs into the SAME slot: the old handle
+  // observes the new model, and the slot's cumulative query count (1 from
+  // `before`) is added to the fresh deployment's.
+  registry.deploy(9, tiny_deployment(2));
+  EXPECT_EQ(handle.snapshot()->query_count(), 1u);
+  const auto after = handle.with_model([&](core::DeployedModel& model) {
+    return model.predict_top_k(window, 3);
+  });
+  EXPECT_NE(before, after);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // erase() unlists the user but existing handles keep working.
+  EXPECT_TRUE(registry.erase(9));
+  EXPECT_FALSE(registry.contains(9));
+  EXPECT_NO_THROW((void)handle.with_model(
+      [&](core::DeployedModel& model) { return model.num_classes(); }));
+
+  EXPECT_FALSE(registry.find_handle(9));
+  EXPECT_THROW((void)registry.handle(9), std::out_of_range);
+  const DeploymentHandle empty;
+  EXPECT_FALSE(empty);
+  EXPECT_THROW((void)empty.snapshot(), std::logic_error);
+}
+
+TEST(DeploymentRegistryTest, PublishInstallsStoreVersion) {
+  DeploymentRegistry registry(4);
+  registry.deploy(5, tiny_deployment(1));
+
+  // publish without an attached store is a usage error.
+  EXPECT_THROW(registry.publish(5, 1), std::logic_error);
+
+  auto model_store = std::make_shared<store::ModelStore>();
+  model_store->put({"personal", 5, 2}, tiny_model(42));
+  registry.attach_store(model_store, "personal");
+
+  EXPECT_THROW(registry.publish(7, 2), std::out_of_range)
+      << "unknown user";
+  EXPECT_THROW(registry.publish(5, 3), std::out_of_range)
+      << "unknown store version";
+
+  registry.publish(5, 2);
+  const auto snapshot = registry.handle(5).snapshot();
+  EXPECT_EQ(snapshot->model_version(), 2u);
+
+  // The published deployment serves exactly the stored model's outputs.
+  Rng rng(9);
+  const auto window = random_window(rng);
+  auto reference = tiny_deployment(42);
+  const auto expected = reference.predict_top_k(window, 3);
+  const auto served = registry.with_model(5, [&](core::DeployedModel& model) {
+    return model.predict_top_k(window, 3);
+  });
+  EXPECT_EQ(served, expected);
 }
 
 TEST(DeploymentRegistryTest, AdoptHostedSubsumesCloudHosting) {

@@ -1,0 +1,208 @@
+#include "store/model_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "nn/model.hpp"
+
+namespace pelican::store {
+namespace {
+
+nn::SequenceClassifier tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::make_one_layer_lstm(/*input_dim=*/6, /*hidden_dim=*/4,
+                                 /*num_classes=*/5, /*dropout_rate=*/0.0,
+                                 rng);
+}
+
+/// Parameter-level equality: same architecture and bit-identical weights.
+bool same_weights(const nn::SequenceClassifier& a,
+                  const nn::SequenceClassifier& b) {
+  auto ca = const_cast<nn::SequenceClassifier&>(a).all_params();
+  auto cb = const_cast<nn::SequenceClassifier&>(b).all_params();
+  if (ca.size() != cb.size()) return false;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    const nn::Matrix& ma = *ca[i].value;
+    const nn::Matrix& mb = *cb[i].value;
+    if (ma.rows() != mb.rows() || ma.cols() != mb.cols()) return false;
+    for (std::size_t r = 0; r < ma.rows(); ++r) {
+      for (std::size_t c = 0; c < ma.cols(); ++c) {
+        if (ma(r, c) != mb(r, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pelican_store_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST(ModelStoreTest, PutGetRoundTripsWeights) {
+  ModelStore store;
+  auto original = tiny_model(1);
+  store.put({"scope", 7, 3}, original.clone());
+
+  const auto fetched = store.get({"scope", 7, 3});
+  EXPECT_TRUE(same_weights(original, fetched));
+  EXPECT_TRUE(store.contains({"scope", 7, 3}));
+  EXPECT_FALSE(store.contains({"scope", 7, 4}));
+  EXPECT_FALSE(store.contains({"other", 7, 3}));
+}
+
+TEST(ModelStoreTest, GetReturnsIndependentCopies) {
+  ModelStore store;
+  store.put({"scope", 0, 1}, tiny_model(2));
+  auto copy = store.get({"scope", 0, 1});
+  // Mutate the copy; the stored artifact must be unaffected.
+  auto params = copy.all_params();
+  (*params[0].value)(0, 0) += 100.0f;
+  EXPECT_FALSE(same_weights(copy, store.get({"scope", 0, 1})));
+}
+
+TEST(ModelStoreTest, GetThrowsNamingTheKey) {
+  ModelStore store;
+  try {
+    (void)store.get({"general", 0, 42});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("general/u0/v42"),
+              std::string::npos)
+        << "message must name the missing key, got: " << e.what();
+  }
+}
+
+TEST(ModelStoreTest, PutNextAllocatesMonotoneVersions) {
+  ModelStore store;
+  EXPECT_EQ(store.put_next("scope", 5, tiny_model(1)), 1u);
+  EXPECT_EQ(store.put_next("scope", 5, tiny_model(2)), 2u);
+  EXPECT_EQ(store.put_next("scope", 6, tiny_model(3)), 1u)
+      << "versions are per (scope, user) slot";
+  EXPECT_EQ(store.latest("scope", 5), 2u);
+  EXPECT_EQ(store.versions("scope", 5),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_THROW((void)store.latest("scope", 99), std::out_of_range);
+  EXPECT_FALSE(store.find_latest("scope", 99).has_value());
+}
+
+TEST(ModelStoreTest, PutNextIsAtomicAcrossThreads) {
+  ModelStore store;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::uint32_t> got(kThreads, 0);
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { got[t] = store.put_next("scope", 0, tiny_model(t)); });
+  }
+  for (auto& thread : threads) thread.join();
+  std::sort(got.begin(), got.end());
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], t + 1) << "every thread must get a distinct version";
+  }
+}
+
+TEST(ModelStoreTest, PinProtectsFromTrimEraseDoesNot) {
+  ModelStore store;
+  for (std::uint32_t v = 1; v <= 4; ++v) {
+    store.put({"scope", 0, v}, tiny_model(v));
+  }
+  EXPECT_TRUE(store.pin({"scope", 0, 2}));
+  EXPECT_FALSE(store.pin({"scope", 0, 99})) << "cannot pin what isn't there";
+  EXPECT_TRUE(store.pinned({"scope", 0, 2}));
+
+  // keep_latest=1 keeps v4; v2 survives through its pin; v1 and v3 go.
+  EXPECT_EQ(store.trim("scope", 0), 2u);
+  EXPECT_EQ(store.versions("scope", 0),
+            (std::vector<std::uint32_t>{2, 4}));
+
+  // Explicit erase ignores pins (and drops them).
+  EXPECT_TRUE(store.erase({"scope", 0, 2}));
+  EXPECT_FALSE(store.pinned({"scope", 0, 2}));
+  EXPECT_FALSE(store.unpin({"scope", 0, 2}));
+  EXPECT_EQ(store.versions("scope", 0), (std::vector<std::uint32_t>{4}));
+}
+
+TEST(ModelStoreTest, RejectsUnsafeScopesOnEveryPathRegardlessOfBackend) {
+  // Scope validation happens in ModelStore itself, so a memory-backed
+  // store behaves exactly like a filesystem-backed one — including on the
+  // read path, where only the fs backend would otherwise care.
+  ModelStore store;
+  EXPECT_THROW(store.put({"", 0, 1}, tiny_model(1)), std::invalid_argument);
+  EXPECT_THROW(store.put({"/abs", 0, 1}, tiny_model(1)),
+               std::invalid_argument);
+  EXPECT_THROW(store.put({"a/../b", 0, 1}, tiny_model(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)store.find({"a/../b", 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)store.contains({"/abs", 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)store.versions("", 0), std::invalid_argument);
+  EXPECT_THROW((void)store.find_latest("a/../b", 0), std::invalid_argument);
+  EXPECT_NO_THROW(store.put({"nested/scope", 0, 1}, tiny_model(1)));
+}
+
+TEST(ModelStoreTest, FilesystemBackendPersistsAcrossInstances) {
+  TempDir dir;
+  auto original = tiny_model(9);
+  {
+    ModelStore store(std::make_unique<FilesystemBackend>(dir.path()));
+    store.put({"bench/tiny", 3, 1}, original.clone());
+    (void)store.put_next("bench/tiny", 3, tiny_model(10));  // v2
+  }
+  // A fresh store over the same root sees everything, including latest().
+  ModelStore reopened(std::make_unique<FilesystemBackend>(dir.path()));
+  EXPECT_EQ(reopened.latest("bench/tiny", 3), 2u);
+  EXPECT_TRUE(same_weights(original, reopened.get({"bench/tiny", 3, 1})));
+  EXPECT_TRUE(reopened.erase({"bench/tiny", 3, 2}));
+  EXPECT_EQ(reopened.versions("bench/tiny", 3),
+            (std::vector<std::uint32_t>{1}));
+}
+
+TEST(ModelStoreTest, FilesystemBackendThrowsSerializeErrorOnCorruptEntry) {
+  TempDir dir;
+  ModelStore store(std::make_unique<FilesystemBackend>(dir.path()));
+  store.put({"scope", 0, 1}, tiny_model(1));
+
+  // Truncate the checkpoint behind the store's back.
+  const auto path = dir.path() / "scope" / "u0" / "v1.bin";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, 8);
+
+  EXPECT_THROW((void)store.find({"scope", 0, 1}), SerializeError)
+      << "a present-but-undecodable artifact is an error, not a miss";
+  EXPECT_FALSE(store.find({"scope", 0, 2}).has_value())
+      << "a genuinely absent artifact is a miss, not an error";
+}
+
+TEST(ModelStoreTest, FilesystemBackendIgnoresForeignFiles) {
+  TempDir dir;
+  ModelStore store(std::make_unique<FilesystemBackend>(dir.path()));
+  store.put({"scope", 0, 3}, tiny_model(1));
+  const auto slot = dir.path() / "scope" / "u0";
+  std::ofstream(slot / "README.txt") << "not a checkpoint";
+  std::ofstream(slot / "vNaN.bin") << "not a version";
+  EXPECT_EQ(store.versions("scope", 0), (std::vector<std::uint32_t>{3}));
+}
+
+}  // namespace
+}  // namespace pelican::store

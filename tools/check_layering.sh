@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Enforces the layer lattice of src/ (see the root CMakeLists.txt):
 #
-#   common -> {nn, mobility} -> models -> attack -> core -> serve
+#   common -> {nn, mobility} -> models -> {store, attack} -> core -> serve
 #
 # A layer may include itself and anything strictly below it. nn and mobility
-# are siblings: neither may include the other. Run from the repo root; exits
-# nonzero and prints every offending include on violation.
+# are siblings: neither may include the other. store and attack are siblings
+# above models: core is the lowest layer that may see both. Run from the
+# repo root; exits nonzero and prints every offending include on violation.
 set -u
 
 declare -A allowed=(
@@ -13,13 +14,14 @@ declare -A allowed=(
   [nn]="common nn"
   [mobility]="common mobility"
   [models]="common nn mobility models"
+  [store]="common nn mobility models store"
   [attack]="common nn mobility models attack"
-  [core]="common nn mobility models attack core"
-  [serve]="common nn mobility models attack core serve"
+  [core]="common nn mobility models store attack core"
+  [serve]="common nn mobility models store attack core serve"
 )
 
 status=0
-for layer in common nn mobility models attack core serve; do
+for layer in common nn mobility models store attack core serve; do
   allow="${allowed[$layer]}"
   # Project includes look like: #include "dir/header.hpp"
   while IFS= read -r line; do
@@ -36,6 +38,6 @@ for layer in common nn mobility models attack core serve; do
 done
 
 if [[ $status -eq 0 ]]; then
-  echo "layering OK: common -> {nn, mobility} -> models -> attack -> core -> serve"
+  echo "layering OK: common -> {nn, mobility} -> models -> {store, attack} -> core -> serve"
 fi
 exit $status
