@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/nn")
+subdirs("src/mobility")
+subdirs("src/models")
+subdirs("src/store")
+subdirs("src/attack")
+subdirs("src/core")
+subdirs("src/serve")
+subdirs("bench")
+subdirs("examples")
+subdirs("_deps/googletest-build")
+subdirs("tests")

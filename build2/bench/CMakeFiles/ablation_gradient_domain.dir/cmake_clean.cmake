@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gradient_domain.dir/ablation_gradient_domain.cpp.o"
+  "CMakeFiles/ablation_gradient_domain.dir/ablation_gradient_domain.cpp.o.d"
+  "ablation_gradient_domain"
+  "ablation_gradient_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gradient_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

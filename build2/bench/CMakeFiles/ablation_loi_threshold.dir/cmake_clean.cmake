@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loi_threshold.dir/ablation_loi_threshold.cpp.o"
+  "CMakeFiles/ablation_loi_threshold.dir/ablation_loi_threshold.cpp.o.d"
+  "ablation_loi_threshold"
+  "ablation_loi_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loi_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_markov_baseline.dir/ablation_markov_baseline.cpp.o"
+  "CMakeFiles/ablation_markov_baseline.dir/ablation_markov_baseline.cpp.o.d"
+  "ablation_markov_baseline"
+  "ablation_markov_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_markov_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

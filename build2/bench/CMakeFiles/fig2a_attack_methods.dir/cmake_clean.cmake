@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_attack_methods.dir/fig2a_attack_methods.cpp.o"
+  "CMakeFiles/fig2a_attack_methods.dir/fig2a_attack_methods.cpp.o.d"
+  "fig2a_attack_methods"
+  "fig2a_attack_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_attack_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_adversaries.dir/fig2b_adversaries.cpp.o"
+  "CMakeFiles/fig2b_adversaries.dir/fig2b_adversaries.cpp.o.d"
+  "fig2b_adversaries"
+  "fig2b_adversaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_priors.dir/fig2c_priors.cpp.o"
+  "CMakeFiles/fig2c_priors.dir/fig2c_priors.cpp.o.d"
+  "fig2c_priors"
+  "fig2c_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_spatial.dir/fig3a_spatial.cpp.o"
+  "CMakeFiles/fig3a_spatial.dir/fig3a_spatial.cpp.o.d"
+  "fig3a_spatial"
+  "fig3a_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_mobility_degree.dir/fig3b_mobility_degree.cpp.o"
+  "CMakeFiles/fig3b_mobility_degree.dir/fig3b_mobility_degree.cpp.o.d"
+  "fig3b_mobility_degree"
+  "fig3b_mobility_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_mobility_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_predictability.dir/fig3c_predictability.cpp.o"
+  "CMakeFiles/fig3c_predictability.dir/fig3c_predictability.cpp.o.d"
+  "fig3c_predictability"
+  "fig3c_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_privacy_personalization.dir/fig5a_privacy_personalization.cpp.o"
+  "CMakeFiles/fig5a_privacy_personalization.dir/fig5a_privacy_personalization.cpp.o.d"
+  "fig5a_privacy_personalization"
+  "fig5a_privacy_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_privacy_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

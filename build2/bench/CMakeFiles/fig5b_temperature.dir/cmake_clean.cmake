@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_temperature.dir/fig5b_temperature.cpp.o"
+  "CMakeFiles/fig5b_temperature.dir/fig5b_temperature.cpp.o.d"
+  "fig5b_temperature"
+  "fig5b_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_privacy_spatial.dir/fig5c_privacy_spatial.cpp.o"
+  "CMakeFiles/fig5c_privacy_spatial.dir/fig5c_privacy_spatial.cpp.o.d"
+  "fig5c_privacy_spatial"
+  "fig5c_privacy_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_privacy_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_micro.dir/nn_micro.cpp.o"
+  "CMakeFiles/nn_micro.dir/nn_micro.cpp.o.d"
+  "nn_micro"
+  "nn_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_personalization.dir/overhead_personalization.cpp.o"
+  "CMakeFiles/overhead_personalization.dir/overhead_personalization.cpp.o.d"
+  "overhead_personalization"
+  "overhead_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

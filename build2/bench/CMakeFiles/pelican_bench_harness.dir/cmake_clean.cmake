@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_bench_harness.dir/harness/pipeline.cpp.o"
+  "CMakeFiles/pelican_bench_harness.dir/harness/pipeline.cpp.o.d"
+  "libpelican_bench_harness.a"
+  "libpelican_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

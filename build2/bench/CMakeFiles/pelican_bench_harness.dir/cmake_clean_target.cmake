@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpelican_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_attack_runtime.dir/table2_attack_runtime.cpp.o"
+  "CMakeFiles/table2_attack_runtime.dir/table2_attack_runtime.cpp.o.d"
+  "table2_attack_runtime"
+  "table2_attack_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_attack_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_personalization.dir/table3_personalization.cpp.o"
+  "CMakeFiles/table3_personalization.dir/table3_personalization.cpp.o.d"
+  "table3_personalization"
+  "table3_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

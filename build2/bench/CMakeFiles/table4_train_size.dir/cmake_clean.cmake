@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_train_size.dir/table4_train_size.cpp.o"
+  "CMakeFiles/table4_train_size.dir/table4_train_size.cpp.o.d"
+  "table4_train_size"
+  "table4_train_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_train_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

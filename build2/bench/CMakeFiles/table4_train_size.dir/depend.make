@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_train_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_campus.dir/federated_campus.cpp.o"
+  "CMakeFiles/federated_campus.dir/federated_campus.cpp.o.d"
+  "federated_campus"
+  "federated_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

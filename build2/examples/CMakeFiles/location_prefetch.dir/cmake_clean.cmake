@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_prefetch.dir/location_prefetch.cpp.o"
+  "CMakeFiles/location_prefetch.dir/location_prefetch.cpp.o.d"
+  "location_prefetch"
+  "location_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

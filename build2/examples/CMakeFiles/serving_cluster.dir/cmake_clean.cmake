@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_cluster.dir/serving_cluster.cpp.o"
+  "CMakeFiles/serving_cluster.dir/serving_cluster.cpp.o.d"
+  "serving_cluster"
+  "serving_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_attack.dir/enumeration.cpp.o"
+  "CMakeFiles/pelican_attack.dir/enumeration.cpp.o.d"
+  "CMakeFiles/pelican_attack.dir/gradient_attack.cpp.o"
+  "CMakeFiles/pelican_attack.dir/gradient_attack.cpp.o.d"
+  "CMakeFiles/pelican_attack.dir/inversion.cpp.o"
+  "CMakeFiles/pelican_attack.dir/inversion.cpp.o.d"
+  "CMakeFiles/pelican_attack.dir/prior.cpp.o"
+  "CMakeFiles/pelican_attack.dir/prior.cpp.o.d"
+  "libpelican_attack.a"
+  "libpelican_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

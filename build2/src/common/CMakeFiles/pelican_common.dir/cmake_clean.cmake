@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_common.dir/serialize.cpp.o"
+  "CMakeFiles/pelican_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/stats.cpp.o"
+  "CMakeFiles/pelican_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/table.cpp.o"
+  "CMakeFiles/pelican_common.dir/table.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pelican_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/timer.cpp.o"
+  "CMakeFiles/pelican_common.dir/timer.cpp.o.d"
+  "libpelican_common.a"
+  "libpelican_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_core.dir/cloud.cpp.o"
+  "CMakeFiles/pelican_core.dir/cloud.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/device.cpp.o"
+  "CMakeFiles/pelican_core.dir/device.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/pelican.cpp.o"
+  "CMakeFiles/pelican_core.dir/pelican.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/privacy_layer.cpp.o"
+  "CMakeFiles/pelican_core.dir/privacy_layer.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/service.cpp.o"
+  "CMakeFiles/pelican_core.dir/service.cpp.o.d"
+  "libpelican_core.a"
+  "libpelican_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/campus.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/campus.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/campus.cpp.o.d"
+  "/root/repo/src/mobility/dataset.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/dataset.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/dataset.cpp.o.d"
+  "/root/repo/src/mobility/events.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/events.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/events.cpp.o.d"
+  "/root/repo/src/mobility/persona.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/persona.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/persona.cpp.o.d"
+  "/root/repo/src/mobility/simulator.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/simulator.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/simulator.cpp.o.d"
+  "/root/repo/src/mobility/trace_io.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/trace_io.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/trace_io.cpp.o.d"
+  "/root/repo/src/mobility/trace_stats.cpp" "src/mobility/CMakeFiles/pelican_mobility.dir/trace_stats.cpp.o" "gcc" "src/mobility/CMakeFiles/pelican_mobility.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_mobility.dir/campus.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/campus.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/dataset.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/dataset.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/events.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/events.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/persona.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/persona.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/simulator.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/simulator.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/trace_io.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/trace_io.cpp.o.d"
+  "CMakeFiles/pelican_mobility.dir/trace_stats.cpp.o"
+  "CMakeFiles/pelican_mobility.dir/trace_stats.cpp.o.d"
+  "libpelican_mobility.a"
+  "libpelican_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/general.cpp" "src/models/CMakeFiles/pelican_models.dir/general.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/general.cpp.o.d"
+  "/root/repo/src/models/markov.cpp" "src/models/CMakeFiles/pelican_models.dir/markov.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/markov.cpp.o.d"
+  "/root/repo/src/models/personalize.cpp" "src/models/CMakeFiles/pelican_models.dir/personalize.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/personalize.cpp.o.d"
+  "/root/repo/src/models/window_dataset.cpp" "src/models/CMakeFiles/pelican_models.dir/window_dataset.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/window_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mobility/CMakeFiles/pelican_mobility.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_models.dir/general.cpp.o"
+  "CMakeFiles/pelican_models.dir/general.cpp.o.d"
+  "CMakeFiles/pelican_models.dir/markov.cpp.o"
+  "CMakeFiles/pelican_models.dir/markov.cpp.o.d"
+  "CMakeFiles/pelican_models.dir/personalize.cpp.o"
+  "CMakeFiles/pelican_models.dir/personalize.cpp.o.d"
+  "CMakeFiles/pelican_models.dir/window_dataset.cpp.o"
+  "CMakeFiles/pelican_models.dir/window_dataset.cpp.o.d"
+  "libpelican_models.a"
+  "libpelican_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cv.cpp" "src/nn/CMakeFiles/pelican_nn.dir/cv.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/cv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/pelican_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pelican_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pelican_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/pelican_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/pelican_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/pelican_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/pelican_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/pelican_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/pelican_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

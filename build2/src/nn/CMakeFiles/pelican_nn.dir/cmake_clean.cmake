@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_nn.dir/cv.cpp.o"
+  "CMakeFiles/pelican_nn.dir/cv.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/dropout.cpp.o"
+  "CMakeFiles/pelican_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/linear.cpp.o"
+  "CMakeFiles/pelican_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/loss.cpp.o"
+  "CMakeFiles/pelican_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/lstm.cpp.o"
+  "CMakeFiles/pelican_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/matrix.cpp.o"
+  "CMakeFiles/pelican_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/metrics.cpp.o"
+  "CMakeFiles/pelican_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/model.cpp.o"
+  "CMakeFiles/pelican_nn.dir/model.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/pelican_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/trainer.cpp.o"
+  "CMakeFiles/pelican_nn.dir/trainer.cpp.o.d"
+  "libpelican_nn.a"
+  "libpelican_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

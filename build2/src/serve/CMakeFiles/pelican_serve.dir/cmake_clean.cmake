@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_serve.dir/registry.cpp.o"
+  "CMakeFiles/pelican_serve.dir/registry.cpp.o.d"
+  "CMakeFiles/pelican_serve.dir/scheduler.cpp.o"
+  "CMakeFiles/pelican_serve.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pelican_serve.dir/stats.cpp.o"
+  "CMakeFiles/pelican_serve.dir/stats.cpp.o.d"
+  "libpelican_serve.a"
+  "libpelican_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

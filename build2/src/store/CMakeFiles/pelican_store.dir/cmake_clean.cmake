@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_store.dir/model_store.cpp.o"
+  "CMakeFiles/pelican_store.dir/model_store.cpp.o.d"
+  "libpelican_store.a"
+  "libpelican_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_enumeration_test.dir/attack/enumeration_test.cpp.o"
+  "CMakeFiles/attack_enumeration_test.dir/attack/enumeration_test.cpp.o.d"
+  "attack_enumeration_test"
+  "attack_enumeration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_enumeration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

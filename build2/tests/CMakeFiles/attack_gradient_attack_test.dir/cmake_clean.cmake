@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_gradient_attack_test.dir/attack/gradient_attack_test.cpp.o"
+  "CMakeFiles/attack_gradient_attack_test.dir/attack/gradient_attack_test.cpp.o.d"
+  "attack_gradient_attack_test"
+  "attack_gradient_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_gradient_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/inversion_test.cpp" "tests/CMakeFiles/attack_inversion_test.dir/attack/inversion_test.cpp.o" "gcc" "tests/CMakeFiles/attack_inversion_test.dir/attack/inversion_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/attack/CMakeFiles/pelican_attack.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build2/src/models/CMakeFiles/pelican_models.dir/DependInfo.cmake"
+  "/root/repo/build2/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mobility/CMakeFiles/pelican_mobility.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

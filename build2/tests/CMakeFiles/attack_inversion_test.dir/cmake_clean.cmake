@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_inversion_test.dir/attack/inversion_test.cpp.o"
+  "CMakeFiles/attack_inversion_test.dir/attack/inversion_test.cpp.o.d"
+  "attack_inversion_test"
+  "attack_inversion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_inversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_planted_param_test.dir/attack/planted_param_test.cpp.o"
+  "CMakeFiles/attack_planted_param_test.dir/attack/planted_param_test.cpp.o.d"
+  "attack_planted_param_test"
+  "attack_planted_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_planted_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

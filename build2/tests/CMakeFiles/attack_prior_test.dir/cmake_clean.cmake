@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_prior_test.dir/attack/prior_test.cpp.o"
+  "CMakeFiles/attack_prior_test.dir/attack/prior_test.cpp.o.d"
+  "attack_prior_test"
+  "attack_prior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_prior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_timer_test.dir/common/timer_test.cpp.o"
+  "CMakeFiles/common_timer_test.dir/common/timer_test.cpp.o.d"
+  "common_timer_test"
+  "common_timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

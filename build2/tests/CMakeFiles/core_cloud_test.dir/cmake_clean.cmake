@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cloud_test.dir/core/cloud_test.cpp.o"
+  "CMakeFiles/core_cloud_test.dir/core/cloud_test.cpp.o.d"
+  "core_cloud_test"
+  "core_cloud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

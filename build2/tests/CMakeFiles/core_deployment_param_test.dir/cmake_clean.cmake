@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deployment_param_test.dir/core/deployment_param_test.cpp.o"
+  "CMakeFiles/core_deployment_param_test.dir/core/deployment_param_test.cpp.o.d"
+  "core_deployment_param_test"
+  "core_deployment_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deployment_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

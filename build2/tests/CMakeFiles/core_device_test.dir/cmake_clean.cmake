@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_device_test.dir/core/device_test.cpp.o"
+  "CMakeFiles/core_device_test.dir/core/device_test.cpp.o.d"
+  "core_device_test"
+  "core_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pelican_test.dir/core/pelican_test.cpp.o"
+  "CMakeFiles/core_pelican_test.dir/core/pelican_test.cpp.o.d"
+  "core_pelican_test"
+  "core_pelican_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pelican_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_privacy_layer_test.dir/core/privacy_layer_test.cpp.o"
+  "CMakeFiles/core_privacy_layer_test.dir/core/privacy_layer_test.cpp.o.d"
+  "core_privacy_layer_test"
+  "core_privacy_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_privacy_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

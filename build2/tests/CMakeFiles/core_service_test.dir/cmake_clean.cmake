@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_service_test.dir/core/service_test.cpp.o"
+  "CMakeFiles/core_service_test.dir/core/service_test.cpp.o.d"
+  "core_service_test"
+  "core_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

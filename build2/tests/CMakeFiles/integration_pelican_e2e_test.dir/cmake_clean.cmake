@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pelican_e2e_test.dir/integration/pelican_e2e_test.cpp.o"
+  "CMakeFiles/integration_pelican_e2e_test.dir/integration/pelican_e2e_test.cpp.o.d"
+  "integration_pelican_e2e_test"
+  "integration_pelican_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pelican_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_campus_test.dir/mobility/campus_test.cpp.o"
+  "CMakeFiles/mobility_campus_test.dir/mobility/campus_test.cpp.o.d"
+  "mobility_campus_test"
+  "mobility_campus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_campus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

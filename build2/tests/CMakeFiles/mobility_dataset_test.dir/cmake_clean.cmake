@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_dataset_test.dir/mobility/dataset_test.cpp.o"
+  "CMakeFiles/mobility_dataset_test.dir/mobility/dataset_test.cpp.o.d"
+  "mobility_dataset_test"
+  "mobility_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

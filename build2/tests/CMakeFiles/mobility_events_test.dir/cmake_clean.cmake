@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_events_test.dir/mobility/events_test.cpp.o"
+  "CMakeFiles/mobility_events_test.dir/mobility/events_test.cpp.o.d"
+  "mobility_events_test"
+  "mobility_events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_persona_test.dir/mobility/persona_test.cpp.o"
+  "CMakeFiles/mobility_persona_test.dir/mobility/persona_test.cpp.o.d"
+  "mobility_persona_test"
+  "mobility_persona_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_persona_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mobility/simulator_param_test.cpp" "tests/CMakeFiles/mobility_simulator_param_test.dir/mobility/simulator_param_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_simulator_param_test.dir/mobility/simulator_param_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/mobility/CMakeFiles/pelican_mobility.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_simulator_param_test.dir/mobility/simulator_param_test.cpp.o"
+  "CMakeFiles/mobility_simulator_param_test.dir/mobility/simulator_param_test.cpp.o.d"
+  "mobility_simulator_param_test"
+  "mobility_simulator_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_simulator_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_simulator_test.dir/mobility/simulator_test.cpp.o"
+  "CMakeFiles/mobility_simulator_test.dir/mobility/simulator_test.cpp.o.d"
+  "mobility_simulator_test"
+  "mobility_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_trace_io_test.dir/mobility/trace_io_test.cpp.o"
+  "CMakeFiles/mobility_trace_io_test.dir/mobility/trace_io_test.cpp.o.d"
+  "mobility_trace_io_test"
+  "mobility_trace_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/general_test.cpp" "tests/CMakeFiles/models_general_test.dir/models/general_test.cpp.o" "gcc" "tests/CMakeFiles/models_general_test.dir/models/general_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/models/CMakeFiles/pelican_models.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build2/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mobility/CMakeFiles/pelican_mobility.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  "/root/repo/build2/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

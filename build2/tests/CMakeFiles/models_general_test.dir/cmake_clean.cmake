@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_general_test.dir/models/general_test.cpp.o"
+  "CMakeFiles/models_general_test.dir/models/general_test.cpp.o.d"
+  "models_general_test"
+  "models_general_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_general_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

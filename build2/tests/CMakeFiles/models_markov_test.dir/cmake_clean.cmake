@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_markov_test.dir/models/markov_test.cpp.o"
+  "CMakeFiles/models_markov_test.dir/models/markov_test.cpp.o.d"
+  "models_markov_test"
+  "models_markov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

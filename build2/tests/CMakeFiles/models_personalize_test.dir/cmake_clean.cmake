@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_personalize_test.dir/models/personalize_test.cpp.o"
+  "CMakeFiles/models_personalize_test.dir/models/personalize_test.cpp.o.d"
+  "models_personalize_test"
+  "models_personalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_personalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_window_dataset_test.dir/models/window_dataset_test.cpp.o"
+  "CMakeFiles/models_window_dataset_test.dir/models/window_dataset_test.cpp.o.d"
+  "models_window_dataset_test"
+  "models_window_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_window_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_cv_test.dir/nn/cv_test.cpp.o"
+  "CMakeFiles/nn_cv_test.dir/nn/cv_test.cpp.o.d"
+  "nn_cv_test"
+  "nn_cv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_linear_test.dir/nn/linear_test.cpp.o"
+  "CMakeFiles/nn_linear_test.dir/nn/linear_test.cpp.o.d"
+  "nn_linear_test"
+  "nn_linear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_metrics_test.dir/nn/metrics_test.cpp.o"
+  "CMakeFiles/nn_metrics_test.dir/nn/metrics_test.cpp.o.d"
+  "nn_metrics_test"
+  "nn_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

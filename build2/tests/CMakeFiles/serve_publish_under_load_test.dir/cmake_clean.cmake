@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_publish_under_load_test.dir/serve/publish_under_load_test.cpp.o"
+  "CMakeFiles/serve_publish_under_load_test.dir/serve/publish_under_load_test.cpp.o.d"
+  "serve_publish_under_load_test"
+  "serve_publish_under_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_publish_under_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

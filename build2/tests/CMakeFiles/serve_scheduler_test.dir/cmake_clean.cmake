@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_scheduler_test.dir/serve/scheduler_test.cpp.o"
+  "CMakeFiles/serve_scheduler_test.dir/serve/scheduler_test.cpp.o.d"
+  "serve_scheduler_test"
+  "serve_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

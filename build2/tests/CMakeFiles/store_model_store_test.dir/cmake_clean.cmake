@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_model_store_test.dir/store/model_store_test.cpp.o"
+  "CMakeFiles/store_model_store_test.dir/store/model_store_test.cpp.o.d"
+  "store_model_store_test"
+  "store_model_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_model_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
