@@ -1,17 +1,49 @@
 // Library-level microbenchmarks (google-benchmark): the kernels every
-// experiment sits on — GEMM, LSTM forward/backward, softmax (with the
-// privacy layer's extreme temperatures), and batched black-box queries.
+// experiment sits on — GEMM (packed dense + batch-1 column split), the LSTM
+// forward in both encodings (dense vs one-hot SparseRows), softmax at the
+// privacy layer's extreme temperatures, and batched black-box queries.
+//
+// Besides the google-benchmark output, main() times the ISSUE-4-tracked
+// kernel comparisons with the harness Stopwatch and drops them as a Table
+// JSON (build/bench_results/nn_micro.json) so the CI bench-trajectory
+// artifact and tools/bench_diff.py see these kernels alongside the
+// experiment benches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "harness/results.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
 #include "nn/model.hpp"
+#include "nn/sparse.hpp"
 
 namespace {
 
 using namespace pelican;
 using namespace pelican::nn;
+
+/// One-hot input in the mobility-encoding shape: four hot columns per row.
+SparseSequence one_hot_input(std::size_t steps, std::size_t batch,
+                             std::size_t dim, Rng& rng) {
+  SparseSequence x(steps, SparseRows(batch, dim));
+  for (auto& step : x) {
+    step.reserve(4 * batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t block = 0; block < 4; ++block) {
+        const std::size_t lo = dim * block / 4;
+        const std::size_t hi = dim * (block + 1) / 4;
+        step.add(r, lo + rng.below(hi - lo), 1.0f);
+      }
+    }
+  }
+  return x;
+}
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -27,6 +59,22 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_MatmulBtBatch1(benchmark::State& state) {
+  // The single-query forward shape: one input row against a wide packed
+  // weight (n outputs), the case the column-threaded split targets.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Matrix a = Matrix::randn(1, 256, 1.0f, rng);
+  const Matrix w = Matrix::randn(n, 256, 1.0f, rng);
+  Matrix out;
+  for (auto _ : state) {
+    matmul_bt(a, w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * n);
+}
+BENCHMARK(BM_MatmulBtBatch1)->Arg(256)->Arg(4096);
+
 void BM_LstmForward(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
@@ -39,6 +87,31 @@ void BM_LstmForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_LstmForward)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_LstmForwardOneHot(benchmark::State& state) {
+  // Sparse vs dense on the SAME one-hot input (range(1) selects the
+  // encoding): the ISSUE 4 fast path. Results are bit-identical; only the
+  // input product changes (nnz row gathers vs input_dim x 4H GEMM).
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const bool sparse = state.range(1) != 0;
+  Rng rng(3);
+  Lstm lstm(128, 64, rng);
+  const SparseSequence input = one_hot_input(2, batch, 128, rng);
+  const Sequence dense_input = to_dense(input);
+  for (auto _ : state) {
+    auto out = sparse ? lstm.forward_sparse(input, false)
+                      : lstm.forward(dense_input, false);
+    benchmark::DoNotOptimize(out.back().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmForwardOneHot)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
 
 void BM_LstmBackward(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
@@ -70,15 +143,16 @@ BENCHMARK(BM_SoftmaxTemperature)->Arg(0)->Arg(1);
 
 void BM_ModelQueryBatch(benchmark::State& state) {
   // The attack's inner loop: a batched candidate query through the
-  // two-layer model (building-scale input dim).
+  // two-layer model (building-scale input dim), via the sparse encoding
+  // the attack scorer now uses.
   const auto batch = static_cast<std::size_t>(state.range(0));
   Rng rng(5);
   auto model = make_two_layer_lstm(127, 64, 40, 0.1, rng);
-  Sequence input(2, Matrix(batch, 127, 0.0f));
   Rng fill(6);
+  SparseSequence input(2, SparseRows(batch, 127));
   for (auto& step : input) {
     for (std::size_t r = 0; r < batch; ++r) {
-      step(r, fill.below(127)) = 1.0f;
+      step.add(r, fill.below(127), 1.0f);
     }
   }
   for (auto _ : state) {
@@ -89,6 +163,81 @@ void BM_ModelQueryBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelQueryBatch)->Arg(64)->Arg(512)->Arg(1024);
 
+/// Median-of-reps wall time of fn() in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn, int reps = 5, int iters_per_rep = 20) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    for (int i = 0; i < iters_per_rep; ++i) fn();
+    samples.push_back(watch.milliseconds() / iters_per_rep);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// The CI-tracked kernel table: dense-vs-sparse LSTM forward at the
+/// acceptance batch sizes plus the batch-1 GEMM, written via the same
+/// Table::to_json path as every experiment bench.
+void write_kernel_table() {
+  Table table({"case", "baseline_ms", "fast_ms", "speedup"});
+  Rng rng(42);
+  Lstm lstm(128, 64, rng);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
+                                  std::size_t{1024}}) {
+    Rng data_rng(43);
+    const SparseSequence sparse = one_hot_input(2, batch, 128, data_rng);
+    const Sequence dense = to_dense(sparse);
+    const double dense_ms =
+        time_ms([&] { (void)lstm.forward(dense, false); });
+    const double sparse_ms =
+        time_ms([&] { (void)lstm.forward_sparse(sparse, false); });
+    table.add_row({"lstm_fwd_onehot_b" + std::to_string(batch),
+                   Table::num(dense_ms, 5), Table::num(sparse_ms, 5),
+                   Table::num(dense_ms / sparse_ms, 2) + "x"});
+  }
+
+  {
+    // Batch-1 GEMM, dot kernel vs the legacy branchy scalar loop it
+    // replaced (kept here as the baseline so the delta stays visible in
+    // the bench trajectory).
+    Rng data_rng(44);
+    const Matrix a = Matrix::randn(1, 256, 1.0f, data_rng);
+    const Matrix w = Matrix::randn(1024, 256, 1.0f, data_rng);
+    Matrix out;
+    const auto legacy = [&] {
+      out.resize(1, w.rows());
+      for (std::size_t j = 0; j < w.rows(); ++j) {
+        const float* b_row = w.data() + j * a.cols();
+        float dot = 0.0f;
+        for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+          const float av = a.data()[kk];
+          if (av == 0.0f) continue;
+          dot += av * b_row[kk];
+        }
+        out.data()[j] += dot;
+      }
+    };
+    const double legacy_ms = time_ms(legacy);
+    const double packed_ms = time_ms([&] { matmul_bt(a, w, out); });
+    table.add_row({"gemm_bt_b1_256x1024", Table::num(legacy_ms, 5),
+                   Table::num(packed_ms, 5),
+                   Table::num(legacy_ms / packed_ms, 2) + "x"});
+  }
+
+  std::cout << table;
+  pelican::bench::write_bench_json("nn_micro", table);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_kernel_table();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "mobility/dataset.hpp"
 #include "nn/model.hpp"
@@ -17,6 +18,24 @@ class BlackBoxModel {
 
   /// Confidence scores (rows sum to 1) for a batch of encoded windows.
   [[nodiscard]] virtual nn::Matrix query(const nn::Sequence& input) = 0;
+
+  /// Sparse-encoded query — the attack scorer's fast path (candidate
+  /// windows are one-hot). The default densifies and delegates, so existing
+  /// implementations keep working; real deployments override with the
+  /// gather kernels and return bit-identical confidences either way.
+  [[nodiscard]] virtual nn::Matrix query(const nn::SparseSequence& input) {
+    return query(nn::to_dense(input));
+  }
+
+  /// An independent replica serving the same model: same weights, same
+  /// privacy behavior, but its own forward-pass caches, so replicas can be
+  /// queried from different threads concurrently (parallel candidate
+  /// scoring). Queries against a replica count against the ORIGINAL's
+  /// budget, and the replica must not outlive it. Returns nullptr when the
+  /// implementation cannot replicate (scoring then stays serial).
+  [[nodiscard]] virtual std::unique_ptr<BlackBoxModel> replicate() {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual std::size_t num_classes() const = 0;
 
@@ -36,6 +55,19 @@ class PlainBlackBox final : public BlackBoxModel {
   [[nodiscard]] nn::Matrix query(const nn::Sequence& input) override {
     return model_->predict_proba(input);
   }
+  [[nodiscard]] nn::Matrix query(const nn::SparseSequence& input) override {
+    return model_->predict_proba(input);
+  }
+
+  /// Replicas own a deep copy of the model (the adapter itself only
+  /// borrows), giving each scoring worker private forward caches.
+  [[nodiscard]] std::unique_ptr<BlackBoxModel> replicate() override {
+    auto owned = std::make_shared<nn::SequenceClassifier>(model_->clone());
+    auto copy = std::make_unique<PlainBlackBox>(*owned, spec_);
+    copy->owned_ = std::move(owned);
+    return copy;
+  }
+
   [[nodiscard]] std::size_t num_classes() const override {
     return model_->num_classes();
   }
@@ -45,6 +77,7 @@ class PlainBlackBox final : public BlackBoxModel {
 
  private:
   nn::SequenceClassifier* model_;
+  std::shared_ptr<nn::SequenceClassifier> owned_;  // set on replicas only
   mobility::EncodingSpec spec_;
 };
 

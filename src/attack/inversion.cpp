@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
@@ -32,8 +33,11 @@ std::vector<double> score_candidates(BlackBoxModel& model,
        start += query_batch) {
     const std::size_t count =
         std::min(query_batch, candidates.size() - start);
-    nn::Sequence x(mobility::kWindowSteps,
-                   nn::Matrix(count, spec.input_dim(), 0.0f));
+    // Candidates are one-hot by construction; query through the sparse
+    // fast path (bit-identical confidences, nnz-row input products).
+    nn::SparseSequence x(mobility::kWindowSteps,
+                         nn::SparseRows(count, spec.input_dim()));
+    for (nn::SparseRows& step : x) step.reserve(4 * count);
     for (std::size_t i = 0; i < count; ++i) {
       models::encode_steps(candidates[start + i].steps, spec, x, i);
     }
@@ -43,6 +47,60 @@ std::vector<double> score_candidates(BlackBoxModel& model,
       const double score =
           static_cast<double>(confidences(i, observed_next)) * prior[guess];
       scores[guess] = std::max(scores[guess], score);
+    }
+  }
+  return scores;
+}
+
+std::vector<std::unique_ptr<BlackBoxModel>> make_scoring_replicas(
+    BlackBoxModel& model, std::size_t count) {
+  std::vector<std::unique_ptr<BlackBoxModel>> replicas;
+  replicas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto replica = model.replicate();
+    if (!replica) return {};
+    replicas.push_back(std::move(replica));
+  }
+  return replicas;
+}
+
+std::vector<double> score_candidates_parallel(
+    BlackBoxModel& model, std::span<const Candidate> candidates,
+    std::uint16_t observed_next, std::span<const double> prior,
+    std::size_t query_batch,
+    std::span<const std::unique_ptr<BlackBoxModel>> replicas) {
+  // One contiguous chunk per worker. Chunking (not per-batch round-robin)
+  // keeps every worker on one replica no matter which pool thread picks the
+  // index up, and a worker count of one degenerates to the serial path.
+  const std::size_t workers =
+      std::min(replicas.size() + 1,
+               std::max<std::size_t>(1, candidates.size() / query_batch));
+  if (workers <= 1) {
+    return score_candidates(model, candidates, observed_next, prior,
+                            query_batch);
+  }
+  std::vector<BlackBoxModel*> models;
+  models.reserve(workers);
+  models.push_back(&model);
+  for (std::size_t i = 0; i + 1 < workers; ++i) {
+    models.push_back(replicas[i].get());
+  }
+
+  std::vector<std::vector<double>> partial(workers);
+  parallel_for(workers, [&](std::size_t w) {
+    const std::size_t lo = candidates.size() * w / workers;
+    const std::size_t hi = candidates.size() * (w + 1) / workers;
+    partial[w] = score_candidates(*models[w], candidates.subspan(lo, hi - lo),
+                                  observed_next, prior, query_batch);
+  });
+
+  // Deterministic merge: per-location max in ascending worker order. Max is
+  // order-independent over these scores anyway (ties pick the same value),
+  // so any worker count yields the bits the serial loop yields.
+  std::vector<double> scores = std::move(partial[0]);
+  for (std::size_t w = 1; w < workers; ++w) {
+    for (std::size_t l = 0; l < scores.size(); ++l) {
+      scores[l] = std::max(scores[l], partial[w][l]);
     }
   }
   return scores;
@@ -86,14 +144,30 @@ InversionResult run_inversion(
   result.ks = config.ks;
   result.topk_accuracy.assign(config.ks.size(), 0.0);
 
+  // Per-worker model replicas, built on the first window whose candidate
+  // set is large enough for parallel scoring to engage (time-based attacks
+  // enumerate tens of candidates — cloning a model per core for them would
+  // be pure waste), then reused for every later window. Candidate scoring
+  // — the dominant serial cost once enumeration went parallel — then spans
+  // the pool; replicas charge the original model's query budget, so the
+  // audit trail is identical to serial scoring.
+  std::vector<std::unique_ptr<BlackBoxModel>> replicas;
+  bool replicas_built = false;
+
   Stopwatch watch;
   for (std::size_t w = 0; w < limit; ++w) {
     const mobility::Window& window = target_windows[w];
     const auto candidates = enumerate_candidates(
         config.method, config.adversary, window, guesses, prior);
-    const auto scores =
-        score_candidates(model, candidates, window.next_location, prior,
-                         config.query_batch);
+    if (config.parallel_scoring && !replicas_built &&
+        ThreadPool::global().size() > 0 &&
+        candidates.size() >= 2 * config.query_batch) {
+      replicas = make_scoring_replicas(model, ThreadPool::global().size());
+      replicas_built = true;
+    }
+    const auto scores = score_candidates_parallel(
+        model, candidates, window.next_location, prior, config.query_batch,
+        replicas);
     result.model_queries += candidates.size();
 
     const std::uint16_t truth = window.steps[step].location;

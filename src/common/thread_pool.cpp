@@ -96,7 +96,15 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   wake_.notify_all();
 
-  batch.run_share();  // caller participates
+  // The caller participates, and while it does it counts as a pool worker:
+  // a nested parallel_for from inside its share must serialize (exactly as
+  // it does for the spawned workers) instead of re-locking submit_mutex_ —
+  // which this thread already holds — and deadlocking. Restore on exit so
+  // sequential parallel_for calls from this thread still parallelize.
+  const bool was_inside = inside_pool_worker;
+  inside_pool_worker = true;
+  batch.run_share();
+  inside_pool_worker = was_inside;
 
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -14,11 +14,11 @@ std::vector<std::uint16_t> DeployedModel::predict_top_k(
 std::vector<std::vector<std::uint16_t>> DeployedModel::predict_top_k_batch(
     std::span<const mobility::Window> windows, std::size_t k) {
   if (windows.empty()) return {};
-  nn::Sequence x(mobility::kWindowSteps,
-                 nn::Matrix(windows.size(), spec_.input_dim(), 0.0f));
-  for (std::size_t r = 0; r < windows.size(); ++r) {
-    models::encode_window(windows[r], spec_, x, r);
-  }
+  // Sparse one-hot encoding: the LSTM input product becomes nnz row
+  // gathers instead of an input_dim x 4*hidden GEMM per timestep, with
+  // bit-identical logits (nn/sparse.hpp) — so this fast path cannot change
+  // what any user is served.
+  const nn::SparseSequence x = models::encode_windows_sparse(windows, spec_);
   // Rank in the log domain: softmax at any temperature is strictly monotone
   // in the logits, so the top-k of the privacy-scaled confidences IS the
   // top-k of the logits. Ranking there sidesteps the float saturation of

@@ -55,25 +55,61 @@ class DeployedModel final : public attack::BlackBoxModel {
     return privacy_.apply(model_.forward(input, /*training=*/false));
   }
 
+  /// Sparse-encoded query: the same confidences, bit for bit, via the
+  /// one-hot gather kernels (nn/sparse.hpp). Same per-row budget spend.
+  [[nodiscard]] nn::Matrix query(const nn::SparseSequence& input) override {
+    add_queries(input.empty() ? 0 : input.front().rows());
+    return privacy_.apply(model_.forward(input, /*training=*/false));
+  }
+
   // Movable so deployments can live in containers and be handed between
   // tiers; moving is not thread-safe (unlike the query counter, which is
   // atomic because a publisher reads it while serving threads add to it).
+  // The counter lives behind a shared_ptr precisely so moves are safe while
+  // replicas (see replicate()) are outstanding: the counter object's
+  // address is stable no matter where the deployment itself moves. Moves
+  // SHARE the counter with the moved-from shell rather than emptying it,
+  // so a drained source still answers query_count() consistently.
   DeployedModel(DeployedModel&& other) noexcept
       : model_(std::move(other.model_)),
         spec_(other.spec_),
         privacy_(other.privacy_),
         site_(other.site_),
         model_version_(other.model_version_),
-        queries_(other.queries_.load(std::memory_order_relaxed)) {}
+        queries_(other.queries_) {}
   DeployedModel& operator=(DeployedModel&& other) noexcept {
     model_ = std::move(other.model_);
     spec_ = other.spec_;
     privacy_ = other.privacy_;
     site_ = other.site_;
     model_version_ = other.model_version_;
-    queries_.store(other.queries_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
+    queries_ = other.queries_;
     return *this;
+  }
+
+  /// Deep copy: duplicates the model (and therefore its forward caches),
+  /// privacy layer, and placement, and snapshots the current query count.
+  /// The copy is fully independent — two clones can serve or be attacked
+  /// concurrently without sharing any state.
+  [[nodiscard]] DeployedModel clone() const {
+    DeployedModel copy(model_.clone(), spec_, privacy_, site_,
+                       model_version_);
+    copy.set_query_count(query_count());
+    return copy;
+  }
+
+  /// attack::BlackBoxModel::replicate: like clone(), but the replica's
+  /// queries are charged to THIS deployment's budget (the clones exist only
+  /// to give each scoring worker private forward caches; the adversary is
+  /// still spending one user's query budget). The counter is shared by
+  /// shared_ptr, so replicas stay valid even if this deployment moves or
+  /// is destroyed first.
+  [[nodiscard]] std::unique_ptr<attack::BlackBoxModel> replicate() override {
+    auto copy = std::make_unique<DeployedModel>(model_.clone(), spec_,
+                                                privacy_, site_,
+                                                model_version_);
+    copy->queries_ = queries_;
+    return copy;
   }
 
   [[nodiscard]] std::size_t num_classes() const override {
@@ -100,7 +136,7 @@ class DeployedModel final : public attack::BlackBoxModel {
 
   [[nodiscard]] DeploymentSite site() const noexcept { return site_; }
   [[nodiscard]] std::size_t query_count() const noexcept {
-    return queries_.load(std::memory_order_relaxed);
+    return queries_->load(std::memory_order_relaxed);
   }
   [[nodiscard]] double temperature() const noexcept {
     return privacy_.temperature();
@@ -117,7 +153,7 @@ class DeployedModel final : public attack::BlackBoxModel {
   /// USER, not per model object, so a replacement deployment published for
   /// the same user inherits the count the old one accumulated.
   void set_query_count(std::size_t count) noexcept {
-    queries_.store(count, std::memory_order_relaxed);
+    queries_->store(count, std::memory_order_relaxed);
   }
 
   /// Replaces the model in place (on-device Pelican model update, Section
@@ -133,7 +169,7 @@ class DeployedModel final : public attack::BlackBoxModel {
 
  private:
   void add_queries(std::size_t rows) noexcept {
-    queries_.fetch_add(rows, std::memory_order_relaxed);
+    queries_->fetch_add(rows, std::memory_order_relaxed);
   }
 
   nn::SequenceClassifier model_;
@@ -143,7 +179,11 @@ class DeployedModel final : public attack::BlackBoxModel {
   std::uint32_t model_version_ = 0;
   // Atomic: a publisher snapshots the count (DeploymentRegistry::publish)
   // while serving threads add to it under only their per-deployment lock.
-  std::atomic<std::size_t> queries_{0};
+  // Behind a shared_ptr for address stability: scoring replicas (see
+  // replicate()) hold the same counter, and the deployment itself may move
+  // between containers/tiers while they do.
+  std::shared_ptr<std::atomic<std::size_t>> queries_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
 };
 
 }  // namespace pelican::core

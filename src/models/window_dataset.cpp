@@ -29,6 +29,45 @@ void encode_window(const mobility::Window& window,
   encode_steps(window.steps, spec, x, row);
 }
 
+void encode_steps(std::span<const mobility::StepFeatures> steps,
+                  const mobility::EncodingSpec& spec, nn::SparseSequence& x,
+                  std::size_t row) {
+  if (x.size() != steps.size()) {
+    throw std::invalid_argument("encode_steps: sequence length mismatch");
+  }
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    const mobility::StepFeatures& step = steps[t];
+    if (step.location >= spec.num_locations) {
+      throw std::out_of_range("encode_steps: location outside domain");
+    }
+    // Feature blocks are laid out in ascending offsets, so the entries
+    // arrive in the strictly-ascending column order SparseRows requires.
+    nn::SparseRows& out = x[t];
+    out.add(row, spec.entry_offset() + step.entry_bin, 1.0f);
+    out.add(row, spec.duration_offset() + step.duration_bin, 1.0f);
+    out.add(row, spec.location_offset() + step.location, 1.0f);
+    out.add(row, spec.day_offset() + step.day_of_week, 1.0f);
+  }
+}
+
+void encode_window(const mobility::Window& window,
+                   const mobility::EncodingSpec& spec, nn::SparseSequence& x,
+                   std::size_t row) {
+  encode_steps(window.steps, spec, x, row);
+}
+
+nn::SparseSequence encode_windows_sparse(
+    std::span<const mobility::Window> windows,
+    const mobility::EncodingSpec& spec) {
+  nn::SparseSequence x(mobility::kWindowSteps,
+                       nn::SparseRows(windows.size(), spec.input_dim()));
+  for (nn::SparseRows& step : x) step.reserve(4 * windows.size());
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    encode_window(windows[r], spec, x, r);
+  }
+  return x;
+}
+
 WindowDataset::WindowDataset(std::vector<mobility::Window> windows,
                              mobility::EncodingSpec spec)
     : windows_(std::move(windows)), spec_(spec) {
@@ -44,6 +83,20 @@ void WindowDataset::materialize(std::span<const std::uint32_t> indices,
                                 std::vector<std::int32_t>& y) const {
   x.assign(mobility::kWindowSteps,
            nn::Matrix(indices.size(), spec_.input_dim(), 0.0f));
+  y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const mobility::Window& window = windows_.at(indices[i]);
+    encode_window(window, spec_, x, i);
+    y[i] = static_cast<std::int32_t>(window.next_location);
+  }
+}
+
+void WindowDataset::materialize_sparse(std::span<const std::uint32_t> indices,
+                                       nn::SparseSequence& x,
+                                       std::vector<std::int32_t>& y) const {
+  x.assign(mobility::kWindowSteps,
+           nn::SparseRows(indices.size(), spec_.input_dim()));
+  for (nn::SparseRows& step : x) step.reserve(4 * indices.size());
   y.resize(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const mobility::Window& window = windows_.at(indices[i]);

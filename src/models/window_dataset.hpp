@@ -28,6 +28,24 @@ void encode_steps(std::span<const mobility::StepFeatures> steps,
                   const mobility::EncodingSpec& spec, nn::Sequence& x,
                   std::size_t row);
 
+// Sparse variants: each window row is four (column, 1.0) entries instead of
+// an input_dim-wide one-hot vector, feeding the nn layer's gather kernels
+// (nn/sparse.hpp; bit-identical to the dense encoding by construction).
+// Rows must be filled in ascending order, exactly like the dense overloads
+// are used today.
+void encode_window(const mobility::Window& window,
+                   const mobility::EncodingSpec& spec, nn::SparseSequence& x,
+                   std::size_t row);
+void encode_steps(std::span<const mobility::StepFeatures> steps,
+                  const mobility::EncodingSpec& spec, nn::SparseSequence& x,
+                  std::size_t row);
+
+/// Builds the sparse one-hot sequence for a batch of windows — the fast
+/// path under DeployedModel::predict_top_k_batch and the attack scorer.
+[[nodiscard]] nn::SparseSequence encode_windows_sparse(
+    std::span<const mobility::Window> windows,
+    const mobility::EncodingSpec& spec);
+
 /// BatchSource over a window set; materializes one-hot batches on demand.
 class WindowDataset final : public nn::BatchSource {
  public:
@@ -47,6 +65,13 @@ class WindowDataset final : public nn::BatchSource {
 
   void materialize(std::span<const std::uint32_t> indices, nn::Sequence& x,
                    std::vector<std::int32_t>& y) const override;
+
+  /// Windows are one-hot by construction (four entries per row), so the
+  /// training/eval loops take the sparse path through this source.
+  [[nodiscard]] bool sparse() const override { return true; }
+  void materialize_sparse(std::span<const std::uint32_t> indices,
+                          nn::SparseSequence& x,
+                          std::vector<std::int32_t>& y) const override;
 
   [[nodiscard]] std::span<const mobility::Window> windows() const noexcept {
     return windows_;

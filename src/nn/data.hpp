@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -25,6 +26,22 @@ class BatchSource {
   /// (|indices| labels) for the requested sample indices.
   virtual void materialize(std::span<const std::uint32_t> indices, Sequence& x,
                            std::vector<std::int32_t>& y) const = 0;
+
+  /// True when materialize_sparse produces meaningfully sparse rows (one-hot
+  /// encodings). The training and evaluation loops then prefer the sparse
+  /// batches — the forward results are bit-identical (nn/sparse.hpp), only
+  /// the input product shrinks from input_dim-wide GEMM panels to nnz row
+  /// gathers.
+  [[nodiscard]] virtual bool sparse() const { return false; }
+
+  /// Sparse counterpart of materialize(). Only meaningful when sparse() is
+  /// true; the default (for inherently dense sources) throws.
+  virtual void materialize_sparse(std::span<const std::uint32_t> /*indices*/,
+                                  SparseSequence& /*x*/,
+                                  std::vector<std::int32_t>& /*y*/) const {
+    throw std::logic_error(
+        "BatchSource::materialize_sparse: source is not sparse-capable");
+  }
 };
 
 /// A contiguous or arbitrary-index view over another BatchSource; used for
@@ -47,11 +64,15 @@ class SubsetSource final : public BatchSource {
 
   void materialize(std::span<const std::uint32_t> indices, Sequence& x,
                    std::vector<std::int32_t>& y) const override {
-    std::vector<std::uint32_t> mapped(indices.size());
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      mapped[i] = indices_[indices[i]];
-    }
-    base_->materialize(mapped, x, y);
+    base_->materialize(map(indices), x, y);
+  }
+
+  [[nodiscard]] bool sparse() const override { return base_->sparse(); }
+
+  void materialize_sparse(std::span<const std::uint32_t> indices,
+                          SparseSequence& x,
+                          std::vector<std::int32_t>& y) const override {
+    base_->materialize_sparse(map(indices), x, y);
   }
 
   /// Range view [begin, end) over `base`.
@@ -64,6 +85,15 @@ class SubsetSource final : public BatchSource {
   }
 
  private:
+  [[nodiscard]] std::vector<std::uint32_t> map(
+      std::span<const std::uint32_t> indices) const {
+    std::vector<std::uint32_t> mapped(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      mapped[i] = indices_[indices[i]];
+    }
+    return mapped;
+  }
+
   const BatchSource* base_;
   std::vector<std::uint32_t> indices_;
 };

@@ -14,6 +14,7 @@
 
 #include "common/serialize.hpp"
 #include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
 
 namespace pelican::nn {
 
@@ -27,6 +28,14 @@ class SequenceLayer {
   /// Maps an input sequence to an output sequence of the same length.
   /// `training` toggles stochastic behavior (dropout).
   virtual Sequence forward(const Sequence& input, bool training) = 0;
+
+  /// Sparse-input forward for one-hot encodings. The default densifies and
+  /// delegates; layers with a real fast path (Lstm) override. Guaranteed
+  /// bit-identical to forward(to_dense(input), training) — see
+  /// nn/sparse.hpp for why — so callers may pick the encoding freely.
+  virtual Sequence forward_sparse(const SparseSequence& input, bool training) {
+    return forward(to_dense(input), training);
+  }
 
   /// Backpropagates through the most recent forward() call. Accumulates
   /// parameter gradients and returns gradients w.r.t. the layer input.

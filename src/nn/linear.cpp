@@ -15,18 +15,39 @@ Matrix Linear::forward(const Matrix& x) {
     throw std::invalid_argument("Linear::forward: input width mismatch");
   }
   cached_input_ = x;
+  cached_sparse_ = SparseRows();
   Matrix y;
   matmul_bt(x, weight_, y);
   add_row_broadcast(y, bias_.row(0));
   return y;
 }
 
+Matrix Linear::forward(const SparseRows& x) {
+  if (x.cols() != weight_.cols()) {
+    throw std::invalid_argument("Linear::forward: input width mismatch");
+  }
+  cached_input_ = Matrix();
+  cached_sparse_ = x;
+  Matrix y;
+  sparse_matmul_bt(x, weight_, y);
+  add_row_broadcast(y, bias_.row(0));
+  return y;
+}
+
 Matrix Linear::backward(const Matrix& grad_output) {
-  if (grad_output.rows() != cached_input_.rows() ||
+  const bool sparse = cached_input_.empty() && !cached_sparse_.empty();
+  const std::size_t cached_rows =
+      sparse ? cached_sparse_.rows() : cached_input_.rows();
+  if (grad_output.rows() != cached_rows ||
       grad_output.cols() != weight_.rows()) {
     throw std::invalid_argument("Linear::backward: grad shape mismatch");
   }
-  matmul_at(grad_output, cached_input_, grad_weight_, /*accumulate=*/true);
+  if (sparse) {
+    sparse_matmul_at(grad_output, cached_sparse_, grad_weight_,
+                     /*accumulate=*/true);
+  } else {
+    matmul_at(grad_output, cached_input_, grad_weight_, /*accumulate=*/true);
+  }
   column_sums(grad_output, grad_bias_.row(0));
   Matrix dx;
   matmul(grad_output, weight_, dx);

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
 
 namespace pelican::nn {
 
@@ -21,6 +22,11 @@ class Linear {
 
   /// y = x W^T + b. Caches x for backward.
   [[nodiscard]] Matrix forward(const Matrix& x);
+
+  /// One-hot fast path: x W^T as nnz row gathers of W^T. Bit-identical to
+  /// forward(x.to_dense()) for finite weights (nn/sparse.hpp); backward()
+  /// works after either forward.
+  [[nodiscard]] Matrix forward(const SparseRows& x);
 
   /// Accumulates dW, db; returns dx.
   [[nodiscard]] Matrix backward(const Matrix& grad_output);
@@ -53,7 +59,9 @@ class Linear {
   Matrix bias_;         // 1 x out_dim
   Matrix grad_weight_;  // same shape as weight_
   Matrix grad_bias_;
-  Matrix cached_input_;  // from the last forward()
+  // Input cached by the last forward(); exactly one is populated.
+  Matrix cached_input_;
+  SparseRows cached_sparse_;
   bool trainable_ = true;
 };
 

@@ -24,10 +24,9 @@ Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
   for (std::size_t j = 0; j < h; ++j) bias_(0, h + j) = 1.0f;
 }
 
-Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
-  if (input.empty()) throw std::invalid_argument("Lstm::forward: empty input");
-  const std::size_t steps = input.size();
-  const std::size_t batch = input[0].rows();
+template <typename InputProduct>
+Sequence Lstm::run_forward(std::size_t steps, std::size_t batch,
+                           InputProduct&& input_product) {
   const std::size_t hidden = hidden_dim();
 
   cache_.clear();
@@ -37,20 +36,32 @@ Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
   Matrix h_prev(batch, hidden, 0.0f);
   Matrix c_prev(batch, hidden, 0.0f);
 
+  // The recurrence weight is invariant across timesteps, so its pack is
+  // hoisted out of the step loop (below kGemmPackMinRows the dot kernel
+  // needs no pack at all). Both forms compute each gate element's product
+  // chain from +0 and add it to the input product once — identical bits,
+  // the matmul_bt accumulate contract.
+  Matrix w_hh_t;
+  if (batch >= kGemmPackMinRows) w_hh_t = transposed(w_hh_);
+  Matrix hidden_chain;
+
   for (std::size_t t = 0; t < steps; ++t) {
-    const Matrix& x = input[t];
-    if (x.cols() != input_dim() || x.rows() != batch) {
-      throw std::invalid_argument("Lstm::forward: input shape mismatch");
-    }
     StepCache& step = cache_[t];
-    step.input = x;
     step.prev_hidden = h_prev;
     step.prev_cell = c_prev;
 
-    // Pre-activations: gates = x W_ih^T + h_prev W_hh^T + b.
+    // Pre-activations: gates = x W_ih^T + h_prev W_hh^T + b. The input
+    // product is supplied by the caller (dense GEMM or sparse gather);
+    // both leave gates with identical bits, so everything downstream is
+    // shared.
     Matrix gates;
-    matmul_bt(x, w_ih_, gates);
-    matmul_bt(h_prev, w_hh_, gates, /*accumulate=*/true);
+    input_product(t, step, gates);
+    if (w_hh_t.empty()) {
+      matmul_bt(h_prev, w_hh_, gates, /*accumulate=*/true);
+    } else {
+      matmul(h_prev, w_hh_t, hidden_chain);
+      gates += hidden_chain;
+    }
     add_row_broadcast(gates, bias_.row(0));
 
     step.cell.resize(batch, hidden);
@@ -88,12 +99,66 @@ Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
   return output;
 }
 
+Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
+  if (input.empty()) throw std::invalid_argument("Lstm::forward: empty input");
+  const std::size_t batch = input[0].rows();
+  // Hoist the input-weight pack out of the timestep loop (matmul_bt would
+  // otherwise re-transpose w_ih_ every step once the batch crosses its
+  // pack threshold); same bits either way.
+  Matrix w_ih_t;
+  if (batch >= kGemmPackMinRows) w_ih_t = transposed(w_ih_);
+  return run_forward(input.size(), batch,
+                     [&](std::size_t t, StepCache& step, Matrix& gates) {
+                       const Matrix& x = input[t];
+                       if (x.cols() != input_dim() || x.rows() != batch) {
+                         throw std::invalid_argument(
+                             "Lstm::forward: input shape mismatch");
+                       }
+                       step.input = x;
+                       if (w_ih_t.empty()) {
+                         matmul_bt(x, w_ih_, gates);
+                       } else {
+                         matmul(x, w_ih_t, gates);
+                       }
+                     });
+}
+
+Sequence Lstm::forward_sparse(const SparseSequence& input, bool /*training*/) {
+  if (input.empty()) {
+    throw std::invalid_argument("Lstm::forward_sparse: empty input");
+  }
+  const std::size_t batch = input[0].rows();
+  // One packed W_ih^T is shared by every timestep's gather when the total
+  // gathered work amortizes it; tiny batches gather strided columns of
+  // W_ih directly instead (sparse_matmul_bt makes the same choice per call,
+  // but could not share the pack across timesteps).
+  std::size_t total_nnz = 0;
+  for (const SparseRows& x : input) total_nnz += x.nnz();
+  Matrix w_ih_t;
+  if (total_nnz >= input_dim()) w_ih_t = transposed(w_ih_);
+
+  return run_forward(input.size(), batch,
+                     [&](std::size_t t, StepCache& step, Matrix& gates) {
+                       const SparseRows& x = input[t];
+                       if (x.cols() != input_dim() || x.rows() != batch) {
+                         throw std::invalid_argument(
+                             "Lstm::forward_sparse: input shape mismatch");
+                       }
+                       step.sparse_input = x;
+                       if (w_ih_t.empty()) {
+                         sparse_matmul_bt(x, w_ih_, gates);
+                       } else {
+                         sparse_matmul_pre_t(x, w_ih_t, gates);
+                       }
+                     });
+}
+
 Sequence Lstm::backward(const Sequence& grad_output) {
   if (grad_output.size() != cache_.size() || cache_.empty()) {
     throw std::invalid_argument("Lstm::backward: no matching forward cache");
   }
   const std::size_t steps = cache_.size();
-  const std::size_t batch = cache_[0].input.rows();
+  const std::size_t batch = cache_[0].gates.rows();
   const std::size_t hidden = hidden_dim();
 
   Sequence grad_input(steps);
@@ -138,7 +203,14 @@ Sequence Lstm::backward(const Sequence& grad_output) {
     }
 
     // Parameter gradients accumulate across timesteps and minibatches.
-    matmul_at(dgates, step.input, grad_w_ih_, /*accumulate=*/true);
+    // The input-weight gradient reads whichever encoding the forward
+    // cached; the sparse update touches only the nnz active columns.
+    if (step.input.empty() && !step.sparse_input.empty()) {
+      sparse_matmul_at(dgates, step.sparse_input, grad_w_ih_,
+                       /*accumulate=*/true);
+    } else {
+      matmul_at(dgates, step.input, grad_w_ih_, /*accumulate=*/true);
+    }
     matmul_at(dgates, step.prev_hidden, grad_w_hh_, /*accumulate=*/true);
     column_sums(dgates, grad_bias_.row(0));
 

@@ -21,6 +21,14 @@ class Lstm final : public SequenceLayer {
   Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
 
   Sequence forward(const Sequence& input, bool training) override;
+
+  /// One-hot fast path: computes x·W_ih^T as row gathers over the sparse
+  /// entries (an embedding lookup of nnz rows of W_ih^T per timestep)
+  /// instead of a dense input_dim x 4*hidden product. Bit-identical to the
+  /// dense forward for finite weights (nn/sparse.hpp); backward() works
+  /// after either forward.
+  Sequence forward_sparse(const SparseSequence& input, bool training) override;
+
   Sequence backward(const Sequence& grad_output) override;
 
   std::vector<Matrix*> parameters() override {
@@ -56,16 +64,24 @@ class Lstm final : public SequenceLayer {
   Matrix grad_w_hh_;
   Matrix grad_bias_;
 
-  // Forward cache (per timestep) consumed by backward().
+  // Forward cache (per timestep) consumed by backward(). Exactly one of
+  // input / sparse_input is populated, depending on which forward ran.
   struct StepCache {
-    Matrix input;       // B x I
-    Matrix gates;       // B x 4H, post-activation [i f g o]
-    Matrix cell;        // B x H, c_t
-    Matrix tanh_cell;   // B x H, tanh(c_t)
-    Matrix prev_hidden; // B x H, h_{t-1}
-    Matrix prev_cell;   // B x H, c_{t-1}
+    Matrix input;            // B x I (dense forward)
+    SparseRows sparse_input; // B x I (sparse forward)
+    Matrix gates;            // B x 4H, post-activation [i f g o]
+    Matrix cell;             // B x H, c_t
+    Matrix tanh_cell;        // B x H, tanh(c_t)
+    Matrix prev_hidden;      // B x H, h_{t-1}
+    Matrix prev_cell;        // B x H, c_{t-1}
   };
   std::vector<StepCache> cache_;
+
+  /// Shared body of both forwards: runs the recurrence with `input_product`
+  /// supplying this timestep's x·W_ih^T pre-activations.
+  template <typename InputProduct>
+  Sequence run_forward(std::size_t steps, std::size_t batch,
+                       InputProduct&& input_product);
 };
 
 }  // namespace pelican::nn

@@ -1,5 +1,6 @@
 #include "nn/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -13,8 +14,79 @@ namespace {
 /// Below this many multiply-adds the parallel split costs more than it saves.
 constexpr std::size_t kParallelFlopThreshold = 1u << 21;
 
+
+/// Output rows processed per block of the axpy kernel: the block's out rows
+/// stay hot while each panel row is streamed once per block.
+constexpr std::size_t kRowBlock = 8;
+
+/// Column tile of the axpy kernel (floats); keeps the active out tile and
+/// panel segment L1-resident when n is large.
+constexpr std::size_t kColBlock = 512;
+
 void check(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
+}
+
+/// The shared inner kernel: out[i0..i1) x [j0..j1) += a * panel, where
+/// `panel` is a contiguous (k x n) row-major operand. Branch-free and
+/// restrict-qualified so the j loop auto-vectorizes; every out element
+/// accumulates its k terms in ascending order in one chain, which is the
+/// determinism contract of this file (see matrix.hpp).
+void gemm_panel(const float* __restrict a, std::size_t lda,
+                const float* __restrict panel, std::size_t ldp,
+                float* __restrict out, std::size_t ldo, std::size_t k,
+                std::size_t i0, std::size_t i1, std::size_t j0,
+                std::size_t j1) {
+  for (std::size_t jb = j0; jb < j1; jb += kColBlock) {
+    const std::size_t je = std::min(j1, jb + kColBlock);
+    const std::size_t width = je - jb;
+    for (std::size_t ib = i0; ib < i1; ib += kRowBlock) {
+      const std::size_t ie = std::min(i1, ib + kRowBlock);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* __restrict panel_row = panel + kk * ldp + jb;
+        for (std::size_t i = ib; i < ie; ++i) {
+          const float av = a[i * lda + kk];
+          float* __restrict out_row = out + i * ldo + jb;
+          for (std::size_t j = 0; j < width; ++j) {
+            out_row[j] += av * panel_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Splits [0, extent) into `chunks` contiguous ranges across the pool.
+template <typename Fn>
+void parallel_ranges(std::size_t extent, std::size_t chunks, Fn&& fn) {
+  chunks = std::max<std::size_t>(1, std::min(chunks, extent));
+  if (chunks == 1) {
+    fn(std::size_t{0}, extent);
+    return;
+  }
+  parallel_for(chunks, [&](std::size_t c) {
+    fn(extent * c / chunks, extent * (c + 1) / chunks);
+  });
+}
+
+/// Runs the panel kernel over the whole output, threading over rows when
+/// the batch allows it and over columns otherwise — the batch-1 forwards
+/// that used to be entirely serial split their single wide output row.
+void gemm_dispatch(const float* a, std::size_t lda, const float* panel,
+                   std::size_t ldp, float* out, std::size_t ldo,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  const bool parallel = m * k * n >= kParallelFlopThreshold;
+  if (parallel && m > 1) {
+    parallel_ranges(m, 8, [&](std::size_t i0, std::size_t i1) {
+      gemm_panel(a, lda, panel, ldp, out, ldo, k, i0, i1, 0, n);
+    });
+  } else if (parallel && n >= 2 * kColBlock) {
+    parallel_ranges(n, 8, [&](std::size_t j0, std::size_t j1) {
+      gemm_panel(a, lda, panel, ldp, out, ldo, k, 0, m, j0, j1);
+    });
+  } else {
+    gemm_panel(a, lda, panel, ldp, out, ldo, k, 0, m, 0, n);
+  }
 }
 
 }  // namespace
@@ -62,69 +134,96 @@ Matrix Matrix::xavier(std::size_t fan_out, std::size_t fan_in, Rng& rng) {
   return uniform(fan_out, fan_in, limit, rng);
 }
 
+Matrix transposed(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  const float* __restrict src = m.data();
+  float* __restrict dst = out.data();
+  const std::size_t rows = m.rows(), cols = m.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      dst[c * rows + r] = src[r * cols + c];
+    }
+  }
+  return out;
+}
+
 void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   check(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (!accumulate || out.rows() != m || out.cols() != n) {
     out.resize(m, n);
   }
-
-  auto row_range = [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* out_row = out.data() + i * n;
-      const float* a_row = a.data() + i * k;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;  // one-hot inputs are mostly zero
-        const float* b_row = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  };
-
-  if (m * k * n >= kParallelFlopThreshold && m > 1) {
-    const std::size_t chunks = std::min<std::size_t>(m, 8);
-    parallel_for(chunks, [&](std::size_t c) {
-      const std::size_t lo = m * c / chunks;
-      const std::size_t hi = m * (c + 1) / chunks;
-      row_range(lo, hi);
-    });
-  } else {
-    row_range(0, m);
-  }
+  // b is already the (k x n) panel layout the axpy kernel streams.
+  gemm_dispatch(a.data(), k, b.data(), n, out.data(), n, m, k, n);
 }
 
 void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out,
                bool accumulate) {
   check(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (!accumulate || out.rows() != m || out.cols() != n) {
-    out.resize(m, n);
-  }
 
-  auto row_range = [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* a_row = a.data() + i * k;
-      float* out_row = out.data() + i * n;
+  // Accumulate semantics: the product is computed in its own chain (every
+  // element from +0.0f, ascending k) and added to the existing value ONCE —
+  // so an element's bits never depend on whether its row was part of a
+  // fresh or an accumulating call, and batch-1 calls can use the contiguous
+  // dot kernel (both operands' rows are contiguous; no pack needed).
+  if (accumulate && out.rows() == m && out.cols() == n) {
+    if (m == 1) {
+      const float* __restrict a_row = a.data();
+      const float* __restrict bp = b.data();
+      float* __restrict out_row = out.data();
       for (std::size_t j = 0; j < n; ++j) {
-        const float* b_row = b.data() + j * k;
+        const float* __restrict b_row = bp + j * k;
         float dot = 0.0f;
         for (std::size_t kk = 0; kk < k; ++kk) dot += a_row[kk] * b_row[kk];
         out_row[j] += dot;
       }
+      return;
     }
-  };
-
-  if (m * k * n >= kParallelFlopThreshold && m > 1) {
-    const std::size_t chunks = std::min<std::size_t>(m, 8);
-    parallel_for(chunks, [&](std::size_t c) {
-      const std::size_t lo = m * c / chunks;
-      const std::size_t hi = m * (c + 1) / chunks;
-      row_range(lo, hi);
-    });
-  } else {
-    row_range(0, m);
+    // The product chain is materialized in a scratch matrix and added in
+    // one pass (an O(m*n) epilogue against the O(m*k*n) product).
+    // thread_local so the per-timestep LSTM recurrence reuses the buffer
+    // instead of allocating; distinct pool workers get distinct buffers,
+    // and the inner non-accumulate call never touches it recursively.
+    static thread_local Matrix scratch;
+    matmul_bt(a, b, scratch, /*accumulate=*/false);
+    out += scratch;
+    return;
   }
+  out.resize(m, n);
+
+  if (m < kGemmPackMinRows) {
+    // Few rows: the plain dot kernel beats paying for a pack. Its single
+    // chain from 0.0f is bit-identical to the packed axpy chain below.
+    // Batch-1 still splits across the pool, over output columns.
+    const float* __restrict ap = a.data();
+    const float* __restrict bp = b.data();
+    float* __restrict op = out.data();
+    auto dot_cols = [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* __restrict a_row = ap + i * k;
+        float* __restrict out_row = op + i * n;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float* __restrict b_row = bp + j * k;
+          float dot = 0.0f;
+          for (std::size_t kk = 0; kk < k; ++kk) dot += a_row[kk] * b_row[kk];
+          out_row[j] += dot;
+        }
+      }
+    };
+    if (m * k * n >= kParallelFlopThreshold && n >= 16) {
+      parallel_ranges(n, 8, dot_cols);
+    } else {
+      dot_cols(0, n);
+    }
+    return;
+  }
+
+  // General case: pack b into a contiguous (k x n) panel once, then run the
+  // same axpy kernel as matmul. The pack is O(k*n) against an O(m*k*n)
+  // product and turns every inner loop into unit-stride traffic.
+  const Matrix bt = transposed(b);
+  gemm_dispatch(a.data(), k, bt.data(), n, out.data(), n, m, k, n);
 }
 
 void matmul_at(const Matrix& a, const Matrix& b, Matrix& out,
@@ -134,17 +233,28 @@ void matmul_at(const Matrix& a, const Matrix& b, Matrix& out,
   if (!accumulate || out.rows() != m || out.cols() != n) {
     out.resize(m, n);
   }
-  // Rank-1 update per shared row; serial because rows of `out` are written
-  // by every iteration (the k dimension is the batch, typically <= 256).
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* a_row = a.data() + kk * m;
-    const float* b_row = b.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = a_row[i];
-      if (av == 0.0f) continue;
-      float* out_row = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+  const float* __restrict ap = a.data();
+  const float* __restrict bp = b.data();
+  float* __restrict op = out.data();
+  // Rank-1 update per shared row. Chunking over m (output rows) keeps each
+  // out element's accumulation in ascending-k order within its chunk while
+  // giving training backprop — where m is 4*hidden or num_classes — the
+  // pool that the forward products already use.
+  auto update_rows = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* __restrict a_row = ap + kk * m;
+      const float* __restrict b_row = bp + kk * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float av = a_row[i];
+        float* __restrict out_row = op + i * n;
+        for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
     }
+  };
+  if (m * k * n >= kParallelFlopThreshold && m >= 16) {
+    parallel_ranges(m, 8, update_rows);
+  } else {
+    update_rows(0, m);
   }
 }
 

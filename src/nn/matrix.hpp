@@ -85,16 +85,40 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Dense transpose; also the pack step of the GEMM kernels (a (n x k)
+/// operand becomes a contiguous (k x n) panel the axpy kernel streams).
+[[nodiscard]] Matrix transposed(const Matrix& m);
+
+/// Row count below which matmul_bt's per-call pack cannot amortize (it uses
+/// a contiguous dot kernel instead). Exported so callers that sweep one
+/// weight across many products (the LSTM timestep loop) can hoist a single
+/// pack above this threshold and call matmul against the packed panel.
+inline constexpr std::size_t kGemmPackMinRows = 4;
+
+// Determinism contract shared by all three products (regression-tested by
+// the serve-layer batch invariance and the sparse/dense equivalence tests):
+// every output element accumulates its k terms in ascending-k order in a
+// single chain, regardless of batch size, blocking, or how the thread pool
+// splits rows/columns (matmul_bt with accumulate=true computes that chain
+// from +0.0f and adds it to the existing value once). Threads only ever own
+// disjoint output ranges, so results are bit-identical across thread
+// counts and batch compositions. The kernels are branch-free in the dense
+// path — one-hot inputs go through nn/sparse.hpp instead of a per-element
+// zero test.
+
 /// out = a * b. Shapes: (m x k)(k x n) -> (m x n). When `accumulate` is
 /// true, adds into `out` instead of overwriting. `out` must not alias inputs.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out,
             bool accumulate = false);
 
-/// out = a * b^T. Shapes: (m x k)(n x k)^T -> (m x n).
+/// out = a * b^T. Shapes: (m x k)(n x k)^T -> (m x n). Large operands are
+/// packed into a transposed panel so the inner loop is a contiguous axpy.
 void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out,
                bool accumulate = false);
 
-/// out = a^T * b. Shapes: (k x m)^T(k x n) -> (m x n).
+/// out = a^T * b. Shapes: (k x m)^T(k x n) -> (m x n). Parallelizes by
+/// chunking the m (output-row) dimension, so training backprop's gradient
+/// products also use the pool.
 void matmul_at(const Matrix& a, const Matrix& b, Matrix& out,
                bool accumulate = false);
 

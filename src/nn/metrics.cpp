@@ -7,6 +7,19 @@
 
 namespace pelican::nn {
 
+Matrix forward_batch(SequenceClassifier& model, const BatchSource& data,
+                     std::span<const std::uint32_t> indices,
+                     std::vector<std::int32_t>& y, bool training) {
+  if (data.sparse()) {
+    SparseSequence sx;
+    data.materialize_sparse(indices, sx, y);
+    return model.forward(sx, training);
+  }
+  Sequence x;
+  data.materialize(indices, x, y);
+  return model.forward(x, training);
+}
+
 bool topk_hit(std::span<const float> scores, std::size_t label,
               std::size_t k) {
   const float label_score = scores[label];
@@ -28,7 +41,6 @@ std::vector<double> topk_accuracies(SequenceClassifier& model,
   std::vector<double> hits(ks.size(), 0.0);
   if (data.size() == 0) return hits;
 
-  Sequence x;
   std::vector<std::int32_t> y;
   std::vector<std::uint32_t> indices;
   for (std::size_t start = 0; start < data.size(); start += batch_size) {
@@ -36,8 +48,8 @@ std::vector<double> topk_accuracies(SequenceClassifier& model,
     indices.resize(end - start);
     std::iota(indices.begin(), indices.end(),
               static_cast<std::uint32_t>(start));
-    data.materialize(indices, x, y);
-    const Matrix logits = model.forward(x, /*training=*/false);
+    const Matrix logits =
+        forward_batch(model, data, indices, y, /*training=*/false);
     for (std::size_t r = 0; r < logits.rows(); ++r) {
       for (std::size_t ki = 0; ki < ks.size(); ++ki) {
         if (topk_hit(logits.row(r), static_cast<std::size_t>(y[r]), ks[ki])) {

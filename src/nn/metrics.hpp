@@ -12,6 +12,16 @@
 
 namespace pelican::nn {
 
+/// Materializes the indexed batch in the source's preferred encoding
+/// (sparse one-hot when BatchSource::sparse(), dense otherwise), runs a
+/// forward pass, and fills `y`. The single dispatch point shared by the
+/// train/eval loops — logits are bit-identical across encodings.
+[[nodiscard]] Matrix forward_batch(SequenceClassifier& model,
+                                   const BatchSource& data,
+                                   std::span<const std::uint32_t> indices,
+                                   std::vector<std::int32_t>& y,
+                                   bool training);
+
 /// Fraction of samples whose label is among the k highest logits.
 [[nodiscard]] double topk_accuracy(SequenceClassifier& model,
                                    const BatchSource& data, std::size_t k,

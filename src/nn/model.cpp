@@ -61,7 +61,28 @@ Sequence SequenceClassifier::backward(const Matrix& grad_logits) {
   return grads;
 }
 
+Matrix SequenceClassifier::forward(const SparseSequence& input,
+                                   bool training) {
+  if (input.empty()) {
+    throw std::invalid_argument("SequenceClassifier::forward: empty input");
+  }
+  cached_batch_ = input[0].rows();
+  cached_steps_ = input.size();
+
+  if (layers_.empty()) return head_.forward(input.back());
+  Sequence activations = layers_.front()->forward_sparse(input, training);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    activations = layers_[i]->forward(activations, training);
+  }
+  return head_.forward(activations.back());
+}
+
 Matrix SequenceClassifier::predict_proba(const Sequence& input,
+                                         double temperature) {
+  return softmax(forward(input, /*training=*/false), temperature);
+}
+
+Matrix SequenceClassifier::predict_proba(const SparseSequence& input,
                                          double temperature) {
   return softmax(forward(input, /*training=*/false), temperature);
 }

@@ -52,12 +52,22 @@ class SequenceClassifier {
   /// (batch x classes). Caches activations for backward().
   [[nodiscard]] Matrix forward(const Sequence& input, bool training = false);
 
+  /// One-hot fast path: the first layer consumes the sparse encoding
+  /// directly (Lstm gathers rows of W_ih^T instead of a dense product);
+  /// everything above it is dense. Bit-identical to
+  /// forward(to_dense(input), training) — the serving and attack layers
+  /// rely on this to switch encodings freely.
+  [[nodiscard]] Matrix forward(const SparseSequence& input,
+                               bool training = false);
+
   /// Backpropagates from dL/dlogits; accumulates parameter gradients and
   /// returns dL/dinput (full sequence), enabling input-space attacks.
   [[nodiscard]] Sequence backward(const Matrix& grad_logits);
 
   /// Convenience: forward + temperature-scaled softmax, inference mode.
   [[nodiscard]] Matrix predict_proba(const Sequence& input,
+                                     double temperature = 1.0);
+  [[nodiscard]] Matrix predict_proba(const SparseSequence& input,
                                      double temperature = 1.0);
 
   void zero_grad();

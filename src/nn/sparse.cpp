@@ -1,0 +1,146 @@
+#include "nn/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pelican::nn {
+
+void SparseRows::add(std::size_t row, std::size_t col, float val) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("SparseRows::add: entry outside matrix");
+  }
+  if (!row_start_.empty()) {
+    const std::size_t open_row = row_start_.size() - 1;
+    if (row < open_row) {
+      throw std::invalid_argument("SparseRows::add: rows must be appended in "
+                                  "nondecreasing order");
+    }
+    if (row == open_row && !entries_.empty() &&
+        row_start_[open_row] < entries_.size() &&
+        entries_.back().col >= col) {
+      throw std::invalid_argument("SparseRows::add: columns within a row must "
+                                  "be strictly ascending");
+    }
+  }
+  while (row_start_.size() <= row) {
+    row_start_.push_back(static_cast<std::uint32_t>(entries_.size()));
+  }
+  entries_.push_back({static_cast<std::uint32_t>(col), val});
+}
+
+Matrix SparseRows::to_dense() const {
+  Matrix dense(rows_, cols_, 0.0f);
+  for (std::size_t r = 0; r < row_start_.size(); ++r) {
+    float* out = dense.data() + r * cols_;
+    for (const Entry& e : row(r)) out[e.col] = e.val;
+  }
+  return dense;
+}
+
+std::vector<Matrix> to_dense(const SparseSequence& sparse) {
+  std::vector<Matrix> dense;
+  dense.reserve(sparse.size());
+  for (const SparseRows& step : sparse) dense.push_back(step.to_dense());
+  return dense;
+}
+
+namespace {
+
+/// Gathers row r's product chain into `row` (length n, caller-zeroed),
+/// reading either a packed (k x n) transposed panel or strided columns of
+/// the original (n x k) weight.
+void gather_row(std::span<const SparseRows::Entry> entries,
+                const float* __restrict w, std::size_t n, std::size_t stride,
+                bool packed, float* __restrict row) {
+  for (const SparseRows::Entry& e : entries) {
+    const float av = e.val;
+    if (packed) {
+      const float* __restrict w_row = w + e.col * n;
+      for (std::size_t j = 0; j < n; ++j) row[j] += av * w_row[j];
+    } else {
+      const float* __restrict w_col = w + e.col;
+      for (std::size_t j = 0; j < n; ++j) row[j] += av * w_col[j * stride];
+    }
+  }
+}
+
+/// Shared body of the two x*w^T kernels. Mirrors matmul_bt's accumulate
+/// semantics: each output element's product chain starts at +0.0f and is
+/// added to any existing value ONCE, so sparse results stay bit-identical
+/// to the dense kernel in both modes.
+void sparse_product(const SparseRows& x, const float* w, std::size_t n,
+                    std::size_t stride, bool packed, Matrix& out,
+                    bool accumulate) {
+  const std::size_t m = x.rows();
+  const bool into_existing =
+      accumulate && out.rows() == m && out.cols() == n;
+  if (!into_existing) {
+    out.resize(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      gather_row(x.row(r), w, n, stride, packed, out.data() + r * n);
+    }
+    return;
+  }
+  std::vector<float> chain(n);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto entries = x.row(r);
+    if (entries.empty()) continue;  // chain is +0; adding it is a no-op
+    std::fill(chain.begin(), chain.end(), 0.0f);
+    gather_row(entries, w, n, stride, packed, chain.data());
+    float* __restrict out_row = out.data() + r * n;
+    for (std::size_t j = 0; j < n; ++j) out_row[j] += chain[j];
+  }
+}
+
+}  // namespace
+
+void sparse_matmul_pre_t(const SparseRows& x, const Matrix& wt, Matrix& out,
+                         bool accumulate) {
+  if (x.cols() != wt.rows()) {
+    throw std::invalid_argument("sparse_matmul_pre_t: inner dimension");
+  }
+  sparse_product(x, wt.data(), wt.cols(), 0, /*packed=*/true, out,
+                 accumulate);
+}
+
+void sparse_matmul_bt(const SparseRows& x, const Matrix& w, Matrix& out,
+                      bool accumulate) {
+  if (x.cols() != w.cols()) {
+    throw std::invalid_argument("sparse_matmul_bt: inner dimension");
+  }
+  const std::size_t k = x.cols();
+  // Packing w^T costs k*n and turns every entry into a contiguous axpy;
+  // only worth it when the gathered work (nnz rows of length n) outweighs
+  // the pack. Below that, gather strided columns of w directly — w is small
+  // enough to be cache-resident in every model this library builds.
+  if (x.nnz() >= k) {
+    const Matrix wt = transposed(w);
+    sparse_product(x, wt.data(), wt.cols(), 0, /*packed=*/true, out,
+                   accumulate);
+    return;
+  }
+  sparse_product(x, w.data(), w.rows(), k, /*packed=*/false, out, accumulate);
+}
+
+void sparse_matmul_at(const Matrix& dy, const SparseRows& x, Matrix& out,
+                      bool accumulate) {
+  if (dy.rows() != x.rows()) {
+    throw std::invalid_argument("sparse_matmul_at: batch dimension");
+  }
+  const std::size_t batch = dy.rows(), m = dy.cols(), n = x.cols();
+  if (!accumulate || out.rows() != m || out.cols() != n) {
+    out.resize(m, n);
+  }
+  // Mirror matmul_at's loop nest (batch outer, ascending) so every output
+  // element accumulates its batch terms in the same order as the dense path.
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* __restrict dy_row = dy.data() + r * m;
+    for (const SparseRows::Entry& e : x.row(r)) {
+      const float xv = e.val;
+      float* __restrict out_col = out.data() + e.col;
+      for (std::size_t i = 0; i < m; ++i) out_col[i * n] += dy_row[i] * xv;
+    }
+  }
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,105 @@
+// Row-sparse inputs for the one-hot fast path.
+//
+// models::encode_window produces rows with exactly a handful of ones
+// (entry bin, duration bin, location, day-of-week) in an input_dim that can
+// reach AP scale (thousands of columns). Materializing those rows densely
+// makes the LSTM's input product x·W_ihᵀ an input_dim × 4·hidden GEMM per
+// timestep even though only nnz columns contribute. SparseRows keeps the
+// (column, weight) pairs instead, and sparse_matmul_bt computes the product
+// as nnz row gathers — an embedding lookup.
+//
+// Bit-identity contract (load-bearing, regression-tested): for finite
+// weights, sparse_matmul_bt(x, w, out) is bit-identical to
+// matmul_bt(x.to_dense(), w, out). Both kernels accumulate each output
+// element in ascending-column order from the same starting value, and the
+// zero terms the dense kernel adds are exact ±0.0f contributions that can
+// never perturb the accumulation chain (the chain starts at +0.0f and
+// s + ±0.0f == s for every value s the chain can reach). The same argument
+// makes sparse_matmul_at match matmul_at. This is what lets the serving and
+// attack layers switch between sparse and dense encodings without changing
+// a single served prediction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pelican::nn {
+
+/// CSR-style row-sparse float matrix. Rows must be appended in
+/// nondecreasing row order and, within a row, strictly ascending column
+/// order — the same order the dense kernels accumulate in, which is what
+/// keeps the sparse and dense paths bit-identical.
+class SparseRows {
+ public:
+  struct Entry {
+    std::uint32_t col = 0;
+    float val = 0.0f;
+  };
+
+  SparseRows() = default;
+
+  SparseRows(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+    row_start_.reserve(rows + 1);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  void reserve(std::size_t entries) { entries_.reserve(entries); }
+
+  /// Appends one entry. Throws if ordering or bounds are violated.
+  void add(std::size_t row, std::size_t col, float val);
+
+  /// Entries of row r, ascending by column. Empty for untouched rows.
+  [[nodiscard]] std::span<const Entry> row(std::size_t r) const noexcept {
+    if (r >= row_start_.size()) return {};
+    const std::size_t begin = row_start_[r];
+    const std::size_t end =
+        (r + 1 < row_start_.size()) ? row_start_[r + 1] : entries_.size();
+    return {entries_.data() + begin, end - begin};
+  }
+
+  [[nodiscard]] Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  // row_start_[r] = index of row r's first entry, for every row that has
+  // been reached by add(); trailing rows are implicitly empty.
+  std::vector<std::uint32_t> row_start_;
+  std::vector<Entry> entries_;
+};
+
+/// Time-major sparse minibatch, mirroring nn::Sequence (which is
+/// std::vector<Matrix>, declared one header up in nn/layer.hpp).
+using SparseSequence = std::vector<SparseRows>;
+
+[[nodiscard]] std::vector<Matrix> to_dense(const SparseSequence& sparse);
+
+/// out = x * w^T, with w (n x k) row-major exactly as in matmul_bt. When
+/// `accumulate` is true, adds into `out`. Cost is nnz * n multiply-adds
+/// instead of rows * k * n. Bit-identical to matmul_bt(x.to_dense(), w, out)
+/// for finite w (see the header comment).
+void sparse_matmul_bt(const SparseRows& x, const Matrix& w, Matrix& out,
+                      bool accumulate = false);
+
+/// Same product against an ALREADY transposed weight panel wt (k x n,
+/// row-major): each entry becomes a contiguous axpy of row wt[col]. Callers
+/// that reuse one weight across many products (the LSTM sweeping timesteps)
+/// pack once and call this.
+void sparse_matmul_pre_t(const SparseRows& x, const Matrix& wt, Matrix& out,
+                         bool accumulate = false);
+
+/// out += dy^T * x for sparse x: the input-weight gradient of a layer whose
+/// forward consumed SparseRows. Shapes: dy (B x m), x sparse (B x n),
+/// out (m x n). Matches matmul_at(dy, x.to_dense(), out, accumulate) for
+/// finite values, by the same ±0 argument.
+void sparse_matmul_at(const Matrix& dy, const SparseRows& x, Matrix& out,
+                      bool accumulate = false);
+
+}  // namespace pelican::nn

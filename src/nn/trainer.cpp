@@ -31,7 +31,10 @@ TrainReport train(SequenceClassifier& model, const BatchSource& data,
   std::size_t epochs_since_best = 0;
   std::optional<SequenceClassifier> best_model;
 
-  Sequence x;
+  // forward_batch picks the source's preferred encoding — one-hot sources
+  // take the sparse fast path with bit-identical logits and gradients
+  // (nn/sparse.hpp), so the training trajectory is unchanged; only the
+  // input products shrink to nnz row gathers.
   std::vector<std::int32_t> y;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -45,10 +48,10 @@ TrainReport train(SequenceClassifier& model, const BatchSource& data,
           std::min(order.size(), start + config.batch_size);
       const std::span<const std::uint32_t> indices(order.data() + start,
                                                    end - start);
-      data.materialize(indices, x, y);
 
       model.zero_grad();
-      const Matrix logits = model.forward(x, /*training=*/true);
+      const Matrix logits =
+          forward_batch(model, data, indices, y, /*training=*/true);
       const LossResult loss = softmax_cross_entropy(logits, y);
       (void)model.backward(loss.grad_logits);
 
@@ -93,7 +96,6 @@ TrainReport train(SequenceClassifier& model, const BatchSource& data,
 double evaluate_loss(SequenceClassifier& model, const BatchSource& data,
                      std::size_t batch_size) {
   if (data.size() == 0) return 0.0;
-  Sequence x;
   std::vector<std::int32_t> y;
   std::vector<std::uint32_t> indices;
   double total = 0.0;
@@ -103,8 +105,8 @@ double evaluate_loss(SequenceClassifier& model, const BatchSource& data,
     indices.resize(end - start);
     std::iota(indices.begin(), indices.end(),
               static_cast<std::uint32_t>(start));
-    data.materialize(indices, x, y);
-    const Matrix logits = model.forward(x, /*training=*/false);
+    const Matrix logits =
+        forward_batch(model, data, indices, y, /*training=*/false);
     const LossResult loss = softmax_cross_entropy(logits, y);
     total += loss.loss * static_cast<double>(end - start);
     count += end - start;

@@ -13,6 +13,10 @@
 // Responses are deterministic: batching never reorders or changes results
 // (predict_top_k_batch is bit-identical per row to single queries), so
 // service quality is independent of load, batch size, and shard count.
+// Coalesced batches also ride the kernel fast paths for free:
+// predict_top_k_batch encodes the batch as nn::SparseRows, so each drain's
+// forward is nnz row gathers plus the packed GEMM recurrence (README
+// "Performance architecture") — with the same bits as the dense path.
 //
 // Admission control. The submit queue is bounded (SchedulerConfig::
 // max_queue); what happens at the bound is the QueuePolicy:

@@ -68,6 +68,26 @@ TEST(ThreadPool, NestedCallsFallBackToSerial) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPool, NestedCallFromSubmittingThreadDoesNotDeadlock) {
+  // The submitting thread participates in its own batch; a nested
+  // parallel_for from ITS share (e.g. a scoring chunk whose matmul crosses
+  // the kernel's parallel threshold) used to re-lock submit_mutex_ — held
+  // by this very thread — and hang. It must serialize instead, exactly
+  // like nesting from a spawned worker.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+
+  // Sequential batches after a nested one still parallelize (the flag is
+  // restored); observable only as continued progress, asserted via count.
+  std::atomic<int> again{0};
+  pool.parallel_for(8, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 8);
+}
+
 TEST(ThreadPool, GlobalPoolIsReused) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }

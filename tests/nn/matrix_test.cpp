@@ -209,6 +209,79 @@ TEST(MatmulAt, AccumulateUsedForGradients) {
   }
 }
 
+// The determinism contract of the packed kernels (matrix.hpp): row r of a
+// batched product is bit-identical to the same row computed alone, for both
+// accumulate modes — this is what makes batched serving, single queries,
+// and any thread split interchangeable.
+TEST(MatmulBt, RowsInvariantAcrossBatchSizes) {
+  Rng rng(20);
+  const Matrix a = Matrix::randn(33, 24, 1.0f, rng);   // pack path
+  const Matrix b = Matrix::randn(40, 24, 1.0f, rng);
+  const Matrix seed_rows = Matrix::randn(33, 40, 1.0f, rng);
+
+  Matrix fresh_batch, acc_batch = seed_rows;
+  matmul_bt(a, b, fresh_batch);
+  matmul_bt(a, b, acc_batch, /*accumulate=*/true);
+
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Matrix a_row(1, a.cols());
+    std::copy(a.row(r).begin(), a.row(r).end(), a_row.row(0).begin());
+
+    Matrix fresh_single;  // m=1 dot path
+    matmul_bt(a_row, b, fresh_single);
+    Matrix acc_single(1, b.rows());  // m=1 strided-axpy path
+    std::copy(seed_rows.row(r).begin(), seed_rows.row(r).end(),
+              acc_single.row(0).begin());
+    matmul_bt(a_row, b, acc_single, /*accumulate=*/true);
+
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      ASSERT_EQ(fresh_single(0, j), fresh_batch(r, j)) << "row " << r;
+      ASSERT_EQ(acc_single(0, j), acc_batch(r, j)) << "row " << r;
+    }
+  }
+}
+
+TEST(Matmul, BatchOneWideTakesColumnSplitSameResult) {
+  Rng rng(21);
+  // m=1 with k*n >= the parallel threshold: exercises the column-threaded
+  // split that gives single-query forwards the pool.
+  const Matrix a = Matrix::randn(1, 1024, 1.0f, rng);
+  const Matrix b = Matrix::randn(1024, 2048, 1.0f, rng);
+  Matrix out;
+  matmul(a, b, out);
+  const Matrix expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], expected.flat()[i], 2e-3f);
+  }
+}
+
+TEST(MatmulAt, LargeOutputChunksOverRowsSameResult) {
+  Rng rng(22);
+  // m >= 16 and 2M+ flops: the m-chunked (training backprop) path.
+  const Matrix a = Matrix::randn(64, 96, 1.0f, rng);
+  const Matrix b = Matrix::randn(64, 384, 1.0f, rng);
+  Matrix out;
+  matmul_at(a, b, out);
+  const Matrix expected = naive_matmul(transpose(a), b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.flat()[i], expected.flat()[i], 2e-3f);
+  }
+}
+
+TEST(Transposed, RoundTrips) {
+  Rng rng(23);
+  const Matrix m = Matrix::randn(5, 9, 1.0f, rng);
+  const Matrix t = transposed(m);
+  ASSERT_EQ(t.rows(), 9u);
+  ASSERT_EQ(t.cols(), 5u);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(t(c, r), m(r, c));
+    }
+  }
+  EXPECT_EQ(transposed(t), m);
+}
+
 TEST(RowBroadcast, AddsBiasToEveryRow) {
   Matrix m = make(2, 3, {0, 0, 0, 1, 1, 1});
   const std::vector<float> bias = {1, 2, 3};

@@ -36,7 +36,8 @@ TEST(SequenceClassifier, ForwardShapeAndDims) {
 TEST(SequenceClassifier, RejectsEmptyInput) {
   Rng rng(2);
   auto model = make_one_layer_lstm(3, 2, 4, 0.0, rng);
-  EXPECT_THROW((void)model.forward({}), std::invalid_argument);
+  EXPECT_THROW((void)model.forward(Sequence{}), std::invalid_argument);
+  EXPECT_THROW((void)model.forward(SparseSequence{}), std::invalid_argument);
 }
 
 TEST(SequenceClassifier, EndToEndGradientsMatchNumerical) {

@@ -1,0 +1,196 @@
+// SparseRows and the one-hot fast-path kernels. The load-bearing claim
+// (nn/sparse.hpp) is BIT-identity with the dense kernels — every comparison
+// here is memcmp-strict, not tolerance-based, because the serving layer
+// promises that switching encodings can never change a served prediction.
+#include "nn/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nn/lstm.hpp"
+#include "nn/linear.hpp"
+
+namespace pelican::nn {
+namespace {
+
+void expect_bit_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+/// Random sparse matrix with `per_row` entries in most rows (some rows left
+/// empty) and signed values — deliberately more general than one-hot.
+SparseRows random_sparse(std::size_t rows, std::size_t cols,
+                         std::size_t per_row, Rng& rng) {
+  SparseRows x(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (per_row > 0 && rng.below(5) == 0) continue;  // empty row
+    std::size_t col = 0;
+    for (std::size_t e = 0; e < per_row && col < cols; ++e) {
+      col += rng.below(cols / per_row) + (e == 0 ? 0 : 1);
+      if (col >= cols) break;
+      x.add(r, col, static_cast<float>(rng.uniform(-2.0, 2.0)));
+    }
+  }
+  return x;
+}
+
+TEST(SparseRows, BuildAndDensify) {
+  SparseRows x(3, 5);
+  x.add(0, 1, 2.0f);
+  x.add(0, 4, -1.0f);
+  x.add(2, 0, 3.0f);
+  EXPECT_EQ(x.rows(), 3u);
+  EXPECT_EQ(x.cols(), 5u);
+  EXPECT_EQ(x.nnz(), 3u);
+  ASSERT_EQ(x.row(0).size(), 2u);
+  EXPECT_EQ(x.row(0)[1].col, 4u);
+  EXPECT_TRUE(x.row(1).empty());
+  ASSERT_EQ(x.row(2).size(), 1u);
+
+  const Matrix dense = x.to_dense();
+  EXPECT_FLOAT_EQ(dense(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(dense(0, 4), -1.0f);
+  EXPECT_FLOAT_EQ(dense(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dense(1, 2), 0.0f);
+}
+
+TEST(SparseRows, RejectsOutOfOrderAndOutOfRange) {
+  SparseRows x(3, 5);
+  x.add(1, 2, 1.0f);
+  EXPECT_THROW(x.add(0, 0, 1.0f), std::invalid_argument);  // row went back
+  EXPECT_THROW(x.add(1, 2, 1.0f), std::invalid_argument);  // col not ascending
+  EXPECT_THROW(x.add(1, 1, 1.0f), std::invalid_argument);
+  EXPECT_THROW(x.add(3, 0, 1.0f), std::out_of_range);
+  EXPECT_THROW(x.add(1, 5, 1.0f), std::out_of_range);
+  x.add(1, 4, 1.0f);  // still fine after failed adds
+  EXPECT_EQ(x.nnz(), 2u);
+}
+
+TEST(SparseMatmulBt, BitIdenticalToDenseBothBranches) {
+  Rng rng(7);
+  // k=40: per_row=3 over 17 rows keeps nnz < k (strided-gather branch);
+  // per_row=8 over 64 rows forces nnz >= k (packed branch).
+  for (const auto& [rows, per_row] :
+       {std::pair<std::size_t, std::size_t>{17, 3}, {64, 8}, {1, 3}}) {
+    const SparseRows x = random_sparse(rows, 40, per_row, rng);
+    const Matrix w = Matrix::randn(24, 40, 1.0f, rng);
+    Matrix sparse_out, dense_out;
+    sparse_matmul_bt(x, w, sparse_out);
+    matmul_bt(x.to_dense(), w, dense_out);
+    expect_bit_identical(sparse_out, dense_out);
+
+    // Accumulating into a live output (the LSTM recurrence shape).
+    Matrix sparse_acc = Matrix::randn(rows, 24, 1.0f, rng);
+    Matrix dense_acc = sparse_acc;
+    sparse_matmul_bt(x, w, sparse_acc, /*accumulate=*/true);
+    matmul_bt(x.to_dense(), w, dense_acc, /*accumulate=*/true);
+    expect_bit_identical(sparse_acc, dense_acc);
+  }
+}
+
+TEST(SparseMatmulPreT, MatchesUnpackedGather) {
+  Rng rng(8);
+  const SparseRows x = random_sparse(9, 30, 4, rng);
+  const Matrix w = Matrix::randn(12, 30, 1.0f, rng);
+  Matrix via_bt, via_pre_t;
+  sparse_matmul_bt(x, w, via_bt);
+  sparse_matmul_pre_t(x, transposed(w), via_pre_t);
+  expect_bit_identical(via_bt, via_pre_t);
+}
+
+TEST(SparseMatmulAt, BitIdenticalToDense) {
+  Rng rng(9);
+  const SparseRows x = random_sparse(21, 18, 3, rng);
+  const Matrix dy = Matrix::randn(21, 10, 1.0f, rng);
+  Matrix sparse_out, dense_out;
+  sparse_matmul_at(dy, x, sparse_out);
+  matmul_at(dy, x.to_dense(), dense_out);
+  expect_bit_identical(sparse_out, dense_out);
+
+  Matrix sparse_acc = Matrix::randn(10, 18, 1.0f, rng);
+  Matrix dense_acc = sparse_acc;
+  sparse_matmul_at(dy, x, sparse_acc, /*accumulate=*/true);
+  matmul_at(dy, x.to_dense(), dense_acc, /*accumulate=*/true);
+  expect_bit_identical(sparse_acc, dense_acc);
+}
+
+/// One-hot sequence shaped like the mobility encoding: a few 1.0 entries
+/// per row.
+SparseSequence one_hot_sequence(std::size_t steps, std::size_t batch,
+                                std::size_t dim, Rng& rng) {
+  SparseSequence x(steps, SparseRows(batch, dim));
+  for (auto& step : x) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      // Four ascending hot columns, one per quarter of the input.
+      for (std::size_t block = 0; block < 4; ++block) {
+        const std::size_t lo = dim * block / 4;
+        const std::size_t hi = dim * (block + 1) / 4;
+        step.add(r, lo + rng.below(hi - lo), 1.0f);
+      }
+    }
+  }
+  return x;
+}
+
+class LstmSparseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LstmSparseTest, ForwardAndBackwardBitIdenticalToDense) {
+  const std::size_t batch = GetParam();
+  Rng rng(10);
+  Lstm dense_lstm(24, 6, rng);
+  auto sparse_layer = dense_lstm.clone();
+  auto& sparse_lstm = static_cast<Lstm&>(*sparse_layer);
+
+  Rng data_rng(11);
+  const SparseSequence x = one_hot_sequence(2, batch, 24, data_rng);
+  const Sequence x_dense = to_dense(x);
+
+  const Sequence out_dense = dense_lstm.forward(x_dense, false);
+  const Sequence out_sparse = sparse_lstm.forward_sparse(x, false);
+  ASSERT_EQ(out_dense.size(), out_sparse.size());
+  for (std::size_t t = 0; t < out_dense.size(); ++t) {
+    expect_bit_identical(out_dense[t], out_sparse[t]);
+  }
+
+  // Backward works off either cache and accumulates identical gradients.
+  Sequence dout(2);
+  dout[1] = Matrix::randn(batch, 6, 1.0f, data_rng);
+  const Sequence dx_dense = dense_lstm.backward(dout);
+  const Sequence dx_sparse = sparse_lstm.backward(dout);
+  for (std::size_t t = 0; t < dx_dense.size(); ++t) {
+    expect_bit_identical(dx_dense[t], dx_sparse[t]);
+  }
+  const auto grads_dense = dense_lstm.gradients();
+  const auto grads_sparse = sparse_lstm.gradients();
+  for (std::size_t g = 0; g < grads_dense.size(); ++g) {
+    expect_bit_identical(*grads_dense[g], *grads_sparse[g]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, LstmSparseTest,
+                         ::testing::Values(1, 32, 256));
+
+TEST(LinearSparse, ForwardAndBackwardBitIdenticalToDense) {
+  Rng rng(12);
+  Linear dense_layer(20, 7, rng);
+  Linear sparse_copy = dense_layer;
+
+  Rng data_rng(13);
+  const SparseRows x = random_sparse(15, 20, 4, data_rng);
+  const Matrix y_dense = dense_layer.forward(x.to_dense());
+  const Matrix y_sparse = sparse_copy.forward(x);
+  expect_bit_identical(y_dense, y_sparse);
+
+  const Matrix dy = Matrix::randn(15, 7, 1.0f, data_rng);
+  expect_bit_identical(dense_layer.backward(dy), sparse_copy.backward(dy));
+  expect_bit_identical(*dense_layer.gradients()[0],
+                       *sparse_copy.gradients()[0]);
+}
+
+}  // namespace
+}  // namespace pelican::nn

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare two bench_results artifacts and print per-bench deltas.
+
+Usage:
+    tools/bench_diff.py OLD NEW [--threshold PCT]
+
+OLD and NEW are either single Table-JSON files (the format Table::to_json
+emits: {"headers": [...], "rows": [[...], ...]}) or directories of them
+(e.g. the per-commit bench_results_<sha> CI artifacts). Rows are keyed by
+their first cell; numeric cells in matching rows are compared and the
+relative delta printed. Cells that are not JSON numbers (labels, "2.4x"
+ratio strings) are ignored.
+
+This tool is the comparison half of the ROADMAP's CI-tracked bench
+trajectory. It is WARN-ONLY by design: the exit code is 0 even when
+regressions exceed the threshold (timings on shared CI runners are too
+noisy to gate on); regressions are flagged in the output for a human eye.
+Exit code 2 means the inputs could not be read at all.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_tables(path):
+    """Returns {table_name: {"headers": [...], "rows": [[...], ...]}}."""
+    tables = {}
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            if name.endswith(".json"):
+                with open(os.path.join(path, name)) as fh:
+                    tables[name[: -len(".json")]] = json.load(fh)
+    else:
+        with open(path) as fh:
+            tables[os.path.splitext(os.path.basename(path))[0]] = json.load(fh)
+    return tables
+
+
+def row_map(table):
+    """Keys each row by its first cell; duplicate keys get a suffix."""
+    rows = {}
+    for row in table.get("rows", []):
+        if not row:
+            continue
+        key = str(row[0])
+        suffix = 0
+        while key in rows:
+            suffix += 1
+            key = f"{row[0]} #{suffix}"
+        rows[key] = row
+    return rows
+
+
+def diff_tables(name, old, new, threshold_pct):
+    headers = new.get("headers", [])
+    old_rows = row_map(old)
+    new_rows = row_map(new)
+    lines = []
+    flagged = 0
+
+    for key, new_row in new_rows.items():
+        old_row = old_rows.get(key)
+        if old_row is None:
+            lines.append(f"  {key}: new row (no baseline)")
+            continue
+        for col in range(1, min(len(old_row), len(new_row))):
+            old_cell, new_cell = old_row[col], new_row[col]
+            if not isinstance(old_cell, (int, float)) or isinstance(
+                old_cell, bool
+            ):
+                continue
+            if not isinstance(new_cell, (int, float)) or isinstance(
+                new_cell, bool
+            ):
+                continue
+            if old_cell == 0:
+                continue
+            delta_pct = 100.0 * (new_cell - old_cell) / abs(old_cell)
+            column = headers[col] if col < len(headers) else f"col{col}"
+            marker = ""
+            if abs(delta_pct) >= threshold_pct:
+                marker = "  <-- CHANGED"
+                flagged += 1
+            lines.append(
+                f"  {key} / {column}: {old_cell:g} -> {new_cell:g} "
+                f"({delta_pct:+.1f}%){marker}"
+            )
+    for key in old_rows:
+        if key not in new_rows:
+            lines.append(f"  {key}: row disappeared")
+
+    if lines:
+        print(f"== {name} ==")
+        for line in lines:
+            print(line)
+    return flagged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline file or directory")
+    parser.add_argument("new", help="candidate file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="flag deltas whose magnitude exceeds this percentage "
+        "(default: 10)",
+    )
+    args = parser.parse_args()
+
+    try:
+        old_tables = load_tables(args.old)
+        new_tables = load_tables(args.new)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_diff: cannot read inputs: {error}", file=sys.stderr)
+        return 2
+
+    if os.path.isfile(args.old) and os.path.isfile(args.new):
+        # Two explicit files compare head-to-head even if named differently.
+        common = "bench"
+        old_tables = {common: next(iter(old_tables.values()))}
+        new_tables = {common: next(iter(new_tables.values()))}
+
+    flagged = 0
+    for name in sorted(new_tables):
+        if name in old_tables:
+            flagged += diff_tables(
+                name, old_tables[name], new_tables[name], args.threshold
+            )
+        else:
+            print(f"== {name} == (new table, no baseline)")
+    for name in sorted(set(old_tables) - set(new_tables)):
+        print(f"== {name} == (table disappeared)")
+
+    if flagged:
+        print(
+            f"\nbench_diff: {flagged} cell(s) changed by more than "
+            f"{args.threshold:g}% (warn-only, not gating)"
+        )
+    else:
+        print("\nbench_diff: no deltas beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
