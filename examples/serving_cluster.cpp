@@ -16,8 +16,17 @@
 //     and print served-version counts before/after.
 //  5. Print the ServerStats surface: throughput, batch-size histogram,
 //     p50/p99 latency, and admission-control counters.
+//  6. Go multi-process: spawn a 3-process pelican_engined fleet over Unix
+//     sockets (router::LocalFleet), publish per-user models into the
+//     fleet-shared filesystem store, route traffic through the Router
+//     front door, live-publish v2 for one user through it, and print the
+//     merged fleet stats. (Skipped with a note if the pelican_engined
+//     binary is not built.)
 //
 // Build & run:  ./build/examples/serving_cluster
+#include <unistd.h>
+
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <map>
@@ -30,6 +39,8 @@
 #include "mobility/persona.hpp"
 #include "mobility/simulator.hpp"
 #include "models/window_dataset.hpp"
+#include "router/local_fleet.hpp"
+#include "router/router.hpp"
 #include "serve/scheduler.hpp"
 
 using namespace pelican;
@@ -226,5 +237,95 @@ int main() {
                  std::to_string(snap.batch_size_log2_histogram[b]);
   }
   std::cout << "batch-size histogram (log2 buckets): " << histogram << "\n";
+
+  // --- 6. The same service as a 3-process fleet ------------------------
+  // Everything above ran in ONE process. The router tier runs the engine
+  // as N pelican_engined processes behind one front door: models flow
+  // through a fleet-shared filesystem store, the Router partitions users
+  // across processes by consistent hashing, and a publish is routed to the
+  // owning process only.
+  if (router::LocalFleet::default_engined_path().empty()) {
+    std::cout << "\n(pelican_engined not built — skipping the multi-process "
+                 "fleet demo; build the tools/ targets to see it)\n";
+    return 0;
+  }
+  print_banner(std::cout, "multi-process fleet (3 x pelican_engined)");
+  const std::filesystem::path fleet_root =
+      std::filesystem::temp_directory_path() /
+      ("pelican_cluster_" + std::to_string(::getpid()));
+  {
+    constexpr std::uint32_t kFleetUsers = 12;
+    router::LocalFleetConfig fleet_config;
+    fleet_config.root = fleet_root;
+    fleet_config.processes = 3;
+    router::LocalFleet fleet(fleet_config);
+
+    // Publish per-user models into the fleet-shared store; engines pull
+    // them by (scope, user, version) key at deploy time.
+    {
+      store::ModelStore fleet_store(
+          std::make_unique<store::FilesystemBackend>(fleet.store_root()));
+      for (std::uint32_t user = 0; user < kFleetUsers; ++user) {
+        fleet_store.put({"personal", user, 1}, cloud.download_general(version));
+        fleet_store.put({"personal", user, 2}, cloud.download_general(v2));
+      }
+    }
+
+    router::Router front_door;
+    for (const auto& address : fleet.addresses()) {
+      (void)front_door.add_backend(address);
+    }
+    std::map<std::string, std::size_t> placement;
+    for (std::uint32_t user = 0; user < kFleetUsers; ++user) {
+      front_door.deploy(user, 1, spec, /*temperature=*/1.0);
+      ++placement[front_door.owner_of(user)];
+    }
+    std::cout << "placement of " << kFleetUsers << " users:";
+    for (const auto& [address, count] : placement) {
+      std::cout << "  " << count << " on ..."
+                << address.substr(address.size() > 12 ? address.size() - 12
+                                                      : 0);
+    }
+    std::cout << "\n";
+
+    // Routed traffic, with a live publish through the front door.
+    Rng fleet_rng(77);
+    std::vector<serve::PredictRequest> routed_requests;
+    for (std::size_t i = 0; i < 600; ++i) {
+      routed_requests.push_back(
+          {static_cast<std::uint32_t>(fleet_rng.below(kFleetUsers)),
+           query_windows[fleet_rng.below(query_windows.size())], 3});
+    }
+    auto first = front_door.serve(
+        std::span<const serve::PredictRequest>(routed_requests).first(300));
+    front_door.publish(0, 2);  // routed to user 0's owning process only
+    auto second = front_door.serve(
+        std::span<const serve::PredictRequest>(routed_requests).last(300));
+
+    std::map<std::uint32_t, std::size_t> fleet_versions;
+    for (const auto& response : first) {
+      if (response.ok) ++fleet_versions[response.model_version];
+    }
+    for (const auto& response : second) {
+      if (response.ok) ++fleet_versions[response.model_version];
+    }
+    std::cout << "served versions through the router:";
+    for (const auto& [served_version, count] : fleet_versions) {
+      std::cout << "  v" << served_version << ": " << count;
+    }
+    std::cout << "\n";
+
+    const auto fleet_snap = front_door.fleet_stats();
+    std::cout << "fleet stats (merged across 3 processes): "
+              << fleet_snap.requests_served << " served, mean batch "
+              << Table::num(fleet_snap.mean_batch_size, 2) << ", engine p99 "
+              << Table::num(fleet_snap.p99_latency_ms, 3) << " ms\n";
+
+    front_door.drain_fleet();
+    for (std::size_t i = 0; i < fleet.size(); ++i) (void)fleet.reap(i);
+    std::cout << "fleet drained\n";
+  }
+  std::error_code fleet_ec;
+  std::filesystem::remove_all(fleet_root, fleet_ec);
   return 0;
 }

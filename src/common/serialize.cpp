@@ -1,5 +1,6 @@
 #include "common/serialize.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -7,12 +8,41 @@ namespace pelican {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x50454C43;  // "PELC"
+// "PELD" — bumped from "PELC" when the header gained the checksum field,
+// so pre-checksum checkpoints are rejected cleanly at the magic check
+// instead of misreading their first payload word as a CRC.
+constexpr std::uint32_t kMagic = 0x50454C44;
+/// Byte offset of the header checksum field: magic + format version.
+constexpr std::streamoff kChecksumOffset = 8;
 
 static_assert(std::endian::native == std::endian::little,
               "serialization assumes a little-endian host");
 
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
 }  // namespace
+
+std::uint32_t crc32(std::uint32_t crc, const void* data,
+                    std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 BinaryWriter::BinaryWriter(const std::filesystem::path& path,
                            std::uint32_t version)
@@ -22,12 +52,15 @@ BinaryWriter::BinaryWriter(const std::filesystem::path& path,
   }
   write_u32(kMagic);
   write_u32(version);
+  write_u32(0);  // checksum placeholder, patched by finish()
+  header_done_ = true;
 }
 
 void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
   if (!out_) throw SerializeError("write failed");
+  if (header_done_) crc_ = crc32(crc_, data, bytes);
 }
 
 void BinaryWriter::write_u8(std::uint8_t v) { write_raw(&v, sizeof v); }
@@ -55,6 +88,10 @@ void BinaryWriter::write_u32_span(std::span<const std::uint32_t> xs) {
 void BinaryWriter::finish() {
   if (finished_) return;
   finished_ = true;
+  // Patch the payload checksum into the header slot. Written directly (not
+  // through write_raw) so the patch itself never feeds the CRC.
+  out_.seekp(kChecksumOffset);
+  out_.write(reinterpret_cast<const char*>(&crc_), sizeof crc_);
   out_.flush();
   if (!out_) throw SerializeError("flush failed");
   out_.close();
@@ -75,7 +112,9 @@ BinaryReader::BinaryReader(const std::filesystem::path& path,
     throw SerializeError("cannot open for reading: " + path.string());
   }
   if (read_u32() != kMagic) {
-    throw SerializeError("bad magic in " + path.string());
+    throw SerializeError("bad magic in " + path.string() +
+                         " (not a checkpoint, or written before the "
+                         "checksummed header format)");
   }
   const std::uint32_t version = read_u32();
   if (version != expected_version) {
@@ -83,6 +122,30 @@ BinaryReader::BinaryReader(const std::filesystem::path& path,
                          ": found " + std::to_string(version) + ", expected " +
                          std::to_string(expected_version));
   }
+  verify_checksum(path, read_u32());
+}
+
+void BinaryReader::verify_checksum(const std::filesystem::path& path,
+                                   std::uint32_t expected_crc) {
+  // One sequential pass over the payload before any typed read: corruption
+  // is reported at open, never as garbage weights mid-deserialization.
+  const std::istream::pos_type payload_start = in_.tellg();
+  std::uint32_t crc = 0;
+  char chunk[64 * 1024];
+  while (in_) {
+    in_.read(chunk, sizeof chunk);
+    crc = crc32(crc, chunk, static_cast<std::size_t>(in_.gcount()));
+  }
+  if (!in_.eof()) {
+    throw SerializeError("read failed while checksumming " + path.string());
+  }
+  if (crc != expected_crc) {
+    throw SerializeError("checksum mismatch in " + path.string() +
+                         ": payload does not match its header CRC "
+                         "(truncated or corrupted artifact)");
+  }
+  in_.clear();
+  in_.seekg(payload_start);
 }
 
 void BinaryReader::read_raw(void* data, std::size_t bytes) {
@@ -141,6 +204,119 @@ std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
   const std::uint64_t n = read_u64();
   std::vector<std::uint32_t> xs(n);
   read_raw(xs.data(), n * sizeof(std::uint32_t));
+  return xs;
+}
+
+// ---------------------------------------------------------------- buffers --
+
+void BufferWriter::write_raw(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + bytes);
+}
+
+void BufferWriter::write_u8(std::uint8_t v) { write_raw(&v, sizeof v); }
+void BufferWriter::write_u16(std::uint16_t v) { write_raw(&v, sizeof v); }
+void BufferWriter::write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+void BufferWriter::write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+void BufferWriter::write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+void BufferWriter::write_f64(double v) { write_raw(&v, sizeof v); }
+
+void BufferWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  write_raw(s.data(), s.size());
+}
+
+void BufferWriter::write_u16_span(std::span<const std::uint16_t> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
+void BufferWriter::write_u64_span(std::span<const std::uint64_t> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
+void BufferWriter::write_f64_span(std::span<const double> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
+void BufferReader::read_raw(void* data, std::size_t bytes) {
+  if (bytes > remaining()) {
+    throw SerializeError("truncated frame: wanted " + std::to_string(bytes) +
+                         " bytes, have " + std::to_string(remaining()));
+  }
+  std::memcpy(data, data_.data() + offset_, bytes);
+  offset_ += bytes;
+}
+
+std::uint8_t BufferReader::read_u8() {
+  std::uint8_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint16_t BufferReader::read_u16() {
+  std::uint16_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t BufferReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BufferReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BufferReader::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+double BufferReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+/// Validates a length prefix BEFORE allocating: a malformed frame must
+/// throw SerializeError, not drive a multi-gigabyte allocation.
+std::size_t BufferReader::checked_count(std::uint64_t n,
+                                        std::size_t element_size) {
+  if (n > remaining() / element_size) {
+    throw SerializeError("truncated frame: length prefix " +
+                         std::to_string(n) + " exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::string BufferReader::read_string() {
+  const std::size_t n = checked_count(read_u64(), 1);
+  std::string s(n, '\0');
+  read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<std::uint16_t> BufferReader::read_u16_vector() {
+  const std::size_t n = checked_count(read_u64(), sizeof(std::uint16_t));
+  std::vector<std::uint16_t> xs(n);
+  read_raw(xs.data(), xs.size() * sizeof(std::uint16_t));
+  return xs;
+}
+
+std::vector<std::uint64_t> BufferReader::read_u64_vector() {
+  const std::size_t n = checked_count(read_u64(), sizeof(std::uint64_t));
+  std::vector<std::uint64_t> xs(n);
+  read_raw(xs.data(), xs.size() * sizeof(std::uint64_t));
+  return xs;
+}
+
+std::vector<double> BufferReader::read_f64_vector() {
+  const std::size_t n = checked_count(read_u64(), sizeof(double));
+  std::vector<double> xs(n);
+  read_raw(xs.data(), xs.size() * sizeof(double));
   return xs;
 }
 

@@ -1,0 +1,187 @@
+#include "router/engine_worker.hpp"
+
+#include <exception>
+#include <span>
+#include <utility>
+
+#include "core/privacy_layer.hpp"
+#include "core/service.hpp"
+#include "router/wire.hpp"
+
+namespace pelican::router {
+
+EngineWorker::EngineWorker(EngineConfig config)
+    : config_(std::move(config)),
+      store_(std::make_shared<store::ModelStore>(
+          std::make_unique<store::FilesystemBackend>(config_.store_root))),
+      registry_(config_.registry_shards),
+      scheduler_(std::make_unique<serve::BatchScheduler>(registry_,
+                                                         config_.scheduler)),
+      listener_(ListenSocket::bind_to(parse_address(config_.listen))) {
+  registry_.attach_store(store_, config_.scope);
+}
+
+EngineWorker::~EngineWorker() { stop(); }
+
+void EngineWorker::start() {
+  if (started_.exchange(true)) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void EngineWorker::wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [this] {
+      return draining_.load(std::memory_order_relaxed) ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+  }
+  stop();
+}
+
+void EngineWorker::stop() {
+  const bool already_stopping = stopping_.exchange(true);
+  {
+    // Close the lost-wakeup window: a wait()er between its predicate check
+    // and blocking still holds wait_mutex_, so acquiring it here delays
+    // the notify until that waiter is actually parked.
+    const std::lock_guard<std::mutex> lock(wait_mutex_);
+  }
+  wait_cv_.notify_all();
+  if (already_stopping) {
+    return;  // concurrent/repeated stop: the first caller owns the joins
+  }
+  listener_.close();  // accept()/wait_readable() observe stopping_ next tick
+  if (acceptor_.joinable()) acceptor_.join();
+  // Wake handler threads blocked in recv_frame, then join them.
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      connection->socket.shutdown_both();
+    }
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void EngineWorker::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Poll with a timeout so a stop() without inbound traffic is observed.
+    if (!listener_.wait_readable(/*timeout_ms=*/50)) continue;
+    Socket socket;
+    try {
+      socket = listener_.accept();
+    } catch (const WireError&) {
+      continue;  // raced with stop(); the loop condition decides
+    }
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    reap_finished_connections();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection* handle = connection.get();  // stable behind the unique_ptr
+    connections_.push_back(std::move(connection));
+    handle->thread = std::thread([this, handle] { serve_connection(handle); });
+  }
+}
+
+void EngineWorker::reap_finished_connections() {
+  // Caller holds connections_mutex_. A connection marks itself done as its
+  // final locked action, so joining here never blocks on live work — this
+  // is what keeps a long-lived daemon from accumulating dead threads.
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    return true;
+  });
+}
+
+void EngineWorker::serve_connection(Connection* connection) {
+  for (;;) {
+    std::vector<std::uint8_t> frame;
+    try {
+      frame = connection->socket.recv_frame();
+    } catch (const WireError&) {
+      break;  // peer closed (the Router recycled the connection) or stop()
+    }
+    std::vector<std::uint8_t> reply = handle_frame(frame);
+    try {
+      connection->socket.send_frame(reply);
+    } catch (const WireError&) {
+      break;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      {
+        // Pair with wait()'s predicate check (see stop() on lost wakeups).
+        const std::lock_guard<std::mutex> lock(wait_mutex_);
+      }
+      wait_cv_.notify_all();
+      break;  // drain acknowledged; let wait() tear the worker down
+    }
+  }
+  // Close under the mutex: stop() walks connections_ calling
+  // shutdown_both() under this lock, and close() must not race it (the fd
+  // could be recycled between its validity check and the shutdown).
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  connection->socket.close();
+  connection->done = true;
+}
+
+std::vector<std::uint8_t> EngineWorker::handle_frame(
+    std::span<const std::uint8_t> frame) {
+  try {
+    switch (frame_verb(frame)) {
+      case Verb::kPredictBatch: {
+        const auto requests = decode_predict_batch(frame);
+        const auto responses = scheduler_->serve(requests);
+        return encode_predict_replies(responses);
+      }
+      case Verb::kDeploy: {
+        const DeployCommand command = decode_deploy(frame);
+        // Pull the artifact from the fleet-shared store; the wire carries
+        // only the key. get() verifies the checkpoint checksum, so a torn
+        // or corrupt artifact is an Ack failure, never a bad deployment.
+        auto model = store_->get(
+            {config_.scope, command.user_id, command.version});
+        (void)registry_.deploy(
+            command.user_id,
+            core::DeployedModel(std::move(model), command.spec,
+                                core::PrivacyLayer(command.temperature),
+                                core::DeploymentSite::kInCloud,
+                                command.version));
+        return encode_ack({true, ""});
+      }
+      case Verb::kPublish: {
+        const PublishCommand command = decode_publish(frame);
+        registry_.publish(command.user_id, command.version);
+        return encode_ack({true, ""});
+      }
+      case Verb::kHealth: {
+        return encode_health_reply({registry_.size(), draining()});
+      }
+      case Verb::kStats: {
+        return encode_stats_reply(scheduler_->stats().state());
+      }
+      case Verb::kDrain: {
+        draining_.store(true, std::memory_order_relaxed);
+        return encode_ack({true, ""});
+      }
+      default:
+        return encode_ack({false, "engine received a reply verb"});
+    }
+  } catch (const std::exception& error) {
+    // Engine-level failure (unknown store key, corrupt checkpoint, bad
+    // frame): answer it rather than tearing down the connection — the
+    // router must be able to distinguish "that deploy failed" from "that
+    // engine died".
+    return encode_ack({false, error.what()});
+  }
+}
+
+}  // namespace pelican::router

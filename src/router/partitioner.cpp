@@ -1,0 +1,126 @@
+#include "router/partitioner.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace pelican::router {
+
+namespace {
+
+/// FNV-1a 64-bit, finished with SplitMix64 for avalanche: the ring needs
+/// backend ids (often near-identical strings like ".../e0.sock" vs
+/// ".../e1.sock") to land far apart.
+std::uint64_t hash_string(const std::string& s, std::uint64_t salt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return split_mix64(h);
+}
+
+/// Ring coordinate of a partition index.
+std::uint64_t hash_partition(std::size_t p) {
+  return split_mix64(static_cast<std::uint64_t>(p) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+Partitioner::Partitioner(std::size_t num_partitions,
+                         std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("Partitioner: num_partitions must be > 0");
+  }
+  if (virtual_nodes == 0) {
+    throw std::invalid_argument("Partitioner: virtual_nodes must be > 0");
+  }
+  ownership_.assign(num_partitions, std::string{});
+}
+
+std::size_t Partitioner::add_backend(const std::string& id) {
+  if (id.empty()) {
+    throw std::invalid_argument("Partitioner: backend id must be non-empty");
+  }
+  if (contains(id)) return 0;
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::uint64_t point = hash_string(id, /*salt=*/v);
+    const auto [it, inserted] = ring_.emplace(point, id);
+    if (!inserted && id < it->second) it->second = id;
+  }
+  ++backend_count_;
+  return rebuild();
+}
+
+std::size_t Partitioner::remove_backend(const std::string& id) {
+  if (!contains(id)) return 0;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == id ? ring_.erase(it) : std::next(it);
+  }
+  --backend_count_;
+  return rebuild();
+}
+
+bool Partitioner::contains(const std::string& id) const {
+  for (const auto& [point, owner] : ring_) {
+    if (owner == id) return true;
+  }
+  return false;
+}
+
+std::size_t Partitioner::partition_of(std::uint32_t user_id) const noexcept {
+  // Fibonacci hash, as DeploymentRegistry::shard_of: sequential and strided
+  // user ids spread evenly over partitions.
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(user_id) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(mixed >> 32) % ownership_.size();
+}
+
+const std::string& Partitioner::owner_of(std::uint32_t user_id) const {
+  return owner_of_partition(partition_of(user_id));
+}
+
+const std::string& Partitioner::owner_of_partition(std::size_t p) const {
+  if (backend_count_ == 0) {
+    throw std::logic_error("Partitioner: no backends registered");
+  }
+  return ownership_.at(p);
+}
+
+std::vector<std::string> Partitioner::backends() const {
+  std::vector<std::string> out;
+  out.reserve(backend_count_);
+  for (const auto& [point, owner] : ring_) {
+    bool seen = false;
+    for (const auto& existing : out) seen = seen || existing == owner;
+    if (!seen) out.push_back(owner);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Partitioner::rebuild() {
+  std::size_t moved = 0;
+  for (std::size_t p = 0; p < ownership_.size(); ++p) {
+    const std::string* owner = &ownership_[p];
+    if (ring_.empty()) {
+      static const std::string kNone;
+      owner = &kNone;
+    } else {
+      // First ring point clockwise of the partition's coordinate.
+      auto it = ring_.lower_bound(hash_partition(p));
+      if (it == ring_.end()) it = ring_.begin();
+      owner = &it->second;
+    }
+    if (ownership_[p] != *owner) {
+      ownership_[p] = *owner;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace pelican::router

@@ -1,0 +1,99 @@
+// Partitioner: which engine process owns which users.
+//
+// The paper's deployment model is one cloud service personalizing models
+// for millions of users; a single process's DeploymentRegistry cannot hold
+// them all, so the router tier splits the user space into a fixed number of
+// PARTITIONS (a level of indirection between users and processes) and
+// assigns partitions to backends by consistent hashing:
+//
+//   user ──fibonacci hash──▶ partition p ∈ [0, P)
+//   partition ──ring lookup──▶ owning backend
+//
+// The ring holds `virtual_nodes` points per backend; partition p is owned
+// by the first backend point clockwise of hash(p). The assignment is
+// materialized as an explicit OWNERSHIP TABLE (partition → backend id), so
+// routing a request is one hash plus one array index — the ring is only
+// consulted when membership changes.
+//
+// Why consistent hashing instead of `hash(user) % N`: when a backend joins
+// or leaves, modulo reassigns nearly every user, which at fleet scale means
+// re-deploying (re-reading from the model store) nearly every model.
+// Consistent hashing moves only the departed backend's partitions (on
+// removal) or the partitions the new backend's ring points capture (on
+// add) — a bounded slice of roughly P/N partitions — and add_/
+// remove_backend return the exact count moved so callers can observe the
+// bound (tests do).
+//
+// Not thread-safe: the Router serializes access under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pelican::router {
+
+class Partitioner {
+ public:
+  /// `num_partitions` fixes the granularity of ownership (must be > 0;
+  /// more partitions = finer rebalancing at the cost of a larger table).
+  /// `virtual_nodes` is the number of ring points per backend (must be
+  /// > 0; more points = more even partition spread across backends).
+  explicit Partitioner(std::size_t num_partitions = 64,
+                       std::size_t virtual_nodes = 16);
+
+  /// Registers a backend and reassigns the partitions its ring points
+  /// capture. Returns the number of partitions that moved (0 when the id
+  /// was already registered).
+  std::size_t add_backend(const std::string& id);
+
+  /// Unregisters a backend; its partitions move to the surviving ring
+  /// successors and NOTHING else moves. Returns the number of partitions
+  /// that moved (0 when the id was unknown).
+  std::size_t remove_backend(const std::string& id);
+
+  [[nodiscard]] bool contains(const std::string& id) const;
+
+  /// Stable partition of a user id (independent of fleet membership).
+  [[nodiscard]] std::size_t partition_of(std::uint32_t user_id) const noexcept;
+
+  /// Owning backend of a user. Throws std::logic_error when no backends
+  /// are registered.
+  [[nodiscard]] const std::string& owner_of(std::uint32_t user_id) const;
+
+  /// Owning backend of a partition (same error contract).
+  [[nodiscard]] const std::string& owner_of_partition(std::size_t p) const;
+
+  /// The explicit ownership table, partition → backend id. All entries are
+  /// empty strings while no backends are registered.
+  [[nodiscard]] const std::vector<std::string>& ownership() const noexcept {
+    return ownership_;
+  }
+
+  [[nodiscard]] std::size_t num_partitions() const noexcept {
+    return ownership_.size();
+  }
+
+  /// Registered backend ids, sorted ascending.
+  [[nodiscard]] std::vector<std::string> backends() const;
+
+  [[nodiscard]] std::size_t backend_count() const noexcept {
+    return backend_count_;
+  }
+
+ private:
+  /// Recomputes the ownership table from the ring; returns how many
+  /// partitions changed owner.
+  std::size_t rebuild();
+
+  std::size_t virtual_nodes_;
+  std::size_t backend_count_ = 0;
+  /// ring point -> backend id. On the (astronomically unlikely) hash
+  /// collision the lexicographically smaller id wins, keeping the table
+  /// independent of registration order.
+  std::map<std::uint64_t, std::string> ring_;
+  std::vector<std::string> ownership_;
+};
+
+}  // namespace pelican::router

@@ -1,0 +1,395 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace pelican::router {
+
+Router::Router(RouterConfig config)
+    : config_(config),
+      partitioner_(config.partitions, config.virtual_nodes) {
+  if (config_.pool_connections == 0) {
+    throw std::invalid_argument("Router: pool_connections must be > 0");
+  }
+}
+
+Router::~Router() = default;
+
+std::size_t Router::add_backend(const std::string& address) {
+  auto backend = std::make_shared<Backend>(address);
+  // Health-check before admitting: a typo'd address must fail the add, not
+  // the first serve. Throws WireError when unreachable.
+  {
+    const auto reply = exchange(*backend, encode_health());
+    (void)decode_health_reply(reply);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (backends_.contains(address)) return 0;
+  backends_.emplace(address, std::move(backend));
+  return partitioner_.add_backend(address);
+}
+
+std::shared_ptr<Router::Backend> Router::find_backend(
+    const std::string& address) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = backends_.find(address);
+  if (it == backends_.end() || !it->second->alive.load()) return nullptr;
+  return it->second;
+}
+
+std::vector<std::uint8_t> Router::exchange(
+    Backend& backend, std::span<const std::uint8_t> frame) {
+  Socket socket;
+  bool from_pool = false;
+  {
+    std::unique_lock<std::mutex> lock(backend.pool_mutex);
+    backend.pool_cv.wait(lock, [&] {
+      return !backend.alive.load() || !backend.idle.empty() ||
+             backend.open_connections < config_.pool_connections;
+    });
+    if (!backend.alive.load()) {
+      throw WireError("backend dead: " + backend.address);
+    }
+    if (!backend.idle.empty()) {
+      socket = std::move(backend.idle.back());
+      backend.idle.pop_back();
+      from_pool = true;
+    } else {
+      ++backend.open_connections;  // reserve a slot, connect off-lock
+    }
+  }
+  if (!from_pool) {
+    try {
+      socket = Socket::connect_to(backend.parsed);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+      --backend.open_connections;
+      backend.pool_cv.notify_one();
+      throw;
+    }
+  }
+  try {
+    socket.send_frame(frame);
+    std::vector<std::uint8_t> reply = socket.recv_frame();
+    const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    if (backend.alive.load()) {
+      backend.idle.push_back(std::move(socket));
+    } else {
+      --backend.open_connections;  // pool is being torn down
+    }
+    backend.pool_cv.notify_one();
+    return reply;
+  } catch (...) {
+    // The connection is in an unknown state mid-exchange: discard it.
+    const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    --backend.open_connections;
+    backend.pool_cv.notify_one();
+    throw;
+  }
+}
+
+void Router::handle_backend_failure(const std::string& address) {
+  std::shared_ptr<Backend> backend;
+  std::vector<std::pair<std::uint32_t, Deployment>> to_redeploy;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = backends_.find(address);
+    if (it == backends_.end() || !it->second->alive.load()) {
+      return;  // another thread already failed this backend over
+    }
+    backend = it->second;
+    backend->alive.store(false);
+    // The users about to move are exactly those the dead backend owned —
+    // collect them BEFORE the repartition so the ledger walk and the
+    // ownership table agree.
+    for (const auto& [user, record] : ledger_) {
+      if (partitioner_.owner_of(user) == address) {
+        to_redeploy.emplace_back(user, record);
+      }
+    }
+    partitioner_.remove_backend(address);
+    backends_.erase(it);
+  }
+  {
+    // Tear down the pool and wake any thread parked waiting for a
+    // connection slot — they observe !alive and fail over themselves.
+    const std::lock_guard<std::mutex> lock(backend->pool_mutex);
+    backend->open_connections -= backend->idle.size();
+    backend->idle.clear();
+    backend->pool_cv.notify_all();
+  }
+  // Failover re-deploy: the fleet-shared store still holds every model, so
+  // surviving owners just pull the same (user, version) keys. Best-effort —
+  // a cascading failure here is handled by its own failover, and a fully
+  // dead fleet surfaces as rejected responses.
+  for (const auto& [user, record] : to_redeploy) {
+    try {
+      (void)admin_to_owner(
+          user, encode_deploy(
+                    {user, record.version, record.temperature, record.spec}));
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+Ack Router::admin_to_owner(std::uint32_t user,
+                           const std::vector<std::uint8_t>& frame) {
+  // One failover retry: the first attempt discovers a dead owner at most
+  // once, the second runs against the repartitioned fleet.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string owner;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (partitioner_.backend_count() == 0) {
+        throw WireError("no live backends");
+      }
+      owner = partitioner_.owner_of(user);
+    }
+    const auto backend = find_backend(owner);
+    if (backend == nullptr) {
+      handle_backend_failure(owner);
+      continue;
+    }
+    try {
+      return decode_ack(exchange(*backend, frame));
+    } catch (const WireError&) {
+      handle_backend_failure(owner);
+    }
+  }
+  throw WireError("no live backend for user " + std::to_string(user));
+}
+
+void Router::deploy(std::uint32_t user, std::uint32_t version,
+                    const mobility::EncodingSpec& spec, double temperature) {
+  // Ledger first: if the owner dies between the ack and our bookkeeping,
+  // failover must already know how to re-deploy this user. Every failure
+  // path must undo the write — back to the PREVIOUS record when this was a
+  // re-deploy (the engine still serves the old version, and failover must
+  // keep restoring it), gone entirely when the user was never deployed
+  // (or a failed deploy would materialize later as a ghost deployment).
+  std::optional<Deployment> previous;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = ledger_.find(user);
+    if (it != ledger_.end()) previous = it->second;
+    ledger_[user] = Deployment{version, temperature, spec};
+  }
+  const auto roll_back = [&] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (previous.has_value()) {
+      ledger_[user] = *previous;
+    } else {
+      ledger_.erase(user);
+    }
+  };
+  Ack ack;
+  try {
+    ack =
+        admin_to_owner(user, encode_deploy({user, version, temperature, spec}));
+  } catch (...) {
+    roll_back();
+    throw;
+  }
+  if (!ack.ok) {
+    roll_back();
+    throw std::runtime_error("Router: deploy of user " + std::to_string(user) +
+                             " refused: " + ack.message);
+  }
+}
+
+void Router::publish(std::uint32_t user, std::uint32_t version) {
+  const Ack ack = admin_to_owner(user, encode_publish({user, version}));
+  if (!ack.ok) {
+    throw std::runtime_error("Router: publish of user " +
+                             std::to_string(user) + " v" +
+                             std::to_string(version) +
+                             " refused: " + ack.message);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ledger_.find(user);
+  if (it != ledger_.end()) it->second.version = version;
+}
+
+std::vector<serve::PredictResponse> Router::serve(
+    std::span<const serve::PredictRequest> requests) {
+  const Stopwatch watch;
+  std::vector<serve::PredictResponse> responses(requests.size());
+  std::vector<std::size_t> remaining(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) remaining[i] = i;
+
+  std::size_t attempts = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    attempts = partitioner_.backend_count() + 1;
+  }
+
+  while (!remaining.empty() && attempts-- > 0) {
+    // Group the outstanding requests by owning backend. std::map keys the
+    // groups by address, so the fan-out order is deterministic.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (partitioner_.backend_count() == 0) break;
+      for (const std::size_t i : remaining) {
+        groups[partitioner_.owner_of(requests[i].user_id)].push_back(i);
+      }
+    }
+
+    std::vector<std::pair<std::string, std::vector<std::size_t>>> fan_out(
+        groups.begin(), groups.end());
+    std::vector<std::vector<std::size_t>> failed(fan_out.size());
+
+    // One short-lived forwarding thread per owning backend. Deliberately
+    // NOT ThreadPool::global(): these bodies BLOCK on socket I/O, which
+    // would park compute workers the in-process engine path and attack
+    // scoring share, and parallel_for serializes concurrent submissions —
+    // two client threads in serve() would serialize their network waits.
+    // Spawn cost (~tens of µs) is noise against a wire round trip.
+    auto forward = [&](std::size_t g) {
+      const auto& [address, indices] = fan_out[g];
+      const auto backend = find_backend(address);
+      if (backend == nullptr) {
+        failed[g] = indices;
+        return;
+      }
+      std::vector<serve::PredictRequest> batch;
+      batch.reserve(indices.size());
+      for (const std::size_t i : indices) batch.push_back(requests[i]);
+      try {
+        const auto reply = exchange(*backend, encode_predict_batch(batch));
+        auto decoded = decode_predict_replies(reply);
+        if (decoded.size() != indices.size()) {
+          throw WireError("predict reply count mismatch from " + address);
+        }
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          responses[indices[j]] = std::move(decoded[j]);
+        }
+      } catch (const std::exception&) {
+        // Transport failure or protocol breakdown: either way this backend
+        // is unusable. Fail it over and retry the slice on the new owners.
+        handle_backend_failure(address);
+        failed[g] = indices;
+      }
+    };
+    if (fan_out.size() == 1) {
+      forward(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(fan_out.size());
+      for (std::size_t g = 0; g < fan_out.size(); ++g) {
+        threads.emplace_back(forward, g);
+      }
+      for (auto& thread : threads) thread.join();
+    }
+
+    remaining.clear();
+    for (const auto& slice : failed) {
+      remaining.insert(remaining.end(), slice.begin(), slice.end());
+    }
+  }
+
+  // Requests that survived every retry round with no live owner.
+  for (const std::size_t i : remaining) {
+    serve::PredictResponse response;
+    response.user_id = requests[i].user_id;
+    response.ok = false;
+    response.rejected = true;
+    responses[i] = response;
+  }
+
+  // Router-side accounting: end-to-end latency including wire + failover.
+  // (Engine-side latency/batch stats live in fleet_stats().)
+  const double latency_ms = watch.milliseconds();
+  for (auto& response : responses) {
+    response.latency_ms = latency_ms;
+    if (response.ok) {
+      stats_.record_request(latency_ms);
+    } else if (response.rejected) {
+      stats_.record_shed();
+    } else {
+      stats_.record_rejected();
+    }
+  }
+  return responses;
+}
+
+serve::ServerStats::Snapshot Router::fleet_stats() {
+  serve::ServerStats fleet;
+  for (const auto& address : live_backends()) {
+    const auto backend = find_backend(address);
+    if (backend == nullptr) continue;
+    try {
+      fleet.merge(decode_stats_reply(exchange(*backend, encode_stats())));
+    } catch (const std::exception&) {
+      handle_backend_failure(address);
+    }
+  }
+  return fleet.snapshot();
+}
+
+std::vector<std::pair<std::string, HealthReply>> Router::fleet_health() {
+  std::vector<std::pair<std::string, HealthReply>> out;
+  for (const auto& address : live_backends()) {
+    const auto backend = find_backend(address);
+    if (backend == nullptr) continue;
+    try {
+      out.emplace_back(address,
+                       decode_health_reply(exchange(*backend, encode_health())));
+    } catch (const std::exception&) {
+      handle_backend_failure(address);
+    }
+  }
+  return out;
+}
+
+void Router::drain_fleet() {
+  for (const auto& address : live_backends()) {
+    const auto backend = find_backend(address);
+    if (backend == nullptr) continue;
+    try {
+      (void)decode_ack(exchange(*backend, encode_drain()));
+    } catch (const std::exception&) {
+    }
+  }
+  // The fleet is gone by contract; leave the router in a defined state.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [address, backend] : backends_) {
+    backend->alive.store(false);
+    (void)partitioner_.remove_backend(address);
+    const std::lock_guard<std::mutex> pool_lock(backend->pool_mutex);
+    backend->open_connections -= backend->idle.size();
+    backend->idle.clear();
+    backend->pool_cv.notify_all();
+  }
+  backends_.clear();
+}
+
+std::vector<std::string> Router::live_backends() const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(backends_.size());
+    for (const auto& [address, backend] : backends_) {
+      if (backend->alive.load()) out.push_back(address);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Router::owner_of(std::uint32_t user) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return partitioner_.owner_of(user);
+}
+
+std::size_t Router::deployed_users() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ledger_.size();
+}
+
+}  // namespace pelican::router

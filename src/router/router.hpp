@@ -1,0 +1,177 @@
+// Router: the front door of a multi-process serving fleet.
+//
+// Owns the user→process map (Partitioner over explicit ownership tables)
+// and a pool of wire-protocol connections per engine backend. Callers see
+// the single-process engine's API shape — deploy / publish / serve /
+// stats — and the router turns each call into frames for the owning
+// process:
+//
+//   serve(requests)    groups requests by owning backend, forwards one
+//                      kPredictBatch per backend IN PARALLEL, and returns
+//                      responses in request order. Responses are
+//                      bit-identical to direct ServingEngine calls: the
+//                      wire carries discretized features and location ids
+//                      only, and the engine runs the same
+//                      predict_top_k_batch.
+//   deploy/publish     routed to the owning process only (never broadcast);
+//                      models flow through the fleet-shared
+//                      store::FilesystemBackend, so the wire carries keys,
+//                      and PR 3's stall-free publish contract holds
+//                      end-to-end.
+//   fleet_stats()      pulls every engine's raw ServerStats::State and
+//                      merges them (exact union percentiles).
+//
+// FAILOVER. Any transport error on a backend marks it dead and triggers
+// failover-repartition: the Partitioner drops the backend (moving only its
+// partitions), the router re-issues kDeploy for the dead process's users
+// to their new owners (from its deployment ledger — the store still holds
+// every model), and the failed predict batch is retried against the new
+// owners. Predictions are idempotent reads, so the retry is safe;
+// publishes are also retried once (installing the same version twice is a
+// no-op by construction). In-flight state lost with the dead process is
+// its ServerStats and queue — never a model, never the ownership map.
+//
+// Thread-safe: any number of threads may call serve/publish/deploy
+// concurrently; membership changes serialize on an internal lock, and the
+// connection pools bound per-backend concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mobility/dataset.hpp"
+#include "router/partitioner.hpp"
+#include "router/socket.hpp"
+#include "router/wire.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+
+namespace pelican::router {
+
+struct RouterConfig {
+  /// Partition count of the user space (ownership-table granularity).
+  std::size_t partitions = 64;
+  /// Ring points per backend (evenness of the partition spread).
+  std::size_t virtual_nodes = 16;
+  /// Connection-pool bound per backend: at most this many in-flight
+  /// request/reply exchanges per engine process.
+  std::size_t pool_connections = 4;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers an engine backend by wire address and health-checks it
+  /// (throws WireError when unreachable). Returns the number of partitions
+  /// that moved to it.
+  std::size_t add_backend(const std::string& address);
+
+  /// Deploys `user` on its owning process: the engine reads (scope, user,
+  /// version) from the fleet-shared store. The router remembers the
+  /// deployment in its ledger so failover can re-deploy the user on a
+  /// surviving process. Throws std::runtime_error when the engine refuses
+  /// (e.g. no such store version), WireError when no backend is live.
+  void deploy(std::uint32_t user, std::uint32_t version,
+              const mobility::EncodingSpec& spec, double temperature = 1.0);
+
+  /// Stall-free model update, routed to the owning process only.
+  void publish(std::uint32_t user, std::uint32_t version);
+
+  /// Forwards `requests` to their owning processes (one batch per backend,
+  /// in parallel) and returns responses in request order. Requests whose
+  /// owner died mid-call are retried on the failover owner; requests that
+  /// exhaust every backend come back ok = false / rejected = true.
+  [[nodiscard]] std::vector<serve::PredictResponse> serve(
+      std::span<const serve::PredictRequest> requests);
+
+  /// Merged raw state of every live engine (exact fleet-wide percentiles),
+  /// as a snapshot. Engines that die during collection are skipped (and
+  /// failed over).
+  [[nodiscard]] serve::ServerStats::Snapshot fleet_stats();
+
+  /// Per-backend health of the live fleet, sorted by address.
+  [[nodiscard]] std::vector<std::pair<std::string, HealthReply>>
+  fleet_health();
+
+  /// Gracefully drains every live backend (each acks, then exits its run
+  /// loop). The router is unusable for serving afterwards.
+  void drain_fleet();
+
+  /// Router-side request accounting (end-to-end latency from serve() entry,
+  /// including wire and failover time). Disjoint from fleet_stats(), which
+  /// is the engines' in-process view of the same traffic.
+  [[nodiscard]] serve::ServerStats& stats() noexcept { return stats_; }
+
+  /// Live backend addresses, sorted.
+  [[nodiscard]] std::vector<std::string> live_backends() const;
+
+  /// Owning backend address of a user (for tests and placement debugging).
+  [[nodiscard]] std::string owner_of(std::uint32_t user) const;
+
+  [[nodiscard]] std::size_t deployed_users() const;
+
+ private:
+  struct Backend {
+    explicit Backend(std::string addr)
+        : address(std::move(addr)), parsed(parse_address(address)) {}
+    std::string address;
+    Address parsed;
+    /// Written under Router::mutex_, read under pool_mutex too (pool
+    /// waiters bail out when their backend dies) — hence atomic.
+    std::atomic<bool> alive{true};
+
+    std::mutex pool_mutex;
+    std::condition_variable pool_cv;
+    std::vector<Socket> idle;
+    std::size_t open_connections = 0;  ///< idle + leased
+  };
+
+  struct Deployment {
+    std::uint32_t version = 0;
+    double temperature = 1.0;
+    mobility::EncodingSpec spec;
+  };
+
+  /// Looks up a live backend; null when unknown or dead.
+  [[nodiscard]] std::shared_ptr<Backend> find_backend(
+      const std::string& address) const;
+
+  /// One request/reply exchange over a pooled connection. Throws WireError
+  /// on transport failure (connection discarded, backend presumed dead).
+  [[nodiscard]] std::vector<std::uint8_t> exchange(
+      Backend& backend, std::span<const std::uint8_t> frame);
+
+  /// Sends an admin frame to `user`'s owner, failing over (and retrying
+  /// once) when the owner is dead. Returns the decoded ack; throws
+  /// std::runtime_error when the engine answers ok = false.
+  Ack admin_to_owner(std::uint32_t user,
+                     const std::vector<std::uint8_t>& frame);
+
+  /// Marks a backend dead, repartitions, and re-deploys its users on their
+  /// failover owners. Idempotent per backend; safe to call concurrently.
+  void handle_backend_failure(const std::string& address);
+
+  RouterConfig config_;
+
+  mutable std::mutex mutex_;  ///< guards partitioner_, backends_, ledger_
+  Partitioner partitioner_;
+  std::unordered_map<std::string, std::shared_ptr<Backend>> backends_;
+  std::unordered_map<std::uint32_t, Deployment> ledger_;
+
+  serve::ServerStats stats_;
+};
+
+}  // namespace pelican::router

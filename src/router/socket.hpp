@@ -1,0 +1,134 @@
+// Stream-socket transport of the router tier: RAII fds, Unix-domain and
+// TCP endpoints, and length-prefixed frame I/O.
+//
+// Addresses are strings so configs and CLI flags stay trivial:
+//   "unix:/tmp/pelican/e0.sock"   Unix-domain stream socket (the default
+//                                 for same-host fleets: no ports, no
+//                                 loopback stack, filesystem permissions)
+//   "tcp:127.0.0.1:7401"          TCP, for engines on other hosts
+//
+// Framing: a u32 little-endian payload length, then the payload (a
+// router/wire frame). recv_frame() rejects frames above kMaxFrameBytes so
+// a corrupt or hostile peer cannot drive an unbounded allocation.
+//
+// Failure model: every transport error — connect refused, peer died
+// mid-frame (a SIGKILLed engine), short read at EOF — throws WireError.
+// The Router maps any WireError on a backend connection to "backend dead"
+// and triggers failover-repartition; there are no per-call timeouts (a
+// hung-but-alive engine is out of scope for this tier — see ROADMAP).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pelican::router {
+
+/// Transport-level failure (connect/send/recv); the frame or connection is
+/// unusable and the backend should be treated as dead.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Largest accepted frame payload. Generous: the biggest real frame is a
+/// kStatsReply carrying every latency sample of a long bench run.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+struct Address {
+  enum class Kind : std::uint8_t { kUnix = 0, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;              ///< kUnix: filesystem path
+  std::string host;              ///< kTcp
+  std::uint16_t port = 0;        ///< kTcp
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "unix:<path>" or "tcp:<host>:<port>". Throws std::invalid_argument
+/// on anything else (including Unix paths too long for sockaddr_un).
+[[nodiscard]] Address parse_address(const std::string& text);
+
+/// Polls `address` until something accepts a connection or `timeout`
+/// elapses (false). The readiness probe for freshly spawned engines, used
+/// by LocalFleet and the router tests.
+[[nodiscard]] bool wait_connectable(
+    const Address& address,
+    std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+/// A connected stream socket (move-only RAII). All I/O is blocking;
+/// SIGPIPE is suppressed per-send.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to `address`. Throws WireError when nothing is listening.
+  [[nodiscard]] static Socket connect_to(const Address& address);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Length-prefixed write of one wire frame.
+  void send_frame(std::span<const std::uint8_t> payload);
+
+  /// Blocking read of one full frame. Throws WireError on EOF (peer gone),
+  /// I/O error, or an over-limit length prefix.
+  [[nodiscard]] std::vector<std::uint8_t> recv_frame();
+
+  /// Wakes any thread blocked in this socket's I/O with an EOF/error
+  /// (used to stop connection-handler threads). Safe from other threads.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  void send_all(const void* data, std::size_t bytes);
+  void recv_all(void* data, std::size_t bytes);
+
+  int fd_ = -1;
+};
+
+/// A bound, listening stream socket. For kUnix addresses, bind unlinks a
+/// stale socket file first and the destructor unlinks it again.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  [[nodiscard]] static ListenSocket bind_to(const Address& address);
+
+  /// Blocks until a peer connects. Throws WireError when the socket was
+  /// closed (the accept loop's stop signal) or on accept failure.
+  [[nodiscard]] Socket accept();
+
+  /// Waits up to `timeout_ms` for a pending connection; false on timeout.
+  /// The poll()-based accept loop uses this to observe its stop flag.
+  [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const Address& address() const noexcept { return address_; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  Address address_;
+  bool unlink_on_close_ = false;
+};
+
+}  // namespace pelican::router

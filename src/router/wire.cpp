@@ -1,0 +1,277 @@
+#include "router/wire.hpp"
+
+#include "common/serialize.hpp"
+
+namespace pelican::router {
+
+namespace {
+
+void write_window(BufferWriter& writer, const mobility::Window& window) {
+  for (const auto& step : window.steps) {
+    writer.write_u8(step.entry_bin);
+    writer.write_u8(step.duration_bin);
+    writer.write_u8(step.day_of_week);
+    writer.write_u16(step.location);
+  }
+  writer.write_u16(window.next_location);
+  writer.write_i64(window.start_minute);
+}
+
+mobility::Window read_window(BufferReader& reader) {
+  mobility::Window window;
+  for (auto& step : window.steps) {
+    step.entry_bin = reader.read_u8();
+    step.duration_bin = reader.read_u8();
+    step.day_of_week = reader.read_u8();
+    step.location = reader.read_u16();
+  }
+  window.next_location = reader.read_u16();
+  window.start_minute = reader.read_i64();
+  return window;
+}
+
+BufferWriter begin_frame(Verb verb) {
+  BufferWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(verb));
+  return writer;
+}
+
+/// Validates the verb byte and returns a reader positioned at the body.
+BufferReader begin_decode(std::span<const std::uint8_t> frame,
+                          Verb expected) {
+  const Verb verb = frame_verb(frame);
+  if (verb != expected) {
+    throw SerializeError(std::string("wire: expected ") + to_string(expected) +
+                         " frame, got " + to_string(verb));
+  }
+  BufferReader reader(frame);
+  (void)reader.read_u8();  // consume the verb byte
+  return reader;
+}
+
+/// A decoded frame must consume its body exactly: trailing bytes mean the
+/// peers disagree about the message layout, which must never pass silently.
+void finish_decode(const BufferReader& reader, Verb verb) {
+  if (reader.remaining() != 0) {
+    throw SerializeError(std::string("wire: ") + to_string(verb) + " frame has " +
+                         std::to_string(reader.remaining()) +
+                         " trailing bytes");
+  }
+}
+
+}  // namespace
+
+Verb frame_verb(std::span<const std::uint8_t> frame) {
+  if (frame.empty()) throw SerializeError("wire: empty frame");
+  const std::uint8_t byte = frame.front();
+  switch (static_cast<Verb>(byte)) {
+    case Verb::kPredictBatch:
+    case Verb::kDeploy:
+    case Verb::kPublish:
+    case Verb::kHealth:
+    case Verb::kStats:
+    case Verb::kDrain:
+    case Verb::kPredictReplies:
+    case Verb::kAck:
+    case Verb::kHealthReply:
+    case Verb::kStatsReply:
+      return static_cast<Verb>(byte);
+  }
+  throw SerializeError("wire: unknown verb byte " + std::to_string(byte));
+}
+
+std::vector<std::uint8_t> encode_predict_batch(
+    std::span<const serve::PredictRequest> requests) {
+  BufferWriter writer = begin_frame(Verb::kPredictBatch);
+  writer.write_u64(requests.size());
+  for (const auto& request : requests) {
+    writer.write_u32(request.user_id);
+    writer.write_u64(request.k);
+    write_window(writer, request.window);
+  }
+  return writer.take();
+}
+
+std::vector<serve::PredictRequest> decode_predict_batch(
+    std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kPredictBatch);
+  const std::uint64_t count = reader.read_u64();
+  if (count > reader.remaining()) {  // every item is > 1 byte
+    throw SerializeError("wire: predict batch count exceeds frame size");
+  }
+  std::vector<serve::PredictRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    serve::PredictRequest request;
+    request.user_id = reader.read_u32();
+    request.k = static_cast<std::size_t>(reader.read_u64());
+    request.window = read_window(reader);
+    requests.push_back(request);
+  }
+  finish_decode(reader, Verb::kPredictBatch);
+  return requests;
+}
+
+std::vector<std::uint8_t> encode_predict_replies(
+    std::span<const serve::PredictResponse> responses) {
+  BufferWriter writer = begin_frame(Verb::kPredictReplies);
+  writer.write_u64(responses.size());
+  for (const auto& response : responses) {
+    writer.write_u32(response.user_id);
+    writer.write_u8(response.ok ? 1 : 0);
+    writer.write_u8(response.rejected ? 1 : 0);
+    writer.write_u32(response.model_version);
+    writer.write_u16_span(response.locations);
+    writer.write_f64(response.latency_ms);
+  }
+  return writer.take();
+}
+
+std::vector<serve::PredictResponse> decode_predict_replies(
+    std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kPredictReplies);
+  const std::uint64_t count = reader.read_u64();
+  if (count > reader.remaining()) {  // every item is > 1 byte
+    throw SerializeError("wire: predict reply count exceeds frame size");
+  }
+  std::vector<serve::PredictResponse> responses;
+  responses.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    serve::PredictResponse response;
+    response.user_id = reader.read_u32();
+    response.ok = reader.read_u8() != 0;
+    response.rejected = reader.read_u8() != 0;
+    response.model_version = reader.read_u32();
+    response.locations = reader.read_u16_vector();
+    response.latency_ms = reader.read_f64();
+    responses.push_back(std::move(response));
+  }
+  finish_decode(reader, Verb::kPredictReplies);
+  return responses;
+}
+
+std::vector<std::uint8_t> encode_deploy(const DeployCommand& command) {
+  BufferWriter writer = begin_frame(Verb::kDeploy);
+  writer.write_u32(command.user_id);
+  writer.write_u32(command.version);
+  writer.write_f64(command.temperature);
+  writer.write_u8(static_cast<std::uint8_t>(command.spec.level));
+  writer.write_u64(command.spec.num_locations);
+  return writer.take();
+}
+
+DeployCommand decode_deploy(std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kDeploy);
+  DeployCommand command;
+  command.user_id = reader.read_u32();
+  command.version = reader.read_u32();
+  command.temperature = reader.read_f64();
+  const std::uint8_t level = reader.read_u8();
+  if (level > static_cast<std::uint8_t>(mobility::SpatialLevel::kAp)) {
+    throw SerializeError("wire: bad spatial level " + std::to_string(level));
+  }
+  command.spec.level = static_cast<mobility::SpatialLevel>(level);
+  command.spec.num_locations =
+      static_cast<std::size_t>(reader.read_u64());
+  finish_decode(reader, Verb::kDeploy);
+  return command;
+}
+
+std::vector<std::uint8_t> encode_publish(const PublishCommand& command) {
+  BufferWriter writer = begin_frame(Verb::kPublish);
+  writer.write_u32(command.user_id);
+  writer.write_u32(command.version);
+  return writer.take();
+}
+
+PublishCommand decode_publish(std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kPublish);
+  PublishCommand command;
+  command.user_id = reader.read_u32();
+  command.version = reader.read_u32();
+  finish_decode(reader, Verb::kPublish);
+  return command;
+}
+
+std::vector<std::uint8_t> encode_health() {
+  return begin_frame(Verb::kHealth).take();
+}
+
+std::vector<std::uint8_t> encode_stats() {
+  return begin_frame(Verb::kStats).take();
+}
+
+std::vector<std::uint8_t> encode_drain() {
+  return begin_frame(Verb::kDrain).take();
+}
+
+std::vector<std::uint8_t> encode_ack(const Ack& ack) {
+  BufferWriter writer = begin_frame(Verb::kAck);
+  writer.write_u8(ack.ok ? 1 : 0);
+  writer.write_string(ack.message);
+  return writer.take();
+}
+
+Ack decode_ack(std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kAck);
+  Ack ack;
+  ack.ok = reader.read_u8() != 0;
+  ack.message = reader.read_string();
+  finish_decode(reader, Verb::kAck);
+  return ack;
+}
+
+std::vector<std::uint8_t> encode_health_reply(const HealthReply& reply) {
+  BufferWriter writer = begin_frame(Verb::kHealthReply);
+  writer.write_u64(reply.deployments);
+  writer.write_u8(reply.draining ? 1 : 0);
+  return writer.take();
+}
+
+HealthReply decode_health_reply(std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kHealthReply);
+  HealthReply reply;
+  reply.deployments = reader.read_u64();
+  reply.draining = reader.read_u8() != 0;
+  finish_decode(reader, Verb::kHealthReply);
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_stats_reply(
+    const serve::ServerStats::State& state) {
+  BufferWriter writer = begin_frame(Verb::kStatsReply);
+  writer.write_u64(state.requests);
+  writer.write_u64(state.rejected);
+  writer.write_u64(state.shed);
+  writer.write_u64(state.peak_queue_depth);
+  writer.write_u64(state.batches);
+  writer.write_u64(state.batch_rows);
+  writer.write_u64(state.max_batch);
+  std::vector<std::uint64_t> hist(state.batch_hist.begin(),
+                                  state.batch_hist.end());
+  writer.write_u64_span(hist);
+  writer.write_f64(state.forward_seconds);
+  writer.write_f64_span(state.latencies_ms);
+  return writer.take();
+}
+
+serve::ServerStats::State decode_stats_reply(
+    std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kStatsReply);
+  serve::ServerStats::State state;
+  state.requests = static_cast<std::size_t>(reader.read_u64());
+  state.rejected = static_cast<std::size_t>(reader.read_u64());
+  state.shed = static_cast<std::size_t>(reader.read_u64());
+  state.peak_queue_depth = static_cast<std::size_t>(reader.read_u64());
+  state.batches = static_cast<std::size_t>(reader.read_u64());
+  state.batch_rows = static_cast<std::size_t>(reader.read_u64());
+  state.max_batch = static_cast<std::size_t>(reader.read_u64());
+  const auto hist = reader.read_u64_vector();
+  state.batch_hist.assign(hist.begin(), hist.end());
+  state.forward_seconds = reader.read_f64();
+  state.latencies_ms = reader.read_f64_vector();
+  finish_decode(reader, Verb::kStatsReply);
+  return state;
+}
+
+}  // namespace pelican::router

@@ -1,0 +1,143 @@
+// Wire protocol of the router tier: compact length-prefixed binary frames
+// between the Router front door and EngineWorker processes.
+//
+// A frame is [verb: u8][body], built with common/serialize's BufferWriter
+// and decoded with BufferReader; the transport (router/socket.hpp) adds a
+// u32 length prefix on the stream. Every request verb has exactly one reply
+// verb, and every connection is strictly request/reply — no pipelining, no
+// out-of-order replies — so a connection's state is trivial and a pool of
+// them gives concurrency.
+//
+// Verbs:
+//   kPredictBatch → kPredictReplies   the data plane: a coalesced batch of
+//                                     PredictRequests; reply i answers
+//                                     request i (bit-identical to a direct
+//                                     ServingEngine call — the protocol
+//                                     carries discretized features and
+//                                     location ids, never floats, so there
+//                                     is nothing to round)
+//   kDeploy       → kAck              admin: read (user, version) from the
+//                                     engine's shared model store and
+//                                     register the deployment
+//   kPublish      → kAck              admin: stall-free model update via
+//                                     DeploymentRegistry::publish
+//   kHealth       → kHealthReply      liveness + deployment count
+//   kStats        → kStatsReply       the engine's raw ServerStats::State,
+//                                     merged fleet-wide by the router
+//   kDrain        → kAck              graceful shutdown: the engine stops
+//                                     accepting and exits its run loop
+//
+// Malformed frames (bad verb, truncated body, trailing bytes) throw
+// SerializeError; the engine answers with a kAck{ok=false} rather than
+// dying, and the router treats transport-level failures as backend death.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mobility/dataset.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+
+namespace pelican::router {
+
+enum class Verb : std::uint8_t {
+  kPredictBatch = 1,
+  kDeploy = 2,
+  kPublish = 3,
+  kHealth = 4,
+  kStats = 5,
+  kDrain = 6,
+  // Replies live in a disjoint range so a misrouted frame can never be
+  // mistaken for a request.
+  kPredictReplies = 65,
+  kAck = 66,
+  kHealthReply = 67,
+  kStatsReply = 68,
+};
+
+[[nodiscard]] constexpr const char* to_string(Verb verb) noexcept {
+  switch (verb) {
+    case Verb::kPredictBatch: return "predict_batch";
+    case Verb::kDeploy: return "deploy";
+    case Verb::kPublish: return "publish";
+    case Verb::kHealth: return "health";
+    case Verb::kStats: return "stats";
+    case Verb::kDrain: return "drain";
+    case Verb::kPredictReplies: return "predict_replies";
+    case Verb::kAck: return "ack";
+    case Verb::kHealthReply: return "health_reply";
+    case Verb::kStatsReply: return "stats_reply";
+  }
+  return "?";
+}
+
+/// Instructs an engine to deploy `user_id` serving `version` from its
+/// attached model store scope, wrapped with this encoding spec and privacy
+/// temperature. The model itself never crosses the wire — engines pull it
+/// from the shared FilesystemBackend store.
+struct DeployCommand {
+  std::uint32_t user_id = 0;
+  std::uint32_t version = 0;
+  double temperature = 1.0;
+  mobility::EncodingSpec spec;
+};
+
+struct PublishCommand {
+  std::uint32_t user_id = 0;
+  std::uint32_t version = 0;
+};
+
+/// Generic admin reply. `message` is empty on success and names the failure
+/// (e.g. the missing store key) otherwise.
+struct Ack {
+  bool ok = false;
+  std::string message;
+};
+
+struct HealthReply {
+  std::uint64_t deployments = 0;
+  bool draining = false;
+};
+
+/// First byte of a frame. Throws SerializeError on an empty frame or a
+/// byte outside the Verb enumeration.
+[[nodiscard]] Verb frame_verb(std::span<const std::uint8_t> frame);
+
+// -- request encoders --------------------------------------------------------
+[[nodiscard]] std::vector<std::uint8_t> encode_predict_batch(
+    std::span<const serve::PredictRequest> requests);
+[[nodiscard]] std::vector<std::uint8_t> encode_deploy(
+    const DeployCommand& command);
+[[nodiscard]] std::vector<std::uint8_t> encode_publish(
+    const PublishCommand& command);
+[[nodiscard]] std::vector<std::uint8_t> encode_health();
+[[nodiscard]] std::vector<std::uint8_t> encode_stats();
+[[nodiscard]] std::vector<std::uint8_t> encode_drain();
+
+// -- reply encoders ----------------------------------------------------------
+[[nodiscard]] std::vector<std::uint8_t> encode_predict_replies(
+    std::span<const serve::PredictResponse> responses);
+[[nodiscard]] std::vector<std::uint8_t> encode_ack(const Ack& ack);
+[[nodiscard]] std::vector<std::uint8_t> encode_health_reply(
+    const HealthReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const serve::ServerStats::State& state);
+
+// -- decoders (each validates the verb byte and full-body consumption) -------
+[[nodiscard]] std::vector<serve::PredictRequest> decode_predict_batch(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] DeployCommand decode_deploy(std::span<const std::uint8_t> frame);
+[[nodiscard]] PublishCommand decode_publish(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::vector<serve::PredictResponse> decode_predict_replies(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] Ack decode_ack(std::span<const std::uint8_t> frame);
+[[nodiscard]] HealthReply decode_health_reply(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] serve::ServerStats::State decode_stats_reply(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace pelican::router

@@ -77,6 +77,49 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   return snap;
 }
 
+ServerStats::State ServerStats::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State state;
+  state.requests = requests_;
+  state.rejected = rejected_;
+  state.shed = shed_;
+  state.peak_queue_depth = peak_queue_depth_;
+  state.batches = batches_;
+  state.batch_rows = batch_rows_;
+  state.max_batch = max_batch_;
+  state.batch_hist = batch_hist_;
+  state.forward_seconds = forward_seconds_;
+  state.latencies_ms = latencies_ms_;
+  return state;
+}
+
+void ServerStats::merge(const State& other) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  requests_ += other.requests;
+  rejected_ += other.rejected;
+  shed_ += other.shed;
+  peak_queue_depth_ = std::max(peak_queue_depth_, other.peak_queue_depth);
+  batches_ += other.batches;
+  batch_rows_ += other.batch_rows;
+  max_batch_ = std::max(max_batch_, other.max_batch);
+  if (batch_hist_.size() < other.batch_hist.size()) {
+    batch_hist_.resize(other.batch_hist.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.batch_hist.size(); ++b) {
+    batch_hist_[b] += other.batch_hist[b];
+  }
+  forward_seconds_ += other.forward_seconds;
+  latencies_ms_.insert(latencies_ms_.end(), other.latencies_ms.begin(),
+                       other.latencies_ms.end());
+}
+
+void ServerStats::merge(const ServerStats& other) {
+  // Snapshot the source first (its own lock), then fold under ours — no
+  // two locks held at once, so opposite-direction merges cannot deadlock,
+  // and merge(*this) folds a consistent copy rather than livelocking.
+  merge(other.state());
+}
+
 void ServerStats::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   requests_ = 0;

@@ -5,6 +5,16 @@
 // executed batch, and per-request queue-to-response latency here. Snapshots
 // aggregate into the numbers the benches print: totals, a log2 batch-size
 // histogram, and p50/p99 latency via common::stats percentiles.
+//
+// Fleet aggregation: a router in front of N engine processes needs one
+// fleet-wide view. State is the raw recorded state (counters, histogram,
+// and the latency samples themselves) — transportable over the router wire
+// protocol — and merge() folds another engine's state in. Merging raw
+// samples rather than snapshots keeps fleet percentiles EXACT: a p99
+// computed from the union of samples, not an average of per-engine p99s
+// (which is statistically meaningless). peak_queue_depth merges as the max
+// across engines — queues are per-process, so fleet-wide "peak depth" means
+// "the worst any single engine queue got".
 #pragma once
 
 #include <cstddef>
@@ -51,6 +61,37 @@ class ServerStats {
 
   /// Consistent aggregate of everything recorded so far.
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// The raw recorded state, copyable and wire-transportable (the router's
+  /// kStats verb carries one per engine). Field meanings match the private
+  /// members below.
+  struct State {
+    std::size_t requests = 0;
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t peak_queue_depth = 0;
+    std::size_t batches = 0;
+    std::size_t batch_rows = 0;
+    std::size_t max_batch = 0;
+    std::vector<std::size_t> batch_hist;
+    double forward_seconds = 0.0;
+    std::vector<double> latencies_ms;
+  };
+
+  /// Consistent copy of the raw state (one lock acquisition).
+  [[nodiscard]] State state() const;
+
+  /// Folds `other` into this instance: counters add, histograms add
+  /// bucket-wise (shorter histograms — including empty ones — are treated
+  /// as zero-filled), latency samples concatenate (so merged percentiles
+  /// are exact over the union), and max fields (max_batch,
+  /// peak_queue_depth) take the maximum.
+  void merge(const State& other);
+
+  /// Same, from a live instance (e.g. a router folding its own local stats
+  /// into a fleet aggregate). Safe against self-merge and concurrent
+  /// recording on either side.
+  void merge(const ServerStats& other);
 
   void reset();
 

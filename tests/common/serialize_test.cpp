@@ -110,5 +110,102 @@ TEST_F(SerializeTest, WriterFailsOnBadPath) {
                SerializeError);
 }
 
+TEST(Crc32Test, MatchesTheIeeeReferenceVector) {
+  // The classic check value for CRC-32/IEEE (zlib convention).
+  const char* data = "123456789";
+  EXPECT_EQ(crc32(0, data, 9), 0xCBF43926u);
+  // Incremental chunking must not change the digest.
+  std::uint32_t crc = crc32(0, data, 4);
+  crc = crc32(crc, data + 4, 5);
+  EXPECT_EQ(crc, 0xCBF43926u);
+  EXPECT_EQ(crc32(0, data, 0), 0u);
+}
+
+TEST_F(SerializeTest, DetectsPayloadCorruptionAtOpen) {
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_string("integrity matters");
+    writer.write_f32_span({{1.0f, 2.0f, 3.0f}});
+    writer.finish();
+  }
+  // Flip one payload bit (past the 12-byte header).
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 16);
+    file.seekp(size - 3);
+    char byte = 0;
+    file.seekg(size - 3);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(size - 3);
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(BinaryReader(path_, 1), SerializeError)
+      << "a bit-flipped checkpoint must be rejected before any typed read";
+}
+
+TEST_F(SerializeTest, DetectsTruncatedPayloadAtOpen) {
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_f32_span({{1.0f, 2.0f, 3.0f, 4.0f}});
+    writer.finish();
+  }
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 5);
+  EXPECT_THROW(BinaryReader(path_, 1), SerializeError)
+      << "a torn write (short file) must fail the checksum at open";
+}
+
+TEST_F(SerializeTest, EmptyPayloadChecksumRoundTrips) {
+  { BinaryWriter(path_, 1).finish(); }
+  EXPECT_NO_THROW(BinaryReader(path_, 1));
+}
+
+TEST(BufferSerializeTest, RoundTripsAllPrimitives) {
+  BufferWriter writer;
+  writer.write_u8(7);
+  writer.write_u16(0xBEEF);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(0x0123456789ABCDEFULL);
+  writer.write_i64(-1234567890123LL);
+  writer.write_f64(-2.5e-300);
+  writer.write_string("pelican/router");
+  writer.write_u16_span({{std::uint16_t{1}, std::uint16_t{65535}}});
+  writer.write_u64_span({{std::uint64_t{42}}});
+  writer.write_f64_span({{0.5, -0.25}});
+
+  BufferReader reader(writer.buffer());
+  EXPECT_EQ(reader.read_u8(), 7);
+  EXPECT_EQ(reader.read_u16(), 0xBEEF);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.read_i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -2.5e-300);
+  EXPECT_EQ(reader.read_string(), "pelican/router");
+  EXPECT_EQ(reader.read_u16_vector(),
+            (std::vector<std::uint16_t>{1, 65535}));
+  EXPECT_EQ(reader.read_u64_vector(), (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(reader.read_f64_vector(), (std::vector<double>{0.5, -0.25}));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BufferSerializeTest, ThrowsOnOverrun) {
+  BufferWriter writer;
+  writer.write_u32(1);
+  BufferReader reader(writer.buffer());
+  EXPECT_EQ(reader.read_u32(), 1u);
+  EXPECT_THROW((void)reader.read_u8(), SerializeError);
+}
+
+TEST(BufferSerializeTest, RejectsOversizedLengthPrefixWithoutAllocating) {
+  // A frame claiming 2^60 elements must throw cleanly, not try to allocate.
+  BufferWriter writer;
+  writer.write_u64(std::uint64_t{1} << 60);
+  BufferReader reader(writer.buffer());
+  EXPECT_THROW((void)reader.read_f64_vector(), SerializeError);
+}
+
 }  // namespace
 }  // namespace pelican

@@ -1,0 +1,90 @@
+// Fleet smoke over real processes — the CI-labeled router_smoke target:
+// two pelican_engined processes over Unix sockets, tiny traffic, a routed
+// publish, fleet-wide stats, and a clean drain. Exercises the wire
+// protocol end to end (socket framing, every verb, process lifecycle) on
+// every commit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/router.hpp"
+#include "router_support.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+TEST(FleetProcessTest, TwoProcessFleetServesPublishesAndDrains) {
+  constexpr std::uint32_t kUsers = 6;
+  constexpr std::size_t kRequests = 64;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kUsers, /*versions=*/2);
+
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const pid_t pid = rt::spawn_engined(dir, i);
+    ASSERT_GT(pid, 0);
+    pids.push_back(pid);
+    ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)))
+        << "engine " << i << " did not come up";
+  }
+
+  Router router;
+  (void)router.add_backend(dir.socket_address(0));
+  (void)router.add_backend(dir.socket_address(1));
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+  }
+
+  // Tiny traffic: every response ok and bit-identical to the reference.
+  Rng rng(2);
+  std::vector<serve::PredictRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    requests.push_back(
+        {static_cast<std::uint32_t>(rng.below(kUsers)), random_window(rng),
+         3});
+  }
+  const auto responses = router.serve(requests);
+  ASSERT_EQ(responses.size(), kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(responses[i].ok) << "request " << i;
+    EXPECT_EQ(responses[i].model_version, 1u);
+    auto reference = rt::reference_deployment(requests[i].user_id, 1);
+    EXPECT_EQ(responses[i].locations,
+              reference.predict_top_k(requests[i].window, 3));
+  }
+
+  // A routed publish is visible on the next query.
+  router.publish(0, 2);
+  const auto updated = router.serve(
+      std::vector<serve::PredictRequest>{{0, random_window(rng), 3}});
+  ASSERT_TRUE(updated[0].ok);
+  EXPECT_EQ(updated[0].model_version, 2u);
+
+  // Fleet stats merged across both processes account for all traffic.
+  const auto snap = router.fleet_stats();
+  EXPECT_EQ(snap.requests_served, kRequests + 1);
+  EXPECT_GT(snap.p50_latency_ms, 0.0);
+
+  const auto health = router.fleet_health();
+  ASSERT_EQ(health.size(), 2u);
+  std::uint64_t deployments = 0;
+  for (const auto& [address, reply] : health) {
+    EXPECT_FALSE(reply.draining);
+    deployments += reply.deployments;
+  }
+  EXPECT_EQ(deployments, kUsers);
+
+  // Drain: both processes ack and exit 0.
+  router.drain_fleet();
+  for (const pid_t pid : pids) {
+    EXPECT_EQ(rt::reap_engined(pid), 0);
+  }
+  EXPECT_TRUE(router.live_backends().empty());
+}
+
+}  // namespace
+}  // namespace pelican::router

@@ -1,0 +1,139 @@
+// Partitioner: deterministic ownership tables and the bounded-movement
+// guarantee of consistent hashing — membership changes move exactly the
+// departed/arrived backend's partitions and nothing else.
+#include "router/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pelican::router {
+namespace {
+
+constexpr std::size_t kPartitions = 128;
+
+std::vector<std::string> four_backends() {
+  return {"unix:/tmp/f/e0.sock", "unix:/tmp/f/e1.sock", "unix:/tmp/f/e2.sock",
+          "unix:/tmp/f/e3.sock"};
+}
+
+Partitioner build(const std::vector<std::string>& ids) {
+  Partitioner partitioner(kPartitions);
+  for (const auto& id : ids) (void)partitioner.add_backend(id);
+  return partitioner;
+}
+
+TEST(PartitionerTest, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Partitioner(0), std::invalid_argument);
+  EXPECT_THROW(Partitioner(8, 0), std::invalid_argument);
+  Partitioner partitioner(8);
+  EXPECT_THROW(partitioner.add_backend(""), std::invalid_argument);
+  EXPECT_THROW((void)partitioner.owner_of(1), std::logic_error)
+      << "owner lookups require at least one backend";
+}
+
+TEST(PartitionerTest, EveryPartitionGetsAnOwnerAndTableIsDeterministic) {
+  const auto a = build(four_backends());
+  const auto b = build(four_backends());
+  EXPECT_EQ(a.ownership(), b.ownership())
+      << "same membership must yield the same table, always";
+  std::set<std::string> owners(a.ownership().begin(), a.ownership().end());
+  EXPECT_EQ(owners.size(), 4u) << "every backend should own some partitions";
+  for (const auto& owner : a.ownership()) EXPECT_FALSE(owner.empty());
+  EXPECT_EQ(a.backends(), four_backends());
+  EXPECT_EQ(a.backend_count(), 4u);
+}
+
+TEST(PartitionerTest, RegistrationOrderDoesNotMatter) {
+  auto ids = four_backends();
+  const auto forward = build(ids);
+  std::reverse(ids.begin(), ids.end());
+  const auto backward = build(ids);
+  EXPECT_EQ(forward.ownership(), backward.ownership());
+}
+
+TEST(PartitionerTest, UserToPartitionIsStableAcrossMembership) {
+  Partitioner partitioner(kPartitions);
+  const std::size_t before = partitioner.partition_of(1234);
+  (void)partitioner.add_backend("a");
+  (void)partitioner.add_backend("b");
+  EXPECT_EQ(partitioner.partition_of(1234), before)
+      << "membership must never change which partition a user hashes to";
+}
+
+TEST(PartitionerTest, RemovalMovesExactlyTheDeadBackendsPartitions) {
+  auto partitioner = build(four_backends());
+  const auto before = partitioner.ownership();
+  const std::string victim = four_backends()[2];
+
+  std::size_t victim_owned = 0;
+  for (const auto& owner : before) victim_owned += owner == victim ? 1 : 0;
+  ASSERT_GT(victim_owned, 0u);
+
+  const std::size_t moved = partitioner.remove_backend(victim);
+  EXPECT_EQ(moved, victim_owned)
+      << "consistent hashing: only the dead backend's slice moves";
+
+  const auto& after = partitioner.ownership();
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    if (before[p] == victim) {
+      EXPECT_NE(after[p], victim);
+      EXPECT_FALSE(after[p].empty());
+    } else {
+      EXPECT_EQ(after[p], before[p])
+          << "a surviving backend's partition must not move on removal";
+    }
+  }
+  EXPECT_FALSE(partitioner.contains(victim));
+  EXPECT_EQ(partitioner.remove_backend(victim), 0u) << "idempotent";
+}
+
+TEST(PartitionerTest, AdditionMovesOnlyPartitionsTheNewBackendCaptures) {
+  auto partitioner = build(four_backends());
+  const auto before = partitioner.ownership();
+
+  const std::string joiner = "unix:/tmp/f/e4.sock";
+  const std::size_t moved = partitioner.add_backend(joiner);
+
+  const auto& after = partitioner.ownership();
+  std::size_t captured = 0;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    if (after[p] == joiner) {
+      ++captured;
+    } else {
+      EXPECT_EQ(after[p], before[p])
+          << "partitions not captured by the joiner must not move";
+    }
+  }
+  EXPECT_EQ(moved, captured);
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kPartitions / 2)
+      << "a single joiner of five must capture a bounded slice, not rehash "
+         "the world";
+  EXPECT_EQ(partitioner.add_backend(joiner), 0u) << "idempotent";
+}
+
+TEST(PartitionerTest, RemoveThenReaddRestoresTheOriginalTable) {
+  auto partitioner = build(four_backends());
+  const auto original = partitioner.ownership();
+  const std::string bounced = four_backends()[1];
+  (void)partitioner.remove_backend(bounced);
+  (void)partitioner.add_backend(bounced);
+  EXPECT_EQ(partitioner.ownership(), original)
+      << "ring points are a pure function of the backend id";
+}
+
+TEST(PartitionerTest, OwnerOfFollowsTheTable) {
+  const auto partitioner = build(four_backends());
+  for (std::uint32_t user = 0; user < 500; ++user) {
+    EXPECT_EQ(partitioner.owner_of(user),
+              partitioner.ownership()[partitioner.partition_of(user)]);
+  }
+}
+
+}  // namespace
+}  // namespace pelican::router

@@ -1,0 +1,123 @@
+// Acceptance (c): killing one engine PROCESS repartitions its users onto
+// the survivors and subsequent queries succeed — with answers still
+// bit-identical to the reference models, because the failover re-deploy
+// pulls the same (user, version) artifacts from the fleet-shared store.
+//
+// This test runs real pelican_engined processes (fork+exec) and SIGKILLs
+// one, so the router sees exactly what a production crash looks like:
+// connections reset by the kernel, no goodbye.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "router/router.hpp"
+#include "router_support.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+TEST(RouterFailoverTest, KilledEngineRepartitionsAndQueriesStillSucceed) {
+  constexpr std::uint32_t kUsers = 12;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
+
+  // A 3-process fleet of real engine daemons.
+  std::vector<pid_t> pids;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const pid_t pid = rt::spawn_engined(dir, i);
+    ASSERT_GT(pid, 0);
+    pids.push_back(pid);
+    addresses.push_back(dir.socket_address(i));
+  }
+  for (const auto& address : addresses) {
+    ASSERT_TRUE(rt::wait_connectable(address))
+        << "engine did not come up on " << address;
+  }
+
+  Router router;
+  for (const auto& address : addresses) {
+    (void)router.add_backend(address);
+  }
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+  }
+
+  // Reference answers, and a pre-kill routed pass proving the fleet works.
+  Rng rng(5);
+  std::vector<serve::PredictRequest> requests;
+  std::vector<std::vector<std::uint16_t>> expected;
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    requests.push_back({user, random_window(rng), 3});
+    auto reference = rt::reference_deployment(user, 1);
+    expected.push_back(
+        reference.predict_top_k(requests.back().window, 3));
+  }
+  const auto before = router.serve(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(before[i].ok);
+    ASSERT_EQ(before[i].locations, expected[i]);
+  }
+
+  // Kill the process that owns the most users (guaranteed to own at least
+  // one), the worst case for failover.
+  std::map<std::string, std::size_t> owned;
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    ++owned[router.owner_of(user)];
+  }
+  const auto victim = std::max_element(
+      owned.begin(), owned.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::string dead_address = victim->first;
+  const std::size_t orphaned_users = victim->second;
+  ASSERT_GT(orphaned_users, 0u);
+  const std::size_t victim_index = static_cast<std::size_t>(
+      std::find(addresses.begin(), addresses.end(), dead_address) -
+      addresses.begin());
+  ASSERT_LT(victim_index, pids.size());
+  rt::kill_engined(pids[victim_index]);
+
+  // Every query must still succeed, with unchanged answers: the router
+  // detects the dead backend mid-serve, repartitions, re-deploys the
+  // orphaned users from the shared store, and retries the failed slice.
+  const auto after = router.serve(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(after[i].ok)
+        << "user " << requests[i].user_id
+        << " must be served after failover";
+    EXPECT_EQ(after[i].locations, expected[i])
+        << "failover re-deploy must serve the same store artifact";
+  }
+
+  // The fleet shrank by exactly the dead process, and ownership moved.
+  const auto live = router.live_backends();
+  EXPECT_EQ(live.size(), 2u);
+  EXPECT_EQ(std::find(live.begin(), live.end(), dead_address), live.end());
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    EXPECT_NE(router.owner_of(user), dead_address);
+  }
+
+  // Steady state: another pass works without further repartitioning.
+  const auto steady = router.serve(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(steady[i].ok);
+    EXPECT_EQ(steady[i].locations, expected[i]);
+  }
+
+  // Graceful teardown of the survivors.
+  router.drain_fleet();
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (i == victim_index) continue;
+    EXPECT_EQ(rt::reap_engined(pids[i]), 0)
+        << "a drained engine must exit cleanly";
+  }
+}
+
+}  // namespace
+}  // namespace pelican::router

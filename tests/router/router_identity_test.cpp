@@ -1,0 +1,142 @@
+// Acceptance (a): responses served THROUGH the router — wire encode, engine
+// process loop, scheduler, wire decode — are bit-identical to direct
+// ServingEngine calls for the same user/queries.
+//
+// The fleet here is two in-process EngineWorkers over Unix sockets (the
+// full wire path without fork/exec); the reference is (1) a direct
+// single-process DeploymentRegistry + BatchScheduler over identical
+// deployments and (2) raw DeployedModel::predict_top_k calls.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "router/router.hpp"
+#include "router_support.hpp"
+#include "serve/scheduler.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+TEST(RouterIdentityTest, RoutedResponsesMatchDirectEngineBitForBit) {
+  constexpr std::uint32_t kStoredUsers = 64;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kStoredUsers, /*versions=*/1);
+
+  const auto fleet = rt::start_fleet(dir, /*processes=*/2);
+  Router router;
+  ASSERT_GT(router.add_backend(fleet[0]->address().to_string()), 0u);
+  ASSERT_GT(router.add_backend(fleet[1]->address().to_string()), 0u);
+
+  // Ownership depends on the (per-run) socket paths, so pick the query set
+  // FROM the placement: up to 6 stored users per owning backend. With 64
+  // users over both backends this covers each live engine in practice, and
+  // the identity property holds regardless of the split.
+  std::map<std::string, std::vector<std::uint32_t>> by_owner;
+  for (std::uint32_t user = 0; user < kStoredUsers; ++user) {
+    auto& slice = by_owner[router.owner_of(user)];
+    if (slice.size() < 6) slice.push_back(user);
+  }
+  EXPECT_EQ(by_owner.size(), 2u)
+      << "expected both engine processes to own some of 64 users";
+  std::vector<std::uint32_t> users;
+  for (const auto& [owner, slice] : by_owner) {
+    users.insert(users.end(), slice.begin(), slice.end());
+  }
+  ASSERT_GE(users.size(), 6u);
+
+  for (const std::uint32_t user : users) {
+    router.deploy(user, /*version=*/1, tiny_spec(),
+                  rt::temperature_of(user));
+  }
+  EXPECT_EQ(router.deployed_users(), users.size());
+
+  // The direct reference engine: same deployments, no wire.
+  serve::DeploymentRegistry direct_registry(4);
+  for (const std::uint32_t user : users) {
+    direct_registry.deploy(user, rt::reference_deployment(user, 1));
+  }
+  serve::BatchScheduler direct(direct_registry,
+                               {.max_batch = 8,
+                                .max_delay = std::chrono::microseconds(200)});
+
+  Rng rng(42);
+  std::vector<serve::PredictRequest> requests;
+  for (const std::uint32_t user : users) {
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      requests.push_back({user, random_window(rng), 3});
+    }
+  }
+
+  const auto routed = router.serve(requests);
+  const auto reference = direct.serve(requests);
+  ASSERT_EQ(routed.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(routed[i].ok) << "request " << i;
+    EXPECT_EQ(routed[i].user_id, requests[i].user_id);
+    EXPECT_EQ(routed[i].model_version, 1u);
+    EXPECT_EQ(routed[i].locations, reference[i].locations)
+        << "routed top-k must be bit-identical to the direct engine "
+           "(request "
+        << i << ", user " << requests[i].user_id << ")";
+  }
+
+  // Second reference: raw single-query deployments, one per user.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto deployment = rt::reference_deployment(requests[i].user_id, 1);
+    EXPECT_EQ(routed[i].locations,
+              deployment.predict_top_k(requests[i].window, requests[i].k));
+  }
+
+  // An undeployed user is answered ok = false (admitted, nothing to serve),
+  // exactly as the direct engine answers it — not a transport error.
+  const auto unknown =
+      router.serve(std::vector<serve::PredictRequest>{
+          {kStoredUsers + 5, random_window(rng), 3}});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_FALSE(unknown[0].ok);
+  EXPECT_FALSE(unknown[0].rejected);
+
+  // Fleet stats observed every routed request, engine-side.
+  const auto snap = router.fleet_stats();
+  EXPECT_EQ(snap.requests_served, requests.size());
+  EXPECT_EQ(snap.requests_rejected, 1u);
+  EXPECT_GE(snap.batches_run, 1u);
+}
+
+TEST(RouterIdentityTest, DeployOfMissingVersionIsRefusedNotFatal) {
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), /*users=*/2, /*versions=*/1);
+  const auto fleet = rt::start_fleet(dir, 1);
+  Router router;
+  (void)router.add_backend(fleet[0]->address().to_string());
+
+  EXPECT_THROW(router.deploy(0, /*version=*/9, tiny_spec(), 1.0),
+               std::runtime_error)
+      << "the engine's store lookup failure must surface as a refusal";
+  EXPECT_EQ(router.deployed_users(), 0u)
+      << "a refused deploy must not linger in the failover ledger";
+
+  // The fleet stays fully usable afterwards.
+  router.deploy(0, 1, tiny_spec(), rt::temperature_of(0));
+  Rng rng(3);
+  const auto ok = router.serve(
+      std::vector<serve::PredictRequest>{{0, random_window(rng), 3}});
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_TRUE(ok[0].ok);
+}
+
+TEST(RouterIdentityTest, AddBackendRejectsUnreachableAddress) {
+  Router router;
+  EXPECT_THROW((void)router.add_backend("unix:/tmp/plcn_no_such.sock"),
+               WireError)
+      << "a typo'd fleet config must fail at add, not at first serve";
+  EXPECT_TRUE(router.live_backends().empty());
+}
+
+}  // namespace
+}  // namespace pelican::router

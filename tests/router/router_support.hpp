@@ -1,0 +1,177 @@
+// Shared helpers for router-tier tests: per-test temp directories (socket
+// paths + the fleet-shared filesystem model store), reference deployments
+// to compare wire-served responses against, in-process EngineWorker fleets,
+// and spawn/kill of real pelican_engined processes.
+#pragma once
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service.hpp"
+#include "router/engine_worker.hpp"
+#include "router/local_fleet.hpp"
+#include "router/socket.hpp"
+#include "serve/serve_support.hpp"
+#include "store/model_store.hpp"
+
+namespace pelican::router_testing {
+
+using router::Address;
+using router::EngineConfig;
+using router::EngineWorker;
+using router::parse_address;
+using router::Socket;
+using router::WireError;
+
+/// Per-test scratch directory under /tmp. Kept SHORT on purpose: it hosts
+/// Unix socket paths, and sockaddr_un caps them at ~107 bytes.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plcn_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return dir_; }
+
+  [[nodiscard]] std::string socket_address(std::size_t index) const {
+    return router::fleet_socket_address(dir_, index);
+  }
+  [[nodiscard]] std::filesystem::path store_root() const {
+    return dir_ / "store";
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+/// Deterministic per-(user, version) model seed, shared by the store
+/// contents and the reference deployments responses are compared against.
+inline std::uint64_t model_seed(std::uint32_t user, std::uint32_t version) {
+  return 1000ULL + 17ULL * user + version;
+}
+
+inline double temperature_of(std::uint32_t user) {
+  return user % 2 == 0 ? 1.0 : 5.0;
+}
+
+/// Populates the fleet-shared filesystem store with `versions` versions for
+/// each of `users` users under scope "personal".
+inline void fill_store(const std::filesystem::path& root, std::uint32_t users,
+                       std::uint32_t versions) {
+  store::ModelStore store(std::make_unique<store::FilesystemBackend>(root));
+  for (std::uint32_t user = 0; user < users; ++user) {
+    for (std::uint32_t version = 1; version <= versions; ++version) {
+      store.put({"personal", user, version},
+                serve_testing::tiny_model(model_seed(user, version)));
+    }
+  }
+}
+
+/// The ground truth a routed response must match bit for bit: a standalone
+/// deployment built from the same store seed.
+inline core::DeployedModel reference_deployment(std::uint32_t user,
+                                                std::uint32_t version) {
+  return {serve_testing::tiny_model(model_seed(user, version)),
+          serve_testing::tiny_spec(), core::PrivacyLayer(temperature_of(user)),
+          core::DeploymentSite::kInCloud, version};
+}
+
+inline EngineConfig engine_config(const TempDir& dir, std::size_t index) {
+  EngineConfig config;
+  config.listen = dir.socket_address(index);
+  config.store_root = dir.store_root();
+  config.scope = "personal";
+  config.registry_shards = 4;
+  config.scheduler.max_batch = 8;
+  config.scheduler.max_delay = std::chrono::microseconds(200);
+  return config;
+}
+
+/// An in-process fleet of EngineWorkers, for tests that exercise the wire
+/// path without fork/exec.
+inline std::vector<std::unique_ptr<EngineWorker>> start_fleet(
+    const TempDir& dir, std::size_t processes) {
+  std::vector<std::unique_ptr<EngineWorker>> fleet;
+  fleet.reserve(processes);
+  for (std::size_t i = 0; i < processes; ++i) {
+    fleet.push_back(std::make_unique<EngineWorker>(engine_config(dir, i)));
+    fleet.back()->start();
+  }
+  return fleet;
+}
+
+/// Path of the pelican_engined binary: $PELICAN_ENGINED, or resolved
+/// relative to this test binary (build/tests/x -> build/tools/...).
+inline std::string engined_path() {
+  if (const char* env = std::getenv("PELICAN_ENGINED")) return env;
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const auto candidate =
+        self.parent_path().parent_path() / "tools" / "pelican_engined";
+    if (std::filesystem::exists(candidate)) return candidate.string();
+  }
+  return "pelican_engined";  // last resort: $PATH
+}
+
+/// fork+exec of one engine process. Returns the child pid (-1 on failure).
+inline pid_t spawn_engined(const TempDir& dir, std::size_t index) {
+  const std::string binary = engined_path();
+  const std::string listen = dir.socket_address(index);
+  const std::string store = dir.store_root().string();
+  std::vector<std::string> args = {binary,       "--listen",       listen,
+                                   "--store",    store,            "--scope",
+                                   "personal",   "--max-delay-us", "200",
+                                   "--max-batch", "8"};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed; the parent's connect wait will time out
+  }
+  return pid;
+}
+
+/// Waits until `address` accepts a connection (the engine is up).
+inline bool wait_connectable(const std::string& address) {
+  return router::wait_connectable(parse_address(address));
+}
+
+/// SIGKILLs and reaps an engine process — the crash failover covers.
+inline void kill_engined(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  (void)::waitpid(pid, &status, 0);
+}
+
+/// Reaps a child expected to exit cleanly (drained). Returns its exit code,
+/// or -1 when it did not exit normally within the blocking wait.
+inline int reap_engined(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+}  // namespace pelican::router_testing

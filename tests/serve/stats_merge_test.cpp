@@ -1,0 +1,134 @@
+// ServerStats fleet-merge semantics (the router aggregates one State per
+// engine process) and the empty-stats edge cases: an engine that has served
+// nothing must snapshot to all-zero percentiles, and merging it must be a
+// no-op — both previously implicit in stats::percentile's empty-span
+// behavior, now pinned explicitly.
+#include "serve/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pelican::serve {
+namespace {
+
+TEST(StatsMergeTest, PercentileOfEmptyInputIsExplicitlyZero) {
+  // The contract the empty-histogram snapshot path relies on.
+  const std::vector<double> empty;
+  EXPECT_EQ(stats::percentile(empty, 50.0), 0.0);
+  EXPECT_EQ(stats::percentile(empty, 99.0), 0.0);
+  EXPECT_EQ(stats::percentile(empty, 0.0), 0.0);
+  EXPECT_EQ(stats::percentile(empty, 100.0), 0.0);
+}
+
+TEST(StatsMergeTest, EmptyStatsSnapshotIsAllZero) {
+  ServerStats stats;
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.requests_served, 0u);
+  EXPECT_EQ(snap.batches_run, 0u);
+  EXPECT_EQ(snap.mean_batch_size, 0.0);
+  EXPECT_TRUE(snap.batch_size_log2_histogram.empty());
+  EXPECT_EQ(snap.p50_latency_ms, 0.0);
+  EXPECT_EQ(snap.p99_latency_ms, 0.0);
+  EXPECT_EQ(snap.max_latency_ms, 0.0);
+}
+
+TEST(StatsMergeTest, MergingEmptyStateIsANoOp) {
+  ServerStats stats;
+  stats.record_batch(4, 0.25);
+  stats.record_request(10.0);
+  const auto before = stats.snapshot();
+
+  stats.merge(ServerStats{});  // freshly constructed: everything empty
+
+  const auto after = stats.snapshot();
+  EXPECT_EQ(after.requests_served, before.requests_served);
+  EXPECT_EQ(after.batches_run, before.batches_run);
+  EXPECT_EQ(after.batch_size_log2_histogram,
+            before.batch_size_log2_histogram);
+  EXPECT_EQ(after.p50_latency_ms, before.p50_latency_ms);
+}
+
+TEST(StatsMergeTest, MergeIntoEmptyReproducesTheSource) {
+  ServerStats source;
+  source.record_batch(8, 0.5);
+  source.record_batch(1, 0.125);
+  source.record_request(3.0);
+  source.record_request(7.0);
+  source.record_rejected();
+  source.record_shed();
+  source.record_queue_depth(17);
+
+  ServerStats target;
+  target.merge(source);
+
+  const auto want = source.snapshot();
+  const auto got = target.snapshot();
+  EXPECT_EQ(got.requests_served, want.requests_served);
+  EXPECT_EQ(got.requests_rejected, want.requests_rejected);
+  EXPECT_EQ(got.requests_shed, want.requests_shed);
+  EXPECT_EQ(got.peak_queue_depth, want.peak_queue_depth);
+  EXPECT_EQ(got.batches_run, want.batches_run);
+  EXPECT_EQ(got.mean_batch_size, want.mean_batch_size);
+  EXPECT_EQ(got.max_batch_size, want.max_batch_size);
+  EXPECT_EQ(got.batch_size_log2_histogram, want.batch_size_log2_histogram);
+  EXPECT_EQ(got.total_forward_seconds, want.total_forward_seconds);
+  EXPECT_EQ(got.p50_latency_ms, want.p50_latency_ms);
+  EXPECT_EQ(got.p99_latency_ms, want.p99_latency_ms);
+  EXPECT_EQ(got.max_latency_ms, want.max_latency_ms);
+}
+
+TEST(StatsMergeTest, FleetMergeComputesExactUnionPercentiles) {
+  // Three "engines" with disjoint latency populations. The merged p50/p99
+  // must equal the percentile of the UNION of samples — not any combination
+  // of the per-engine percentiles.
+  ServerStats engines[3];
+  std::vector<double> all;
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < 50; ++i) {
+      const double latency = 1.0 + e * 100.0 + i;  // 1..50, 101..150, 201..250
+      engines[e].record_request(latency);
+      all.push_back(latency);
+    }
+    engines[e].record_batch(static_cast<std::size_t>(1) << e, 0.1);
+    engines[e].record_queue_depth(static_cast<std::size_t>(3 - e));
+  }
+
+  ServerStats fleet;
+  for (const auto& engine : engines) fleet.merge(engine.state());
+
+  const auto snap = fleet.snapshot();
+  EXPECT_EQ(snap.requests_served, 150u);
+  EXPECT_EQ(snap.batches_run, 3u);
+  EXPECT_EQ(snap.max_batch_size, 4u);
+  EXPECT_EQ(snap.peak_queue_depth, 3u)
+      << "queues are per-process: fleet peak is the max, not the sum";
+  EXPECT_DOUBLE_EQ(snap.p50_latency_ms, stats::percentile(all, 50.0));
+  EXPECT_DOUBLE_EQ(snap.p99_latency_ms, stats::percentile(all, 99.0));
+  // Histograms add bucket-wise: one batch each of size 1, 2, 4.
+  EXPECT_EQ(snap.batch_size_log2_histogram,
+            (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(StatsMergeTest, ConcurrentMergeAndRecordStaysConsistent) {
+  ServerStats target;
+  ServerStats source;
+  for (int i = 0; i < 100; ++i) source.record_request(1.0);
+
+  std::thread recorder([&] {
+    for (int i = 0; i < 1000; ++i) target.record_request(2.0);
+  });
+  std::thread merger([&] {
+    for (int i = 0; i < 10; ++i) target.merge(source);
+  });
+  recorder.join();
+  merger.join();
+
+  EXPECT_EQ(target.snapshot().requests_served, 1000u + 10u * 100u);
+}
+
+}  // namespace
+}  // namespace pelican::serve

@@ -194,6 +194,33 @@ TEST(ModelStoreTest, FilesystemBackendThrowsSerializeErrorOnCorruptEntry) {
       << "a genuinely absent artifact is a miss, not an error";
 }
 
+TEST(ModelStoreTest, FilesystemBackendDetectsBitLevelCorruption) {
+  // Artifact-integrity regression (ROADMAP "model store, phase 2"): a
+  // single flipped bit deep inside the weight payload — which deserializes
+  // into perfectly plausible garbage without a checksum — must fail the
+  // checkpoint-header CRC in FilesystemBackend::get.
+  TempDir dir;
+  ModelStore store(std::make_unique<FilesystemBackend>(dir.path()));
+  store.put({"scope", 4, 1}, tiny_model(3));
+
+  const auto path = dir.path() / "scope" / "u4" / "v1.bin";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const auto size = std::filesystem::file_size(path);
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::streamoff target = static_cast<std::streamoff>(size / 2);
+    char byte = 0;
+    file.seekg(target);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(target);
+    file.write(&byte, 1);
+  }
+
+  EXPECT_THROW((void)store.get({"scope", 4, 1}), SerializeError)
+      << "a corrupted weight payload must never be served as a model";
+}
+
 TEST(ModelStoreTest, FilesystemBackendIgnoresForeignFiles) {
   TempDir dir;
   ModelStore store(std::make_unique<FilesystemBackend>(dir.path()));

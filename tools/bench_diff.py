@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Compare two bench_results artifacts and print per-bench deltas.
+"""Compare bench_results artifacts: pairwise deltas or a multi-commit trend.
 
 Usage:
     tools/bench_diff.py OLD NEW [--threshold PCT]
+    tools/bench_diff.py --trend HISTORY [CURRENT] [--threshold PCT]
 
-OLD and NEW are either single Table-JSON files (the format Table::to_json
-emits: {"headers": [...], "rows": [[...], ...]}) or directories of them
-(e.g. the per-commit bench_results_<sha> CI artifacts). Rows are keyed by
-their first cell; numeric cells in matching rows are compared and the
-relative delta printed. Cells that are not JSON numbers (labels, "2.4x"
-ratio strings) are ignored.
+Pairwise mode: OLD and NEW are either single Table-JSON files (the format
+Table::to_json emits: {"headers": [...], "rows": [[...], ...]}) or
+directories of them (e.g. the per-commit bench_results_<sha> CI
+artifacts). Rows are keyed by their first cell; numeric cells in matching
+rows are compared and the relative delta printed. Cells that are not JSON
+numbers (labels, "2.4x" ratio strings) are ignored.
+
+Trend mode: HISTORY is a directory of per-commit result directories whose
+names sort chronologically (CI keeps bench_history/<ordinal>_<sha>/); the
+optional CURRENT directory is appended as the newest point. Each numeric
+cell prints its whole value sequence plus the net change from the oldest
+to the newest point — a regression that creeps in over several commits is
+visible here even when every single-commit delta sits under the noise
+floor.
 
 This tool is the comparison half of the ROADMAP's CI-tracked bench
 trajectory. It is WARN-ONLY by design: the exit code is 0 even when
@@ -98,10 +107,105 @@ def diff_tables(name, old, new, threshold_pct):
     return flagged
 
 
+def numeric(cell):
+    """The cell as a float, or None for labels/ratio strings/bools."""
+    if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+        return None
+    return float(cell)
+
+
+def trend_points(history_dir, current):
+    """[(label, {table: tables})] oldest -> newest from a history layout."""
+    points = []
+    for name in sorted(os.listdir(history_dir)):
+        path = os.path.join(history_dir, name)
+        if os.path.isdir(path):
+            points.append((name, load_tables(path)))
+    if current is not None:
+        points.append(("current", load_tables(current)))
+    return points
+
+
+def print_trend(points, threshold_pct):
+    """Per-cell value sequences across commits, flagging net drift."""
+    if len(points) < 2:
+        print(
+            "bench_diff: need at least two history points for a trend "
+            f"(have {len(points)})"
+        )
+        return 0
+
+    labels = [label for label, _ in points]
+    print("bench trend over: " + " -> ".join(labels))
+    newest = points[-1][1]
+    flagged = 0
+    for table_name in sorted(newest):
+        headers = newest[table_name].get("headers", [])
+        lines = []
+        for key, new_row in row_map(newest[table_name]).items():
+            for col in range(1, len(new_row)):
+                if numeric(new_row[col]) is None:
+                    continue
+                # The cell's value at every history point that has it.
+                series = []
+                for _, tables in points:
+                    row = row_map(tables.get(table_name, {})).get(key)
+                    value = numeric(row[col]) if row and col < len(row) else None
+                    series.append(value)
+                known = [v for v in series if v is not None]
+                if len(known) < 2:
+                    continue
+                net_pct = (
+                    100.0 * (known[-1] - known[0]) / abs(known[0])
+                    if known[0] != 0
+                    else 0.0
+                )
+                marker = ""
+                if abs(net_pct) >= threshold_pct:
+                    marker = "  <-- DRIFT"
+                    flagged += 1
+                column = headers[col] if col < len(headers) else f"col{col}"
+                values = " -> ".join(
+                    "?" if v is None else f"{v:g}" for v in series
+                )
+                lines.append(
+                    f"  {key} / {column}: {values} (net {net_pct:+.1f}%)"
+                    f"{marker}"
+                )
+        if lines:
+            print(f"== {table_name} ==")
+            for line in lines:
+                print(line)
+    if flagged:
+        print(
+            f"\nbench_diff: {flagged} cell(s) drifted by more than "
+            f"{threshold_pct:g}% across the window (warn-only, not gating)"
+        )
+    else:
+        print("\nbench_diff: no drift beyond threshold across the window")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("old", help="baseline file or directory")
-    parser.add_argument("new", help="candidate file or directory")
+    parser.add_argument(
+        "old",
+        help="baseline file or directory (trend mode: the history "
+        "directory of per-commit result directories)",
+    )
+    parser.add_argument(
+        "new",
+        nargs="?",
+        default=None,
+        help="candidate file or directory (trend mode: optional current "
+        "results appended as the newest point)",
+    )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print per-cell value sequences across a history directory "
+        "instead of a pairwise diff",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -110,6 +214,17 @@ def main():
         "(default: 10)",
     )
     args = parser.parse_args()
+
+    if args.trend:
+        try:
+            points = trend_points(args.old, args.new)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_diff: cannot read history: {error}", file=sys.stderr)
+            return 2
+        return print_trend(points, args.threshold)
+
+    if args.new is None:
+        parser.error("pairwise mode needs both OLD and NEW")
 
     try:
         old_tables = load_tables(args.old)

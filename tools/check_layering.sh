@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Enforces the layer lattice of src/ (see the root CMakeLists.txt):
 #
-#   common -> {nn, mobility} -> models -> {store, attack} -> core -> serve
+#   common -> {nn, mobility} -> models -> {store, attack} -> core -> serve -> router
 #
 # A layer may include itself and anything strictly below it. nn and mobility
 # are siblings: neither may include the other. store and attack are siblings
@@ -18,10 +18,11 @@ declare -A allowed=(
   [attack]="common nn mobility models attack"
   [core]="common nn mobility models store attack core"
   [serve]="common nn mobility models store attack core serve"
+  [router]="common nn mobility models store attack core serve router"
 )
 
 status=0
-for layer in common nn mobility models store attack core serve; do
+for layer in common nn mobility models store attack core serve router; do
   allow="${allowed[$layer]}"
   # Project includes look like: #include "dir/header.hpp"
   while IFS= read -r line; do
@@ -38,6 +39,6 @@ for layer in common nn mobility models store attack core serve; do
 done
 
 if [[ $status -eq 0 ]]; then
-  echo "layering OK: common -> {nn, mobility} -> models -> {store, attack} -> core -> serve"
+  echo "layering OK: common -> {nn, mobility} -> models -> {store, attack} -> core -> serve -> router"
 fi
 exit $status

@@ -1,0 +1,101 @@
+// pelican_engined — one serving-engine process of a routed fleet.
+//
+// Wraps router::EngineWorker (DeploymentRegistry + BatchScheduler behind
+// the wire protocol) around a listen socket and blocks until drained: the
+// Router's kDrain verb is the graceful shutdown path, SIGKILL is the crash
+// the Router's failover-repartition covers.
+//
+//   pelican_engined --listen unix:/tmp/pelican/e0.sock
+//                   --store build/fleet_store [--scope personal]
+//                   [--shards N] [--max-batch N] [--max-delay-us N]
+//                   [--max-queue N] [--policy block|reject|shed_oldest]
+//
+// Every process of a fleet points --store at the SAME directory (the
+// fleet-shared store::FilesystemBackend); deploy/publish commands carry
+// only (user, version) keys and the process pulls checkpoints from there.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "router/engine_worker.hpp"
+
+using namespace pelican;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --listen ADDR --store DIR [--scope S] [--shards N]\n"
+         "       [--max-batch N] [--max-delay-us N] [--max-queue N]\n"
+         "       [--policy block|reject|shed_oldest]\n"
+         "ADDR is unix:<path> or tcp:<host>:<port>.\n";
+  return 2;
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  try {
+    out = static_cast<std::size_t>(std::stoull(text));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  router::EngineConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage(argv[0]);
+    const std::string value = argv[++i];
+    std::size_t n = 0;
+    if (flag == "--listen") {
+      config.listen = value;
+    } else if (flag == "--store") {
+      config.store_root = value;
+    } else if (flag == "--scope") {
+      config.scope = value;
+    } else if (flag == "--shards" && parse_size(value, n)) {
+      config.registry_shards = n;
+    } else if (flag == "--max-batch" && parse_size(value, n)) {
+      config.scheduler.max_batch = n;
+    } else if (flag == "--max-delay-us" && parse_size(value, n)) {
+      config.scheduler.max_delay = std::chrono::microseconds(n);
+    } else if (flag == "--max-queue" && parse_size(value, n)) {
+      config.scheduler.max_queue = n;
+    } else if (flag == "--policy") {
+      if (value == "block") {
+        config.scheduler.policy = serve::QueuePolicy::kBlock;
+      } else if (value == "reject") {
+        config.scheduler.policy = serve::QueuePolicy::kReject;
+      } else if (value == "shed_oldest") {
+        config.scheduler.policy = serve::QueuePolicy::kShedOldest;
+      } else {
+        return usage(argv[0]);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.listen.empty() || config.store_root.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    router::EngineWorker worker(std::move(config));
+    worker.start();
+    std::cout << "pelican_engined listening on "
+              << worker.address().to_string() << " (store "
+              << worker.config().store_root.string() << ", scope "
+              << worker.config().scope << ")\n";
+    worker.wait();
+    std::cout << "pelican_engined drained, exiting\n";
+  } catch (const std::exception& error) {
+    std::cerr << "pelican_engined: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
