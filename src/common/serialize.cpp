@@ -85,6 +85,11 @@ void BinaryWriter::write_u32_span(std::span<const std::uint32_t> xs) {
   write_raw(xs.data(), xs.size_bytes());
 }
 
+void BinaryWriter::write_i8_span(std::span<const std::int8_t> xs) {
+  write_u64(xs.size());
+  write_raw(xs.data(), xs.size_bytes());
+}
+
 void BinaryWriter::finish() {
   if (finished_) return;
   finished_ = true;
@@ -191,6 +196,13 @@ std::string BinaryReader::read_string() {
   std::string s(n, '\0');
   read_raw(s.data(), n);
   return s;
+}
+
+std::vector<std::int8_t> BinaryReader::read_i8_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::int8_t> xs(n);
+  read_raw(xs.data(), n);
+  return xs;
 }
 
 std::vector<float> BinaryReader::read_f32_vector() {

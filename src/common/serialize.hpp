@@ -58,6 +58,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_f32_span(std::span<const float> xs);
   void write_u32_span(std::span<const std::uint32_t> xs);
+  void write_i8_span(std::span<const std::int8_t> xs);
 
   /// Patches the header checksum, flushes and closes; throws if the final
   /// flush fails. Called by the destructor as well (errors are swallowed
@@ -95,6 +96,7 @@ class BinaryReader {
   [[nodiscard]] std::string read_string();
   [[nodiscard]] std::vector<float> read_f32_vector();
   [[nodiscard]] std::vector<std::uint32_t> read_u32_vector();
+  [[nodiscard]] std::vector<std::int8_t> read_i8_vector();
 
  private:
   void read_raw(void* data, std::size_t bytes);

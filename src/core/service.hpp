@@ -149,6 +149,18 @@ class DeployedModel final : public attack::BlackBoxModel {
     return model_version_;
   }
 
+  /// True when this deployment serves an int8 artifact (the store published
+  /// it with PublishFormat::kInt8). Queries then run the dequant-free
+  /// quantized kernels; answers track an fp32 deployment of the same weights
+  /// within the nn/quant.hpp tolerance rather than bit-identically.
+  [[nodiscard]] bool quantized() const { return nn::is_quantized(model_); }
+
+  /// Forwards to the model (nn/activations.hpp): opt this deployment into
+  /// (or back out of) the bounded-error fast activation kernels.
+  void set_activation_mode(nn::ActivationMode mode) noexcept {
+    model_.set_activation_mode(mode);
+  }
+
   /// Model-update bookkeeping: the attack query budget is cumulative per
   /// USER, not per model object, so a replacement deployment published for
   /// the same user inherits the count the old one accumulated.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "nn/activations.hpp"
 #include "nn/matrix.hpp"
 #include "nn/sparse.hpp"
 
@@ -48,6 +49,12 @@ class SequenceLayer {
   void zero_grad() {
     for (Matrix* g : gradients()) g->zero();
   }
+
+  /// Selects the pointwise-activation execution mode (nn/activations.hpp)
+  /// for layers that have one (Lstm, QuantizedLstm); a no-op elsewhere.
+  /// kExact is every layer's default; kFastApprox is the opt-in
+  /// bounded-error vectorized path.
+  virtual void set_activation_mode(ActivationMode /*mode*/) noexcept {}
 
   /// Frozen layers still compute input gradients but are skipped by the
   /// optimizer (used by transfer-learning personalization, Fig. 1b/1c).

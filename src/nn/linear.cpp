@@ -11,30 +11,69 @@ Linear::Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng)
       grad_bias_(1, out_dim, 0.0f) {}
 
 Matrix Linear::forward(const Matrix& x) {
-  if (x.cols() != weight_.cols()) {
+  if (x.cols() != input_dim()) {
     throw std::invalid_argument("Linear::forward: input width mismatch");
+  }
+  Matrix y;
+  if (is_quantized()) {
+    // Inference-only: no input cache (backward throws anyway).
+    qmatmul_bt(x, qweight_, y);
+    add_row_broadcast(y, bias_.row(0));
+    return y;
   }
   cached_input_ = x;
   cached_sparse_ = SparseRows();
-  Matrix y;
   matmul_bt(x, weight_, y);
   add_row_broadcast(y, bias_.row(0));
   return y;
 }
 
 Matrix Linear::forward(const SparseRows& x) {
-  if (x.cols() != weight_.cols()) {
+  if (x.cols() != input_dim()) {
     throw std::invalid_argument("Linear::forward: input width mismatch");
+  }
+  Matrix y;
+  if (is_quantized()) {
+    // Strided int8 column gather (a quantized head rarely sees sparse
+    // input — only models with no sequence layers — so no transposed
+    // panel is kept for it). Same ascending-column chain as the dense
+    // kernel; scale applied once per output.
+    y.resize(x.rows(), qweight_.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      float* dst = y.data() + r * qweight_.rows();
+      for (std::size_t j = 0; j < qweight_.rows(); ++j) {
+        float acc = 0.0f;
+        for (const auto& entry : x.row(r)) {
+          acc += entry.val * static_cast<float>(qweight_.value(j, entry.col));
+        }
+        dst[j] = acc * qweight_.scale(j);
+      }
+    }
+    add_row_broadcast(y, bias_.row(0));
+    return y;
   }
   cached_input_ = Matrix();
   cached_sparse_ = x;
-  Matrix y;
   sparse_matmul_bt(x, weight_, y);
   add_row_broadcast(y, bias_.row(0));
   return y;
 }
 
+Linear Linear::quantized() const {
+  if (is_quantized()) return *this;
+  Linear q;
+  q.qweight_ = QuantizedMatrix::quantize_rows(weight_);
+  q.bias_ = bias_;
+  q.trainable_ = false;
+  return q;
+}
+
 Matrix Linear::backward(const Matrix& grad_output) {
+  if (is_quantized()) {
+    throw std::logic_error(
+        "Linear::backward: quantized heads are inference-only; train the "
+        "fp32 original and re-publish");
+  }
   const bool sparse = cached_input_.empty() && !cached_sparse_.empty();
   const std::size_t cached_rows =
       sparse ? cached_sparse_.rows() : cached_input_.rows();
@@ -54,7 +93,16 @@ Matrix Linear::backward(const Matrix& grad_output) {
   return dx;
 }
 
+// Checkpoint section (model format v2): a leading storage-format byte
+// distinguishes fp32 (0) from int8 (1) heads; the file header CRC covers
+// both layouts.
 void Linear::save(BinaryWriter& writer) const {
+  writer.write_u8(is_quantized() ? 1 : 0);
+  if (is_quantized()) {
+    qweight_.save(writer);
+    writer.write_f32_span(bias_.flat());
+    return;
+  }
   writer.write_u64(weight_.rows());
   writer.write_u64(weight_.cols());
   writer.write_f32_span(weight_.flat());
@@ -63,6 +111,23 @@ void Linear::save(BinaryWriter& writer) const {
 }
 
 Linear Linear::load(BinaryReader& reader) {
+  const std::uint8_t format = reader.read_u8();
+  if (format == 1) {
+    Linear layer;
+    layer.qweight_ = QuantizedMatrix::load(reader);
+    layer.bias_.resize(1, layer.qweight_.rows());
+    const auto b = reader.read_f32_vector();
+    if (b.size() != layer.bias_.size()) {
+      throw SerializeError("Linear::load: bias size mismatch");
+    }
+    std::copy(b.begin(), b.end(), layer.bias_.data());
+    layer.trainable_ = false;
+    return layer;
+  }
+  if (format != 0) {
+    throw SerializeError("Linear::load: unknown storage format " +
+                         std::to_string(format));
+  }
   const std::uint64_t out_dim = reader.read_u64();
   const std::uint64_t in_dim = reader.read_u64();
   Linear layer;

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "nn/matrix.hpp"
+#include "nn/quant.hpp"
 #include "nn/sparse.hpp"
 
 namespace pelican::nn {
@@ -28,8 +29,21 @@ class Linear {
   /// works after either forward.
   [[nodiscard]] Matrix forward(const SparseRows& x);
 
-  /// Accumulates dW, db; returns dx.
+  /// Accumulates dW, db; returns dx. Throws std::logic_error on a
+  /// quantized (inference-only) layer.
   [[nodiscard]] Matrix backward(const Matrix& grad_output);
+
+  /// Int8-quantized copy for serving (per-row scales, nn/quant.hpp): the
+  /// copy stores no fp32 weight, forwards through the int8 kernels, and is
+  /// untrainable. Bias stays fp32 (out_dim floats). Like QuantizedLstm,
+  /// quantized heads serialize as their own checkpoint section.
+  [[nodiscard]] Linear quantized() const;
+  [[nodiscard]] bool is_quantized() const noexcept {
+    return !qweight_.empty();
+  }
+  [[nodiscard]] const QuantizedMatrix& qweight() const noexcept {
+    return qweight_;
+  }
 
   [[nodiscard]] std::vector<Matrix*> parameters() { return {&weight_, &bias_}; }
   [[nodiscard]] std::vector<Matrix*> gradients() {
@@ -43,8 +57,12 @@ class Linear {
   void set_trainable(bool trainable) noexcept { trainable_ = trainable; }
   [[nodiscard]] bool trainable() const noexcept { return trainable_; }
 
-  [[nodiscard]] std::size_t input_dim() const noexcept { return weight_.cols(); }
-  [[nodiscard]] std::size_t output_dim() const noexcept { return weight_.rows(); }
+  [[nodiscard]] std::size_t input_dim() const noexcept {
+    return is_quantized() ? qweight_.cols() : weight_.cols();
+  }
+  [[nodiscard]] std::size_t output_dim() const noexcept {
+    return is_quantized() ? qweight_.rows() : weight_.rows();
+  }
 
   [[nodiscard]] Matrix& weight() noexcept { return weight_; }
   [[nodiscard]] const Matrix& weight() const noexcept { return weight_; }
@@ -55,8 +73,9 @@ class Linear {
   static Linear load(BinaryReader& reader);
 
  private:
-  Matrix weight_;       // out_dim x in_dim
-  Matrix bias_;         // 1 x out_dim
+  Matrix weight_;            // out_dim x in_dim (fp32 mode; empty when int8)
+  QuantizedMatrix qweight_;  // int8 mode (empty in fp32 mode)
+  Matrix bias_;              // 1 x out_dim, always fp32
   Matrix grad_weight_;  // same shape as weight_
   Matrix grad_bias_;
   // Input cached by the last forward(); exactly one is populated.

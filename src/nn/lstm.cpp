@@ -3,13 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/activations.hpp"
+
 namespace pelican::nn {
-
-namespace {
-
-inline float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
-
-}  // namespace
 
 Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
     : w_ih_(Matrix::xavier(4 * hidden_dim, input_dim, rng)),
@@ -36,13 +32,17 @@ Sequence Lstm::run_forward(std::size_t steps, std::size_t batch,
   Matrix h_prev(batch, hidden, 0.0f);
   Matrix c_prev(batch, hidden, 0.0f);
 
-  // The recurrence weight is invariant across timesteps, so its pack is
-  // hoisted out of the step loop (below kGemmPackMinRows the dot kernel
-  // needs no pack at all). Both forms compute each gate element's product
-  // chain from +0 and add it to the input product once — identical bits,
-  // the matmul_bt accumulate contract.
+  // The recurrence weight is invariant across timesteps, so one pack is
+  // shared by every step's product when the total work amortizes it: the
+  // packed axpy kernel vectorizes across the 4H gate columns (nn/simd.hpp),
+  // where the no-pack dot kernel is one serial chain per column — at batch
+  // 1 this product is most of the step time. Very short batch-1 windows
+  // stay on matmul_bt's dot kernel, which beats paying the pack. Both forms
+  // compute each gate element's product chain from +0 and add it to the
+  // input product once — identical bits, the matmul_bt accumulate contract.
+  const bool pack_recurrence = batch * steps >= kGemmPackMinRows;
   Matrix w_hh_t;
-  if (batch >= kGemmPackMinRows) w_hh_t = transposed(w_hh_);
+  if (pack_recurrence) transposed(w_hh_, w_hh_t);
   Matrix hidden_chain;
 
   for (std::size_t t = 0; t < steps; ++t) {
@@ -56,39 +56,27 @@ Sequence Lstm::run_forward(std::size_t steps, std::size_t batch,
     // shared.
     Matrix gates;
     input_product(t, step, gates);
-    if (w_hh_t.empty()) {
-      matmul_bt(h_prev, w_hh_, gates, /*accumulate=*/true);
-    } else {
+    if (pack_recurrence) {
       matmul(h_prev, w_hh_t, hidden_chain);
       gates += hidden_chain;
+    } else {
+      matmul_bt(h_prev, w_hh_, gates, /*accumulate=*/true);
     }
-    add_row_broadcast(gates, bias_.row(0));
 
     step.cell.resize(batch, hidden);
     step.tanh_cell.resize(batch, hidden);
     Matrix h_next(batch, hidden);
 
+    // Bias add, gate activations, and the cell update in ONE sweep over the
+    // gates buffer (nn/activations.hpp). Exact mode (the default) performs
+    // the identical per-element operation chain the unfused loop did.
+    const float* bias = bias_.row(0).data();
     for (std::size_t r = 0; r < batch; ++r) {
-      float* g = gates.data() + r * 4 * hidden;
-      const float* cp = c_prev.data() + r * hidden;
-      float* c_out = step.cell.data() + r * hidden;
-      float* tanh_out = step.tanh_cell.data() + r * hidden;
-      float* h_out = h_next.data() + r * hidden;
-      for (std::size_t j = 0; j < hidden; ++j) {
-        const float gi = sigmoid(g[j]);
-        const float gf = sigmoid(g[hidden + j]);
-        const float gg = std::tanh(g[2 * hidden + j]);
-        const float go = sigmoid(g[3 * hidden + j]);
-        g[j] = gi;
-        g[hidden + j] = gf;
-        g[2 * hidden + j] = gg;
-        g[3 * hidden + j] = go;
-        const float c = gf * cp[j] + gi * gg;
-        const float tc = std::tanh(c);
-        c_out[j] = c;
-        tanh_out[j] = tc;
-        h_out[j] = go * tc;
-      }
+      lstm_gate_pass(gates.data() + r * 4 * hidden, bias,
+                     c_prev.data() + r * hidden,
+                     step.cell.data() + r * hidden,
+                     step.tanh_cell.data() + r * hidden,
+                     h_next.data() + r * hidden, hidden, mode_);
     }
 
     step.gates = std::move(gates);
@@ -102,11 +90,12 @@ Sequence Lstm::run_forward(std::size_t steps, std::size_t batch,
 Sequence Lstm::forward(const Sequence& input, bool /*training*/) {
   if (input.empty()) throw std::invalid_argument("Lstm::forward: empty input");
   const std::size_t batch = input[0].rows();
-  // Hoist the input-weight pack out of the timestep loop (matmul_bt would
-  // otherwise re-transpose w_ih_ every step once the batch crosses its
-  // pack threshold); same bits either way.
+  // Hoist the input-weight pack out of the timestep loop when the total
+  // work amortizes it (matmul_bt would otherwise re-transpose w_ih_ every
+  // step, and its small-batch fallback is the serial dot kernel); same bits
+  // either way.
   Matrix w_ih_t;
-  if (batch >= kGemmPackMinRows) w_ih_t = transposed(w_ih_);
+  if (batch * input.size() >= kGemmPackMinRows) transposed(w_ih_, w_ih_t);
   return run_forward(input.size(), batch,
                      [&](std::size_t t, StepCache& step, Matrix& gates) {
                        const Matrix& x = input[t];
@@ -229,6 +218,7 @@ std::unique_ptr<SequenceLayer> Lstm::clone() const {
   copy->grad_w_hh_ = Matrix(w_hh_.rows(), w_hh_.cols());
   copy->grad_bias_ = Matrix(1, bias_.cols());
   copy->set_trainable(trainable());
+  copy->mode_ = mode_;
   return copy;
 }
 

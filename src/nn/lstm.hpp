@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/activations.hpp"
 #include "nn/layer.hpp"
 
 namespace pelican::nn {
@@ -54,6 +55,20 @@ class Lstm final : public SequenceLayer {
   [[nodiscard]] Matrix& w_ih() noexcept { return w_ih_; }
   [[nodiscard]] Matrix& w_hh() noexcept { return w_hh_; }
   [[nodiscard]] Matrix& bias() noexcept { return bias_; }
+  [[nodiscard]] const Matrix& w_ih() const noexcept { return w_ih_; }
+  [[nodiscard]] const Matrix& w_hh() const noexcept { return w_hh_; }
+  [[nodiscard]] const Matrix& bias() const noexcept { return bias_; }
+
+  /// Gate-activation execution mode (nn/activations.hpp). kExact (default)
+  /// keeps the bit-identical contract; kFastApprox is the opt-in
+  /// bounded-error vectorized path. Not serialized — an execution
+  /// preference, not a model parameter; clone() carries it.
+  void set_activation_mode(ActivationMode mode) noexcept override {
+    mode_ = mode;
+  }
+  [[nodiscard]] ActivationMode activation_mode() const noexcept {
+    return mode_;
+  }
 
  private:
   // Parameters. w_ih_: (4H x I), w_hh_: (4H x H), bias_: (1 x 4H).
@@ -63,6 +78,7 @@ class Lstm final : public SequenceLayer {
   Matrix grad_w_ih_;
   Matrix grad_w_hh_;
   Matrix grad_bias_;
+  ActivationMode mode_ = ActivationMode::kExact;
 
   // Forward cache (per timestep) consumed by backward(). Exactly one of
   // input / sparse_input is populated, depending on which forward ran.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "nn/simd.hpp"
 
 namespace pelican::nn {
 
@@ -47,7 +48,19 @@ void gemm_panel(const float* __restrict a, std::size_t lda,
         for (std::size_t i = ib; i < ie; ++i) {
           const float av = a[i * lda + kk];
           float* __restrict out_row = out + i * ldo + jb;
-          for (std::size_t j = 0; j < width; ++j) {
+          // Explicit vectors (nn/simd.hpp): the default -O2 cost model
+          // leaves this runtime-width loop scalar. Lanes are independent
+          // output elements performing the same multiply-add as the scalar
+          // tail, so bits are unchanged.
+          std::size_t j = 0;
+#if PELICAN_SIMD_KERNELS
+          const simd::vfloat avv = simd::broadcast(av);
+          for (; j + kSimdWidth <= width; j += kSimdWidth) {
+            simd::store(out_row + j,
+                        simd::load(out_row + j) + avv * simd::load(panel_row + j));
+          }
+#endif
+          for (; j < width; ++j) {
             out_row[j] += av * panel_row[j];
           }
         }
@@ -135,16 +148,37 @@ Matrix Matrix::xavier(std::size_t fan_out, std::size_t fan_in, Rng& rng) {
 }
 
 Matrix transposed(const Matrix& m) {
-  Matrix out(m.cols(), m.rows());
+  Matrix out;
+  transposed(m, out);
+  return out;
+}
+
+void transposed(const Matrix& m, Matrix& out) {
+  out.resize(m.cols(), m.rows());
   const float* __restrict src = m.data();
   float* __restrict dst = out.data();
   const std::size_t rows = m.rows(), cols = m.cols();
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      dst[c * rows + r] = src[r * cols + c];
+  // Blocked so both the row-major reads and the column-major writes stay
+  // within one cache-resident tile; a naive loop strides the destination
+  // across the whole matrix per source row, which is most of the cost of
+  // packing a weight per forward call.
+  // Inner loop walks the DESTINATION contiguously: for tall-skinny weights
+  // (4H x H) the destination row stride is a power-of-two KB, and striding
+  // the writes by it maps every store in a tile onto a couple of L1 sets
+  // (4K aliasing) — ~20x slower than the read-strided orientation.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t rb = 0; rb < rows; rb += kTile) {
+    const std::size_t re = std::min(rows, rb + kTile);
+    for (std::size_t cb = 0; cb < cols; cb += kTile) {
+      const std::size_t ce = std::min(cols, cb + kTile);
+      for (std::size_t c = cb; c < ce; ++c) {
+        float* __restrict drow = dst + c * rows;
+        for (std::size_t r = rb; r < re; ++r) {
+          drow[r] = src[r * cols + c];
+        }
+      }
     }
   }
-  return out;
 }
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {

@@ -89,6 +89,11 @@ class Matrix {
 /// operand becomes a contiguous (k x n) panel the axpy kernel streams).
 [[nodiscard]] Matrix transposed(const Matrix& m);
 
+/// Transpose into a caller-owned buffer (blocked for cache locality).
+/// Callers that re-pack the same weight every forward (the LSTM recurrence)
+/// keep one scratch Matrix alive instead of allocating per call.
+void transposed(const Matrix& m, Matrix& out);
+
 /// Row count below which matmul_bt's per-call pack cannot amortize (it uses
 /// a contiguous dot kernel instead). Exported so callers that sweep one
 /// weight across many products (the LSTM timestep loop) can hoist a single

@@ -5,11 +5,16 @@
 #include "nn/dropout.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
+#include "nn/quant_lstm.hpp"
 
 namespace pelican::nn {
 
 namespace {
-constexpr std::uint32_t kModelFormatVersion = 1;
+// v2: Linear sections gained a leading storage-format byte (fp32 vs int8)
+// and the "qlstm" layer kind exists. v1 checkpoints are rejected at the
+// header version check; every writer of persistent checkpoints (the model
+// store, the bench pipeline cache) retrains/re-publishes on load failure.
+constexpr std::uint32_t kModelFormatVersion = 2;
 }  // namespace
 
 void SequenceClassifier::add_layer(std::unique_ptr<SequenceLayer> layer) {
@@ -174,8 +179,40 @@ SequenceClassifier SequenceClassifier::load_file(
 std::unique_ptr<SequenceLayer> load_layer(BinaryReader& reader) {
   const std::string kind = reader.read_string();
   if (kind == "lstm") return Lstm::load(reader);
+  if (kind == "qlstm") return QuantizedLstm::load(reader);
   if (kind == "dropout") return Dropout::load(reader);
   throw SerializeError("load_layer: unknown layer kind '" + kind + "'");
+}
+
+void SequenceClassifier::set_activation_mode(ActivationMode mode) noexcept {
+  for (const auto& layer : layers_) layer->set_activation_mode(mode);
+}
+
+SequenceClassifier quantize_for_serving(const SequenceClassifier& model) {
+  SequenceClassifier quantized;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const SequenceLayer& layer = model.layer(i);
+    if (const auto* lstm = dynamic_cast<const Lstm*>(&layer)) {
+      quantized.add_layer(std::make_unique<QuantizedLstm>(
+          QuantizedMatrix::quantize_rows(lstm->w_ih()),
+          QuantizedMatrix::quantize_rows(lstm->w_hh()), lstm->bias()));
+    } else {
+      // Dropout (inference no-op) and already-quantized layers pass
+      // through; anything trainable keeps its fp32 weights — only the
+      // LSTM/head products dominate bytes and serving FLOPs.
+      quantized.add_layer(layer.clone());
+    }
+  }
+  quantized.set_head(model.head().quantized());
+  return quantized;
+}
+
+bool is_quantized(const SequenceClassifier& model) {
+  if (model.head().is_quantized()) return true;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (model.layer(i).kind() == "qlstm") return true;
+  }
+  return false;
 }
 
 SequenceClassifier make_two_layer_lstm(std::size_t input_dim,

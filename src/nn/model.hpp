@@ -84,6 +84,11 @@ class SequenceClassifier {
 
   [[nodiscard]] SequenceClassifier clone() const;
 
+  /// Forwards to every layer (nn/activations.hpp): kExact (default) keeps
+  /// the bit-exact libm activations; kFastApprox opts this model instance
+  /// into the bounded-error vectorized kernels. Not serialized.
+  void set_activation_mode(ActivationMode mode) noexcept;
+
   void save(BinaryWriter& writer) const;
   void save_file(const std::filesystem::path& path) const;
   static SequenceClassifier load(BinaryReader& reader);
@@ -106,5 +111,19 @@ class SequenceClassifier {
 [[nodiscard]] SequenceClassifier make_one_layer_lstm(
     std::size_t input_dim, std::size_t hidden_dim, std::size_t num_classes,
     double dropout_rate, Rng& rng);
+
+/// Serving-time int8 quantization (nn/quant.hpp): every Lstm becomes a
+/// QuantizedLstm and the head becomes its int8 copy, both with per-row
+/// scales; other layers (Dropout) are cloned unchanged. The result is
+/// inference-only — backward() throws — and serializes as model-format-v2
+/// sections under the same CRC-covered checkpoint container as fp32 models.
+/// Outputs track the fp32 original within the quantization tolerance
+/// documented in quant.hpp (NOT bit-identical).
+[[nodiscard]] SequenceClassifier quantize_for_serving(
+    const SequenceClassifier& model);
+
+/// True if any layer or the head carries int8 weights (i.e. the model came
+/// from quantize_for_serving, directly or via a checkpoint round-trip).
+[[nodiscard]] bool is_quantized(const SequenceClassifier& model);
 
 }  // namespace pelican::nn

@@ -1,0 +1,212 @@
+#include "nn/quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pelican::nn {
+
+namespace {
+
+// ap[j] += xv * panel[j] over a contiguous int8 panel row. The explicit
+// vector helpers (nn/simd.hpp) lose here: SSE2 has no lane-wise int8
+// sign-extend, so __builtin_convertvector at float width scalarizes with
+// store/reload traffic. GCC's own vectorizer emits the efficient
+// unpack + cvtdq2ps sequence once the dynamic cost model is allowed to
+// look at this runtime-width loop (the default -O2 model refuses it), so
+// the pragma-equivalent attribute is the fastest portable form — ~3x over
+// the plain scalar loop. Per-element op chain is unchanged: the int8->fp32
+// convert is exact and each j is an independent chain, so bits match the
+// scalar form.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("tree-vectorize"),
+               optimize("vect-cost-model=dynamic")))
+#endif
+void i8_axpy(float* __restrict ap, const std::int8_t* __restrict panel,
+             float xv, std::size_t n) noexcept {
+  for (std::size_t j = 0; j < n; ++j) {
+    ap[j] += xv * static_cast<float>(panel[j]);
+  }
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizedMatrix::quantize_rows(const Matrix& m) {
+  QuantizedMatrix q;
+  q.rows_ = m.rows();
+  q.cols_ = m.cols();
+  q.values_.resize(m.size());
+  q.scales_.resize(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.data() + r * m.cols();
+    float max_abs = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      max_abs = std::max(max_abs, std::fabs(src[c]));
+    }
+    const float scale = max_abs / 127.0f;
+    q.scales_[r] = scale;
+    std::int8_t* dst = q.values_.data() + r * m.cols();
+    if (scale == 0.0f) {
+      // All-zero row: every element quantizes to 0 exactly.
+      for (std::size_t c = 0; c < m.cols(); ++c) dst[c] = 0;
+      continue;
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      // Round to nearest; the clamp covers the max element rounding to
+      // exactly ±127 and any fp wobble around it.
+      const float scaled = src[c] / scale;
+      const long v = std::lround(scaled);
+      dst[c] = static_cast<std::int8_t>(std::min(127L, std::max(-127L, v)));
+    }
+  }
+  return q;
+}
+
+Matrix QuantizedMatrix::dequantize() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::int8_t* src = values_.data() + r * cols_;
+    float* dst = m.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      dst[c] = static_cast<float>(src[c]) * scales_[r];
+    }
+  }
+  return m;
+}
+
+void QuantizedMatrix::save(BinaryWriter& writer) const {
+  writer.write_u64(rows_);
+  writer.write_u64(cols_);
+  writer.write_i8_span(values_);
+  writer.write_f32_span(scales_);
+}
+
+QuantizedMatrix QuantizedMatrix::load(BinaryReader& reader) {
+  QuantizedMatrix q;
+  q.rows_ = reader.read_u64();
+  q.cols_ = reader.read_u64();
+  q.values_ = reader.read_i8_vector();
+  q.scales_ = reader.read_f32_vector();
+  if (q.values_.size() != q.rows_ * q.cols_ ||
+      q.scales_.size() != q.rows_) {
+    throw SerializeError("QuantizedMatrix::load: size mismatch");
+  }
+  return q;
+}
+
+std::vector<std::int8_t> transposed_values(const QuantizedMatrix& q) {
+  std::vector<std::int8_t> t(q.rows() * q.cols());
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    const std::int8_t* src = q.values().data() + r * q.cols();
+    for (std::size_t c = 0; c < q.cols(); ++c) {
+      t[c * q.rows() + r] = src[c];
+    }
+  }
+  return t;
+}
+
+void qmatmul_bt(const Matrix& x, const QuantizedMatrix& q, Matrix& out,
+                bool accumulate) {
+  if (x.cols() != q.cols()) {
+    throw std::invalid_argument("qmatmul_bt: inner dimension mismatch");
+  }
+  if (!accumulate) {
+    out.resize(x.rows(), q.rows());
+  } else if (out.rows() != x.rows() || out.cols() != q.rows()) {
+    throw std::invalid_argument("qmatmul_bt: accumulate shape mismatch");
+  }
+  const std::size_t k = x.cols();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.data() + r * k;
+    float* dst = out.data() + r * q.rows();
+    for (std::size_t j = 0; j < q.rows(); ++j) {
+      const std::int8_t* wr = q.values().data() + j * k;
+      // Ascending-k single chain from +0 (the matrix.hpp contract); the
+      // int8 -> fp32 convert is exact, so the chain is as deterministic as
+      // the fp32 kernel's.
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += xr[kk] * static_cast<float>(wr[kk]);
+      }
+      const float v = acc * q.scale(j);
+      if (accumulate) {
+        dst[j] += v;
+      } else {
+        dst[j] = v;
+      }
+    }
+  }
+}
+
+void qmatmul_pre_t(const Matrix& x, std::span<const std::int8_t> qt,
+                   std::span<const float> scales, Matrix& out,
+                   bool accumulate) {
+  const std::size_t n = scales.size();
+  const std::size_t k = x.cols();
+  if (qt.size() != k * n) {
+    throw std::invalid_argument("qmatmul_pre_t: panel size mismatch");
+  }
+  if (!accumulate) {
+    out.resize(x.rows(), n);
+  } else if (out.rows() != x.rows() || out.cols() != n) {
+    throw std::invalid_argument("qmatmul_pre_t: accumulate shape mismatch");
+  }
+  // Per output row: ascending-k axpy sweeps over contiguous int8 panel
+  // rows into an fp32 chain buffer, then one scale pass. The int8 -> fp32
+  // convert in the inner loop is exact, so each out element's chain is
+  // term-for-term the chain qmatmul_bt computes.
+  std::vector<float> acc(n);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    const float* __restrict xr = x.data() + r * k;
+    float* __restrict ap = acc.data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      i8_axpy(ap, qt.data() + kk * n, xr[kk], n);
+    }
+    float* dst = out.data() + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float v = ap[j] * scales[j];
+      if (accumulate) {
+        dst[j] += v;
+      } else {
+        dst[j] = v;
+      }
+    }
+  }
+}
+
+void sparse_qmatmul_pre_t(const SparseRows& x, std::span<const std::int8_t> qt,
+                          std::span<const float> scales, Matrix& out,
+                          bool accumulate) {
+  const std::size_t n = scales.size();
+  if (qt.size() != x.cols() * n) {
+    throw std::invalid_argument("sparse_qmatmul_pre_t: panel size mismatch");
+  }
+  if (!accumulate) {
+    out.resize(x.rows(), n);
+  } else if (out.rows() != x.rows() || out.cols() != n) {
+    throw std::invalid_argument(
+        "sparse_qmatmul_pre_t: accumulate shape mismatch");
+  }
+  std::vector<float> acc(n);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    float* __restrict ap = acc.data();
+    for (const auto& entry : x.row(r)) {
+      // One contiguous int8 panel row per hot column — the dequant-free
+      // gather. Entries arrive in ascending column order (SparseRows
+      // invariant), matching the dense kernel's ascending-k chain.
+      i8_axpy(ap, qt.data() + entry.col * n, entry.val, n);
+    }
+    float* dst = out.data() + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float v = acc[j] * scales[j];
+      if (accumulate) {
+        dst[j] += v;
+      } else {
+        dst[j] = v;
+      }
+    }
+  }
+}
+
+}  // namespace pelican::nn

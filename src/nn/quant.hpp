@@ -1,0 +1,127 @@
+// Int8 weight quantization for the serving path (ISSUE 6, the "ambitious
+// rung" of the ROADMAP inference ladder).
+//
+// QuantizedMatrix stores a weight matrix as one int8 per element plus one
+// float scale per ROW: m(r, c) ≈ values[r*cols + c] * scales[r], with
+// scale = max|row| / 127 and round-to-nearest quantization. Per-row scales
+// matter because the LSTM's fused 4H gate rows and a classifier head's
+// class rows have very different dynamic ranges — one global scale would
+// burn precision on the quiet rows. The representation is 4x smaller than
+// fp32, which compounds fleet-wide: smaller checkpoints in the model store,
+// fewer bytes per user on disk, and weight panels that actually fit in
+// cache on the batch-1 serving path.
+//
+// The int8 kernels below accumulate in fp32 over the int8 weights (each
+// int8 converts exactly; products and the ascending-k chain follow the same
+// determinism contract as nn/matrix.hpp — bit-identical across batch sizes,
+// encodings, and thread counts) and multiply by the row scale ONCE per
+// output element. No dequantized fp32 weight matrix ever exists — that is
+// what makes the one-hot gather "dequant-free": a gather touches nnz rows
+// of int8 panel + one scale sweep, instead of first materializing the
+// fp32 weights it replaced.
+//
+// Quantized inference is NOT bit-identical to fp32 inference — it is a
+// documented approximation (weights move by at most scale/2 each). The
+// accuracy/privacy tolerance contract lives in the quantization regression
+// harness (tests/core/quant_regression_test.cpp): top-k agreement with the
+// fp32 model and attack-resistance metrics must stay within stated bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
+
+namespace pelican::nn {
+
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  /// Per-row symmetric quantization: scale = max|row| / 127 (0 for an
+  /// all-zero row), value = round(m / scale) in [-127, 127].
+  [[nodiscard]] static QuantizedMatrix quantize_rows(const Matrix& m);
+
+  /// The fp32 matrix this quantization represents (value * row scale).
+  /// For tests and tooling — the inference kernels never call this.
+  [[nodiscard]] Matrix dequantize() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] std::int8_t value(std::size_t r, std::size_t c) const noexcept {
+    return values_[r * cols_ + c];
+  }
+  [[nodiscard]] float scale(std::size_t r) const noexcept {
+    return scales_[r];
+  }
+  [[nodiscard]] std::span<const std::int8_t> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::span<const float> scales() const noexcept {
+    return scales_;
+  }
+
+  /// Row-major int8 view of row r (one gate/class row, contiguous).
+  [[nodiscard]] std::span<const std::int8_t> row(std::size_t r) const noexcept {
+    return {values_.data() + r * cols_, cols_};
+  }
+
+  /// Serialized as [u64 rows | u64 cols | i8 span values | f32 span scales]
+  /// inside the checkpoint payload, so the existing header CRC-32
+  /// (common/serialize.hpp) covers every quantized byte exactly as it
+  /// covers fp32 weights.
+  void save(BinaryWriter& writer) const;
+  [[nodiscard]] static QuantizedMatrix load(BinaryReader& reader);
+
+  bool operator==(const QuantizedMatrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int8_t> values_;  // row-major, rows_ x cols_
+  std::vector<float> scales_;        // length rows_
+};
+
+/// Contiguous (cols x rows) int8 transpose of q — the gather panel for the
+/// sparse kernel: entry column c selects panel row c, a contiguous run of
+/// q.rows() int8 weights. Rebuilt from values() on load, never serialized.
+[[nodiscard]] std::vector<std::int8_t> transposed_values(
+    const QuantizedMatrix& q);
+
+/// out = x * q^T (+ accumulate): the dense int8 product, shapes as
+/// matmul_bt ((m x k)(n x k)^T -> (m x n)). Each output element accumulates
+/// x(r, :) against the contiguous int8 row q(j, :) in ascending-k order and
+/// multiplies by scales[j] once.
+void qmatmul_bt(const Matrix& x, const QuantizedMatrix& q, Matrix& out,
+                bool accumulate = false);
+
+/// Dense product against the transposed int8 panel `qt` (=
+/// transposed_values(q), k x n for q (n x k)) with q's row scales: the
+/// axpy form of qmatmul_bt — each panel row is a contiguous int8 run the
+/// j loop streams, so the compiler vectorizes across outputs where
+/// qmatmul_bt's dot kernel is one serial chain per output. Same
+/// ascending-k chain from +0 per element, scale applied once, accumulate
+/// adds the finished chain once — bit-identical to qmatmul_bt(x, q, out).
+/// This is the LSTM recurrence kernel (the panel is packed once at
+/// QuantizedLstm construction; weights are immutable there).
+void qmatmul_pre_t(const Matrix& x, std::span<const std::int8_t> qt,
+                   std::span<const float> scales, Matrix& out,
+                   bool accumulate = false);
+
+/// Sparse (one-hot fast path) product against the transposed gather panel
+/// `qt` (= transposed_values(q), k x n for q (n x k)) with q's row scales:
+/// for each entry (col, val) of x, accumulates val * qt[col, :] into a
+/// per-row fp32 chain, then applies the n scales once. With one-hot inputs
+/// this touches nnz contiguous int8 rows — no dense product, no dequantized
+/// weights. Bit-identical to qmatmul_bt(x.to_dense(), q, out) for finite
+/// scales, by the same ±0 argument as nn/sparse.hpp.
+void sparse_qmatmul_pre_t(const SparseRows& x, std::span<const std::int8_t> qt,
+                          std::span<const float> scales, Matrix& out,
+                          bool accumulate = false);
+
+}  // namespace pelican::nn

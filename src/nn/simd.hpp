@@ -1,0 +1,56 @@
+// Internal explicit-SIMD helpers shared by the nn kernels (matrix.cpp,
+// quant.cpp, activations.cpp). GCC/Clang generic vector extensions, width
+// probed at compile time (nn/activations.hpp kSimdWidth).
+//
+// Why explicit vectors instead of trusting the auto-vectorizer: the default
+// -O2 cost model refuses runtime-trip-count loops, so the axpy kernels'
+// inner j loops stay scalar exactly where the serving path needs them
+// vectorized. These helpers force the issue without changing semantics.
+//
+// Determinism: every helper applies the SAME per-element operation chain as
+// the scalar loop it replaces — lanes are independent elements, nothing
+// reassociates across k — so vectorized kernels stay bit-identical to their
+// scalar forms and the matrix.hpp contract is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "nn/activations.hpp"  // kSimdWidth
+
+namespace pelican::nn::simd {
+
+#if defined(__GNUC__) && (defined(__SSE2__) || defined(__AVX__) || \
+                          defined(__AVX512F__) || defined(__ARM_NEON))
+#define PELICAN_SIMD_KERNELS 1
+
+using vfloat
+    __attribute__((vector_size(kSimdWidth * sizeof(float)))) = float;
+using vint
+    __attribute__((vector_size(kSimdWidth * sizeof(std::int32_t)))) =
+        std::int32_t;
+
+inline vfloat broadcast(float x) noexcept {
+  vfloat v;
+  for (std::size_t i = 0; i < kSimdWidth; ++i) v[i] = x;
+  return v;
+}
+
+inline vfloat load(const float* p) noexcept {
+  vfloat v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store(float* p, vfloat v) noexcept { std::memcpy(p, &v, sizeof(v)); }
+
+// NOTE: no int8 load helper on purpose. SSE2 has no lane-wise int8 sign
+// extend, so a float-width __builtin_convertvector scalarizes badly; the
+// int8 kernels (nn/quant.cpp) instead re-enable GCC's own vectorizer per
+// function, which emits the efficient unpack sequence.
+
+#else
+#define PELICAN_SIMD_KERNELS 0
+#endif
+
+}  // namespace pelican::nn::simd

@@ -132,16 +132,24 @@ ModelStore::ModelStore(std::unique_ptr<StoreBackend> backend)
     : backend_(backend ? std::move(backend)
                        : std::make_unique<MemoryBackend>()) {}
 
-void ModelStore::put(const ModelKey& key, nn::SequenceClassifier model) {
+void ModelStore::put(const ModelKey& key, nn::SequenceClassifier model,
+                     PublishFormat format) {
   validate_scope(key.scope);
+  if (format == PublishFormat::kInt8 && !nn::is_quantized(model)) {
+    model = nn::quantize_for_serving(model);  // off-lock: pure CPU work
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   backend_->put(key, std::move(model));
 }
 
 std::uint32_t ModelStore::put_next(const std::string& scope,
                                    std::uint32_t user_id,
-                                   nn::SequenceClassifier model) {
+                                   nn::SequenceClassifier model,
+                                   PublishFormat format) {
   validate_scope(scope);
+  if (format == PublishFormat::kInt8 && !nn::is_quantized(model)) {
+    model = nn::quantize_for_serving(model);  // off-lock: pure CPU work
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto stored = backend_->versions(scope, user_id);
   const std::uint32_t version = stored.empty() ? 1 : stored.back() + 1;

@@ -37,6 +37,17 @@
 
 namespace pelican::store {
 
+/// How put/put_next persist a model. kFp32 stores the artifact as given
+/// (the trainable original). kInt8 runs nn::quantize_for_serving before
+/// storage: per-row-scale int8 weights, ~4x smaller checkpoints, an
+/// inference-only artifact whose outputs track the fp32 original within
+/// the nn/quant.hpp tolerance. Quantization happens outside the store
+/// lock — it is CPU work, not a shared-state mutation.
+enum class PublishFormat : std::uint8_t {
+  kFp32 = 0,
+  kInt8 = 1,
+};
+
 /// Identity of one stored model artifact.
 struct ModelKey {
   std::string scope;          ///< namespace, e.g. "general" or "bench/tiny"
@@ -134,13 +145,17 @@ class ModelStore {
   ModelStore& operator=(const ModelStore&) = delete;
 
   /// Stores `model` under an explicit key (replacing any existing entry).
-  void put(const ModelKey& key, nn::SequenceClassifier model);
+  /// With PublishFormat::kInt8 the stored artifact is the quantized copy,
+  /// not `model` itself (quantize-on-publish).
+  void put(const ModelKey& key, nn::SequenceClassifier model,
+           PublishFormat format = PublishFormat::kFp32);
 
   /// Stores `model` under the next free version of (scope, user_id) —
   /// latest + 1, or 1 when the slot is empty — and returns that version.
   /// Atomic with respect to concurrent put_next on the same slot.
   std::uint32_t put_next(const std::string& scope, std::uint32_t user_id,
-                         nn::SequenceClassifier model);
+                         nn::SequenceClassifier model,
+                         PublishFormat format = PublishFormat::kFp32);
 
   /// Deep copy of the stored model. Throws std::out_of_range naming the key
   /// when absent; propagates SerializeError for undecodable artifacts.

@@ -60,6 +60,23 @@ TEST_F(SerializeTest, RoundTripsSpans) {
   EXPECT_EQ(reader.read_u32_vector(), ints);
 }
 
+TEST_F(SerializeTest, RoundTripsI8Spans) {
+  // The int8 weight payload primitive (nn/quant.hpp): full signed range,
+  // mixed with neighbors so framing errors cannot cancel out.
+  const std::vector<std::int8_t> bytes = {-128, -127, -1, 0, 1, 63, 127};
+  {
+    BinaryWriter writer(path_, 1);
+    writer.write_i8_span(bytes);
+    writer.write_u32(0xCAFEF00D);
+    writer.write_i8_span({});
+    writer.finish();
+  }
+  BinaryReader reader(path_, 1);
+  EXPECT_EQ(reader.read_i8_vector(), bytes);
+  EXPECT_EQ(reader.read_u32(), 0xCAFEF00Du);
+  EXPECT_TRUE(reader.read_i8_vector().empty());
+}
+
 TEST_F(SerializeTest, EmptySpansRoundTrip) {
   {
     BinaryWriter writer(path_, 1);
