@@ -95,6 +95,43 @@ double drive(const std::vector<serve::PredictRequest>& requests,
   return watch.seconds();
 }
 
+/// $PELICAN_STATSZ if set, else the ../tools/pelican_statsz sibling of the
+/// calling binary — the same resolution LocalFleet uses for pelican_engined.
+std::string statsz_path() {
+  if (const char* env = std::getenv("PELICAN_STATSZ")) return env;
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const auto candidate =
+        self.parent_path().parent_path() / "tools" / "pelican_statsz";
+    if (std::filesystem::exists(candidate)) return candidate.string();
+  }
+  return {};
+}
+
+/// Scrapes the live fleet with pelican_statsz --json into the bench results
+/// directory (the snapshot CI uploads next to the bench JSON). Best-effort:
+/// a missing binary or failed scrape warns, never fails the bench.
+void snapshot_fleet_metrics(const std::vector<std::string>& addresses) {
+  const std::string statsz = statsz_path();
+  if (statsz.empty()) {
+    std::cerr << "warning: pelican_statsz not found (set PELICAN_STATSZ); "
+                 "skipping fleet metrics snapshot\n";
+    return;
+  }
+  const std::filesystem::path dir = bench::bench_results_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path out = dir / "statsz_snapshot.json";
+  std::string command = statsz + " --json --out " + out.string();
+  for (const auto& address : addresses) command += " --engine " + address;
+  if (std::system(command.c_str()) != 0) {
+    std::cerr << "warning: pelican_statsz snapshot failed\n";
+    return;
+  }
+  std::cout << "statsz snapshot: " << out.string() << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -203,6 +240,12 @@ int main() {
                    Table::num(router_snap.p50_latency_ms, 3),
                    Table::num(router_snap.p99_latency_ms, 3),
                    Table::num(fleet_snap.mean_batch_size, 2)});
+
+    if (processes == 4) {
+      // Largest fleet, still live and full of stage histograms + traces:
+      // scrape it the way an operator would.
+      snapshot_fleet_metrics(fleet.addresses());
+    }
 
     front_door.drain_fleet();
     for (std::size_t i = 0; i < fleet.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "core/service.hpp"
 
+#include "common/timer.hpp"
 #include "nn/loss.hpp"
 #include "models/window_dataset.hpp"
 
@@ -12,13 +13,19 @@ std::vector<std::uint16_t> DeployedModel::predict_top_k(
 }
 
 std::vector<std::vector<std::uint16_t>> DeployedModel::predict_top_k_batch(
-    std::span<const mobility::Window> windows, std::size_t k) {
+    std::span<const mobility::Window> windows, std::size_t k,
+    PredictStageSeconds* stages) {
   if (windows.empty()) return {};
+  Stopwatch watch;
   // Sparse one-hot encoding: the LSTM input product becomes nnz row
   // gathers instead of an input_dim x 4*hidden GEMM per timestep, with
   // bit-identical logits (nn/sparse.hpp) — so this fast path cannot change
   // what any user is served.
   const nn::SparseSequence x = models::encode_windows_sparse(windows, spec_);
+  if (stages != nullptr) {
+    stages->encode = watch.seconds();
+    watch.reset();
+  }
   // Rank in the log domain: softmax at any temperature is strictly monotone
   // in the logits, so the top-k of the privacy-scaled confidences IS the
   // top-k of the logits. Ranking there sidesteps the float saturation of
@@ -29,7 +36,12 @@ std::vector<std::vector<std::uint16_t>> DeployedModel::predict_top_k_batch(
   // reveals; graded magnitudes remain behind query().
   add_queries(windows.size());
   const nn::Matrix logits = model_.forward(x, /*training=*/false);
+  if (stages != nullptr) {
+    stages->forward = watch.seconds();
+    watch.reset();
+  }
   const auto top_rows = nn::topk_rows(logits, k);
+  if (stages != nullptr) stages->rank = watch.seconds();
   std::vector<std::vector<std::uint16_t>> out;
   out.reserve(top_rows.size());
   for (const auto& top : top_rows) {

@@ -28,6 +28,16 @@ enum class DeploymentSite : std::uint8_t { kOnDevice = 0, kInCloud };
   return site == DeploymentSite::kOnDevice ? "device" : "cloud";
 }
 
+/// Per-stage wall-clock breakdown of one predict_top_k_batch call. A plain
+/// out-param struct (not an obs type) so core stays below the observability
+/// layer in the lattice; the serving tier maps these onto its stage
+/// histograms and trace spans.
+struct PredictStageSeconds {
+  double encode = 0.0;   ///< window -> sparse one-hot encoding
+  double forward = 0.0;  ///< LSTM + head forward pass
+  double rank = 0.0;     ///< top-k ranking over the logits
+};
+
 /// A personalized model as exposed to the mobile service.
 class DeployedModel final : public attack::BlackBoxModel {
  public:
@@ -131,8 +141,13 @@ class DeployedModel final : public attack::BlackBoxModel {
   /// per-row in a fixed order and the top-k reduction is per-row, so batching
   /// never changes what any user is served (the Section V-B service-quality
   /// invariant, now also batch-size-independent).
+  ///
+  /// When `stages` is non-null the encode/forward/rank wall-clock split is
+  /// written into it (the timing reads cost three extra clock calls; passing
+  /// nullptr — the default — keeps the call exactly as before).
   [[nodiscard]] std::vector<std::vector<std::uint16_t>> predict_top_k_batch(
-      std::span<const mobility::Window> windows, std::size_t k);
+      std::span<const mobility::Window> windows, std::size_t k,
+      PredictStageSeconds* stages = nullptr);
 
   [[nodiscard]] DeploymentSite site() const noexcept { return site_; }
   [[nodiscard]] std::size_t query_count() const noexcept {

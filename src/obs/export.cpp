@@ -1,0 +1,147 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pelican::obs {
+namespace {
+
+// Shortest round-trippable rendering of a double that is still valid JSON
+// (no bare "inf"/"nan"; those become 0, which cannot occur for our sums).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to %g-style readability when exact: prefer the shorter form if it
+  // parses back identically.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  if (std::strtod(shorter, nullptr) == v) return shorter;
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+void append_metric_line(std::string& out, const std::string& name,
+                        const std::string& labels, const std::string& value) {
+  out += "pelican_";
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string join_labels(const std::string& base, const std::string& extra) {
+  if (base.empty()) return extra;
+  if (extra.empty()) return base;
+  return base + "," + extra;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const RegistryState& state,
+                            const std::string& labels) {
+  std::string out;
+  for (const auto& [name, value] : state.counters) {
+    append_metric_line(out, name, labels, num(value));
+  }
+  for (const auto& [name, hist] : state.histograms) {
+    append_metric_line(out, name + "_count", labels, num(hist.count));
+    append_metric_line(out, name + "_sum", labels, num(hist.sum));
+    append_metric_line(out, name + "_max", labels, num(hist.max));
+    append_metric_line(out, name, join_labels(labels, "quantile=\"0.5\""),
+                       num(Histogram::percentile_of(hist, 50.0)));
+    append_metric_line(out, name, join_labels(labels, "quantile=\"0.99\""),
+                       num(Histogram::percentile_of(hist, 99.0)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      const double upper = Histogram::bucket_upper(i);
+      const std::string le =
+          std::isinf(upper) ? std::string("+Inf") : num(upper);
+      append_metric_line(out, name + "_bucket",
+                         join_labels(labels, "le=\"" + le + "\""),
+                         num(cumulative));
+    }
+  }
+  return out;
+}
+
+std::string registry_json(const RegistryState& state) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : state.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + num(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : state.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + num(hist.count);
+    out += ",\"sum\":" + num(hist.sum);
+    out += ",\"max\":" + num(hist.max);
+    out += ",\"p50\":" + num(Histogram::percentile_of(hist, 50.0));
+    out += ",\"p99\":" + num(Histogram::percentile_of(hist, 99.0));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string traces_json(std::span<const TraceRecord> traces) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const TraceRecord& rec = traces[i];
+    if (i != 0) out += ',';
+    out += "{\"trace_id\":" + num(rec.trace_id);
+    out += ",\"source\":\"" + json_escape(rec.source) + '"';
+    out += ",\"total_ms\":" + num(rec.total_ms);
+    out += ",\"spans\":[";
+    for (std::size_t s = 0; s < rec.spans.size(); ++s) {
+      if (s != 0) out += ',';
+      out += "{\"stage\":\"";
+      out += to_string(rec.spans[s].stage);
+      out += "\",\"duration_ms\":" + num(rec.spans[s].duration_ms()) + '}';
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pelican::obs

@@ -1,0 +1,36 @@
+// Rendering of registry snapshots and trace journals for pelican_statsz
+// and debug dumps. Two formats:
+//
+//   - Prometheus-style text: counters as `pelican_<name>{...} <v>`,
+//     histograms summary-style (`_count`, `_sum`, `_max`, and p50/p99
+//     quantile gauges estimated from the buckets). Non-empty buckets are
+//     emitted as cumulative `_bucket{le="..."}` samples so external systems
+//     can re-derive any quantile with the same error bound.
+//   - JSON: structured snapshot with precomputed p50/p99 per histogram and
+//     full span breakdowns per trace; the shape tools/bench_diff.py reads.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pelican::obs {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Prometheus text for one registry snapshot. `labels` is the rendered
+/// label body without braces (e.g. `engine="unix:/tmp/e0.sock"`), empty for
+/// no labels.
+[[nodiscard]] std::string prometheus_text(const RegistryState& state,
+                                          const std::string& labels);
+
+/// `{"counters":{...},"histograms":{name:{count,sum,max,p50,p99}}}`.
+[[nodiscard]] std::string registry_json(const RegistryState& state);
+
+/// `[{"trace_id":...,"source":...,"total_ms":...,"spans":[...]}, ...]`.
+[[nodiscard]] std::string traces_json(std::span<const TraceRecord> traces);
+
+}  // namespace pelican::obs

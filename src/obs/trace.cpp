@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace pelican::obs {
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kAdmission: return "admission";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kBatchAssembly: return "batch_assembly";
+    case Stage::kEncode: return "encode";
+    case Stage::kForward: return "forward";
+    case Stage::kRankTopK: return "rank_topk";
+    case Stage::kWireSerialize: return "wire_serialize";
+    case Stage::kRouterFanout: return "router_fanout";
+    case Stage::kFailoverRetry: return "failover_retry";
+  }
+  return "unknown";
+}
+
+const char* stage_metric_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kAdmission: return "stage_admission_ms";
+    case Stage::kQueueWait: return "stage_queue_wait_ms";
+    case Stage::kBatchAssembly: return "stage_batch_assembly_ms";
+    case Stage::kEncode: return "stage_encode_ms";
+    case Stage::kForward: return "stage_forward_ms";
+    case Stage::kRankTopK: return "stage_rank_topk_ms";
+    case Stage::kWireSerialize: return "stage_wire_serialize_ms";
+    case Stage::kRouterFanout: return "stage_router_fanout_ms";
+    case Stage::kFailoverRetry: return "stage_failover_retry_ms";
+  }
+  return "stage_unknown_ms";
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t new_trace_id() noexcept {
+  // splitmix64 over a seeded counter: well-mixed, trivially cheap, and
+  // collision-safe across processes because the seed folds in the pid.
+  static std::atomic<std::uint64_t> counter{
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^ now_ns()};
+  std::uint64_t z = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                      std::memory_order_relaxed) +
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return (z ^ (z >> 31)) | 1ULL;  // never 0
+}
+
+TraceCollector::TraceCollector(TraceCollectorConfig config)
+    : config_(config) {}
+
+TraceRecord& TraceCollector::open_slot(std::uint64_t trace_id) {
+  auto [it, inserted] = open_.try_emplace(trace_id);
+  if (inserted) {
+    it->second.trace_id = trace_id;
+    open_order_.push_back(trace_id);
+    while (open_.size() > config_.max_open_traces && !open_order_.empty()) {
+      open_.erase(open_order_.front());
+      open_order_.pop_front();
+    }
+  }
+  return open_.at(trace_id);
+}
+
+void TraceCollector::record(std::uint64_t trace_id,
+                            std::span<const Span> spans) {
+  if (!enabled() || trace_id == 0 || spans.empty()) return;
+  std::lock_guard lock(mutex_);
+  TraceRecord& rec = open_slot(trace_id);
+  const std::size_t room =
+      config_.max_spans_per_trace -
+      std::min(rec.spans.size(), config_.max_spans_per_trace);
+  const std::size_t n = std::min(room, spans.size());
+  rec.spans.insert(rec.spans.end(), spans.begin(), spans.begin() + n);
+}
+
+void TraceCollector::finish(std::uint64_t trace_id, double total_ms) {
+  if (!enabled() || trace_id == 0) return;
+  std::lock_guard lock(mutex_);
+  TraceRecord& rec = open_slot(trace_id);
+  rec.total_ms = std::max(rec.total_ms, total_ms);
+
+  auto it = std::find_if(journal_.begin(), journal_.end(),
+                         [&](const TraceRecord& j) {
+                           return j.trace_id == trace_id;
+                         });
+  if (it != journal_.end()) {
+    *it = rec;  // refresh an already-journaled trace with the newer spans
+    return;
+  }
+  if (journal_.size() < config_.journal_capacity) {
+    journal_.push_back(rec);
+    return;
+  }
+  auto slot = std::min_element(journal_.begin(), journal_.end(),
+                               [](const TraceRecord& a, const TraceRecord& b) {
+                                 return a.total_ms < b.total_ms;
+                               });
+  if (slot != journal_.end() && slot->total_ms < rec.total_ms) *slot = rec;
+}
+
+std::vector<TraceRecord> TraceCollector::journal() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceRecord> out = journal_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return out;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lock(mutex_);
+  open_.clear();
+  open_order_.clear();
+  journal_.clear();
+}
+
+}  // namespace pelican::obs

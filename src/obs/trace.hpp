@@ -1,0 +1,128 @@
+// Per-request tracing over the monotonic clock.
+//
+// A trace is a 64-bit id (never 0 — 0 means "untraced") plus a flat list of
+// stage spans. One trace covers one logical predict request END TO END:
+// the Router stamps a fresh id on every request of a routed batch, the id
+// rides the wire inside the predict frame, and the engine's scheduler
+// records its stage spans (queue wait, batch assembly, encode, forward,
+// rank/top-k) under the SAME id the router used for its own spans (wire
+// serialize, fan-out, failover retry). `pelican_statsz` then reassembles
+// the cross-process trace by grouping journal records by id.
+//
+// Overhead discipline: span timestamps are two `steady_clock` reads; spans
+// are accumulated in a caller-owned stack buffer and committed to the
+// collector in ONE batched `record()` call per request (one lock per
+// request, not per span). The collector keeps only a bounded map of open
+// traces and a worst-N journal, so tracing memory is O(max_open x
+// max_spans), independent of traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pelican::obs {
+
+/// Stages of the serving path, in causal order. Router-side stages come
+/// after the engine stages in the enum but wrap them in time.
+enum class Stage : std::uint8_t {
+  kAdmission = 0,    ///< submit-side queue admission (block/reject/shed)
+  kQueueWait,        ///< enqueue -> drain pickup
+  kBatchAssembly,    ///< grouping requests into (user, k) chunks
+  kEncode,           ///< window one-hot/sparse encoding
+  kForward,          ///< LSTM + head forward pass
+  kRankTopK,         ///< top-k ranking over the logits
+  kWireSerialize,    ///< router-side frame encode + decode
+  kRouterFanout,     ///< router fan-out: socket round trip to a backend
+  kFailoverRetry,    ///< a retry round after a backend failure
+};
+inline constexpr std::size_t kStageCount = 9;
+
+/// Human name ("forward") and metric name ("stage_forward_ms") for a stage.
+[[nodiscard]] const char* to_string(Stage stage) noexcept;
+[[nodiscard]] const char* stage_metric_name(Stage stage) noexcept;
+
+/// Monotonic nanoseconds (steady_clock); comparable within a process only.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Process-unique non-zero trace id: splitmix64 over a pid/time-seeded
+/// counter, low bit forced so 0 never escapes.
+[[nodiscard]] std::uint64_t new_trace_id() noexcept;
+
+/// One timed stage. start_ns is process-local (see now_ns); duration is
+/// what cross-process consumers aggregate.
+struct Span {
+  Stage stage{};
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+
+  [[nodiscard]] double duration_ms() const noexcept {
+    return static_cast<double>(duration_ns) / 1e6;
+  }
+};
+
+/// A finished (or in-flight) trace as stored in the journal. `source` is
+/// empty locally; mergers (Router::fleet_metrics, statsz) tag it with the
+/// process the record came from.
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  double total_ms = 0.0;
+  std::string source;
+  std::vector<Span> spans;
+};
+
+struct TraceCollectorConfig {
+  std::size_t max_open_traces = 256;  ///< FIFO-evicted working set
+  std::size_t journal_capacity = 16;  ///< worst-N kept after finish()
+  std::size_t max_spans_per_trace = 64;
+};
+
+/// Bounded sink for spans + the slow-request journal.
+///
+/// record() may be called several times for one trace (scheduler records
+/// per-chunk, router per-round); finish() seals the trace with its
+/// end-to-end latency and promotes it into the journal iff it is among the
+/// N slowest seen. All methods are thread-safe; when disabled, record() and
+/// finish() are a single relaxed atomic load.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceCollectorConfig config = {});
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Append `spans` to the open trace `trace_id` (creating it if new).
+  /// trace_id 0 and empty spans are ignored.
+  void record(std::uint64_t trace_id, std::span<const Span> spans);
+
+  /// Seal `trace_id` with its end-to-end latency; keeps the record in the
+  /// open map (later record() calls from the other side of a fan-out may
+  /// still arrive) but snapshots it into the worst-N journal.
+  void finish(std::uint64_t trace_id, double total_ms);
+
+  /// Worst-N finished traces, slowest first.
+  [[nodiscard]] std::vector<TraceRecord> journal() const;
+
+  void clear();
+
+ private:
+  TraceRecord& open_slot(std::uint64_t trace_id);  // mutex_ held
+
+  TraceCollectorConfig config_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, TraceRecord> open_;
+  std::deque<std::uint64_t> open_order_;  // FIFO eviction of open_
+  std::vector<TraceRecord> journal_;
+};
+
+}  // namespace pelican::obs

@@ -168,6 +168,13 @@ std::vector<std::uint8_t> EngineWorker::handle_frame(
       case Verb::kStats: {
         return encode_stats_reply(scheduler_->stats().state());
       }
+      case Verb::kMetrics: {
+        EngineMetricsReport report;
+        report.stats = scheduler_->stats().state();
+        report.registry = scheduler_->metrics().state();
+        report.traces = scheduler_->traces().journal();
+        return encode_metrics_reply(report);
+      }
       case Verb::kDrain: {
         draining_.store(true, std::memory_order_relaxed);
         return encode_ack({true, ""});

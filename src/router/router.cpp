@@ -16,6 +16,13 @@ Router::Router(RouterConfig config)
   if (config_.pool_connections == 0) {
     throw std::invalid_argument("Router: pool_connections must be > 0");
   }
+  using obs::Stage;
+  wire_serialize_hist_ =
+      &metrics_.histogram(obs::stage_metric_name(Stage::kWireSerialize));
+  fanout_hist_ =
+      &metrics_.histogram(obs::stage_metric_name(Stage::kRouterFanout));
+  failover_hist_ =
+      &metrics_.histogram(obs::stage_metric_name(Stage::kFailoverRetry));
 }
 
 Router::~Router() = default;
@@ -218,9 +225,40 @@ void Router::publish(std::uint32_t user, std::uint32_t version) {
 std::vector<serve::PredictResponse> Router::serve(
     std::span<const serve::PredictRequest> requests) {
   const Stopwatch watch;
-  std::vector<serve::PredictResponse> responses(requests.size());
-  std::vector<std::size_t> remaining(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) remaining[i] = i;
+  const bool instrument = instrumentation_enabled();
+
+  // One trace per serve() call: requests arriving untraced are stamped with
+  // a fresh id (on a local copy — the caller's span is const); requests
+  // already carrying ids keep them, and the router's spans are recorded
+  // under every distinct id in the batch (bounded — a batch is one logical
+  // call, so distinct ids are rare).
+  std::vector<std::uint64_t> trace_ids;
+  std::vector<serve::PredictRequest> stamped;
+  std::span<const serve::PredictRequest> reqs = requests;
+  if (instrument && !requests.empty()) {
+    constexpr std::size_t kMaxDistinctIds = 16;
+    for (const auto& request : requests) {
+      if (request.trace_id == 0) continue;
+      if (std::find(trace_ids.begin(), trace_ids.end(), request.trace_id) ==
+              trace_ids.end() &&
+          trace_ids.size() < kMaxDistinctIds) {
+        trace_ids.push_back(request.trace_id);
+      }
+    }
+    if (trace_ids.empty()) {
+      const std::uint64_t trace = obs::new_trace_id();
+      stamped.assign(requests.begin(), requests.end());
+      for (auto& request : stamped) request.trace_id = trace;
+      reqs = stamped;
+      trace_ids.push_back(trace);
+    }
+  }
+  std::vector<obs::Span> spans;  // router-side spans, committed at the end
+  std::mutex spans_mutex;        // forwarding threads append concurrently
+
+  std::vector<serve::PredictResponse> responses(reqs.size());
+  std::vector<std::size_t> remaining(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) remaining[i] = i;
 
   std::size_t attempts = 0;
   {
@@ -228,7 +266,9 @@ std::vector<serve::PredictResponse> Router::serve(
     attempts = partitioner_.backend_count() + 1;
   }
 
+  std::size_t round = 0;
   while (!remaining.empty() && attempts-- > 0) {
+    const std::uint64_t round_start_ns = instrument ? obs::now_ns() : 0;
     // Group the outstanding requests by owning backend. std::map keys the
     // groups by address, so the fan-out order is deterministic.
     std::map<std::string, std::vector<std::size_t>> groups;
@@ -236,7 +276,7 @@ std::vector<serve::PredictResponse> Router::serve(
       const std::lock_guard<std::mutex> lock(mutex_);
       if (partitioner_.backend_count() == 0) break;
       for (const std::size_t i : remaining) {
-        groups[partitioner_.owner_of(requests[i].user_id)].push_back(i);
+        groups[partitioner_.owner_of(reqs[i].user_id)].push_back(i);
       }
     }
 
@@ -259,15 +299,31 @@ std::vector<serve::PredictResponse> Router::serve(
       }
       std::vector<serve::PredictRequest> batch;
       batch.reserve(indices.size());
-      for (const std::size_t i : indices) batch.push_back(requests[i]);
+      for (const std::size_t i : indices) batch.push_back(reqs[i]);
       try {
-        const auto reply = exchange(*backend, encode_predict_batch(batch));
+        const std::uint64_t encode_start_ns = instrument ? obs::now_ns() : 0;
+        const auto frame = encode_predict_batch(batch);
+        const std::uint64_t sent_ns = instrument ? obs::now_ns() : 0;
+        const auto reply = exchange(*backend, frame);
+        const std::uint64_t received_ns = instrument ? obs::now_ns() : 0;
         auto decoded = decode_predict_replies(reply);
         if (decoded.size() != indices.size()) {
           throw WireError("predict reply count mismatch from " + address);
         }
         for (std::size_t j = 0; j < indices.size(); ++j) {
           responses[indices[j]] = std::move(decoded[j]);
+        }
+        if (instrument) {
+          const std::uint64_t done_ns = obs::now_ns();
+          // Serialize cost = encode + decode; fan-out = the socket round
+          // trip (which contains the engine's own spans in time).
+          const std::uint64_t serialize_ns =
+              (sent_ns - encode_start_ns) + (done_ns - received_ns);
+          const std::lock_guard<std::mutex> lock(spans_mutex);
+          spans.push_back(
+              {obs::Stage::kWireSerialize, encode_start_ns, serialize_ns});
+          spans.push_back({obs::Stage::kRouterFanout, sent_ns,
+                           received_ns - sent_ns});
         }
       } catch (const std::exception&) {
         // Transport failure or protocol breakdown: either way this backend
@@ -291,12 +347,19 @@ std::vector<serve::PredictResponse> Router::serve(
     for (const auto& slice : failed) {
       remaining.insert(remaining.end(), slice.begin(), slice.end());
     }
+    if (instrument && round > 0) {
+      // Rounds past the first exist only because a backend failed: the
+      // whole round is failover work, visible as its own span.
+      spans.push_back({obs::Stage::kFailoverRetry, round_start_ns,
+                       obs::now_ns() - round_start_ns});
+    }
+    ++round;
   }
 
   // Requests that survived every retry round with no live owner.
   for (const std::size_t i : remaining) {
     serve::PredictResponse response;
-    response.user_id = requests[i].user_id;
+    response.user_id = reqs[i].user_id;
     response.ok = false;
     response.rejected = true;
     responses[i] = response;
@@ -315,6 +378,27 @@ std::vector<serve::PredictResponse> Router::serve(
       stats_.record_rejected();
     }
   }
+  if (instrument && !spans.empty()) {
+    for (const obs::Span& span : spans) {
+      switch (span.stage) {
+        case obs::Stage::kWireSerialize:
+          wire_serialize_hist_->observe(span.duration_ms());
+          break;
+        case obs::Stage::kRouterFanout:
+          fanout_hist_->observe(span.duration_ms());
+          break;
+        case obs::Stage::kFailoverRetry:
+          failover_hist_->observe(span.duration_ms());
+          break;
+        default:
+          break;
+      }
+    }
+    for (const std::uint64_t id : trace_ids) {
+      traces_.record(id, spans);
+      traces_.finish(id, latency_ms);
+    }
+  }
   return responses;
 }
 
@@ -330,6 +414,38 @@ serve::ServerStats::Snapshot Router::fleet_stats() {
     }
   }
   return fleet.snapshot();
+}
+
+Router::FleetMetrics Router::fleet_metrics() {
+  FleetMetrics out;
+  serve::ServerStats fleet;
+  for (const auto& address : live_backends()) {
+    const auto backend = find_backend(address);
+    if (backend == nullptr) continue;
+    try {
+      EngineMetricsReport report =
+          decode_metrics_reply(exchange(*backend, encode_metrics()));
+      for (obs::TraceRecord& rec : report.traces) rec.source = address;
+      fleet.merge(report.stats);
+      obs::merge_state(out.registry, report.registry);
+      out.traces.insert(out.traces.end(), report.traces.begin(),
+                        report.traces.end());
+      out.engines.emplace_back(address, std::move(report));
+    } catch (const std::exception&) {
+      handle_backend_failure(address);
+    }
+  }
+  out.stats = fleet.snapshot();
+  // The router's own side of the traces: its registry folds into the fleet
+  // registry (same fixed buckets — still exact), and its journal records
+  // join the pool tagged "router" so statsz can pair them with the engine
+  // records sharing their trace ids.
+  obs::merge_state(out.registry, metrics_.state());
+  for (obs::TraceRecord rec : traces_.journal()) {
+    rec.source = "router";
+    out.traces.push_back(std::move(rec));
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, HealthReply>> Router::fleet_health() {

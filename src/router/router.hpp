@@ -19,7 +19,20 @@
 //                      and PR 3's stall-free publish contract holds
 //                      end-to-end.
 //   fleet_stats()      pulls every engine's raw ServerStats::State and
-//                      merges them (exact union percentiles).
+//                      merges them (exact bucket-wise histogram sums).
+//   fleet_metrics()    the full observability pull: per-engine stats +
+//                      stage-latency registries + slow-trace journals,
+//                      exactly merged, with every trace record tagged by
+//                      the process it came from.
+//
+// TRACING. serve() runs under one obs trace per call: requests that arrive
+// untraced are stamped with a fresh 64-bit id (requests already carrying an
+// id — e.g. from an upstream tier — keep it), and the id rides the predict
+// frame to the engines, whose schedulers record their stage spans under the
+// SAME id. The router records its own spans (wire serialize, per-backend
+// fan-out, failover retry rounds), so a slow routed request decomposes
+// end-to-end across both processes when pelican_statsz groups journal
+// records by trace id.
 //
 // FAILOVER. Any transport error on a backend marks it dead and triggers
 // failover-repartition: the Partitioner drops the backend (moving only its
@@ -48,6 +61,8 @@
 #include <vector>
 
 #include "mobility/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "router/partitioner.hpp"
 #include "router/socket.hpp"
 #include "router/wire.hpp"
@@ -102,6 +117,25 @@ class Router {
   /// failed over).
   [[nodiscard]] serve::ServerStats::Snapshot fleet_stats();
 
+  /// The full fleet observability pull (kMetrics verb).
+  struct FleetMetrics {
+    /// Merged engine ServerStats (same engines-only semantics as
+    /// fleet_stats(); the router's own request view stays in stats()).
+    serve::ServerStats::Snapshot stats;
+    /// Exact bucket-wise merge of every engine's registry PLUS the
+    /// router's own (stage histograms share fixed boundaries, so this is
+    /// identical to one process having recorded everything).
+    obs::RegistryState registry;
+    /// Raw per-engine reports, sorted by address — the inputs of the merge,
+    /// kept so callers (statsz, tests) can audit the aggregation.
+    std::vector<std::pair<std::string, EngineMetricsReport>> engines;
+    /// Every journal record fleet-wide, `source` tagged with the engine
+    /// address (or "router"). Records sharing a trace_id are one logical
+    /// request observed from both sides of the wire.
+    std::vector<obs::TraceRecord> traces;
+  };
+  [[nodiscard]] FleetMetrics fleet_metrics();
+
   /// Per-backend health of the live fleet, sorted by address.
   [[nodiscard]] std::vector<std::pair<std::string, HealthReply>>
   fleet_health();
@@ -114,6 +148,19 @@ class Router {
   /// including wire and failover time). Disjoint from fleet_stats(), which
   /// is the engines' in-process view of the same traffic.
   [[nodiscard]] serve::ServerStats& stats() noexcept { return stats_; }
+
+  /// Router-side stage histograms (wire serialize / fan-out / failover).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  /// Router-side span sink + slow-request journal.
+  [[nodiscard]] obs::TraceCollector& traces() noexcept { return traces_; }
+  /// Gates trace stamping and router-side span/histogram recording.
+  void set_instrumentation(bool on) noexcept {
+    instrument_.store(on, std::memory_order_relaxed);
+    traces_.set_enabled(on);
+  }
+  [[nodiscard]] bool instrumentation_enabled() const noexcept {
+    return instrument_.load(std::memory_order_relaxed);
+  }
 
   /// Live backend addresses, sorted.
   [[nodiscard]] std::vector<std::string> live_backends() const;
@@ -172,6 +219,15 @@ class Router {
   std::unordered_map<std::uint32_t, Deployment> ledger_;
 
   serve::ServerStats stats_;
+
+  obs::Registry metrics_;
+  obs::TraceCollector traces_;
+  std::atomic<bool> instrument_{true};
+  /// Router-side stage histograms resolved once (reference stability) so
+  /// serve() never touches the registry lock.
+  obs::Histogram* wire_serialize_hist_ = nullptr;
+  obs::Histogram* fanout_hist_ = nullptr;
+  obs::Histogram* failover_hist_ = nullptr;
 };
 
 }  // namespace pelican::router

@@ -59,6 +59,116 @@ void finish_decode(const BufferReader& reader, Verb verb) {
   }
 }
 
+/// Versioned frames fail loudly on a layout mismatch (see wire.hpp).
+void check_frame_version(BufferReader& reader, Verb verb,
+                         std::uint8_t expected) {
+  const std::uint8_t got = reader.read_u8();
+  if (got != expected) {
+    throw SerializeError(std::string("wire: ") + to_string(verb) +
+                         " frame version " + std::to_string(got) +
+                         ", this build speaks " + std::to_string(expected));
+  }
+}
+
+void write_histogram_state(BufferWriter& writer,
+                           const obs::HistogramState& state) {
+  writer.write_u64(state.count);
+  writer.write_f64(state.sum);
+  writer.write_f64(state.max);
+  writer.write_u64_span(state.buckets);
+}
+
+obs::HistogramState read_histogram_state(BufferReader& reader) {
+  obs::HistogramState state;
+  state.count = reader.read_u64();
+  state.sum = reader.read_f64();
+  state.max = reader.read_f64();
+  state.buckets = reader.read_u64_vector();
+  if (!state.buckets.empty() &&
+      state.buckets.size() != obs::Histogram::kNumBuckets) {
+    throw SerializeError("wire: histogram bucket count " +
+                         std::to_string(state.buckets.size()) +
+                         " does not match this build's layout");
+  }
+  return state;
+}
+
+void write_registry_state(BufferWriter& writer,
+                          const obs::RegistryState& state) {
+  writer.write_u64(state.counters.size());
+  for (const auto& [name, value] : state.counters) {
+    writer.write_string(name);
+    writer.write_u64(value);
+  }
+  writer.write_u64(state.histograms.size());
+  for (const auto& [name, hist] : state.histograms) {
+    writer.write_string(name);
+    write_histogram_state(writer, hist);
+  }
+}
+
+obs::RegistryState read_registry_state(BufferReader& reader) {
+  obs::RegistryState state;
+  const std::uint64_t counters = reader.read_u64();
+  if (counters > reader.remaining()) {
+    throw SerializeError("wire: registry counter count exceeds frame size");
+  }
+  state.counters.reserve(static_cast<std::size_t>(counters));
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    std::string name = reader.read_string();
+    const std::uint64_t value = reader.read_u64();
+    state.counters.emplace_back(std::move(name), value);
+  }
+  const std::uint64_t histograms = reader.read_u64();
+  if (histograms > reader.remaining()) {
+    throw SerializeError("wire: registry histogram count exceeds frame size");
+  }
+  state.histograms.reserve(static_cast<std::size_t>(histograms));
+  for (std::uint64_t i = 0; i < histograms; ++i) {
+    std::string name = reader.read_string();
+    obs::HistogramState hist = read_histogram_state(reader);
+    state.histograms.emplace_back(std::move(name), std::move(hist));
+  }
+  return state;
+}
+
+void write_trace_record(BufferWriter& writer, const obs::TraceRecord& rec) {
+  writer.write_u64(rec.trace_id);
+  writer.write_f64(rec.total_ms);
+  writer.write_string(rec.source);
+  writer.write_u64(rec.spans.size());
+  for (const obs::Span& span : rec.spans) {
+    writer.write_u8(static_cast<std::uint8_t>(span.stage));
+    writer.write_u64(span.start_ns);
+    writer.write_u64(span.duration_ns);
+  }
+}
+
+obs::TraceRecord read_trace_record(BufferReader& reader) {
+  obs::TraceRecord rec;
+  rec.trace_id = reader.read_u64();
+  rec.total_ms = reader.read_f64();
+  rec.source = reader.read_string();
+  const std::uint64_t spans = reader.read_u64();
+  if (spans > reader.remaining()) {
+    throw SerializeError("wire: trace span count exceeds frame size");
+  }
+  rec.spans.reserve(static_cast<std::size_t>(spans));
+  for (std::uint64_t i = 0; i < spans; ++i) {
+    obs::Span span;
+    const std::uint8_t stage = reader.read_u8();
+    if (stage >= obs::kStageCount) {
+      throw SerializeError("wire: bad trace stage byte " +
+                           std::to_string(stage));
+    }
+    span.stage = static_cast<obs::Stage>(stage);
+    span.start_ns = reader.read_u64();
+    span.duration_ns = reader.read_u64();
+    rec.spans.push_back(span);
+  }
+  return rec;
+}
+
 }  // namespace
 
 Verb frame_verb(std::span<const std::uint8_t> frame) {
@@ -71,10 +181,12 @@ Verb frame_verb(std::span<const std::uint8_t> frame) {
     case Verb::kHealth:
     case Verb::kStats:
     case Verb::kDrain:
+    case Verb::kMetrics:
     case Verb::kPredictReplies:
     case Verb::kAck:
     case Verb::kHealthReply:
     case Verb::kStatsReply:
+    case Verb::kMetricsReply:
       return static_cast<Verb>(byte);
   }
   throw SerializeError("wire: unknown verb byte " + std::to_string(byte));
@@ -83,10 +195,12 @@ Verb frame_verb(std::span<const std::uint8_t> frame) {
 std::vector<std::uint8_t> encode_predict_batch(
     std::span<const serve::PredictRequest> requests) {
   BufferWriter writer = begin_frame(Verb::kPredictBatch);
+  writer.write_u8(kPredictFrameVersion);
   writer.write_u64(requests.size());
   for (const auto& request : requests) {
     writer.write_u32(request.user_id);
     writer.write_u64(request.k);
+    writer.write_u64(request.trace_id);
     write_window(writer, request.window);
   }
   return writer.take();
@@ -95,6 +209,7 @@ std::vector<std::uint8_t> encode_predict_batch(
 std::vector<serve::PredictRequest> decode_predict_batch(
     std::span<const std::uint8_t> frame) {
   BufferReader reader = begin_decode(frame, Verb::kPredictBatch);
+  check_frame_version(reader, Verb::kPredictBatch, kPredictFrameVersion);
   const std::uint64_t count = reader.read_u64();
   if (count > reader.remaining()) {  // every item is > 1 byte
     throw SerializeError("wire: predict batch count exceeds frame size");
@@ -105,6 +220,7 @@ std::vector<serve::PredictRequest> decode_predict_batch(
     serve::PredictRequest request;
     request.user_id = reader.read_u32();
     request.k = static_cast<std::size_t>(reader.read_u64());
+    request.trace_id = reader.read_u64();
     request.window = read_window(reader);
     requests.push_back(request);
   }
@@ -201,6 +317,10 @@ std::vector<std::uint8_t> encode_stats() {
   return begin_frame(Verb::kStats).take();
 }
 
+std::vector<std::uint8_t> encode_metrics() {
+  return begin_frame(Verb::kMetrics).take();
+}
+
 std::vector<std::uint8_t> encode_drain() {
   return begin_frame(Verb::kDrain).take();
 }
@@ -237,9 +357,10 @@ HealthReply decode_health_reply(std::span<const std::uint8_t> frame) {
   return reply;
 }
 
-std::vector<std::uint8_t> encode_stats_reply(
-    const serve::ServerStats::State& state) {
-  BufferWriter writer = begin_frame(Verb::kStatsReply);
+namespace {
+
+void write_stats_state(BufferWriter& writer,
+                       const serve::ServerStats::State& state) {
   writer.write_u64(state.requests);
   writer.write_u64(state.rejected);
   writer.write_u64(state.shed);
@@ -251,13 +372,10 @@ std::vector<std::uint8_t> encode_stats_reply(
                                   state.batch_hist.end());
   writer.write_u64_span(hist);
   writer.write_f64(state.forward_seconds);
-  writer.write_f64_span(state.latencies_ms);
-  return writer.take();
+  write_histogram_state(writer, state.latency);
 }
 
-serve::ServerStats::State decode_stats_reply(
-    std::span<const std::uint8_t> frame) {
-  BufferReader reader = begin_decode(frame, Verb::kStatsReply);
+serve::ServerStats::State read_stats_state(BufferReader& reader) {
   serve::ServerStats::State state;
   state.requests = static_cast<std::size_t>(reader.read_u64());
   state.rejected = static_cast<std::size_t>(reader.read_u64());
@@ -269,9 +387,59 @@ serve::ServerStats::State decode_stats_reply(
   const auto hist = reader.read_u64_vector();
   state.batch_hist.assign(hist.begin(), hist.end());
   state.forward_seconds = reader.read_f64();
-  state.latencies_ms = reader.read_f64_vector();
+  state.latency = read_histogram_state(reader);
+  return state;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_stats_reply(
+    const serve::ServerStats::State& state) {
+  BufferWriter writer = begin_frame(Verb::kStatsReply);
+  writer.write_u8(kStatsFrameVersion);
+  write_stats_state(writer, state);
+  return writer.take();
+}
+
+serve::ServerStats::State decode_stats_reply(
+    std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kStatsReply);
+  check_frame_version(reader, Verb::kStatsReply, kStatsFrameVersion);
+  serve::ServerStats::State state = read_stats_state(reader);
   finish_decode(reader, Verb::kStatsReply);
   return state;
+}
+
+std::vector<std::uint8_t> encode_metrics_reply(
+    const EngineMetricsReport& report) {
+  BufferWriter writer = begin_frame(Verb::kMetricsReply);
+  writer.write_u8(kStatsFrameVersion);
+  write_stats_state(writer, report.stats);
+  write_registry_state(writer, report.registry);
+  writer.write_u64(report.traces.size());
+  for (const obs::TraceRecord& rec : report.traces) {
+    write_trace_record(writer, rec);
+  }
+  return writer.take();
+}
+
+EngineMetricsReport decode_metrics_reply(
+    std::span<const std::uint8_t> frame) {
+  BufferReader reader = begin_decode(frame, Verb::kMetricsReply);
+  check_frame_version(reader, Verb::kMetricsReply, kStatsFrameVersion);
+  EngineMetricsReport report;
+  report.stats = read_stats_state(reader);
+  report.registry = read_registry_state(reader);
+  const std::uint64_t traces = reader.read_u64();
+  if (traces > reader.remaining()) {
+    throw SerializeError("wire: trace count exceeds frame size");
+  }
+  report.traces.reserve(static_cast<std::size_t>(traces));
+  for (std::uint64_t i = 0; i < traces; ++i) {
+    report.traces.push_back(read_trace_record(reader));
+  }
+  finish_decode(reader, Verb::kMetricsReply);
+  return report;
 }
 
 }  // namespace pelican::router

@@ -24,8 +24,21 @@
 //   kHealth       → kHealthReply      liveness + deployment count
 //   kStats        → kStatsReply       the engine's raw ServerStats::State,
 //                                     merged fleet-wide by the router
+//   kMetrics      → kMetricsReply     full observability snapshot: stats +
+//                                     the obs::Registry (stage histograms)
+//                                     + the slow-request trace journal
 //   kDrain        → kAck              graceful shutdown: the engine stops
 //                                     accepting and exits its run loop
+//
+// Versioning: the predict-batch, stats-reply, and metrics-reply frames
+// carry an explicit version byte right after the verb (kPredictFrameVersion
+// / kStatsFrameVersion). Both sides of this protocol are built from one
+// tree, so layout changes are legal — but they must be DELIBERATE: bumping
+// the constant makes a stale peer fail with a clear SerializeError naming
+// the mismatch instead of silently misparsing bytes. Version 2 of the
+// predict frame added the per-request trace id; version 2 of the stats
+// frame replaced the raw latency sample vector with the bounded
+// obs::HistogramState.
 //
 // Malformed frames (bad verb, truncated body, trailing bytes) throw
 // SerializeError; the engine answers with a kAck{ok=false} rather than
@@ -38,6 +51,8 @@
 #include <vector>
 
 #include "mobility/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
 
@@ -50,13 +65,21 @@ enum class Verb : std::uint8_t {
   kHealth = 4,
   kStats = 5,
   kDrain = 6,
+  kMetrics = 7,
   // Replies live in a disjoint range so a misrouted frame can never be
   // mistaken for a request.
   kPredictReplies = 65,
   kAck = 66,
   kHealthReply = 67,
   kStatsReply = 68,
+  kMetricsReply = 69,
 };
+
+/// Layout version of the kPredictBatch frame (v2: + per-request trace id).
+inline constexpr std::uint8_t kPredictFrameVersion = 2;
+/// Layout version of kStatsReply / kMetricsReply (v2: histogram latency
+/// state instead of raw samples).
+inline constexpr std::uint8_t kStatsFrameVersion = 2;
 
 [[nodiscard]] constexpr const char* to_string(Verb verb) noexcept {
   switch (verb) {
@@ -66,10 +89,12 @@ enum class Verb : std::uint8_t {
     case Verb::kHealth: return "health";
     case Verb::kStats: return "stats";
     case Verb::kDrain: return "drain";
+    case Verb::kMetrics: return "metrics";
     case Verb::kPredictReplies: return "predict_replies";
     case Verb::kAck: return "ack";
     case Verb::kHealthReply: return "health_reply";
     case Verb::kStatsReply: return "stats_reply";
+    case Verb::kMetricsReply: return "metrics_reply";
   }
   return "?";
 }
@@ -102,6 +127,15 @@ struct HealthReply {
   bool draining = false;
 };
 
+/// Full observability snapshot of one engine: the classic serving counters,
+/// the stage-latency metrics registry, and the worst-N trace journal. What
+/// kMetricsReply carries and what Router::fleet_metrics merges.
+struct EngineMetricsReport {
+  serve::ServerStats::State stats;
+  obs::RegistryState registry;
+  std::vector<obs::TraceRecord> traces;
+};
+
 /// First byte of a frame. Throws SerializeError on an empty frame or a
 /// byte outside the Verb enumeration.
 [[nodiscard]] Verb frame_verb(std::span<const std::uint8_t> frame);
@@ -115,6 +149,7 @@ struct HealthReply {
     const PublishCommand& command);
 [[nodiscard]] std::vector<std::uint8_t> encode_health();
 [[nodiscard]] std::vector<std::uint8_t> encode_stats();
+[[nodiscard]] std::vector<std::uint8_t> encode_metrics();
 [[nodiscard]] std::vector<std::uint8_t> encode_drain();
 
 // -- reply encoders ----------------------------------------------------------
@@ -125,6 +160,8 @@ struct HealthReply {
     const HealthReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
     const serve::ServerStats::State& state);
+[[nodiscard]] std::vector<std::uint8_t> encode_metrics_reply(
+    const EngineMetricsReport& report);
 
 // -- decoders (each validates the verb byte and full-body consumption) -------
 [[nodiscard]] std::vector<serve::PredictRequest> decode_predict_batch(
@@ -138,6 +175,8 @@ struct HealthReply {
 [[nodiscard]] HealthReply decode_health_reply(
     std::span<const std::uint8_t> frame);
 [[nodiscard]] serve::ServerStats::State decode_stats_reply(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] EngineMetricsReport decode_metrics_reply(
     std::span<const std::uint8_t> frame);
 
 }  // namespace pelican::router

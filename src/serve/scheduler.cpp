@@ -19,7 +19,25 @@ BatchScheduler::BatchScheduler(DeploymentRegistry& registry,
   if (config_.max_queue == 0) {
     throw std::invalid_argument("BatchScheduler: max_queue must be > 0");
   }
+  // Resolve every stage histogram once: per-request recording then never
+  // touches the registry map/lock (the references are lifetime-stable).
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    stage_hist_[s] = &metrics_.histogram(
+        obs::stage_metric_name(static_cast<obs::Stage>(s)));
+  }
   drainer_ = std::thread([this] { drain_loop(); });
+}
+
+void BatchScheduler::maybe_sample_trace(PredictRequest& request) noexcept {
+  if (request.trace_id != 0 || config_.trace_sample_every == 0 ||
+      !instrumentation_enabled()) {
+    return;
+  }
+  if (sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+          config_.trace_sample_every ==
+      0) {
+    request.trace_id = obs::new_trace_id();
+  }
 }
 
 BatchScheduler::~BatchScheduler() {
@@ -48,10 +66,14 @@ std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = Clock::now();
+  maybe_sample_trace(pending.request);
+  // Stage timestamps only for traced requests: the untraced fast path pays
+  // a counter bump and this branch, nothing else (see the <= 2% overhead
+  // row in bench/serve_throughput).
+  if (pending.request.trace_id != 0) pending.submit_ns = obs::now_ns();
   std::future<PredictResponse> future = pending.promise.get_future();
 
   std::vector<Pending> shed;  // answered after the lock is released
-  std::size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (queue_.size() >= config_.max_queue && !stop_) {
@@ -78,11 +100,16 @@ std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
       answer_rejected(std::move(pending));
       return future;
     }
+    if (pending.request.trace_id != 0) pending.admitted_ns = obs::now_ns();
     queue_.push_back(std::move(pending));
-    depth = queue_.size();
+    // Record the peak WHILE holding the queue lock: observing the size
+    // after unlocking raced concurrent drains, so a momentary peak (e.g.
+    // "did the queue ever reach its bound?") could be under-reported.
+    // record_queue_depth is an atomic CAS-max, so no second lock is taken
+    // inside this critical section.
+    stats_.record_queue_depth(queue_.size());
   }
   queue_cv_.notify_all();
-  stats_.record_queue_depth(depth);
   for (Pending& victim : shed) answer_rejected(std::move(victim));
   return future;
 }
@@ -90,6 +117,7 @@ std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
 std::vector<PredictResponse> BatchScheduler::serve(
     std::span<const PredictRequest> requests) {
   const Clock::time_point entered = Clock::now();
+  const std::uint64_t entered_ns = obs::now_ns();
   std::vector<Pending> items;
   items.reserve(requests.size());
   std::vector<std::future<PredictResponse>> futures;
@@ -98,6 +126,11 @@ std::vector<PredictResponse> BatchScheduler::serve(
     Pending pending;
     pending.request = request;
     pending.enqueued = entered;
+    // The sync path has no queue: "queue wait" degenerates to serve-entry ->
+    // chunk pickup, which still captures scheduling delay under load.
+    pending.submit_ns = entered_ns;
+    pending.admitted_ns = entered_ns;
+    maybe_sample_trace(pending.request);
     futures.push_back(pending.promise.get_future());
     items.push_back(std::move(pending));
   }
@@ -139,6 +172,17 @@ void BatchScheduler::drain_loop() {
 
 void BatchScheduler::execute(std::vector<Pending> items) {
   if (items.empty()) return;
+  // Stage-breakdown work (clock reads, histogram observes, span commits)
+  // runs only for traced requests: router-stamped ids are always traced,
+  // local requests 1-in-trace_sample_every. An untraced drain costs a
+  // handful of branches — that is what keeps the batch-1 tracing overhead
+  // within the bench's 2% bound.
+  const bool instrument =
+      instrumentation_enabled() &&
+      std::any_of(items.begin(), items.end(), [](const Pending& pending) {
+        return pending.request.trace_id != 0;
+      });
+  const std::uint64_t pickup_ns = instrument ? obs::now_ns() : 0;
 
   // Coalesce: group request indices by (user, k) in arrival order, then cut
   // each group into max_batch chunks. std::map keeps chunk construction
@@ -164,6 +208,7 @@ void BatchScheduler::execute(std::vector<Pending> items) {
                                                                       count)});
     }
   }
+  const std::uint64_t assembled_ns = instrument ? obs::now_ns() : 0;
 
   // One pool task per coalesced batch: chunks of distinct users run
   // concurrently; chunks of the same user serialize on that deployment's
@@ -176,14 +221,26 @@ void BatchScheduler::execute(std::vector<Pending> items) {
       windows.push_back(items[i].request.window);
     }
 
+    // A chunk is measured iff it carries a traced row; its stage costs are
+    // then attributed to every traced row (they shared that one forward).
+    const bool measured =
+        instrument &&
+        std::any_of(chunk.indices.begin(), chunk.indices.end(),
+                    [&](std::size_t i) {
+                      return items[i].request.trace_id != 0;
+                    });
+
     std::vector<std::vector<std::uint16_t>> results;
     std::uint32_t model_version = 0;
     bool ok = true;
+    core::PredictStageSeconds stage_seconds;
+    const std::uint64_t chunk_start_ns = measured ? obs::now_ns() : 0;
     try {
       registry_.with_model(chunk.user_id, [&](core::DeployedModel& model) {
         const Stopwatch watch;
         model_version = model.model_version();
-        results = model.predict_top_k_batch(windows, chunk.k);
+        results = model.predict_top_k_batch(
+            windows, chunk.k, measured ? &stage_seconds : nullptr);
         stats_.record_batch(windows.size(), watch.seconds());
       });
     } catch (...) {
@@ -194,6 +251,19 @@ void BatchScheduler::execute(std::vector<Pending> items) {
       // and leave every outstanding future hanging. The requests in this
       // chunk are answered ok = false instead.
       ok = false;
+    }
+
+    if (measured && ok) {
+      // Chunk-level stage costs recorded once per forward, not per row: the
+      // histogram then answers "what does a forward cost at this stage",
+      // which is the number a batching engine can act on.
+      using obs::Stage;
+      const auto idx = [](Stage s) { return static_cast<std::size_t>(s); };
+      stage_hist_[idx(Stage::kBatchAssembly)]->observe(
+          static_cast<double>(assembled_ns - pickup_ns) / 1e6);
+      stage_hist_[idx(Stage::kEncode)]->observe(stage_seconds.encode * 1e3);
+      stage_hist_[idx(Stage::kForward)]->observe(stage_seconds.forward * 1e3);
+      stage_hist_[idx(Stage::kRankTopK)]->observe(stage_seconds.rank * 1e3);
     }
 
     const Clock::time_point now = Clock::now();
@@ -211,6 +281,42 @@ void BatchScheduler::execute(std::vector<Pending> items) {
         stats_.record_request(response.latency_ms);
       } else {
         stats_.record_rejected();
+      }
+      if (measured && pending.request.trace_id != 0) {
+        const double queue_wait_ms =
+            static_cast<double>(pickup_ns - pending.admitted_ns) / 1e6;
+        const double admission_ms =
+            static_cast<double>(pending.admitted_ns - pending.submit_ns) /
+            1e6;
+        using obs::Stage;
+        const auto idx = [](Stage s) { return static_cast<std::size_t>(s); };
+        stage_hist_[idx(Stage::kQueueWait)]->observe(queue_wait_ms);
+        stage_hist_[idx(Stage::kAdmission)]->observe(admission_ms);
+        {
+          // One batched commit per traced request: stack-local spans, a
+          // single collector lock. Chunk-level stages are attributed to
+          // every row of the chunk (its rows shared that one forward).
+          const auto ns = [](double seconds) {
+            return static_cast<std::uint64_t>(seconds * 1e9);
+          };
+          std::array<obs::Span, 6> spans;
+          std::size_t n = 0;
+          spans[n++] = {Stage::kAdmission, pending.submit_ns,
+                        pending.admitted_ns - pending.submit_ns};
+          spans[n++] = {Stage::kQueueWait, pending.admitted_ns,
+                        pickup_ns - pending.admitted_ns};
+          spans[n++] = {Stage::kBatchAssembly, pickup_ns,
+                        assembled_ns - pickup_ns};
+          std::uint64_t at = chunk_start_ns;
+          spans[n++] = {Stage::kEncode, at, ns(stage_seconds.encode)};
+          at += ns(stage_seconds.encode);
+          spans[n++] = {Stage::kForward, at, ns(stage_seconds.forward)};
+          at += ns(stage_seconds.forward);
+          spans[n++] = {Stage::kRankTopK, at, ns(stage_seconds.rank)};
+          traces_.record(pending.request.trace_id,
+                         std::span<const obs::Span>(spans.data(), n));
+          traces_.finish(pending.request.trace_id, response.latency_ms);
+        }
       }
       pending.promise.set_value(std::move(response));
     }

@@ -45,6 +45,8 @@
 // requests and tracks the peak queue depth so overload is observable.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -55,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
 
@@ -64,6 +67,11 @@ struct PredictRequest {
   std::uint32_t user_id = 0;
   mobility::Window window;
   std::size_t k = 3;  ///< how many next-location candidates to return
+  /// Trace id this request's stage spans are recorded under. 0 (the
+  /// default) means untraced — the scheduler may then assign one itself via
+  /// sampling (SchedulerConfig::trace_sample_every). A router in front of
+  /// the engine stamps its own id here so one trace spans both processes.
+  std::uint64_t trace_id = 0;
 };
 
 struct PredictResponse {
@@ -109,6 +117,17 @@ struct SchedulerConfig {
   /// exists to prevent.
   std::size_t max_queue = 4096;
   QueuePolicy policy = QueuePolicy::kBlock;
+  /// Locally-originated requests (trace_id == 0) get a sampled trace: every
+  /// N-th request is assigned a fresh id and records full stage spans.
+  /// 0 disables local sampling entirely. Requests arriving with a non-zero
+  /// trace_id (router-stamped) are ALWAYS traced regardless of this knob —
+  /// sampling upstream must not be silently re-sampled downstream.
+  ///
+  /// Stage histograms are recorded at the same granularity (traced requests
+  /// only), so for local traffic they are a 1-in-N sample; routed traffic
+  /// records every request. That is the deal behind the <= 2% tracing
+  /// overhead bound on the batch-1 path (bench/serve_throughput).
+  std::size_t trace_sample_every = 32;
 };
 
 class BatchScheduler {
@@ -139,6 +158,25 @@ class BatchScheduler {
   }
   [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
 
+  /// Stage-latency histograms (one per obs::Stage this engine executes,
+  /// named by obs::stage_metric_name) plus tracing counters.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  /// Span sink + slow-request journal for this engine.
+  [[nodiscard]] obs::TraceCollector& traces() noexcept { return traces_; }
+
+  /// Master switch for the per-request instrumentation (stage histograms,
+  /// span recording, trace sampling). ServerStats recording is NOT gated —
+  /// it predates obs and the benches depend on it unconditionally. The
+  /// serve_throughput bench asserts the enabled-vs-disabled delta on the
+  /// batch-1 path stays <= 2%.
+  void set_instrumentation(bool on) noexcept {
+    instrument_.store(on, std::memory_order_relaxed);
+    traces_.set_enabled(on);
+  }
+  [[nodiscard]] bool instrumentation_enabled() const noexcept {
+    return instrument_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -146,6 +184,8 @@ class BatchScheduler {
     PredictRequest request;
     std::promise<PredictResponse> promise;
     Clock::time_point enqueued;
+    std::uint64_t submit_ns = 0;    ///< obs::now_ns at submit/serve entry
+    std::uint64_t admitted_ns = 0;  ///< obs::now_ns once past admission
   };
 
   void drain_loop();
@@ -157,9 +197,21 @@ class BatchScheduler {
   /// Answers one request shed by admission control (records stats).
   void answer_rejected(Pending pending);
 
+  /// Assigns a sampled trace id to an untraced request when instrumentation
+  /// is on and the sampling counter fires.
+  void maybe_sample_trace(PredictRequest& request) noexcept;
+
   DeploymentRegistry& registry_;
   SchedulerConfig config_;
   ServerStats stats_;
+
+  obs::Registry metrics_;
+  obs::TraceCollector traces_;
+  std::atomic<bool> instrument_{true};
+  std::atomic<std::uint64_t> sample_counter_{0};
+  /// Stage histograms resolved once at construction so the hot path never
+  /// touches the registry lock (obs::Registry reference stability).
+  std::array<obs::Histogram*, obs::kStageCount> stage_hist_{};
 
   std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< drainer waits: work available

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/stats.hpp"
-
 namespace pelican::serve {
 
 namespace {
@@ -33,9 +31,9 @@ void ServerStats::record_batch(std::size_t batch_size,
 }
 
 void ServerStats::record_request(double latency_ms) {
+  latency_ms_.observe(latency_ms);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++requests_;
-  latencies_ms_.push_back(latency_ms);
 }
 
 void ServerStats::record_rejected() {
@@ -48,18 +46,21 @@ void ServerStats::record_shed() {
   ++shed_;
 }
 
-void ServerStats::record_queue_depth(std::size_t depth) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  peak_queue_depth_ = std::max(peak_queue_depth_, depth);
+void ServerStats::record_queue_depth(std::size_t depth) noexcept {
+  std::size_t cur = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (cur < depth && !peak_queue_depth_.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
 }
 
 ServerStats::Snapshot ServerStats::snapshot() const {
+  const obs::HistogramState latency = latency_ms_.state();
   const std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
   snap.requests_served = requests_;
   snap.requests_rejected = rejected_;
   snap.requests_shed = shed_;
-  snap.peak_queue_depth = peak_queue_depth_;
+  snap.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
   snap.batches_run = batches_;
   snap.mean_batch_size =
       batches_ == 0 ? 0.0
@@ -68,37 +69,36 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   snap.max_batch_size = max_batch_;
   snap.batch_size_log2_histogram = batch_hist_;
   snap.total_forward_seconds = forward_seconds_;
-  snap.p50_latency_ms = stats::percentile(latencies_ms_, 50.0);
-  snap.p99_latency_ms = stats::percentile(latencies_ms_, 99.0);
-  snap.max_latency_ms =
-      latencies_ms_.empty()
-          ? 0.0
-          : *std::max_element(latencies_ms_.begin(), latencies_ms_.end());
+  snap.p50_latency_ms = obs::Histogram::percentile_of(latency, 50.0);
+  snap.p99_latency_ms = obs::Histogram::percentile_of(latency, 99.0);
+  snap.max_latency_ms = latency.max;
   return snap;
 }
 
 ServerStats::State ServerStats::state() const {
+  obs::HistogramState latency = latency_ms_.state();
   const std::lock_guard<std::mutex> lock(mutex_);
   State state;
   state.requests = requests_;
   state.rejected = rejected_;
   state.shed = shed_;
-  state.peak_queue_depth = peak_queue_depth_;
+  state.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
   state.batches = batches_;
   state.batch_rows = batch_rows_;
   state.max_batch = max_batch_;
   state.batch_hist = batch_hist_;
   state.forward_seconds = forward_seconds_;
-  state.latencies_ms = latencies_ms_;
+  state.latency = std::move(latency);
   return state;
 }
 
 void ServerStats::merge(const State& other) {
+  latency_ms_.merge(other.latency);
+  record_queue_depth(other.peak_queue_depth);
   const std::lock_guard<std::mutex> lock(mutex_);
   requests_ += other.requests;
   rejected_ += other.rejected;
   shed_ += other.shed;
-  peak_queue_depth_ = std::max(peak_queue_depth_, other.peak_queue_depth);
   batches_ += other.batches;
   batch_rows_ += other.batch_rows;
   max_batch_ = std::max(max_batch_, other.max_batch);
@@ -109,8 +109,6 @@ void ServerStats::merge(const State& other) {
     batch_hist_[b] += other.batch_hist[b];
   }
   forward_seconds_ += other.forward_seconds;
-  latencies_ms_.insert(latencies_ms_.end(), other.latencies_ms.begin(),
-                       other.latencies_ms.end());
 }
 
 void ServerStats::merge(const ServerStats& other) {
@@ -121,17 +119,17 @@ void ServerStats::merge(const ServerStats& other) {
 }
 
 void ServerStats::reset() {
+  latency_ms_.reset();
+  peak_queue_depth_.store(0, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mutex_);
   requests_ = 0;
   rejected_ = 0;
   shed_ = 0;
-  peak_queue_depth_ = 0;
   batches_ = 0;
   batch_rows_ = 0;
   max_batch_ = 0;
   batch_hist_.clear();
   forward_seconds_ = 0.0;
-  latencies_ms_.clear();
 }
 
 }  // namespace pelican::serve

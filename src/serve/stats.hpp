@@ -4,22 +4,40 @@
 // as their instrumentation, so the scheduler records every request, every
 // executed batch, and per-request queue-to-response latency here. Snapshots
 // aggregate into the numbers the benches print: totals, a log2 batch-size
-// histogram, and p50/p99 latency via common::stats percentiles.
+// histogram, and p50/p99 latency.
+//
+// Latency storage is an obs::Histogram — fixed log-bucket boundaries,
+// bounded memory under open-ended traffic (this replaced the unbounded
+// per-sample vector that an early TODO here flagged). The cost is that
+// percentiles are now estimates with a documented relative error bound of
+// obs::Histogram::kQuantileRelativeError (~9%, asserted against the
+// exact-sample baseline in tests/serve/stats_merge_test.cpp).
 //
 // Fleet aggregation: a router in front of N engine processes needs one
-// fleet-wide view. State is the raw recorded state (counters, histogram,
-// and the latency samples themselves) — transportable over the router wire
-// protocol — and merge() folds another engine's state in. Merging raw
-// samples rather than snapshots keeps fleet percentiles EXACT: a p99
-// computed from the union of samples, not an average of per-engine p99s
-// (which is statistically meaningless). peak_queue_depth merges as the max
-// across engines — queues are per-process, so fleet-wide "peak depth" means
-// "the worst any single engine queue got".
+// fleet-wide view. State is the raw recorded state (counters, histograms)
+// — transportable over the router wire protocol — and merge() folds another
+// engine's state in. Because every histogram shares the same bucket
+// boundaries, the fold is an EXACT bucket-wise sum: the merged histogram
+// equals what one engine would have recorded had it seen all the traffic,
+// so fleet percentiles carry the same single-engine error bound instead of
+// compounding (and are NOT an average of per-engine percentiles, which is
+// statistically meaningless). peak_queue_depth merges as the max across
+// engines — queues are per-process, so fleet-wide "peak depth" means "the
+// worst any single engine queue got".
+//
+// peak_queue_depth is an atomic maintained by a CAS-max loop rather than a
+// field under the stats mutex: the scheduler records it while still holding
+// its queue mutex (the only way the observed depth is the true depth — see
+// BatchScheduler::submit), and an atomic keeps that critical section free
+// of a second lock.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pelican::serve {
 
@@ -39,9 +57,10 @@ class ServerStats {
   /// kShedOldest) before reaching a model.
   void record_shed();
 
-  /// Submit-queue depth observed after an enqueue; tracks the peak so
-  /// overload (queue at its bound) is visible in the snapshot.
-  void record_queue_depth(std::size_t depth);
+  /// Submit-queue depth observed at enqueue time. Lock-free (atomic
+  /// CAS-max), so callers may — and should — invoke it while still holding
+  /// the lock that made the depth reading consistent.
+  void record_queue_depth(std::size_t depth) noexcept;
 
   struct Snapshot {
     std::size_t requests_served = 0;
@@ -64,7 +83,8 @@ class ServerStats {
 
   /// The raw recorded state, copyable and wire-transportable (the router's
   /// kStats verb carries one per engine). Field meanings match the private
-  /// members below.
+  /// members below; `latency` carries the full bucket vector so merges stay
+  /// exact.
   struct State {
     std::size_t requests = 0;
     std::size_t rejected = 0;
@@ -75,17 +95,17 @@ class ServerStats {
     std::size_t max_batch = 0;
     std::vector<std::size_t> batch_hist;
     double forward_seconds = 0.0;
-    std::vector<double> latencies_ms;
+    obs::HistogramState latency;
   };
 
   /// Consistent copy of the raw state (one lock acquisition).
   [[nodiscard]] State state() const;
 
   /// Folds `other` into this instance: counters add, histograms add
-  /// bucket-wise (shorter histograms — including empty ones — are treated
-  /// as zero-filled), latency samples concatenate (so merged percentiles
-  /// are exact over the union), and max fields (max_batch,
-  /// peak_queue_depth) take the maximum.
+  /// bucket-wise (shorter batch histograms — including empty ones — are
+  /// treated as zero-filled; latency buckets share fixed boundaries so the
+  /// sum is exact), and max fields (max_batch, peak_queue_depth,
+  /// latency max) take the maximum.
   void merge(const State& other);
 
   /// Same, from a live instance (e.g. a router folding its own local stats
@@ -100,16 +120,13 @@ class ServerStats {
   std::size_t requests_ = 0;
   std::size_t rejected_ = 0;
   std::size_t shed_ = 0;
-  std::size_t peak_queue_depth_ = 0;
+  std::atomic<std::size_t> peak_queue_depth_{0};
   std::size_t batches_ = 0;
   std::size_t batch_rows_ = 0;
   std::size_t max_batch_ = 0;
   std::vector<std::size_t> batch_hist_;
   double forward_seconds_ = 0.0;
-  // Every per-request latency sample; benches run bounded request counts,
-  // so unbounded growth is a non-issue at this stage (a reservoir is the
-  // obvious upgrade once the engine serves open-ended traffic).
-  std::vector<double> latencies_ms_;
+  obs::Histogram latency_ms_;  // lock-free; not guarded by mutex_
 };
 
 }  // namespace pelican::serve

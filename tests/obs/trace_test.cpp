@@ -1,0 +1,130 @@
+// obs tracing: id generation, span bookkeeping, and the bounded
+// worst-N slow-request journal the kMetrics verb ships across the fleet.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace pelican::obs {
+namespace {
+
+TEST(TraceIdTest, IdsAreNonZeroAndDistinct) {
+  // 0 means "untraced" everywhere (frames, sampling, span commits), so the
+  // generator must never produce it — and collisions across a burst would
+  // silently fuse unrelated requests into one trace.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t id = new_trace_id();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(TraceTest, StageNamesAreStableIdentifiers) {
+  EXPECT_STREQ(to_string(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(to_string(Stage::kFailoverRetry), "failover_retry");
+  EXPECT_EQ(stage_metric_name(Stage::kForward), "stage_forward_ms");
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    EXPECT_STRNE(to_string(static_cast<Stage>(s)), "?")
+        << "stage " << s << " is missing its wire/exposition name";
+  }
+}
+
+TEST(TraceCollectorTest, RecordsSpansAndJournalsSlowestFirst) {
+  TraceCollector collector;
+  const std::array<Span, 2> spans = {{{Stage::kForward, 100, 50},
+                                      {Stage::kRankTopK, 150, 25}}};
+  const std::uint64_t fast = new_trace_id();
+  const std::uint64_t slow = new_trace_id();
+  collector.record(fast, spans);
+  collector.finish(fast, 1.0);
+  collector.record(slow, spans);
+  collector.finish(slow, 9.0);
+
+  const auto journal = collector.journal();
+  ASSERT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal[0].trace_id, slow);
+  EXPECT_DOUBLE_EQ(journal[0].total_ms, 9.0);
+  EXPECT_EQ(journal[1].trace_id, fast);
+  ASSERT_EQ(journal[0].spans.size(), 2u);
+  EXPECT_EQ(journal[0].spans[0].stage, Stage::kForward);
+  EXPECT_EQ(journal[0].spans[1].duration_ns, 25u);
+}
+
+TEST(TraceCollectorTest, JournalIsBoundedToTheWorstN) {
+  TraceCollectorConfig config;
+  config.journal_capacity = 4;
+  TraceCollector collector(config);
+  // 20 traces, total_ms 1..20: only the four slowest may survive.
+  for (int i = 1; i <= 20; ++i) {
+    const std::uint64_t id = new_trace_id();
+    collector.record(id, std::array<Span, 1>{{{Stage::kForward, 0, 10}}});
+    collector.finish(id, static_cast<double>(i));
+  }
+  const auto journal = collector.journal();
+  ASSERT_EQ(journal.size(), 4u);
+  EXPECT_DOUBLE_EQ(journal[0].total_ms, 20.0);
+  EXPECT_DOUBLE_EQ(journal[3].total_ms, 17.0);
+}
+
+TEST(TraceCollectorTest, OpenTraceTableIsBounded) {
+  TraceCollectorConfig config;
+  config.max_open_traces = 8;
+  config.journal_capacity = 64;
+  TraceCollector collector(config);
+  // Record spans for many ids that never finish: the open table must stay
+  // bounded (FIFO eviction), not grow without limit under id churn.
+  for (int i = 0; i < 1000; ++i) {
+    collector.record(new_trace_id(),
+                     std::array<Span, 1>{{{Stage::kEncode, 0, 1}}});
+  }
+  // A finish for a brand-new id still journals (with no spans attached).
+  const std::uint64_t id = new_trace_id();
+  collector.finish(id, 5.0);
+  const auto journal = collector.journal();
+  ASSERT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal[0].trace_id, id);
+}
+
+TEST(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  TraceCollector collector;
+  collector.set_enabled(false);
+  const std::uint64_t id = new_trace_id();
+  collector.record(id, std::array<Span, 1>{{{Stage::kForward, 0, 10}}});
+  collector.finish(id, 50.0);
+  EXPECT_TRUE(collector.journal().empty());
+
+  collector.set_enabled(true);
+  collector.finish(id, 50.0);
+  EXPECT_EQ(collector.journal().size(), 1u);
+}
+
+TEST(TraceCollectorTest, ConcurrentRecordFinishIsSafe) {
+  TraceCollector collector;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id = new_trace_id();
+        collector.record(id,
+                         std::array<Span, 1>{{{Stage::kForward, 0, 100}}});
+        collector.finish(id, 1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto journal = collector.journal();
+  EXPECT_FALSE(journal.empty());
+  EXPECT_LE(journal.size(), TraceCollectorConfig{}.journal_capacity);
+}
+
+}  // namespace
+}  // namespace pelican::obs

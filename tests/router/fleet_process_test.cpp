@@ -5,8 +5,12 @@
 // every commit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "router/router.hpp"
 #include "router_support.hpp"
 
@@ -84,6 +88,112 @@ TEST(FleetProcessTest, TwoProcessFleetServesPublishesAndDrains) {
     EXPECT_EQ(rt::reap_engined(pid), 0);
   }
   EXPECT_TRUE(router.live_backends().empty());
+}
+
+TEST(FleetProcessTest, OneTraceSpansRouterAndBothEngineProcesses) {
+  // PR 7 acceptance: a routed predict through a real 2-process fleet yields
+  // ONE trace whose stage spans come from both sides of the wire, and the
+  // fleet-merged stage histograms are exactly the bucket-wise sum of the
+  // per-engine histograms.
+  constexpr std::uint32_t kUsers = 8;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
+
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const pid_t pid = rt::spawn_engined(dir, i);
+    ASSERT_GT(pid, 0);
+    pids.push_back(pid);
+    ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)))
+        << "engine " << i << " did not come up";
+  }
+
+  Router router;
+  (void)router.add_backend(dir.socket_address(0));
+  (void)router.add_backend(dir.socket_address(1));
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+  }
+  // With 8 users over 2 backends both must own someone; pick one user per
+  // backend so the traced batch provably crosses both processes.
+  std::uint32_t user_a = 0;
+  std::uint32_t user_b = 0;
+  const std::string owner_a = router.owner_of(user_a);
+  for (std::uint32_t user = 1; user < kUsers; ++user) {
+    if (router.owner_of(user) != owner_a) {
+      user_b = user;
+      break;
+    }
+  }
+  ASSERT_NE(router.owner_of(user_b), owner_a)
+      << "partitioner parked every user on one backend";
+
+  // Stamp our own trace id (callers may): the router must preserve it, the
+  // engines must record under it.
+  const std::uint64_t trace = obs::new_trace_id();
+  Rng rng(3);
+  std::vector<serve::PredictRequest> requests;
+  requests.push_back({user_a, random_window(rng), 3});
+  requests.push_back({user_b, random_window(rng), 3});
+  for (auto& request : requests) request.trace_id = trace;
+  const auto responses = router.serve(requests);
+  for (const auto& response : responses) ASSERT_TRUE(response.ok);
+
+  const auto fleet = router.fleet_metrics();
+
+  // One trace, records from three processes: both engines and the router.
+  std::set<std::string> sources;
+  std::set<obs::Stage> stages;
+  for (const auto& rec : fleet.traces) {
+    if (rec.trace_id != trace) continue;
+    sources.insert(rec.source);
+    for (const auto& span : rec.spans) stages.insert(span.stage);
+  }
+  EXPECT_EQ(sources.size(), 3u)
+      << "expected records from both engines and the router";
+  EXPECT_TRUE(sources.contains("router"));
+  EXPECT_GE(stages.size(), 6u) << "at least six named stages end to end";
+  for (const obs::Stage stage :
+       {obs::Stage::kQueueWait, obs::Stage::kEncode, obs::Stage::kForward,
+        obs::Stage::kRankTopK, obs::Stage::kWireSerialize,
+        obs::Stage::kRouterFanout}) {
+    EXPECT_TRUE(stages.contains(stage))
+        << "missing stage " << obs::to_string(stage);
+  }
+
+  // Exact merge: the fleet registry equals the bucket-wise fold of the raw
+  // per-engine reports plus the router's own registry — computed here
+  // independently with obs::merge_state over the same inputs.
+  ASSERT_EQ(fleet.engines.size(), 2u);
+  obs::RegistryState expected;
+  for (const auto& [address, report] : fleet.engines) {
+    obs::merge_state(expected, report.registry);
+  }
+  obs::merge_state(expected, router.metrics().state());
+  ASSERT_EQ(fleet.registry.histograms.size(), expected.histograms.size());
+  for (std::size_t h = 0; h < expected.histograms.size(); ++h) {
+    EXPECT_EQ(fleet.registry.histograms[h].first,
+              expected.histograms[h].first);
+    EXPECT_EQ(fleet.registry.histograms[h].second.buckets,
+              expected.histograms[h].second.buckets)
+        << fleet.registry.histograms[h].first;
+    EXPECT_EQ(fleet.registry.histograms[h].second.count,
+              expected.histograms[h].second.count);
+  }
+  // And the engine-side histograms really saw this traffic: the forward
+  // stage counted at least our two requests across the fleet.
+  const auto forward = std::find_if(
+      fleet.registry.histograms.begin(), fleet.registry.histograms.end(),
+      [](const auto& entry) {
+        return entry.first == obs::stage_metric_name(obs::Stage::kForward);
+      });
+  ASSERT_NE(forward, fleet.registry.histograms.end());
+  EXPECT_GE(forward->second.count, 2u);
+
+  router.drain_fleet();
+  for (const pid_t pid : pids) {
+    EXPECT_EQ(rt::reap_engined(pid), 0);
+  }
 }
 
 }  // namespace

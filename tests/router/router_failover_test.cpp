@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "router/router.hpp"
 #include "router_support.hpp"
 
@@ -102,6 +103,28 @@ TEST(RouterFailoverTest, KilledEngineRepartitionsAndQueriesStillSucceed) {
   for (std::uint32_t user = 0; user < kUsers; ++user) {
     EXPECT_NE(router.owner_of(user), dead_address);
   }
+
+  // The failover retries show up in the router's own trace journal as
+  // kFailoverRetry spans, under the SAME trace as the fan-out they rescued
+  // — the slow request and its cause are one journal entry.
+  bool saw_failover_span = false;
+  for (const auto& rec : router.traces().journal()) {
+    const bool has_retry = std::any_of(
+        rec.spans.begin(), rec.spans.end(), [](const obs::Span& span) {
+          return span.stage == obs::Stage::kFailoverRetry;
+        });
+    const bool has_fanout = std::any_of(
+        rec.spans.begin(), rec.spans.end(), [](const obs::Span& span) {
+          return span.stage == obs::Stage::kRouterFanout;
+        });
+    if (has_retry) {
+      saw_failover_span = true;
+      EXPECT_TRUE(has_fanout)
+          << "retry spans must ride the trace of the serve they rescued";
+    }
+  }
+  EXPECT_TRUE(saw_failover_span)
+      << "a mid-serve backend death must journal a failover_retry span";
 
   // Steady state: another pass works without further repartitioning.
   const auto steady = router.serve(requests);

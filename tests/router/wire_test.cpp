@@ -21,6 +21,7 @@ TEST(WireTest, PredictBatchRoundTrips) {
   std::vector<serve::PredictRequest> requests;
   for (std::uint32_t i = 0; i < 5; ++i) {
     requests.push_back({1000 + i, random_window(rng), 3 + i});
+    requests.back().trace_id = i == 0 ? 0 : 0xABCD000000000000ULL + i;
   }
   const auto frame = encode_predict_batch(requests);
   EXPECT_EQ(frame_verb(frame), Verb::kPredictBatch);
@@ -30,9 +31,26 @@ TEST(WireTest, PredictBatchRoundTrips) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     EXPECT_EQ(decoded[i].user_id, requests[i].user_id);
     EXPECT_EQ(decoded[i].k, requests[i].k);
+    EXPECT_EQ(decoded[i].trace_id, requests[i].trace_id)
+        << "the trace id must ride the frame so one trace spans processes";
     EXPECT_EQ(decoded[i].window, requests[i].window)
         << "windows carry discretized features; the wire must not touch them";
   }
+}
+
+TEST(WireTest, PredictFrameVersionMismatchThrows) {
+  // Frame versioning is deliberate: PR 7 changed the predict frame layout
+  // (trace ids) and the stats reply (histogram state), so a v1 peer must
+  // fail loudly, not decode garbage.
+  Rng rng(12);
+  auto frame = encode_predict_batch(
+      std::vector<serve::PredictRequest>{{1, random_window(rng), 3}});
+  frame[1] = kPredictFrameVersion - 1;  // version byte follows the verb
+  EXPECT_THROW((void)decode_predict_batch(frame), SerializeError);
+
+  auto stats_frame = encode_stats_reply(serve::ServerStats().state());
+  stats_frame[1] = kStatsFrameVersion + 1;
+  EXPECT_THROW((void)decode_stats_reply(stats_frame), SerializeError);
 }
 
 TEST(WireTest, PredictRepliesRoundTrip) {
@@ -100,8 +118,57 @@ TEST(WireTest, StatsStateRoundTripsExactly) {
   EXPECT_EQ(decoded.max_batch, state.max_batch);
   EXPECT_EQ(decoded.batch_hist, state.batch_hist);
   EXPECT_DOUBLE_EQ(decoded.forward_seconds, state.forward_seconds);
-  EXPECT_EQ(decoded.latencies_ms, state.latencies_ms)
-      << "raw samples cross the wire so fleet percentiles stay exact";
+  EXPECT_EQ(decoded.latency.count, state.latency.count);
+  EXPECT_DOUBLE_EQ(decoded.latency.sum, state.latency.sum);
+  EXPECT_DOUBLE_EQ(decoded.latency.max, state.latency.max);
+  EXPECT_EQ(decoded.latency.buckets, state.latency.buckets)
+      << "histogram buckets cross the wire bit-exactly so fleet merges "
+         "equal bucket-wise sums";
+}
+
+TEST(WireTest, MetricsReplyRoundTrips) {
+  EngineMetricsReport report;
+  serve::ServerStats stats;
+  stats.record_request(1.5);
+  stats.record_batch(8, 0.125);
+  report.stats = stats.state();
+
+  obs::Registry registry;
+  registry.counter("requests_total").add(17);
+  auto& hist = registry.histogram("stage_forward_ms");
+  hist.observe(0.25);
+  hist.observe(3.5);
+  hist.observe(1e-9);  // underflow bucket
+  report.registry = registry.state();
+
+  obs::TraceRecord rec;
+  rec.trace_id = 0xDEADBEEFULL;
+  rec.total_ms = 7.5;
+  rec.source = "unix:/tmp/e0.sock";
+  rec.spans.push_back({obs::Stage::kForward, 100, 250});
+  rec.spans.push_back({obs::Stage::kQueueWait, 10, 90});
+  report.traces.push_back(rec);
+
+  const auto decoded = decode_metrics_reply(encode_metrics_reply(report));
+  EXPECT_EQ(decoded.stats.requests, report.stats.requests);
+  EXPECT_EQ(decoded.stats.latency.buckets, report.stats.latency.buckets);
+  ASSERT_EQ(decoded.registry.counters.size(), 1u);
+  EXPECT_EQ(decoded.registry.counters[0].first, "requests_total");
+  EXPECT_EQ(decoded.registry.counters[0].second, 17u);
+  ASSERT_EQ(decoded.registry.histograms.size(), 1u);
+  EXPECT_EQ(decoded.registry.histograms[0].first, "stage_forward_ms");
+  EXPECT_EQ(decoded.registry.histograms[0].second.buckets,
+            report.registry.histograms[0].second.buckets);
+  ASSERT_EQ(decoded.traces.size(), 1u);
+  EXPECT_EQ(decoded.traces[0].trace_id, rec.trace_id);
+  EXPECT_DOUBLE_EQ(decoded.traces[0].total_ms, rec.total_ms);
+  EXPECT_EQ(decoded.traces[0].source, rec.source);
+  ASSERT_EQ(decoded.traces[0].spans.size(), 2u);
+  EXPECT_EQ(decoded.traces[0].spans[0].stage, obs::Stage::kForward);
+  EXPECT_EQ(decoded.traces[0].spans[0].start_ns, 100u);
+  EXPECT_EQ(decoded.traces[0].spans[0].duration_ns, 250u);
+
+  EXPECT_EQ(frame_verb(encode_metrics()), Verb::kMetrics);
 }
 
 TEST(WireTest, RejectsMalformedFrames) {
@@ -127,6 +194,7 @@ TEST(WireTest, RejectsMalformedFrames) {
   // Hostile batch count (larger than the frame itself).
   BufferWriter writer;
   writer.write_u8(static_cast<std::uint8_t>(Verb::kPredictBatch));
+  writer.write_u8(kPredictFrameVersion);
   writer.write_u64(std::uint64_t{1} << 40);
   EXPECT_THROW((void)decode_predict_batch(writer.buffer()), SerializeError);
 

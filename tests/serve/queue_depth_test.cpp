@@ -1,0 +1,116 @@
+// Regression test for peak-queue-depth tracking (PR 7 satellite). The old
+// implementation observed queue_.size() after releasing the queue lock, so
+// a concurrent drain could empty the queue between push and observation and
+// the recorded peak under-reported the true depth. The fix records the peak
+// INSIDE the submit critical section via a lock-free CAS-max.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serve_support.hpp"
+
+namespace pelican::serve {
+namespace {
+
+using serve_testing::random_window;
+using serve_testing::tiny_deployment;
+using serve_testing::tiny_spec;
+
+TEST(QueueDepthTest, PeakEqualsQueuedCountWhenNoDrainCanFire) {
+  // Deterministic depth: max_batch and max_delay are large enough that the
+  // drainer holds for stragglers while K threads submit, so the queue MUST
+  // reach exactly K before the first drain — any smaller recorded peak is
+  // the old unlock-then-observe race.
+  DeploymentRegistry registry;
+  registry.deploy(1, tiny_deployment(7));
+  Rng rng(21);
+  const mobility::Window window = random_window(rng);
+
+  constexpr std::size_t kSubmitters = 24;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::future<PredictResponse>> futures(kSubmitters);
+    {
+      // max_batch is unreachable and max_delay far beyond the submit burst,
+      // so the drainer is guaranteed to hold until all K requests are
+      // queued; the scheduler destructor then drains and answers them.
+      BatchScheduler scheduler(
+          registry, {.max_batch = kSubmitters * 2,
+                     .max_delay = std::chrono::seconds(30)});
+
+      std::vector<std::thread> threads;
+      threads.reserve(kSubmitters);
+      std::atomic<std::size_t> ready{0};
+      std::atomic<bool> go{false};
+      for (std::size_t t = 0; t < kSubmitters; ++t) {
+        threads.emplace_back([&, t] {
+          ready.fetch_add(1);
+          while (!go.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+          }
+          futures[t] = scheduler.submit({1, window, 3});
+        });
+      }
+      while (ready.load() != kSubmitters) {
+        std::this_thread::yield();
+      }
+      go.store(true);
+      for (auto& thread : threads) thread.join();
+
+      EXPECT_EQ(scheduler.stats().snapshot().peak_queue_depth, kSubmitters)
+          << "round " << round
+          << ": peak must be observed inside the submit critical section";
+    }
+    for (auto& future : futures) {
+      ASSERT_TRUE(future.get().ok);
+    }
+  }
+}
+
+TEST(QueueDepthTest, PeakNeverExceedsTrueDepthUnderSubmitDrainHammer) {
+  // Open-loop hammer: many submitters against an eagerly-draining scheduler
+  // (max_batch 1, zero delay). The peak can legitimately land anywhere in
+  // [1, total], but it must never exceed what was ever simultaneously
+  // queued — bounded above by the number of in-flight submitters.
+  DeploymentRegistry registry;
+  registry.deploy(1, tiny_deployment(9));
+  Rng rng(22);
+  const mobility::Window window = random_window(rng);
+
+  BatchScheduler scheduler(registry,
+                           {.max_batch = 1,
+                            .max_delay = std::chrono::microseconds(0)});
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  std::vector<std::vector<std::future<PredictResponse>>> futures(kSubmitters);
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      futures[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(scheduler.submit({1, window, 3}));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& slice : futures) {
+    for (auto& future : slice) {
+      ASSERT_TRUE(future.get().ok);
+    }
+  }
+
+  const auto snap = scheduler.stats().snapshot();
+  EXPECT_GE(snap.peak_queue_depth, 1u);
+  EXPECT_LE(snap.peak_queue_depth, kSubmitters * kPerThread);
+  EXPECT_EQ(snap.requests_served, kSubmitters * kPerThread);
+}
+
+}  // namespace
+}  // namespace pelican::serve

@@ -81,10 +81,12 @@ TEST(StatsMergeTest, MergeIntoEmptyReproducesTheSource) {
   EXPECT_EQ(got.max_latency_ms, want.max_latency_ms);
 }
 
-TEST(StatsMergeTest, FleetMergeComputesExactUnionPercentiles) {
-  // Three "engines" with disjoint latency populations. The merged p50/p99
-  // must equal the percentile of the UNION of samples — not any combination
-  // of the per-engine percentiles.
+TEST(StatsMergeTest, FleetMergeIsTheExactBucketwiseSum) {
+  // Three "engines" with disjoint latency populations. The merged latency
+  // histogram must be the element-wise sum of the per-engine buckets —
+  // PR 7 replaced the unbounded raw-sample vector with a fixed-boundary
+  // log-bucket histogram, and the merge being exact (not approximate) is
+  // the property that makes fleet aggregation trustworthy.
   ServerStats engines[3];
   std::vector<double> all;
   for (int e = 0; e < 3; ++e) {
@@ -106,11 +108,59 @@ TEST(StatsMergeTest, FleetMergeComputesExactUnionPercentiles) {
   EXPECT_EQ(snap.max_batch_size, 4u);
   EXPECT_EQ(snap.peak_queue_depth, 3u)
       << "queues are per-process: fleet peak is the max, not the sum";
-  EXPECT_DOUBLE_EQ(snap.p50_latency_ms, stats::percentile(all, 50.0));
-  EXPECT_DOUBLE_EQ(snap.p99_latency_ms, stats::percentile(all, 99.0));
+
+  // Exact merge: fleet bucket b == sum over engines of bucket b, for all b.
+  const auto fleet_latency = fleet.state().latency;
+  ASSERT_EQ(fleet_latency.buckets.size(), obs::Histogram::kNumBuckets);
+  std::vector<std::uint64_t> expected(obs::Histogram::kNumBuckets, 0);
+  double expected_sum = 0.0;
+  for (const auto& engine : engines) {
+    const auto state = engine.state().latency;
+    ASSERT_EQ(state.buckets.size(), obs::Histogram::kNumBuckets);
+    for (std::size_t b = 0; b < state.buckets.size(); ++b) {
+      expected[b] += state.buckets[b];
+    }
+    expected_sum += state.sum;
+  }
+  EXPECT_EQ(fleet_latency.buckets, expected);
+  EXPECT_EQ(fleet_latency.count, 150u);
+  EXPECT_DOUBLE_EQ(fleet_latency.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(fleet_latency.max, 250.0);
+
+  // Percentiles are now bucket estimates: within the documented relative
+  // error bound of the exact union percentile (2^(1/8) - 1, ~9.1%).
+  const double exact_p50 = stats::percentile(all, 50.0);
+  const double exact_p99 = stats::percentile(all, 99.0);
+  EXPECT_NEAR(snap.p50_latency_ms, exact_p50,
+              exact_p50 * obs::Histogram::kQuantileRelativeError);
+  EXPECT_NEAR(snap.p99_latency_ms, exact_p99,
+              exact_p99 * obs::Histogram::kQuantileRelativeError);
+
   // Histograms add bucket-wise: one batch each of size 1, 2, 4.
   EXPECT_EQ(snap.batch_size_log2_histogram,
             (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(StatsMergeTest, PercentileErrorStaysWithinDocumentedBound) {
+  // A spread of magnitudes (0.01ms .. ~1000ms): every estimated quantile
+  // must sit within kQuantileRelativeError of the exact sample quantile.
+  ServerStats server;
+  std::vector<double> all;
+  double value = 0.01;
+  for (int i = 0; i < 400; ++i) {
+    server.record_request(value);
+    all.push_back(value);
+    value *= 1.03;
+  }
+  const auto snap = server.snapshot();
+  const double exact_p50 = stats::percentile(all, 50.0);
+  const double exact_p99 = stats::percentile(all, 99.0);
+  EXPECT_NEAR(snap.p50_latency_ms, exact_p50,
+              exact_p50 * obs::Histogram::kQuantileRelativeError);
+  EXPECT_NEAR(snap.p99_latency_ms, exact_p99,
+              exact_p99 * obs::Histogram::kQuantileRelativeError);
+  EXPECT_LE(snap.p99_latency_ms, snap.max_latency_ms)
+      << "estimates must never exceed the exactly-tracked max";
 }
 
 TEST(StatsMergeTest, ConcurrentMergeAndRecordStaysConsistent) {

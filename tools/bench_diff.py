@@ -12,6 +12,11 @@ artifacts). Rows are keyed by their first cell; numeric cells in matching
 rows are compared and the relative delta printed. Cells that are not JSON
 numbers (labels, "2.4x" ratio strings) are ignored.
 
+pelican_statsz --json snapshots (the statsz_snapshot.json the router bench
+drops next to its table) are detected by their top-level "statsz" key and
+synthesized into a Table-JSON of per-stage count/p50/p99 from the fleet
+histograms, so stage latencies diff and trend like any other bench table.
+
 Trend mode: HISTORY is a directory of per-commit result directories whose
 names sort chronologically (CI keeps bench_history/<ordinal>_<sha>/); the
 optional CURRENT directory is appended as the newest point. Each numeric
@@ -33,17 +38,43 @@ import os
 import sys
 
 
+def statsz_to_table(snapshot):
+    """A pelican_statsz snapshot as Table-JSON: one row per fleet histogram."""
+    histograms = snapshot.get("statsz", {}).get("fleet", {}).get(
+        "histograms", {}
+    )
+    rows = [
+        [
+            name,
+            hist.get("count", 0),
+            hist.get("p50", 0.0),
+            hist.get("p99", 0.0),
+        ]
+        for name, hist in sorted(histograms.items())
+    ]
+    return {"headers": ["stage", "count", "p50 ms", "p99 ms"], "rows": rows}
+
+
+def load_table(path):
+    """One file as Table-JSON, converting statsz snapshots on the fly."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and "statsz" in data:
+        return statsz_to_table(data)
+    return data
+
+
 def load_tables(path):
     """Returns {table_name: {"headers": [...], "rows": [[...], ...]}}."""
     tables = {}
     if os.path.isdir(path):
         for name in sorted(os.listdir(path)):
             if name.endswith(".json"):
-                with open(os.path.join(path, name)) as fh:
-                    tables[name[: -len(".json")]] = json.load(fh)
+                tables[name[: -len(".json")]] = load_table(
+                    os.path.join(path, name)
+                )
     else:
-        with open(path) as fh:
-            tables[os.path.splitext(os.path.basename(path))[0]] = json.load(fh)
+        tables[os.path.splitext(os.path.basename(path))[0]] = load_table(path)
     return tables
 
 

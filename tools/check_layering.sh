@@ -1,28 +1,31 @@
 #!/usr/bin/env bash
 # Enforces the layer lattice of src/ (see the root CMakeLists.txt):
 #
-#   common -> {nn, mobility} -> models -> {store, attack} -> core -> serve -> router
+#   common -> {obs, nn, mobility} -> models -> {store, attack} -> core -> serve -> router
 #
-# A layer may include itself and anything strictly below it. nn and mobility
-# are siblings: neither may include the other. store and attack are siblings
-# above models: core is the lowest layer that may see both. Run from the
-# repo root; exits nonzero and prints every offending include on violation.
+# A layer may include itself and anything strictly below it. obs, nn, and
+# mobility are siblings: none may include another. store and attack are
+# siblings above models: core is the lowest layer that may see both. obs is
+# consumed only by serve and router — the model stack (nn..core) stays free
+# of instrumentation. Run from the repo root; exits nonzero and prints every
+# offending include on violation.
 set -u
 
 declare -A allowed=(
   [common]="common"
+  [obs]="common obs"
   [nn]="common nn"
   [mobility]="common mobility"
   [models]="common nn mobility models"
   [store]="common nn mobility models store"
   [attack]="common nn mobility models attack"
   [core]="common nn mobility models store attack core"
-  [serve]="common nn mobility models store attack core serve"
-  [router]="common nn mobility models store attack core serve router"
+  [serve]="common obs nn mobility models store attack core serve"
+  [router]="common obs nn mobility models store attack core serve router"
 )
 
 status=0
-for layer in common nn mobility models store attack core serve router; do
+for layer in common obs nn mobility models store attack core serve router; do
   allow="${allowed[$layer]}"
   # Project includes look like: #include "dir/header.hpp"
   while IFS= read -r line; do
@@ -39,6 +42,6 @@ for layer in common nn mobility models store attack core serve router; do
 done
 
 if [[ $status -eq 0 ]]; then
-  echo "layering OK: common -> {nn, mobility} -> models -> {store, attack} -> core -> serve -> router"
+  echo "layering OK: common -> {obs, nn, mobility} -> models -> {store, attack} -> core -> serve -> router"
 fi
 exit $status

@@ -1,0 +1,155 @@
+// pelican_statsz — scrape a live fleet's observability surface.
+//
+// Connects to each engine address, issues the kMetrics verb, and prints the
+// result as Prometheus-style text (default) or JSON (--json):
+//
+//   pelican_statsz --engine unix:/tmp/pelican/e0.sock
+//                  --engine unix:/tmp/pelican/e1.sock [--json] [--out PATH]
+//
+// The fleet view is the EXACT bucket-wise merge of the per-engine stage
+// histograms (all histograms share fixed boundaries — see obs/metrics.hpp),
+// with p50/p99 computed from the merged buckets. Trace journal records from
+// every engine are pooled and sorted by trace id, so one routed request's
+// engine-side and router-side spans (which share an id) print adjacently.
+//
+// Exit status: 0 when every engine answered, 1 when any scrape failed
+// (partial results are still printed for the engines that answered).
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "router/socket.hpp"
+#include "router/wire.hpp"
+
+using namespace pelican;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --engine ADDR [--engine ADDR ...] [--json] [--out PATH]\n"
+               "ADDR is unix:<path> or tcp:<host>:<port>.\n";
+  return 2;
+}
+
+router::EngineMetricsReport scrape(const std::string& address) {
+  router::Socket socket =
+      router::Socket::connect_to(router::parse_address(address));
+  socket.send_frame(router::encode_metrics());
+  return router::decode_metrics_reply(socket.recv_frame());
+}
+
+std::string stats_json(const serve::ServerStats::State& stats) {
+  std::string out = "{";
+  out += "\"requests\":" + std::to_string(stats.requests);
+  out += ",\"rejected\":" + std::to_string(stats.rejected);
+  out += ",\"shed\":" + std::to_string(stats.shed);
+  out += ",\"peak_queue_depth\":" + std::to_string(stats.peak_queue_depth);
+  out += ",\"batches\":" + std::to_string(stats.batches);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> engines;
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json = true;
+    } else if (flag == "--engine" && i + 1 < argc) {
+      engines.emplace_back(argv[++i]);
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (engines.empty()) return usage(argv[0]);
+
+  bool all_ok = true;
+  std::vector<std::pair<std::string, router::EngineMetricsReport>> reports;
+  for (const std::string& address : engines) {
+    try {
+      router::EngineMetricsReport report = scrape(address);
+      for (obs::TraceRecord& rec : report.traces) rec.source = address;
+      reports.emplace_back(address, std::move(report));
+    } catch (const std::exception& error) {
+      std::cerr << "pelican_statsz: scrape of " << address
+                << " failed: " << error.what() << "\n";
+      all_ok = false;
+    }
+  }
+
+  // Exact fleet merge + pooled trace journal, grouped by trace id.
+  obs::RegistryState fleet;
+  std::vector<obs::TraceRecord> traces;
+  for (const auto& [address, report] : reports) {
+    obs::merge_state(fleet, report.registry);
+    traces.insert(traces.end(), report.traces.begin(), report.traces.end());
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
+              return a.trace_id != b.trace_id ? a.trace_id < b.trace_id
+                                              : a.source < b.source;
+            });
+
+  std::string rendered;
+  if (json) {
+    rendered = "{\"statsz\":{\"fleet\":" + obs::registry_json(fleet);
+    rendered += ",\"engines\":{";
+    bool first = true;
+    for (const auto& [address, report] : reports) {
+      if (!first) rendered += ',';
+      first = false;
+      rendered += '"' + obs::json_escape(address) + "\":{";
+      rendered += "\"stats\":" + stats_json(report.stats);
+      rendered += ",\"registry\":" + obs::registry_json(report.registry);
+      rendered += '}';
+    }
+    rendered += "},\"traces\":" + obs::traces_json(traces) + "}}";
+    rendered += '\n';
+  } else {
+    rendered += "# fleet (exact bucket-wise merge of " +
+                std::to_string(reports.size()) + " engines)\n";
+    rendered += obs::prometheus_text(fleet, "");
+    for (const auto& [address, report] : reports) {
+      rendered += "# engine " + address + "\n";
+      rendered += obs::prometheus_text(
+          report.registry, "engine=\"" + address + "\"");
+    }
+    rendered += "# slow-request journal (" + std::to_string(traces.size()) +
+                " records, grouped by trace id)\n";
+    for (const obs::TraceRecord& rec : traces) {
+      rendered += "trace " + std::to_string(rec.trace_id) + " source=" +
+                  rec.source + " total_ms=" + std::to_string(rec.total_ms);
+      for (const obs::Span& span : rec.spans) {
+        rendered += ' ';
+        rendered += obs::to_string(span.stage);
+        rendered += '=' + std::to_string(span.duration_ms()) + "ms";
+      }
+      rendered += '\n';
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream file(out_path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "pelican_statsz: cannot write " << out_path << "\n";
+      return 1;
+    }
+    file << rendered;
+  } else {
+    std::cout << rendered;
+  }
+  return all_ok ? 0 : 1;
+}
