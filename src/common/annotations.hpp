@@ -1,0 +1,82 @@
+// Clang thread-safety annotations behind portable PELICAN_* macros.
+//
+// The serving stack's locking discipline (shard locks, per-deployment serve
+// locks, the scheduler's queue lock, connection pools) is documented in each
+// header — these macros make those contracts COMPILER-CHECKED: under Clang,
+// `-Wthread-safety -Werror` (the CI `clang-tsa` lane, and the `clang-tsa`
+// CMake preset locally) rejects any access to a PELICAN_GUARDED_BY member
+// without its mutex held, any call to a PELICAN_REQUIRES function without
+// the stated capability, and any lock-order violation expressible through
+// PELICAN_EXCLUDES. Under GCC (the default toolchain) every macro expands
+// to nothing, so the annotations cost nothing off-Clang.
+//
+// Usage pattern (see common/mutex.hpp for the annotated lock types):
+//
+//   class Cache {
+//     pelican::Mutex mutex_;
+//     std::map<Key, Value> entries_ PELICAN_GUARDED_BY(mutex_);
+//
+//     void insert(Key k, Value v) {
+//       const MutexLock lock(mutex_);   // PELICAN_ACQUIRE in its ctor
+//       entries_[k] = std::move(v);     // OK: mutex_ held
+//     }
+//     void prune_locked() PELICAN_REQUIRES(mutex_);  // caller must hold it
+//   };
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PELICAN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PELICAN_THREAD_ANNOTATION
+#define PELICAN_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define PELICAN_CAPABILITY(x) PELICAN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PELICAN_SCOPED_CAPABILITY PELICAN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written with `x` held.
+#define PELICAN_GUARDED_BY(x) PELICAN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE may only be accessed with `x` held.
+#define PELICAN_PT_GUARDED_BY(x) PELICAN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define PELICAN_ACQUIRE(...) \
+  PELICAN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PELICAN_RELEASE(...) \
+  PELICAN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define PELICAN_TRY_ACQUIRE(...) \
+  PELICAN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability (it is neither acquired nor
+/// released by the function).
+#define PELICAN_REQUIRES(...) \
+  PELICAN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself, or
+/// acquiring it here would invert an established lock order).
+#define PELICAN_EXCLUDES(...) PELICAN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis level that the capability is held (for flows the
+/// analysis cannot follow, e.g. a lock taken by a caller through a pointer).
+#define PELICAN_ASSERT_CAPABILITY(x) \
+  PELICAN_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define PELICAN_RETURN_CAPABILITY(x) PELICAN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but inexpressible (keep
+/// rare; every use needs a comment saying why the analysis cannot see it).
+#define PELICAN_NO_THREAD_SAFETY_ANALYSIS \
+  PELICAN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -57,6 +57,7 @@ BinaryWriter::BinaryWriter(const std::filesystem::path& path,
 }
 
 void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
+  if (bytes == 0) return;  // empty vectors hand us data() == nullptr
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
   if (!out_) throw SerializeError("write failed");
@@ -154,6 +155,7 @@ void BinaryReader::verify_checksum(const std::filesystem::path& path,
 }
 
 void BinaryReader::read_raw(void* data, std::size_t bytes) {
+  if (bytes == 0) return;  // empty vectors hand us data() == nullptr
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   if (static_cast<std::size_t>(in_.gcount()) != bytes) {
     throw SerializeError("truncated stream");
@@ -222,6 +224,7 @@ std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
 // ---------------------------------------------------------------- buffers --
 
 void BufferWriter::write_raw(const void* data, std::size_t bytes) {
+  if (bytes == 0) return;  // empty vectors hand us data() == nullptr
   const auto* p = static_cast<const std::uint8_t*>(data);
   buffer_.insert(buffer_.end(), p, p + bytes);
 }
@@ -258,6 +261,7 @@ void BufferReader::read_raw(void* data, std::size_t bytes) {
     throw SerializeError("truncated frame: wanted " + std::to_string(bytes) +
                          " bytes, have " + std::to_string(remaining()));
   }
+  if (bytes == 0) return;  // empty vectors hand us data() == nullptr
   std::memcpy(data, data_.data() + offset_, bytes);
   offset_ += bytes;
 }

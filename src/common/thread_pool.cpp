@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <exception>
 
 namespace pelican {
 
 namespace {
 thread_local bool inside_pool_worker = false;
+
+/// Set (before the pool's members are torn down) when the global pool's
+/// static destructor runs. Trivially destructible, so it is safe to read
+/// from any later static destructor.
+std::atomic<bool> global_pool_destroyed{false};
 }  // namespace
 
 /// One parallel_for invocation: a shared work counter plus completion state.
@@ -16,8 +22,8 @@ struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> active{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
+  std::exception_ptr error PELICAN_GUARDED_BY(error_mutex);
 
   void run_share() {
     constexpr std::size_t kChunk = 1;
@@ -27,10 +33,15 @@ struct ThreadPool::Batch {
       try {
         (*fn)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     }
+  }
+
+  [[nodiscard]] std::exception_ptr take_error() {
+    const MutexLock lock(error_mutex);
+    return error;
   }
 };
 
@@ -48,7 +59,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
+    // No parallel_for may outlive the pool: a batch still installed here
+    // means a submitting thread is about to touch freed pool state.
+    assert(batch_ == nullptr && "ThreadPool destroyed with a batch in flight");
     stop_ = true;
   }
   wake_.notify_all();
@@ -60,19 +74,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
+      MutexLock lock(mutex_);
+      while (!stop_ && batch_ == nullptr) lock.wait(wake_);
       if (stop_) return;
       batch = batch_;
       batch->active.fetch_add(1, std::memory_order_relaxed);
     }
     batch->run_share();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-          batch_ == batch) {
-        // Last worker out clears nothing; the submitting thread owns cleanup.
-      }
+      const MutexLock lock(mutex_);
+      batch->active.fetch_sub(1, std::memory_order_acq_rel);
     }
     done_.notify_all();
   }
@@ -86,12 +97,12 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
-  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  const MutexLock submit_lock(submit_mutex_);
   Batch batch;
   batch.count = count;
   batch.fn = &fn;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     batch_ = &batch;
   }
   wake_.notify_all();
@@ -107,22 +118,43 @@ void ThreadPool::parallel_for(std::size_t count,
   inside_pool_worker = was_inside;
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     batch_ = nullptr;  // stop new workers from joining this batch
-    done_.wait(lock, [&batch] {
-      return batch.active.load(std::memory_order_acquire) == 0;
-    });
+    while (batch.active.load(std::memory_order_acquire) != 0) {
+      lock.wait(done_);
+    }
   }
-  if (batch.error) std::rethrow_exception(batch.error);
+  if (auto error = batch.take_error()) std::rethrow_exception(error);
 }
 
+namespace {
+/// Holder whose destructor flips the tombstone BEFORE the pool itself is
+/// destroyed (destructor bodies run before member destruction), so any
+/// static destructor sequenced after this one observes global_alive() ==
+/// false and takes the serial path instead of touching a dead pool.
+struct GlobalPool {
+  ThreadPool pool;
+  ~GlobalPool() { global_pool_destroyed.store(true, std::memory_order_release); }
+};
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  static GlobalPool holder;
+  return holder.pool;
+}
+
+bool ThreadPool::global_alive() noexcept {
+  return !global_pool_destroyed.load(std::memory_order_acquire);
 }
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  if (!ThreadPool::global_alive()) {
+    // Exit-time caller (a static destructor outliving the pool): run the
+    // loop serially rather than resurrecting or racing pool teardown.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   ThreadPool::global().parallel_for(count, fn);
 }
 

@@ -10,9 +10,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace pelican {
 
@@ -20,6 +22,10 @@ class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Requires that no parallel_for is in flight — a
+  /// still-running batch at destruction is a use-after-free in the making,
+  /// and is asserted against (RelAssert keeps assertions on).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,8 +39,20 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide pool, sized to the hardware. Lazily constructed.
+  /// Process-wide pool, sized to the hardware. Lazily constructed on first
+  /// use; destroyed during static teardown in reverse construction order.
+  /// OWNERSHIP AND SHUTDOWN ORDER: anything that may run tasks during exit
+  /// (static destructors, atexit hooks) must either have been constructed
+  /// AFTER the pool's first use — C++ guarantees it is then destroyed
+  /// before the pool — or go through pelican::parallel_for, which degrades
+  /// to a serial loop once the pool is gone (see global_alive). TSan's
+  /// exit-time checker sees a clean join either way.
   static ThreadPool& global();
+
+  /// False once the global pool has been destroyed at process exit. The
+  /// free parallel_for below checks this so late static destructors never
+  /// touch a dead pool.
+  [[nodiscard]] static bool global_alive() noexcept;
 
  private:
   struct Batch;
@@ -42,16 +60,17 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;  // serializes concurrent parallel_for submissions
-  std::mutex mutex_;
+  Mutex submit_mutex_;  ///< serializes concurrent parallel_for submissions
+  Mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  Batch* batch_ = nullptr;  // current batch, guarded by mutex_
-  bool stop_ = false;
+  Batch* batch_ PELICAN_GUARDED_BY(mutex_) = nullptr;  ///< current batch
+  bool stop_ PELICAN_GUARDED_BY(mutex_) = false;
 };
 
-/// Convenience wrapper over the global pool. Falls back to a serial loop when
-/// called from inside a pool worker (no nested parallelism).
+/// Convenience wrapper over the global pool. Falls back to a serial loop
+/// when called from inside a pool worker (no nested parallelism) or after
+/// the global pool has been torn down at exit.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 }  // namespace pelican

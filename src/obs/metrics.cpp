@@ -171,21 +171,21 @@ void merge_state(RegistryState& into, const RegistryState& from) {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 RegistryState Registry::state() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   RegistryState out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -206,7 +206,7 @@ void Registry::merge(const RegistryState& other) {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }

@@ -34,10 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace pelican::obs {
 
@@ -154,9 +156,14 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  /// The maps are guarded; the Counter/Histogram objects they point at are
+  /// NOT (their hot paths are lock-free atomics) — unique_ptr keeps the
+  /// returned references stable across rehashes.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PELICAN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PELICAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace pelican::obs

@@ -76,7 +76,7 @@ TraceRecord& TraceCollector::open_slot(std::uint64_t trace_id) {
 void TraceCollector::record(std::uint64_t trace_id,
                             std::span<const Span> spans) {
   if (!enabled() || trace_id == 0 || spans.empty()) return;
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   TraceRecord& rec = open_slot(trace_id);
   const std::size_t room =
       config_.max_spans_per_trace -
@@ -87,7 +87,7 @@ void TraceCollector::record(std::uint64_t trace_id,
 
 void TraceCollector::finish(std::uint64_t trace_id, double total_ms) {
   if (!enabled() || trace_id == 0) return;
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   TraceRecord& rec = open_slot(trace_id);
   rec.total_ms = std::max(rec.total_ms, total_ms);
 
@@ -111,7 +111,7 @@ void TraceCollector::finish(std::uint64_t trace_id, double total_ms) {
 }
 
 std::vector<TraceRecord> TraceCollector::journal() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<TraceRecord> out = journal_;
   std::sort(out.begin(), out.end(),
             [](const TraceRecord& a, const TraceRecord& b) {
@@ -121,7 +121,7 @@ std::vector<TraceRecord> TraceCollector::journal() const {
 }
 
 void TraceCollector::clear() {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   open_.clear();
   open_order_.clear();
   journal_.clear();

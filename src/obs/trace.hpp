@@ -20,11 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace pelican::obs {
 
@@ -115,14 +117,16 @@ class TraceCollector {
   void clear();
 
  private:
-  TraceRecord& open_slot(std::uint64_t trace_id);  // mutex_ held
+  TraceRecord& open_slot(std::uint64_t trace_id) PELICAN_REQUIRES(mutex_);
 
   TraceCollectorConfig config_;
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, TraceRecord> open_;
-  std::deque<std::uint64_t> open_order_;  // FIFO eviction of open_
-  std::vector<TraceRecord> journal_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, TraceRecord> open_
+      PELICAN_GUARDED_BY(mutex_);
+  /// FIFO eviction order of open_.
+  std::deque<std::uint64_t> open_order_ PELICAN_GUARDED_BY(mutex_);
+  std::vector<TraceRecord> journal_ PELICAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace pelican::obs

@@ -30,11 +30,11 @@ void EngineWorker::start() {
 
 void EngineWorker::wait() {
   {
-    std::unique_lock<std::mutex> lock(wait_mutex_);
-    wait_cv_.wait(lock, [this] {
-      return draining_.load(std::memory_order_relaxed) ||
-             stopping_.load(std::memory_order_relaxed);
-    });
+    MutexLock lock(wait_mutex_);
+    while (!draining_.load(std::memory_order_relaxed) &&
+           !stopping_.load(std::memory_order_relaxed)) {
+      lock.wait(wait_cv_);
+    }
   }
   stop();
 }
@@ -45,24 +45,29 @@ void EngineWorker::stop() {
     // Close the lost-wakeup window: a wait()er between its predicate check
     // and blocking still holds wait_mutex_, so acquiring it here delays
     // the notify until that waiter is actually parked.
-    const std::lock_guard<std::mutex> lock(wait_mutex_);
+    const MutexLock lock(wait_mutex_);
   }
   wait_cv_.notify_all();
   if (already_stopping) {
     return;  // concurrent/repeated stop: the first caller owns the joins
   }
-  listener_.close();  // accept()/wait_readable() observe stopping_ next tick
+  // The accept loop polls with a 50 ms timeout, so it observes stopping_
+  // on its own; join it BEFORE closing the listener. Closing first would
+  // write fd_ while the acceptor reads it in poll()/accept() — a data race,
+  // and worse, the kernel may recycle the fd number into an unrelated file
+  // mid-poll.
   if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
   // Wake handler threads blocked in recv_frame, then join them.
   {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     for (const auto& connection : connections_) {
       connection->socket.shutdown_both();
     }
   }
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (const auto& connection : connections) {
@@ -80,7 +85,7 @@ void EngineWorker::accept_loop() {
     } catch (const WireError&) {
       continue;  // raced with stop(); the loop condition decides
     }
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     if (stopping_.load(std::memory_order_relaxed)) break;
     reap_finished_connections();
     auto connection = std::make_unique<Connection>();
@@ -119,7 +124,7 @@ void EngineWorker::serve_connection(Connection* connection) {
     if (draining_.load(std::memory_order_relaxed)) {
       {
         // Pair with wait()'s predicate check (see stop() on lost wakeups).
-        const std::lock_guard<std::mutex> lock(wait_mutex_);
+        const MutexLock lock(wait_mutex_);
       }
       wait_cv_.notify_all();
       break;  // drain acknowledged; let wait() tear the worker down
@@ -128,7 +133,7 @@ void EngineWorker::serve_connection(Connection* connection) {
   // Close under the mutex: stop() walks connections_ calling
   // shutdown_both() under this lock, and close() must not race it (the fd
   // could be recycled between its validity check and the shutdown).
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  const MutexLock lock(connections_mutex_);
   connection->socket.close();
   connection->done = true;
 }

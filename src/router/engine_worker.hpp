@@ -31,11 +31,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "router/socket.hpp"
 #include "serve/registry.hpp"
 #include "serve/scheduler.hpp"
@@ -99,8 +100,8 @@ class EngineWorker {
   void accept_loop();
   void serve_connection(Connection* connection);
   /// Joins and erases connections that marked themselves done (bounds the
-  /// daemon's thread/Connection footprint). Caller holds connections_mutex_.
-  void reap_finished_connections();
+  /// daemon's thread/Connection footprint).
+  void reap_finished_connections() PELICAN_REQUIRES(connections_mutex_);
 
   /// Executes one decoded request frame, returning the reply frame. Never
   /// throws: engine-level failures become kAck{ok=false, message}.
@@ -118,16 +119,22 @@ class EngineWorker {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
 
-  std::mutex wait_mutex_;
+  /// wait()/stop() handshake only — guards no member (the predicate reads
+  /// the atomics above); it exists to close the lost-wakeup window.
+  Mutex wait_mutex_;
   std::condition_variable wait_cv_;
 
   struct Connection {
     Socket socket;
     std::thread thread;
+    /// Written by the handler as its final locked action, read by the
+    /// reaper — both under connections_mutex_ (inexpressible as a
+    /// guarded_by: nested structs cannot name the enclosing mutex).
     bool done = false;
   };
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      PELICAN_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace pelican::router

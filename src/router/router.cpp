@@ -35,7 +35,7 @@ std::size_t Router::add_backend(const std::string& address) {
     const auto reply = exchange(*backend, encode_health());
     (void)decode_health_reply(reply);
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (backends_.contains(address)) return 0;
   backends_.emplace(address, std::move(backend));
   return partitioner_.add_backend(address);
@@ -43,7 +43,7 @@ std::size_t Router::add_backend(const std::string& address) {
 
 std::shared_ptr<Router::Backend> Router::find_backend(
     const std::string& address) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = backends_.find(address);
   if (it == backends_.end() || !it->second->alive.load()) return nullptr;
   return it->second;
@@ -54,11 +54,11 @@ std::vector<std::uint8_t> Router::exchange(
   Socket socket;
   bool from_pool = false;
   {
-    std::unique_lock<std::mutex> lock(backend.pool_mutex);
-    backend.pool_cv.wait(lock, [&] {
-      return !backend.alive.load() || !backend.idle.empty() ||
-             backend.open_connections < config_.pool_connections;
-    });
+    MutexLock lock(backend.pool_mutex);
+    while (backend.alive.load() && backend.idle.empty() &&
+           backend.open_connections >= config_.pool_connections) {
+      lock.wait(backend.pool_cv);
+    }
     if (!backend.alive.load()) {
       throw WireError("backend dead: " + backend.address);
     }
@@ -74,7 +74,7 @@ std::vector<std::uint8_t> Router::exchange(
     try {
       socket = Socket::connect_to(backend.parsed);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+      const MutexLock lock(backend.pool_mutex);
       --backend.open_connections;
       backend.pool_cv.notify_one();
       throw;
@@ -83,7 +83,7 @@ std::vector<std::uint8_t> Router::exchange(
   try {
     socket.send_frame(frame);
     std::vector<std::uint8_t> reply = socket.recv_frame();
-    const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    const MutexLock lock(backend.pool_mutex);
     if (backend.alive.load()) {
       backend.idle.push_back(std::move(socket));
     } else {
@@ -93,7 +93,7 @@ std::vector<std::uint8_t> Router::exchange(
     return reply;
   } catch (...) {
     // The connection is in an unknown state mid-exchange: discard it.
-    const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    const MutexLock lock(backend.pool_mutex);
     --backend.open_connections;
     backend.pool_cv.notify_one();
     throw;
@@ -104,7 +104,7 @@ void Router::handle_backend_failure(const std::string& address) {
   std::shared_ptr<Backend> backend;
   std::vector<std::pair<std::uint32_t, Deployment>> to_redeploy;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = backends_.find(address);
     if (it == backends_.end() || !it->second->alive.load()) {
       return;  // another thread already failed this backend over
@@ -125,7 +125,7 @@ void Router::handle_backend_failure(const std::string& address) {
   {
     // Tear down the pool and wake any thread parked waiting for a
     // connection slot — they observe !alive and fail over themselves.
-    const std::lock_guard<std::mutex> lock(backend->pool_mutex);
+    const MutexLock lock(backend->pool_mutex);
     backend->open_connections -= backend->idle.size();
     backend->idle.clear();
     backend->pool_cv.notify_all();
@@ -151,7 +151,7 @@ Ack Router::admin_to_owner(std::uint32_t user,
   for (int attempt = 0; attempt < 2; ++attempt) {
     std::string owner;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (partitioner_.backend_count() == 0) {
         throw WireError("no live backends");
       }
@@ -181,13 +181,13 @@ void Router::deploy(std::uint32_t user, std::uint32_t version,
   // (or a failed deploy would materialize later as a ghost deployment).
   std::optional<Deployment> previous;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = ledger_.find(user);
     if (it != ledger_.end()) previous = it->second;
     ledger_[user] = Deployment{version, temperature, spec};
   }
   const auto roll_back = [&] {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (previous.has_value()) {
       ledger_[user] = *previous;
     } else {
@@ -217,7 +217,7 @@ void Router::publish(std::uint32_t user, std::uint32_t version) {
                              std::to_string(version) +
                              " refused: " + ack.message);
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = ledger_.find(user);
   if (it != ledger_.end()) it->second.version = version;
 }
@@ -254,7 +254,7 @@ std::vector<serve::PredictResponse> Router::serve(
     }
   }
   std::vector<obs::Span> spans;  // router-side spans, committed at the end
-  std::mutex spans_mutex;        // forwarding threads append concurrently
+  Mutex spans_mutex;             // forwarding threads append concurrently
 
   std::vector<serve::PredictResponse> responses(reqs.size());
   std::vector<std::size_t> remaining(reqs.size());
@@ -262,7 +262,7 @@ std::vector<serve::PredictResponse> Router::serve(
 
   std::size_t attempts = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     attempts = partitioner_.backend_count() + 1;
   }
 
@@ -273,7 +273,7 @@ std::vector<serve::PredictResponse> Router::serve(
     // groups by address, so the fan-out order is deterministic.
     std::map<std::string, std::vector<std::size_t>> groups;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (partitioner_.backend_count() == 0) break;
       for (const std::size_t i : remaining) {
         groups[partitioner_.owner_of(reqs[i].user_id)].push_back(i);
@@ -319,7 +319,7 @@ std::vector<serve::PredictResponse> Router::serve(
           // trip (which contains the engine's own spans in time).
           const std::uint64_t serialize_ns =
               (sent_ns - encode_start_ns) + (done_ns - received_ns);
-          const std::lock_guard<std::mutex> lock(spans_mutex);
+          const MutexLock lock(spans_mutex);
           spans.push_back(
               {obs::Stage::kWireSerialize, encode_start_ns, serialize_ns});
           spans.push_back({obs::Stage::kRouterFanout, sent_ns,
@@ -473,11 +473,11 @@ void Router::drain_fleet() {
     }
   }
   // The fleet is gone by contract; leave the router in a defined state.
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [address, backend] : backends_) {
     backend->alive.store(false);
     (void)partitioner_.remove_backend(address);
-    const std::lock_guard<std::mutex> pool_lock(backend->pool_mutex);
+    const MutexLock pool_lock(backend->pool_mutex);
     backend->open_connections -= backend->idle.size();
     backend->idle.clear();
     backend->pool_cv.notify_all();
@@ -488,7 +488,7 @@ void Router::drain_fleet() {
 std::vector<std::string> Router::live_backends() const {
   std::vector<std::string> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     out.reserve(backends_.size());
     for (const auto& [address, backend] : backends_) {
       if (backend->alive.load()) out.push_back(address);
@@ -499,12 +499,12 @@ std::vector<std::string> Router::live_backends() const {
 }
 
 std::string Router::owner_of(std::uint32_t user) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return partitioner_.owner_of(user);
 }
 
 std::size_t Router::deployed_users() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ledger_.size();
 }
 

@@ -53,13 +53,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "mobility/dataset.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -180,10 +181,11 @@ class Router {
     /// waiters bail out when their backend dies) — hence atomic.
     std::atomic<bool> alive{true};
 
-    std::mutex pool_mutex;
+    Mutex pool_mutex;
     std::condition_variable pool_cv;
-    std::vector<Socket> idle;
-    std::size_t open_connections = 0;  ///< idle + leased
+    std::vector<Socket> idle PELICAN_GUARDED_BY(pool_mutex);
+    std::size_t open_connections PELICAN_GUARDED_BY(pool_mutex) =
+        0;  ///< idle + leased
   };
 
   struct Deployment {
@@ -213,10 +215,12 @@ class Router {
 
   RouterConfig config_;
 
-  mutable std::mutex mutex_;  ///< guards partitioner_, backends_, ledger_
-  Partitioner partitioner_;
-  std::unordered_map<std::string, std::shared_ptr<Backend>> backends_;
-  std::unordered_map<std::uint32_t, Deployment> ledger_;
+  mutable Mutex mutex_;
+  Partitioner partitioner_ PELICAN_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<Backend>> backends_
+      PELICAN_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint32_t, Deployment> ledger_
+      PELICAN_GUARDED_BY(mutex_);
 
   serve::ServerStats stats_;
 

@@ -21,10 +21,13 @@ DeploymentHandle DeploymentRegistry::deploy(std::uint32_t user_id,
   std::shared_ptr<DeploymentHandle::Slot> slot;
   {
     Shard& shard = shards_[shard_of(user_id)];
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     auto& entry = shard.slots[user_id];
     if (entry == nullptr) {
       entry = std::make_shared<DeploymentHandle::Slot>();
+      // The slot is not yet reachable by any other thread, but the model
+      // field is guarded: install through the annotated lock (uncontended).
+      const MutexLock ptr_lock(entry->ptr_mutex);
       entry->model = std::move(deployed);
       return DeploymentHandle(entry);
     }
@@ -53,7 +56,7 @@ DeploymentHandle DeploymentRegistry::handle(std::uint32_t user_id) const {
 DeploymentHandle DeploymentRegistry::find_handle(
     std::uint32_t user_id) const {
   const Shard& shard = shards_[shard_of(user_id)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.slots.find(user_id);
   if (it == shard.slots.end()) return {};
   return DeploymentHandle(it->second);
@@ -74,7 +77,7 @@ void DeploymentRegistry::attach_store(
     throw std::invalid_argument(
         "DeploymentRegistry: attached store must be non-null");
   }
-  const std::lock_guard<std::mutex> lock(store_mutex_);
+  const MutexLock lock(store_mutex_);
   store_ = std::move(model_store);
   store_scope_ = std::move(scope);
 }
@@ -84,7 +87,7 @@ void DeploymentRegistry::publish(std::uint32_t user_id,
   std::shared_ptr<const store::ModelStore> model_store;
   std::string scope;
   {
-    const std::lock_guard<std::mutex> lock(store_mutex_);
+    const MutexLock lock(store_mutex_);
     if (store_ == nullptr) {
       throw std::logic_error(
           "DeploymentRegistry::publish: no model store attached "
@@ -125,20 +128,20 @@ void DeploymentRegistry::install_replacement(
 
 bool DeploymentRegistry::contains(std::uint32_t user_id) const {
   const Shard& shard = shards_[shard_of(user_id)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   return shard.slots.contains(user_id);
 }
 
 bool DeploymentRegistry::erase(std::uint32_t user_id) {
   Shard& shard = shards_[shard_of(user_id)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   return shard.slots.erase(user_id) > 0;
 }
 
 std::size_t DeploymentRegistry::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     total += shard.slots.size();
   }
   return total;
@@ -147,7 +150,7 @@ std::size_t DeploymentRegistry::size() const {
 std::vector<std::uint32_t> DeploymentRegistry::user_ids() const {
   std::vector<std::uint32_t> ids;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     for (const auto& [user_id, slot] : shard.slots) {
       ids.push_back(user_id);
     }

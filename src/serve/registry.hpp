@@ -25,13 +25,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "core/cloud.hpp"
 #include "core/service.hpp"
 #include "store/model_store.hpp"
@@ -55,7 +56,7 @@ class DeploymentHandle {
   template <typename Fn>
   decltype(auto) with_model(Fn&& fn) const {
     require();
-    const std::lock_guard<std::mutex> serve_lock(slot_->serve_mutex);
+    const MutexLock serve_lock(slot_->serve_mutex);
     // Snapshot the pointer under ptr_mutex: a concurrent publish may swap
     // it at any moment, and this forward must run on one consistent model.
     const std::shared_ptr<core::DeployedModel> model = slot_->load();
@@ -87,17 +88,20 @@ class DeploymentHandle {
   friend class DeploymentRegistry;
 
   struct Slot {
-    mutable std::mutex serve_mutex;
-    mutable std::mutex ptr_mutex;
-    std::shared_ptr<core::DeployedModel> model;
+    /// Serializes forwards on this deployment (never guards a member —
+    /// forward passes mutate per-model activation caches through the
+    /// shared_ptr, which the analysis cannot attribute to a field).
+    mutable Mutex serve_mutex;
+    mutable Mutex ptr_mutex;
+    std::shared_ptr<core::DeployedModel> model PELICAN_GUARDED_BY(ptr_mutex);
 
     [[nodiscard]] std::shared_ptr<core::DeployedModel> load() const {
-      const std::lock_guard<std::mutex> lock(ptr_mutex);
+      const MutexLock lock(ptr_mutex);
       return model;
     }
     std::shared_ptr<core::DeployedModel> exchange(
         std::shared_ptr<core::DeployedModel> next) {
-      const std::lock_guard<std::mutex> lock(ptr_mutex);
+      const MutexLock lock(ptr_mutex);
       std::swap(model, next);
       return next;  // the previous model
     }
@@ -207,16 +211,17 @@ class DeploymentRegistry {
                                   std::uint32_t version);
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     std::unordered_map<std::uint32_t, std::shared_ptr<DeploymentHandle::Slot>>
-        slots;
+        slots PELICAN_GUARDED_BY(mutex);
   };
 
   std::vector<Shard> shards_;
 
-  mutable std::mutex store_mutex_;  ///< guards the two fields below
-  std::shared_ptr<const store::ModelStore> store_;
-  std::string store_scope_;
+  mutable Mutex store_mutex_;
+  std::shared_ptr<const store::ModelStore> store_
+      PELICAN_GUARDED_BY(store_mutex_);
+  std::string store_scope_ PELICAN_GUARDED_BY(store_mutex_);
 };
 
 }  // namespace pelican::serve

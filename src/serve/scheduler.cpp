@@ -42,7 +42,7 @@ void BatchScheduler::maybe_sample_trace(PredictRequest& request) noexcept {
 
 BatchScheduler::~BatchScheduler() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
@@ -75,13 +75,13 @@ std::future<PredictResponse> BatchScheduler::submit(PredictRequest request) {
 
   std::vector<Pending> shed;  // answered after the lock is released
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.size() >= config_.max_queue && !stop_) {
       switch (config_.policy) {
         case QueuePolicy::kBlock:
-          space_cv_.wait(lock, [this] {
-            return stop_ || queue_.size() < config_.max_queue;
-          });
+          while (!stop_ && queue_.size() >= config_.max_queue) {
+            lock.wait(space_cv_);
+          }
           break;
         case QueuePolicy::kReject:
           lock.unlock();
@@ -146,8 +146,8 @@ void BatchScheduler::drain_loop() {
   for (;;) {
     std::vector<Pending> items;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) lock.wait(queue_cv_);
       if (queue_.empty()) return;  // stopped with nothing left to answer
 
       // Hold for stragglers that could join a batch — but never past the
@@ -155,9 +155,9 @@ void BatchScheduler::drain_loop() {
       // batch is already queued or we are shutting down.
       const Clock::time_point deadline =
           queue_.front().enqueued + config_.max_delay;
-      queue_cv_.wait_until(lock, deadline, [this] {
-        return stop_ || queue_.size() >= config_.max_batch;
-      });
+      while (!stop_ && queue_.size() < config_.max_batch) {
+        if (!lock.wait_until(queue_cv_, deadline)) break;  // deadline hit
+      }
 
       items.reserve(queue_.size());
       while (!queue_.empty()) {

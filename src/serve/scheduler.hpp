@@ -52,11 +52,12 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "obs/trace.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -213,11 +214,11 @@ class BatchScheduler {
   /// touches the registry lock (obs::Registry reference stability).
   std::array<obs::Histogram*, obs::kStageCount> stage_hist_{};
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable queue_cv_;  ///< drainer waits: work available
   std::condition_variable space_cv_;  ///< blocked submitters wait: space
-  std::deque<Pending> queue_;
-  bool stop_ = false;
+  std::deque<Pending> queue_ PELICAN_GUARDED_BY(mutex_);
+  bool stop_ PELICAN_GUARDED_BY(mutex_) = false;
   std::thread drainer_;
 };
 

@@ -21,7 +21,7 @@ void ServerStats::record_batch(std::size_t batch_size,
                                double forward_seconds) {
   if (batch_size == 0) return;
   const std::size_t bucket = log2_bucket(batch_size);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++batches_;
   batch_rows_ += batch_size;
   max_batch_ = std::max(max_batch_, batch_size);
@@ -32,17 +32,17 @@ void ServerStats::record_batch(std::size_t batch_size,
 
 void ServerStats::record_request(double latency_ms) {
   latency_ms_.observe(latency_ms);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++requests_;
 }
 
 void ServerStats::record_rejected() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++rejected_;
 }
 
 void ServerStats::record_shed() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++shed_;
 }
 
@@ -55,7 +55,7 @@ void ServerStats::record_queue_depth(std::size_t depth) noexcept {
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   const obs::HistogramState latency = latency_ms_.state();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Snapshot snap;
   snap.requests_served = requests_;
   snap.requests_rejected = rejected_;
@@ -77,7 +77,7 @@ ServerStats::Snapshot ServerStats::snapshot() const {
 
 ServerStats::State ServerStats::state() const {
   obs::HistogramState latency = latency_ms_.state();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   State state;
   state.requests = requests_;
   state.rejected = rejected_;
@@ -95,7 +95,7 @@ ServerStats::State ServerStats::state() const {
 void ServerStats::merge(const State& other) {
   latency_ms_.merge(other.latency);
   record_queue_depth(other.peak_queue_depth);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   requests_ += other.requests;
   rejected_ += other.rejected;
   shed_ += other.shed;
@@ -121,7 +121,7 @@ void ServerStats::merge(const ServerStats& other) {
 void ServerStats::reset() {
   latency_ms_.reset();
   peak_queue_depth_.store(0, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   requests_ = 0;
   rejected_ = 0;
   shed_ = 0;

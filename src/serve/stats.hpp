@@ -34,9 +34,10 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace pelican::serve {
@@ -116,17 +117,17 @@ class ServerStats {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t requests_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t shed_ = 0;
-  std::atomic<std::size_t> peak_queue_depth_{0};
-  std::size_t batches_ = 0;
-  std::size_t batch_rows_ = 0;
-  std::size_t max_batch_ = 0;
-  std::vector<std::size_t> batch_hist_;
-  double forward_seconds_ = 0.0;
-  obs::Histogram latency_ms_;  // lock-free; not guarded by mutex_
+  mutable Mutex mutex_;
+  std::size_t requests_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::size_t shed_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::size_t> peak_queue_depth_{0};  // lock-free CAS-max
+  std::size_t batches_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::size_t batch_rows_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::size_t max_batch_ PELICAN_GUARDED_BY(mutex_) = 0;
+  std::vector<std::size_t> batch_hist_ PELICAN_GUARDED_BY(mutex_);
+  double forward_seconds_ PELICAN_GUARDED_BY(mutex_) = 0.0;
+  obs::Histogram latency_ms_;  // wait-free observes; not guarded by mutex_
 };
 
 }  // namespace pelican::serve

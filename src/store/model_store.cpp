@@ -138,7 +138,7 @@ void ModelStore::put(const ModelKey& key, nn::SequenceClassifier model,
   if (format == PublishFormat::kInt8 && !nn::is_quantized(model)) {
     model = nn::quantize_for_serving(model);  // off-lock: pure CPU work
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   backend_->put(key, std::move(model));
 }
 
@@ -150,7 +150,7 @@ std::uint32_t ModelStore::put_next(const std::string& scope,
   if (format == PublishFormat::kInt8 && !nn::is_quantized(model)) {
     model = nn::quantize_for_serving(model);  // off-lock: pure CPU work
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto stored = backend_->versions(scope, user_id);
   const std::uint32_t version = stored.empty() ? 1 : stored.back() + 1;
   backend_->put({scope, user_id, version}, std::move(model));
@@ -169,13 +169,13 @@ nn::SequenceClassifier ModelStore::get(const ModelKey& key) const {
 std::optional<nn::SequenceClassifier> ModelStore::find(
     const ModelKey& key) const {
   validate_scope(key.scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return backend_->get(key);
 }
 
 bool ModelStore::contains(const ModelKey& key) const {
   validate_scope(key.scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return backend_->contains(key);
 }
 
@@ -192,7 +192,7 @@ std::uint32_t ModelStore::latest(const std::string& scope,
 std::optional<std::uint32_t> ModelStore::find_latest(
     const std::string& scope, std::uint32_t user_id) const {
   validate_scope(scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto stored = backend_->versions(scope, user_id);
   if (stored.empty()) return std::nullopt;
   return stored.back();
@@ -200,26 +200,26 @@ std::optional<std::uint32_t> ModelStore::find_latest(
 
 bool ModelStore::pin(const ModelKey& key) {
   validate_scope(key.scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (!backend_->contains(key)) return false;
   pins_.insert(key);
   return true;
 }
 
 bool ModelStore::unpin(const ModelKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return pins_.erase(key) > 0;
 }
 
 bool ModelStore::pinned(const ModelKey& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return pins_.contains(key);
 }
 
 std::size_t ModelStore::trim(const std::string& scope, std::uint32_t user_id,
                              std::size_t keep_latest) {
   validate_scope(scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto stored = backend_->versions(scope, user_id);
   if (stored.size() <= keep_latest) return 0;
   std::size_t evicted = 0;
@@ -233,7 +233,7 @@ std::size_t ModelStore::trim(const std::string& scope, std::uint32_t user_id,
 
 bool ModelStore::erase(const ModelKey& key) {
   validate_scope(key.scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   pins_.erase(key);
   return backend_->erase(key);
 }
@@ -241,7 +241,7 @@ bool ModelStore::erase(const ModelKey& key) {
 std::vector<std::uint32_t> ModelStore::versions(const std::string& scope,
                                                 std::uint32_t user_id) const {
   validate_scope(scope);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return backend_->versions(scope, user_id);
 }
 

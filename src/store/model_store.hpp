@@ -27,12 +27,13 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "nn/model.hpp"
 
 namespace pelican::store {
@@ -195,9 +196,12 @@ class ModelStore {
       const std::string& scope, std::uint32_t user_id) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unique_ptr<StoreBackend> backend_;
-  std::set<ModelKey> pins_;
+  mutable Mutex mutex_;
+  /// Backends need not be thread-safe: every call goes through mutex_
+  /// (the pointer is set once in the constructor and never reseated, but
+  /// the POINTEE's state is what the lock actually protects).
+  std::unique_ptr<StoreBackend> backend_ PELICAN_PT_GUARDED_BY(mutex_);
+  std::set<ModelKey> pins_ PELICAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace pelican::store

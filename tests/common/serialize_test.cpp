@@ -208,6 +208,28 @@ TEST(BufferSerializeTest, RoundTripsAllPrimitives) {
   EXPECT_EQ(reader.remaining(), 0u);
 }
 
+TEST(BufferSerializeTest, RoundTripsEmptySpansAndStrings) {
+  // Empty vectors/strings hand the writer data() == nullptr; the raw
+  // helpers must not forward that to memcpy/ostream::write (UBSan flags a
+  // null pointer passed to a nonnull parameter even with a zero count).
+  // Surfaced by the asan-ubsan lane on empty predict-reply and histogram
+  // frames.
+  BufferWriter writer;
+  writer.write_string("");
+  writer.write_u16_span({});
+  writer.write_u64_span({});
+  writer.write_f64_span({});
+  writer.write_u8(0xA5);  // sentinel: offsets stay aligned past the empties
+
+  BufferReader reader(writer.buffer());
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_TRUE(reader.read_u16_vector().empty());
+  EXPECT_TRUE(reader.read_u64_vector().empty());
+  EXPECT_TRUE(reader.read_f64_vector().empty());
+  EXPECT_EQ(reader.read_u8(), 0xA5);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
 TEST(BufferSerializeTest, ThrowsOnOverrun) {
   BufferWriter writer;
   writer.write_u32(1);

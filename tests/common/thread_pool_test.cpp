@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace pelican {
@@ -90,6 +91,33 @@ TEST(ThreadPool, NestedCallFromSubmittingThreadDoesNotDeadlock) {
 
 TEST(ThreadPool, GlobalPoolIsReused) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, GlobalAliveDuringNormalExecution) {
+  // The tombstone only flips inside the global pool's static destructor; at
+  // any point during normal execution — including before first use — the
+  // free parallel_for must take the pooled path.
+  EXPECT_TRUE(ThreadPool::global_alive());
+  ThreadPool::global();  // force construction
+  EXPECT_TRUE(ThreadPool::global_alive());
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize) {
+  // parallel_for from many threads at once: submit_mutex_ admits one batch
+  // at a time; every batch must still cover all of its indices. This is the
+  // contention pattern the TSan lane leans on hardest.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  std::vector<std::atomic<int>> counts(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counts, s] {
+      pool.parallel_for(100, [&counts, s](std::size_t) { ++counts[s]; });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 100);
 }
 
 TEST(ThreadPool, FreeFunctionCoversAll) {

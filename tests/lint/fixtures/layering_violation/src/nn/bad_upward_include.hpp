@@ -1,0 +1,9 @@
+// Fixture: nn (a base-layer sibling) reaching UP into serve. The layering
+// lint must flag this include — serve sits five layers above nn in the
+// lattice. This file is never compiled; it exists only for
+// tests/lint/lint_selftest.sh.
+#pragma once
+
+#include "serve/stats.hpp"
+
+inline int fixture_bad_upward_include() { return 1; }

@@ -1,0 +1,10 @@
+// Fixture: a directory under src/ that is not a registered layer. The
+// layering lint's completeness check must flag src/telemetry even though
+// its includes are clean — new layers must be added to the lattice (and the
+// CMake link structure) deliberately. Never compiled; used only by
+// tests/lint/lint_selftest.sh.
+#pragma once
+
+#include "common/annotations.hpp"
+
+inline int fixture_rogue_layer() { return 1; }

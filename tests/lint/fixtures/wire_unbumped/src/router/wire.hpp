@@ -1,0 +1,24 @@
+// Fixture: a miniature wire.hpp whose frame struct will be edited WITHOUT
+// bumping its version constant (see lint_selftest.sh). The committed lock
+// below was generated from this file BEFORE the `retries` field was added,
+// so the wire lint must fail: surface changed, version still 1.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::router {
+
+enum class Verb : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+/// Layout version of the kPing frame.
+inline constexpr std::uint8_t kPingFrameVersion = 1;
+
+struct PingCommand {
+  std::uint32_t sequence = 0;
+  std::uint32_t retries = 0;  // added without bumping kPingFrameVersion
+};
+
+}  // namespace fixture::router

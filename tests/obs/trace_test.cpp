@@ -28,7 +28,7 @@ TEST(TraceIdTest, IdsAreNonZeroAndDistinct) {
 TEST(TraceTest, StageNamesAreStableIdentifiers) {
   EXPECT_STREQ(to_string(Stage::kQueueWait), "queue_wait");
   EXPECT_STREQ(to_string(Stage::kFailoverRetry), "failover_retry");
-  EXPECT_EQ(stage_metric_name(Stage::kForward), "stage_forward_ms");
+  EXPECT_STREQ(stage_metric_name(Stage::kForward), "stage_forward_ms");
   for (std::size_t s = 0; s < kStageCount; ++s) {
     EXPECT_STRNE(to_string(static_cast<Stage>(s)), "?")
         << "stage " << s << " is missing its wire/exposition name";

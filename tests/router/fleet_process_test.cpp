@@ -27,11 +27,9 @@ TEST(FleetProcessTest, TwoProcessFleetServesPublishesAndDrains) {
   rt::TempDir dir;
   rt::fill_store(dir.store_root(), kUsers, /*versions=*/2);
 
-  std::vector<pid_t> pids;
+  rt::EngineProcesses engines;
   for (std::size_t i = 0; i < 2; ++i) {
-    const pid_t pid = rt::spawn_engined(dir, i);
-    ASSERT_GT(pid, 0);
-    pids.push_back(pid);
+    ASSERT_GT(engines.spawn(dir, i), 0);
     ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)))
         << "engine " << i << " did not come up";
   }
@@ -84,8 +82,8 @@ TEST(FleetProcessTest, TwoProcessFleetServesPublishesAndDrains) {
 
   // Drain: both processes ack and exit 0.
   router.drain_fleet();
-  for (const pid_t pid : pids) {
-    EXPECT_EQ(rt::reap_engined(pid), 0);
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    EXPECT_EQ(engines.reap(i), 0);
   }
   EXPECT_TRUE(router.live_backends().empty());
 }
@@ -99,11 +97,9 @@ TEST(FleetProcessTest, OneTraceSpansRouterAndBothEngineProcesses) {
   rt::TempDir dir;
   rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
 
-  std::vector<pid_t> pids;
+  rt::EngineProcesses engines;
   for (std::size_t i = 0; i < 2; ++i) {
-    const pid_t pid = rt::spawn_engined(dir, i);
-    ASSERT_GT(pid, 0);
-    pids.push_back(pid);
+    ASSERT_GT(engines.spawn(dir, i), 0);
     ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)))
         << "engine " << i << " did not come up";
   }
@@ -114,19 +110,27 @@ TEST(FleetProcessTest, OneTraceSpansRouterAndBothEngineProcesses) {
   for (std::uint32_t user = 0; user < kUsers; ++user) {
     router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
   }
-  // With 8 users over 2 backends both must own someone; pick one user per
-  // backend so the traced batch provably crosses both processes.
+  // The traced batch must provably cross both processes, so find two users
+  // with distinct owners. The ring hashes backend ADDRESSES, which embed
+  // this test's pid (TempDir), so which users co-locate varies run to run —
+  // with only kUsers candidates the search occasionally came up empty and
+  // flaked. Scan a wide id range instead (the partitioner is a pure hash;
+  // candidates need not be deployed yet) and deploy the pick on demand.
   std::uint32_t user_a = 0;
   std::uint32_t user_b = 0;
   const std::string owner_a = router.owner_of(user_a);
-  for (std::uint32_t user = 1; user < kUsers; ++user) {
+  for (std::uint32_t user = 1; user < 1024; ++user) {
     if (router.owner_of(user) != owner_a) {
       user_b = user;
       break;
     }
   }
   ASSERT_NE(router.owner_of(user_b), owner_a)
-      << "partitioner parked every user on one backend";
+      << "partitioner parked 1024 consecutive users on one backend";
+  if (user_b >= kUsers) {
+    rt::put_model(dir.store_root(), user_b, 1);
+    router.deploy(user_b, 1, tiny_spec(), rt::temperature_of(user_b));
+  }
 
   // Stamp our own trace id (callers may): the router must preserve it, the
   // engines must record under it.
@@ -191,8 +195,8 @@ TEST(FleetProcessTest, OneTraceSpansRouterAndBothEngineProcesses) {
   EXPECT_GE(forward->second.count, 2u);
 
   router.drain_fleet();
-  for (const pid_t pid : pids) {
-    EXPECT_EQ(rt::reap_engined(pid), 0);
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    EXPECT_EQ(engines.reap(i), 0);
   }
 }
 

@@ -29,12 +29,10 @@ TEST(RouterFailoverTest, KilledEngineRepartitionsAndQueriesStillSucceed) {
   rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
 
   // A 3-process fleet of real engine daemons.
-  std::vector<pid_t> pids;
+  rt::EngineProcesses engines;
   std::vector<std::string> addresses;
   for (std::size_t i = 0; i < 3; ++i) {
-    const pid_t pid = rt::spawn_engined(dir, i);
-    ASSERT_GT(pid, 0);
-    pids.push_back(pid);
+    ASSERT_GT(engines.spawn(dir, i), 0);
     addresses.push_back(dir.socket_address(i));
   }
   for (const auto& address : addresses) {
@@ -81,8 +79,8 @@ TEST(RouterFailoverTest, KilledEngineRepartitionsAndQueriesStillSucceed) {
   const std::size_t victim_index = static_cast<std::size_t>(
       std::find(addresses.begin(), addresses.end(), dead_address) -
       addresses.begin());
-  ASSERT_LT(victim_index, pids.size());
-  rt::kill_engined(pids[victim_index]);
+  ASSERT_LT(victim_index, engines.size());
+  engines.kill(victim_index);
 
   // Every query must still succeed, with unchanged answers: the router
   // detects the dead backend mid-serve, repartitions, re-deploys the
@@ -135,10 +133,9 @@ TEST(RouterFailoverTest, KilledEngineRepartitionsAndQueriesStillSucceed) {
 
   // Graceful teardown of the survivors.
   router.drain_fleet();
-  for (std::size_t i = 0; i < pids.size(); ++i) {
+  for (std::size_t i = 0; i < engines.size(); ++i) {
     if (i == victim_index) continue;
-    EXPECT_EQ(rt::reap_engined(pids[i]), 0)
-        << "a drained engine must exit cleanly";
+    EXPECT_EQ(engines.reap(i), 0) << "a drained engine must exit cleanly";
   }
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <signal.h>
+#include <sys/prctl.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -85,6 +86,16 @@ inline void fill_store(const std::filesystem::path& root, std::uint32_t users,
   }
 }
 
+/// Adds one (user, version) model to the fleet-shared store — for users
+/// outside a fill_store range (the filesystem backend reads on demand, so
+/// this works even after engines have started).
+inline void put_model(const std::filesystem::path& root, std::uint32_t user,
+                      std::uint32_t version) {
+  store::ModelStore store(std::make_unique<store::FilesystemBackend>(root));
+  store.put({"personal", user, version},
+            serve_testing::tiny_model(model_seed(user, version)));
+}
+
 /// The ground truth a routed response must match bit for bit: a standalone
 /// deployment built from the same store seed.
 inline core::DeployedModel reference_deployment(std::uint32_t user,
@@ -145,8 +156,15 @@ inline pid_t spawn_engined(const TempDir& dir, std::size_t index) {
   argv.reserve(args.size() + 1);
   for (auto& arg : args) argv.push_back(arg.data());
   argv.push_back(nullptr);
+  const pid_t parent = ::getpid();
   const pid_t pid = ::fork();
   if (pid == 0) {
+    // Die with the harness no matter how it exits. EngineProcesses covers
+    // ASSERT early-returns, but a sanitizer abort calls _exit and skips
+    // destructors — an orphaned engine would hold the test's stdout pipe
+    // open and hang ctest on pipe EOF.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() != parent) ::_exit(127);  // parent already gone
     ::execv(binary.c_str(), argv.data());
     ::_exit(127);  // exec failed; the parent's connect wait will time out
   }
@@ -173,5 +191,51 @@ inline int reap_engined(pid_t pid) {
   if (::waitpid(pid, &status, 0) != pid) return -1;
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
+
+/// Owns the engine processes a test spawns; whatever is still running at
+/// destruction is SIGKILLed and reaped. Tests MUST spawn through this
+/// rather than raw spawn_engined: a failing ASSERT_* returns from the test
+/// mid-flight, and an orphaned engine both leaks and holds the test's
+/// output pipe open — ctest then waits for pipe EOF and the whole suite
+/// hangs (the failure mode that motivated this guard).
+class EngineProcesses {
+ public:
+  EngineProcesses() = default;
+  ~EngineProcesses() {
+    for (pid_t& pid : pids_) {
+      if (pid > 0) kill_engined(pid);
+      pid = -1;
+    }
+  }
+  EngineProcesses(const EngineProcesses&) = delete;
+  EngineProcesses& operator=(const EngineProcesses&) = delete;
+
+  /// Spawns engine `index` of `dir`'s fleet and tracks it. Returns the pid
+  /// (<= 0 on failure, untracked).
+  pid_t spawn(const TempDir& dir, std::size_t index) {
+    const pid_t pid = spawn_engined(dir, index);
+    if (pid > 0) pids_.push_back(pid);
+    return pid;
+  }
+
+  [[nodiscard]] std::size_t size() const { return pids_.size(); }
+
+  /// SIGKILL + reap of engine `i` now (crash-injection paths).
+  void kill(std::size_t i) {
+    kill_engined(pids_.at(i));
+    pids_[i] = -1;
+  }
+
+  /// Reaps engine `i`, expected to exit cleanly (after a drain). Returns
+  /// its exit code, -1 on abnormal exit. The guard stops tracking it.
+  int reap(std::size_t i) {
+    const pid_t pid = pids_.at(i);
+    pids_[i] = -1;
+    return reap_engined(pid);
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+};
 
 }  // namespace pelican::router_testing

@@ -2,8 +2,8 @@
 """Compare bench_results artifacts: pairwise deltas or a multi-commit trend.
 
 Usage:
-    tools/bench_diff.py OLD NEW [--threshold PCT]
-    tools/bench_diff.py --trend HISTORY [CURRENT] [--threshold PCT]
+    tools/bench_diff.py OLD NEW [--threshold PCT] [--lane NAME]
+    tools/bench_diff.py --trend HISTORY [CURRENT] [--threshold PCT] [--lane NAME]
 
 Pairwise mode: OLD and NEW are either single Table-JSON files (the format
 Table::to_json emits: {"headers": [...], "rows": [[...], ...]}) or
@@ -30,6 +30,11 @@ trajectory. It is WARN-ONLY by design: the exit code is 0 even when
 regressions exceed the threshold (timings on shared CI runners are too
 noisy to gate on); regressions are flagged in the output for a human eye.
 Exit code 2 means the inputs could not be read at all.
+
+--lane names the CI lane the comparison runs in. Sanitizer lanes (any name
+containing "asan", "ubsan", or "tsan") skip the comparison entirely:
+sanitizer instrumentation multiplies runtimes 2-20x, so their timings would
+only pollute the bench history and trip the drift markers with noise.
 """
 
 import argparse
@@ -238,6 +243,13 @@ def main():
         "instead of a pairwise diff",
     )
     parser.add_argument(
+        "--lane",
+        default="",
+        help="CI lane name; sanitizer lanes (asan/ubsan/tsan in the name) "
+        "skip the bench comparison — their timings are instrumentation "
+        "noise, not performance data",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=10.0,
@@ -245,6 +257,13 @@ def main():
         "(default: 10)",
     )
     args = parser.parse_args()
+
+    if any(tag in args.lane.lower() for tag in ("asan", "ubsan", "tsan")):
+        print(
+            f"bench_diff: lane '{args.lane}' runs under a sanitizer — "
+            "skipping bench comparison (timings are instrumentation noise)"
+        )
+        return 0
 
     if args.trend:
         try:

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Determinism-contract lint for the nn kernels.
+#
+# The serving stack promises bit-identical results regardless of batch size,
+# thread count, and quantization path (README "Performance architecture").
+# That promise rests on ONE accumulation discipline: every output element is
+# accumulated in ascending-k order, single-threaded within an element, with
+# no reassociation. This lint greps src/nn for the constructs that break it:
+#
+#   * #pragma omp            — OpenMP parallel reductions reassociate;
+#                              parallelism belongs in common/thread_pool,
+#                              which splits ELEMENTS, never one element's sum
+#   * std::reduce /
+#     std::transform_reduce  — unordered accumulation by contract
+#   * std::execution         — execution policies make std::accumulate and
+#                              friends reorderable too
+#   * descending-k loops     — `for (k = n; k-- > 0;)` style accumulation
+#                              reverses the chain and changes the bits;
+#                              backward TIME iteration (BPTT's `ti`) is fine,
+#                              so only induction variables named `k` trip this
+#
+# --root DIR  lint a tree other than the repo root (self-tests point this at
+#             fixture trees under tests/lint/).
+set -u
+
+root="."
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --root) root="$2"; shift 2 ;;
+    *) echo "usage: $0 [--root DIR]" >&2; exit 2 ;;
+  esac
+done
+cd "$root" || exit 2
+
+if [[ ! -d src/nn ]]; then
+  echo "determinism lint: no src/nn under $(pwd)" >&2
+  exit 2
+fi
+
+status=0
+report() {  # report <label> <grep-output>
+  if [[ -n "$2" ]]; then
+    echo "determinism violation ($1):"
+    echo "$2"
+    status=1
+  fi
+}
+
+files=$(find src/nn -name '*.hpp' -o -name '*.cpp')
+
+report "OpenMP pragma reassociates accumulation" \
+  "$(grep -Hn '#pragma[[:space:]]\+omp' $files)"
+report "std::reduce / std::transform_reduce accumulate unordered" \
+  "$(grep -Hn 'std::\(transform_\)\?reduce[[:space:]]*(' $files)"
+report "std::execution policies make accumulation reorderable" \
+  "$(grep -Hn 'std::execution::' $files)"
+# Loops whose induction variable is k and which step downward:
+# `for (... k-- ...)`, `for (...; --k)`, `for (...; k -= ...)`. The time
+# axis may iterate backward (BPTT's `ti--`) — only `k`, the accumulation
+# axis by convention (matrix.hpp), trips this.
+report "descending-k loop reverses the accumulation chain" \
+  "$(grep -Hn 'for[[:space:]]*(.*\(k--\|--k\|k[[:space:]]*-=\)' $files)"
+
+if [[ $status -eq 0 ]]; then
+  echo "determinism OK: nn kernels accumulate in ascending-k order, serially per element"
+fi
+exit $status

@@ -1,15 +1,34 @@
 #!/usr/bin/env bash
-# Enforces the layer lattice of src/ (see the root CMakeLists.txt):
+# Layering lint (v2): enforces the layer lattice of src/ (see the root
+# CMakeLists.txt):
 #
-#   common -> {obs, nn, mobility} -> models -> {store, attack} -> core -> serve -> router
+#   common -> {obs, nn, mobility} -> models -> {store, attack} -> core
+#          -> serve -> router
 #
 # A layer may include itself and anything strictly below it. obs, nn, and
 # mobility are siblings: none may include another. store and attack are
 # siblings above models: core is the lowest layer that may see both. obs is
 # consumed only by serve and router — the model stack (nn..core) stays free
-# of instrumentation. Run from the repo root; exits nonzero and prints every
-# offending include on violation.
+# of instrumentation.
+#
+# v2 over the original tools/check_layering.sh:
+#   * --root DIR   lint a tree other than the repo root (the lint self-tests
+#                  point this at fixture trees under tests/lint/).
+#   * completeness check — a directory under src/ that is not in the lattice
+#                  fails the lint, so adding a layer forces registering it
+#                  here (and in the CMake link structure) deliberately.
+#
+# Exits nonzero and prints every offending include on violation.
 set -u
+
+root="."
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --root) root="$2"; shift 2 ;;
+    *) echo "usage: $0 [--root DIR]" >&2; exit 2 ;;
+  esac
+done
+cd "$root" || exit 2
 
 declare -A allowed=(
   [common]="common"
@@ -25,7 +44,20 @@ declare -A allowed=(
 )
 
 status=0
-for layer in common obs nn mobility models store attack core serve router; do
+
+# Completeness: every directory under src/ must be a registered layer.
+for dir in src/*/; do
+  layer=$(basename "$dir")
+  if [[ -z "${allowed[$layer]:-}" ]]; then
+    echo "layering violation: src/$layer is not a registered layer" \
+         "(add it to the lattice in tools/lint/check_layering.sh and the" \
+         "root CMakeLists.txt, or remove it)"
+    status=1
+  fi
+done
+
+for layer in "${!allowed[@]}"; do
+  [[ -d "src/$layer" ]] || continue
   allow="${allowed[$layer]}"
   # Project includes look like: #include "dir/header.hpp"
   while IFS= read -r line; do

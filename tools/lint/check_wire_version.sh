@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Wire-format lint: the frame layouts in src/router/wire.hpp may change, but
+# only DELIBERATELY — any change to the wire surface (the Verb enum or a
+# frame struct) must be accompanied by a bump of a k*FrameVersion constant,
+# so a stale peer fails with a clear SerializeError instead of misparsing
+# bytes (see the versioning note in wire.hpp).
+#
+# Mechanism: this script normalizes the wire surface (enum + struct blocks,
+# comments stripped, whitespace collapsed), hashes it, and compares both the
+# hash and the k*FrameVersion values against tools/lint/wire_format.lock:
+#
+#   surface unchanged                      -> OK
+#   surface changed AND a version bumped   -> FAIL, with instructions: review
+#                                             the bump, then rerun --update
+#                                             to re-baseline the lock
+#   surface changed, NO version bumped     -> FAIL: bump the version first
+#
+# (A surface change always fails until the lock is regenerated — the lock
+# update is the reviewable artifact proving the change was deliberate.)
+#
+#   --update    regenerate the lock from the current tree
+#   --root DIR  lint a tree other than the repo root (self-tests point this
+#               at fixture trees under tests/lint/)
+set -u
+
+root="."
+update=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --root) root="$2"; shift 2 ;;
+    --update) update=1; shift ;;
+    *) echo "usage: $0 [--root DIR] [--update]" >&2; exit 2 ;;
+  esac
+done
+cd "$root" || exit 2
+
+header="src/router/wire.hpp"
+lock="tools/lint/wire_format.lock"
+if [[ ! -f "$header" ]]; then
+  echo "wire lint: no $header under $(pwd)" >&2
+  exit 2
+fi
+
+# The wire surface: the Verb enum and every frame struct, comments stripped,
+# whitespace collapsed. Function signatures are deliberately excluded — they
+# are compile-time API, not wire layout.
+surface=$(awk '/^(enum class|struct) /{capture=1} capture{print} /^};/{capture=0}' \
+            "$header" \
+          | sed 's://.*::' | tr -s ' \t' ' ' | sed 's/ $//' | grep -v '^ *$')
+surface_hash=$(printf '%s\n' "$surface" | sha256sum | cut -d' ' -f1)
+versions=$(grep -o 'k[A-Za-z]*FrameVersion = [0-9]*' "$header" \
+           | sed 's/ = / /' | sort)
+
+if [[ $update -eq 1 ]]; then
+  {
+    echo "# Wire-surface baseline for tools/lint/check_wire_version.sh."
+    echo "# Regenerate with: tools/lint/check_wire_version.sh --update"
+    echo "# (only after bumping the relevant k*FrameVersion in wire.hpp)"
+    while IFS= read -r v; do echo "version $v"; done <<<"$versions"
+    echo "surface $surface_hash"
+  } > "$lock"
+  echo "wire lint: lock regenerated at $lock"
+  exit 0
+fi
+
+if [[ ! -f "$lock" ]]; then
+  echo "wire lint: missing $lock — run tools/lint/check_wire_version.sh --update"
+  exit 1
+fi
+
+locked_hash=$(awk '$1 == "surface" {print $2}' "$lock")
+locked_versions=$(awk '$1 == "version" {print $2, $3}' "$lock" | sort)
+
+if [[ "$surface_hash" == "$locked_hash" ]]; then
+  echo "wire format OK: surface matches lock ($(echo "$versions" | tr '\n' ' '))"
+  exit 0
+fi
+
+echo "wire lint: the wire surface of $header changed (lock: $lock)"
+if [[ "$versions" == "$locked_versions" ]]; then
+  echo "wire lint: ...and NO k*FrameVersion constant was bumped."
+  echo "wire lint: bump the version of every changed frame in $header, then"
+  echo "wire lint: rerun tools/lint/check_wire_version.sh --update."
+  exit 1
+fi
+echo "wire lint: a k*FrameVersion was bumped (locked: $(echo "$locked_versions" | tr '\n' ' ') now: $(echo "$versions" | tr '\n' ' '))."
+echo "wire lint: if the layout change is complete, re-baseline the lock:"
+echo "wire lint:   tools/lint/check_wire_version.sh --update"
+exit 1
