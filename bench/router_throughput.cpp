@@ -18,6 +18,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -110,9 +111,13 @@ std::string statsz_path() {
 }
 
 /// Scrapes the live fleet with pelican_statsz --json into the bench results
-/// directory (the snapshot CI uploads next to the bench JSON). Best-effort:
-/// a missing binary or failed scrape warns, never fails the bench.
-void snapshot_fleet_metrics(const std::vector<std::string>& addresses) {
+/// directory (the snapshot CI uploads next to the bench JSON). The router's
+/// own self-report — hedge/retry/quarantine counters, router-side stage
+/// histograms — rides along as a serialized metrics frame, merged by statsz
+/// as the pseudo-engine "router". Best-effort: a missing binary or failed
+/// scrape warns, never fails the bench.
+void snapshot_fleet_metrics(const std::vector<std::string>& addresses,
+                            router::Router& front_door) {
   const std::string statsz = statsz_path();
   if (statsz.empty()) {
     std::cerr << "warning: pelican_statsz not found (set PELICAN_STATSZ); "
@@ -122,8 +127,16 @@ void snapshot_fleet_metrics(const std::vector<std::string>& addresses) {
   const std::filesystem::path dir = bench::bench_results_dir();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path router_report = dir / "router_report.bin";
+  {
+    const auto frame = router::encode_metrics_reply(front_door.self_report());
+    std::ofstream file(router_report, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(frame.data()),
+               static_cast<std::streamsize>(frame.size()));
+  }
   const std::filesystem::path out = dir / "statsz_snapshot.json";
-  std::string command = statsz + " --json --out " + out.string();
+  std::string command = statsz + " --json --out " + out.string() +
+                        " --router-file " + router_report.string();
   for (const auto& address : addresses) command += " --engine " + address;
   if (std::system(command.c_str()) != 0) {
     std::cerr << "warning: pelican_statsz snapshot failed\n";
@@ -244,7 +257,7 @@ int main() {
     if (processes == 4) {
       // Largest fleet, still live and full of stage histograms + traces:
       // scrape it the way an operator would.
-      snapshot_fleet_metrics(fleet.addresses());
+      snapshot_fleet_metrics(fleet.addresses(), front_door);
     }
 
     front_door.drain_fleet();

@@ -1,0 +1,199 @@
+#include "common/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace pelican::fault {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& text) {
+  throw std::invalid_argument("fault spec: " + what + " in '" + text + "'");
+}
+
+double parse_number(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    bad_spec("bad number", text);
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_spec("bad integer", text);
+  }
+  return value;
+}
+
+Action parse_action(const std::string& text) {
+  if (text == "delay") return Action::kDelay;
+  if (text == "stall") return Action::kStall;
+  if (text == "drop") return Action::kDrop;
+  if (text == "truncate") return Action::kTruncate;
+  bad_spec("unknown action", text);
+}
+
+Rule parse_rule(const std::string& body) {
+  Rule rule;
+  bool have_ms = false;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = body.substr(start, comma - start);
+    start = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t colon = pair.find(':');
+    if (colon == std::string::npos) bad_spec("rule key needs key:value", pair);
+    const std::string key = pair.substr(0, colon);
+    const std::string value = pair.substr(colon + 1);
+    if (key == "site") {
+      rule.site = value;
+    } else if (key == "peer") {
+      rule.peer = value;
+    } else if (key == "action") {
+      rule.action = parse_action(value);
+    } else if (key == "ms") {
+      rule.delay_ms = parse_number(value);
+      have_ms = true;
+    } else if (key == "p") {
+      rule.probability = parse_number(value);
+    } else if (key == "after") {
+      rule.after = parse_u64(value);
+    } else if (key == "count") {
+      rule.max_count = parse_u64(value);
+    } else {
+      bad_spec("unknown rule key '" + key + "'", body);
+    }
+  }
+  if (rule.action == Action::kNone) bad_spec("rule has no action", body);
+  // A stall with no explicit duration means "hung for all practical
+  // purposes": long enough that only a deadline or a clear() ends it.
+  if (rule.action == Action::kStall && !have_ms) rule.delay_ms = 60000.0;
+  return rule;
+}
+
+}  // namespace
+
+ParsedSpec parse_fault_spec(const std::string& spec) {
+  ParsedSpec parsed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t cut = spec.find_first_of(";|", start);
+    if (cut == std::string::npos) cut = spec.size();
+    std::string entry = spec.substr(start, cut - start);
+    start = cut + 1;
+    // Tolerate whitespace around entries so multi-line env specs read well.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\n' ||
+                              entry.front() == '\t')) {
+      entry.erase(entry.begin());
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\n' ||
+                              entry.back() == '\t')) {
+      entry.pop_back();
+    }
+    if (entry.empty()) continue;
+    if (entry.starts_with("seed=")) {
+      parsed.seed = parse_u64(entry.substr(5));
+    } else if (entry.starts_with("rule=")) {
+      parsed.rules.push_back(parse_rule(entry.substr(5)));
+    } else {
+      bad_spec("entry must be seed=N or rule=...", entry);
+    }
+  }
+  return parsed;
+}
+
+Injector& Injector::global() {
+  static Injector* instance = [] {
+    auto* injector = new Injector();
+    if (const char* env = std::getenv("PELICAN_FAULT")) {
+      injector->configure(env);
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void Injector::configure(const std::string& spec) {
+  const ParsedSpec parsed = parse_fault_spec(spec);
+  configure(parsed.rules, parsed.seed);
+}
+
+void Injector::configure(std::vector<Rule> rules, std::uint64_t seed) {
+  const MutexLock lock(mutex_);
+  rules_.clear();
+  rules_.reserve(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    // One independent deterministic stream per rule, derived from the seed
+    // and the rule's position, so reordering unrelated decide() calls for
+    // one rule never perturbs another rule's firings.
+    rules_.emplace_back(std::move(rules[i]), split_mix64(seed + i + 1));
+  }
+  active_.store(!rules_.empty(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Injector::clear() {
+  {
+    const MutexLock lock(mutex_);
+    rules_.clear();
+    active_.store(false, std::memory_order_relaxed);
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);  // release in-flight stalls
+}
+
+Decision Injector::decide(std::string_view site, std::string_view peer) {
+  if (!active()) return {};
+  const MutexLock lock(mutex_);
+  for (RuleState& state : rules_) {
+    const Rule& rule = state.rule;
+    if (!rule.site.empty() && site.find(rule.site) == std::string_view::npos) {
+      continue;
+    }
+    if (!rule.peer.empty() && peer.find(rule.peer) == std::string_view::npos) {
+      continue;
+    }
+    const std::uint64_t match = state.matches++;
+    if (match < rule.after) continue;
+    if (rule.max_count != 0 && state.firings >= rule.max_count) continue;
+    if (rule.probability < 1.0 && !state.rng.chance(rule.probability)) {
+      continue;
+    }
+    ++state.firings;
+    return {rule.action, rule.delay_ms};
+  }
+  return {};
+}
+
+void Injector::sleep_for(const Decision& decision) {
+  if (decision.action != Action::kDelay && decision.action != Action::kStall) {
+    return;
+  }
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(decision.delay_ms));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (epoch_.load(std::memory_order_relaxed) != epoch) return;  // lifted
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::uint64_t Injector::fired(std::size_t index) const {
+  const MutexLock lock(mutex_);
+  if (index >= rules_.size()) return 0;
+  return rules_[index].firings;
+}
+
+}  // namespace pelican::fault

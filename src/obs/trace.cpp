@@ -18,6 +18,7 @@ const char* to_string(Stage stage) noexcept {
     case Stage::kWireSerialize: return "wire_serialize";
     case Stage::kRouterFanout: return "router_fanout";
     case Stage::kFailoverRetry: return "failover_retry";
+    case Stage::kHedge: return "hedge";
   }
   return "unknown";
 }
@@ -33,6 +34,7 @@ const char* stage_metric_name(Stage stage) noexcept {
     case Stage::kWireSerialize: return "stage_wire_serialize_ms";
     case Stage::kRouterFanout: return "stage_router_fanout_ms";
     case Stage::kFailoverRetry: return "stage_failover_retry_ms";
+    case Stage::kHedge: return "stage_hedge_ms";
   }
   return "stage_unknown_ms";
 }

@@ -42,8 +42,9 @@ enum class Stage : std::uint8_t {
   kWireSerialize,    ///< router-side frame encode + decode
   kRouterFanout,     ///< router fan-out: socket round trip to a backend
   kFailoverRetry,    ///< a retry round after a backend failure
+  kHedge,            ///< a hedged duplicate read fired at a second backend
 };
-inline constexpr std::size_t kStageCount = 9;
+inline constexpr std::size_t kStageCount = 10;
 
 /// Human name ("forward") and metric name ("stage_forward_ms") for a stage.
 [[nodiscard]] const char* to_string(Stage stage) noexcept;

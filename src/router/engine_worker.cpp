@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "core/privacy_layer.hpp"
 #include "core/service.hpp"
 #include "router/wire.hpp"
@@ -116,6 +117,9 @@ void EngineWorker::serve_connection(Connection* connection) {
       break;  // peer closed (the Router recycled the connection) or stop()
     }
     std::vector<std::uint8_t> reply = handle_frame(frame);
+    if (reply.empty()) {
+      break;  // fault injection dropped the request: sever, never answer
+    }
     try {
       connection->socket.send_frame(reply);
     } catch (const WireError&) {
@@ -141,6 +145,24 @@ void EngineWorker::serve_connection(Connection* connection) {
 std::vector<std::uint8_t> EngineWorker::handle_frame(
     std::span<const std::uint8_t> frame) {
   try {
+    // Fault-injection hook: lets chaos tests stall or drop THIS engine's
+    // handling of a specific verb ("engine.handle.predict_batch", peer
+    // matched against our own listen address) while the process — and its
+    // accept loop — stays alive. Distinct from killing the process: the
+    // router must detect this engine as hung, not dead.
+    {
+      auto& injector = fault::Injector::global();
+      if (injector.active()) {
+        const std::string site =
+            std::string("engine.handle.") + to_string(frame_verb(frame));
+        const fault::Decision decision =
+            injector.decide(site, config_.listen);
+        if (decision.action == fault::Action::kDrop) {
+          return {};  // serve_connection severs the connection on empty
+        }
+        injector.sleep_for(decision);
+      }
+    }
     switch (frame_verb(frame)) {
       case Verb::kPredictBatch: {
         const auto requests = decode_predict_batch(frame);

@@ -6,9 +6,19 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 
 namespace pelican::router {
+
+namespace {
+
+std::chrono::steady_clock::duration millis(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
 
 Router::Router(RouterConfig config)
     : config_(config),
@@ -23,20 +33,43 @@ Router::Router(RouterConfig config)
       &metrics_.histogram(obs::stage_metric_name(Stage::kRouterFanout));
   failover_hist_ =
       &metrics_.histogram(obs::stage_metric_name(Stage::kFailoverRetry));
+  hedge_hist_ = &metrics_.histogram(obs::stage_metric_name(Stage::kHedge));
+  // Registered eagerly: a counter that has never fired still exports as 0,
+  // so dashboards (and the CI statsz snapshot) always carry the full set.
+  hedges_counter_ = &metrics_.counter("router_hedges_total");
+  hedge_wins_counter_ = &metrics_.counter("router_hedge_wins_total");
+  retry_rounds_counter_ = &metrics_.counter("router_retry_rounds_total");
+  reconnects_counter_ = &metrics_.counter("router_pool_reconnects_total");
+  timeouts_counter_ = &metrics_.counter("router_request_timeouts_total");
+  quarantines_counter_ = &metrics_.counter("router_quarantines_total");
+  unquarantines_counter_ = &metrics_.counter("router_unquarantines_total");
+  deadline_shed_counter_ =
+      &metrics_.counter("router_deadline_shed_total");
+  prober_ = std::thread([this] { probe_loop(); });
 }
 
-Router::~Router() = default;
+Router::~Router() {
+  {
+    const MutexLock lock(probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
 
 std::size_t Router::add_backend(const std::string& address) {
   auto backend = std::make_shared<Backend>(address);
   // Health-check before admitting: a typo'd address must fail the add, not
   // the first serve. Throws WireError when unreachable.
   {
-    const auto reply = exchange(*backend, encode_health());
+    const auto reply =
+        exchange(*backend, encode_health(), config_.request_timeout_ms);
     (void)decode_health_reply(reply);
   }
   const MutexLock lock(mutex_);
-  if (backends_.contains(address)) return 0;
+  // A quarantined address is NOT re-added here: the recovery prober owns
+  // its way back (double membership would split its partitions).
+  if (backends_.contains(address) || quarantined_.contains(address)) return 0;
   backends_.emplace(address, std::move(backend));
   return partitioner_.add_backend(address);
 }
@@ -49,69 +82,140 @@ std::shared_ptr<Router::Backend> Router::find_backend(
   return it->second;
 }
 
-std::vector<std::uint8_t> Router::exchange(
-    Backend& backend, std::span<const std::uint8_t> frame) {
-  Socket socket;
-  bool from_pool = false;
-  {
-    MutexLock lock(backend.pool_mutex);
-    while (backend.alive.load() && backend.idle.empty() &&
-           backend.open_connections >= config_.pool_connections) {
-      lock.wait(backend.pool_cv);
+std::vector<std::uint8_t> Router::exchange(Backend& backend,
+                                           std::span<const std::uint8_t> frame,
+                                           double timeout_ms,
+                                           ExchangeCancel* cancel) {
+  for (int attempt = 0;; ++attempt) {
+    Socket socket;
+    bool from_pool = false;
+    {
+      MutexLock lock(backend.pool_mutex);
+      while (backend.alive.load() && backend.idle.empty() &&
+             backend.open_connections >= config_.pool_connections) {
+        lock.wait(backend.pool_cv);
+      }
+      if (!backend.alive.load()) {
+        throw WireError("backend dead: " + backend.address);
+      }
+      if (!backend.idle.empty()) {
+        socket = std::move(backend.idle.back());
+        backend.idle.pop_back();
+        from_pool = true;
+      } else {
+        ++backend.open_connections;  // reserve a slot, connect off-lock
+      }
     }
-    if (!backend.alive.load()) {
-      throw WireError("backend dead: " + backend.address);
+    if (!from_pool) {
+      try {
+        socket = Socket::connect_to(backend.parsed);
+      } catch (...) {
+        const MutexLock lock(backend.pool_mutex);
+        --backend.open_connections;
+        backend.pool_cv.notify_one();
+        throw;
+      }
     }
-    if (!backend.idle.empty()) {
-      socket = std::move(backend.idle.back());
-      backend.idle.pop_back();
-      from_pool = true;
-    } else {
-      ++backend.open_connections;  // reserve a slot, connect off-lock
+    socket.set_io_timeout(timeout_ms);
+    if (cancel != nullptr) {
+      const MutexLock lock(cancel->mutex);
+      if (cancel->cancelled) {
+        // The race is already decided; hand the untouched connection back.
+        const MutexLock pool_lock(backend.pool_mutex);
+        if (backend.alive.load()) {
+          backend.idle.push_back(std::move(socket));
+        } else {
+          --backend.open_connections;
+        }
+        backend.pool_cv.notify_one();
+        throw WireError("exchange cancelled: " + backend.address);
+      }
+      cancel->active = &socket;
     }
-  }
-  if (!from_pool) {
+    // The in-flight socket must be de-registered before it leaves this
+    // frame (pool hand-back or discard): a late cancel() must never
+    // shut down a socket someone else now owns.
+    const auto unregister = [cancel] {
+      if (cancel != nullptr) {
+        const MutexLock lock(cancel->mutex);
+        cancel->active = nullptr;
+      }
+    };
     try {
-      socket = Socket::connect_to(backend.parsed);
+      socket.send_frame(frame);
+      std::vector<std::uint8_t> reply = socket.recv_frame();
+      unregister();
+      socket.set_io_timeout(0);  // pooled connections are blocking at rest
+      {
+        const MutexLock lock(backend.pool_mutex);
+        if (backend.alive.load()) {
+          backend.idle.push_back(std::move(socket));
+        } else {
+          --backend.open_connections;  // pool is being torn down
+        }
+        backend.pool_cv.notify_one();
+      }
+      backend.timeout_strikes.store(0, std::memory_order_relaxed);
+      return reply;
+    } catch (const WireTimeout&) {
+      // Mid-exchange deadline: the connection's state is unknown, discard
+      // it. Never retried here — the caller owns the hung-engine handling.
+      unregister();
+      const MutexLock lock(backend.pool_mutex);
+      --backend.open_connections;
+      backend.pool_cv.notify_one();
+      throw;
+    } catch (const WireError&) {
+      unregister();
+      {
+        const MutexLock lock(backend.pool_mutex);
+        --backend.open_connections;
+        backend.pool_cv.notify_one();
+      }
+      if (cancel != nullptr && cancel->was_cancelled()) throw;
+      if (from_pool && attempt == 0) {
+        // A pooled connection can rot while parked (the engine restarted:
+        // first reuse sees EPIPE/ECONNRESET). That says nothing about the
+        // backend NOW — retry once on a fresh connection before declaring
+        // it dead. Every wire verb is idempotent (reads trivially; deploy/
+        // publish re-install the same version; drain re-requests a drain),
+        // and the failed send/recv never delivered a reply, so re-issuing
+        // the frame is safe.
+        reconnects_counter_->add();
+        continue;
+      }
+      throw;
     } catch (...) {
+      unregister();
       const MutexLock lock(backend.pool_mutex);
       --backend.open_connections;
       backend.pool_cv.notify_one();
       throw;
     }
   }
-  try {
-    socket.send_frame(frame);
-    std::vector<std::uint8_t> reply = socket.recv_frame();
-    const MutexLock lock(backend.pool_mutex);
-    if (backend.alive.load()) {
-      backend.idle.push_back(std::move(socket));
-    } else {
-      --backend.open_connections;  // pool is being torn down
-    }
-    backend.pool_cv.notify_one();
-    return reply;
-  } catch (...) {
-    // The connection is in an unknown state mid-exchange: discard it.
-    const MutexLock lock(backend.pool_mutex);
-    --backend.open_connections;
-    backend.pool_cv.notify_one();
-    throw;
-  }
 }
 
 void Router::handle_backend_failure(const std::string& address) {
+  remove_backend(address, /*stash_quarantined=*/false);
+}
+
+void Router::quarantine_backend(const std::string& address) {
+  remove_backend(address, /*stash_quarantined=*/true);
+}
+
+void Router::remove_backend(const std::string& address,
+                            bool stash_quarantined) {
   std::shared_ptr<Backend> backend;
   std::vector<std::pair<std::uint32_t, Deployment>> to_redeploy;
   {
     const MutexLock lock(mutex_);
     const auto it = backends_.find(address);
     if (it == backends_.end() || !it->second->alive.load()) {
-      return;  // another thread already failed this backend over
+      return;  // another thread already removed this backend
     }
     backend = it->second;
     backend->alive.store(false);
-    // The users about to move are exactly those the dead backend owned —
+    // The users about to move are exactly those the removed backend owned —
     // collect them BEFORE the repartition so the ledger walk and the
     // ownership table agree.
     for (const auto& [user, record] : ledger_) {
@@ -121,6 +225,13 @@ void Router::handle_backend_failure(const std::string& address) {
     }
     partitioner_.remove_backend(address);
     backends_.erase(it);
+    if (stash_quarantined) {
+      backend->quarantined_at_ns.store(obs::now_ns(),
+                                       std::memory_order_relaxed);
+      backend->quarantine_count.fetch_add(1, std::memory_order_relaxed);
+      quarantined_.emplace(address, backend);
+      quarantines_counter_->add();
+    }
   }
   {
     // Tear down the pool and wake any thread parked waiting for a
@@ -144,6 +255,149 @@ void Router::handle_backend_failure(const std::string& address) {
   }
 }
 
+bool Router::probe_backend(Backend& backend) {
+  // Always a fresh connection: the pool (and everything parked in it) may
+  // be exactly what is wedged.
+  try {
+    Socket socket = Socket::connect_to(backend.parsed);
+    socket.set_io_timeout(config_.probe_timeout_ms);
+    socket.send_frame(encode_health());
+    (void)decode_health_reply(socket.recv_frame());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void Router::handle_backend_timeout(const std::string& address) {
+  timeouts_counter_->add();
+  const auto backend = find_backend(address);
+  if (backend == nullptr) return;  // already removed or quarantined
+  const std::uint64_t strikes =
+      backend->timeout_strikes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (strikes >= config_.quarantine_after_timeouts) {
+    // Persistently slow is hung for the caller's purposes, whatever the
+    // health verb says (its handler thread may be fine while predict
+    // handlers are livelocked).
+    quarantine_backend(address);
+    return;
+  }
+  // Rate-limit the suspicion probe: a timeout storm across serve threads
+  // should probe once per interval, not once per thread.
+  const std::uint64_t now = obs::now_ns();
+  std::uint64_t last = backend->last_probe_ns.load(std::memory_order_relaxed);
+  const auto interval_ns =
+      static_cast<std::uint64_t>(config_.probe_interval_ms * 1e6);
+  if (last != 0 && now - last < interval_ns) return;
+  if (!backend->last_probe_ns.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;  // a concurrent caller owns this probe
+  }
+  if (!probe_backend(*backend)) quarantine_backend(address);
+}
+
+void Router::unquarantine_backend(const std::string& address) {
+  std::vector<std::pair<std::uint32_t, Deployment>> to_redeploy;
+  {
+    const MutexLock lock(mutex_);
+    const auto it = quarantined_.find(address);
+    if (it == quarantined_.end()) return;
+    const std::shared_ptr<Backend> backend = it->second;
+    quarantined_.erase(it);
+    backend->alive.store(true);
+    backend->timeout_strikes.store(0, std::memory_order_relaxed);
+    backends_.emplace(address, backend);
+    (void)partitioner_.add_backend(address);
+    // The partitions just moved back; re-deploy the users this backend now
+    // owns. It likely still holds their models, but it may have missed
+    // deploys/publishes while quarantined — deploys are idempotent, so
+    // re-issuing from the ledger reconciles it with the fleet's truth.
+    for (const auto& [user, record] : ledger_) {
+      if (partitioner_.owner_of(user) == address) {
+        to_redeploy.emplace_back(user, record);
+      }
+    }
+    unquarantines_counter_->add();
+  }
+  for (const auto& [user, record] : to_redeploy) {
+    try {
+      (void)admin_to_owner(
+          user, encode_deploy(
+                    {user, record.version, record.temperature, record.spec}));
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+bool Router::in_quarantine_holddown(const Backend& backend) const {
+  if (config_.quarantine_holddown_ms <= 0.0) return false;
+  // A strike-quarantined backend's health verb may have answered all
+  // along — the hold-down (doubling per repeated quarantine, capped at
+  // 64x) is what keeps a hung-but-healthy engine from flapping back in.
+  const std::uint64_t count =
+      backend.quarantine_count.load(std::memory_order_relaxed);
+  const std::uint64_t exponent = std::min<std::uint64_t>(count - 1, 6);
+  const double holddown_ns = config_.quarantine_holddown_ms * 1e6 *
+                             static_cast<double>(std::uint64_t{1} << exponent);
+  const std::uint64_t since =
+      obs::now_ns() - backend.quarantined_at_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(since) < holddown_ns;
+}
+
+void Router::probe_loop() {
+  for (;;) {
+    {
+      MutexLock lock(probe_mutex_);
+      const auto wake =
+          std::chrono::steady_clock::now() + millis(config_.probe_interval_ms);
+      while (!probe_stop_) {
+        if (!lock.wait_until(probe_cv_, wake)) break;  // interval elapsed
+      }
+      if (probe_stop_) return;
+    }
+    std::vector<std::shared_ptr<Backend>> suspects;
+    {
+      const MutexLock lock(mutex_);
+      suspects.reserve(quarantined_.size());
+      for (const auto& [address, backend] : quarantined_) {
+        suspects.push_back(backend);
+      }
+    }
+    for (const auto& backend : suspects) {
+      if (in_quarantine_holddown(*backend)) continue;
+      if (probe_backend(*backend)) unquarantine_backend(backend->address);
+    }
+  }
+}
+
+std::string Router::hedge_candidate(const std::string& owner) const {
+  const auto live = live_backends();  // sorted
+  if (live.size() < 2) return {};
+  auto it = std::upper_bound(live.begin(), live.end(), owner);
+  if (it == live.end()) it = live.begin();
+  return *it == owner ? std::string{} : *it;
+}
+
+double Router::resolve_hedge_delay() const {
+  if (config_.hedge_delay_ms > 0.0) return config_.hedge_delay_ms;
+  if (config_.hedge_delay_ms < 0.0 || config_.hedge_budget_fraction <= 0.0) {
+    return -1.0;  // hedging disabled
+  }
+  // Auto mode: hedge when a fan-out exceeds its own observed p99 — the
+  // classic tail-at-scale delay. Until the histogram has seen enough
+  // round trips to mean anything, fall back to a quarter of the request
+  // timeout (hedges stay rare either way, and the budget caps them).
+  constexpr std::uint64_t kMinSamples = 64;
+  if (fanout_hist_->count() >= kMinSamples) {
+    return std::max(config_.hedge_min_delay_ms,
+                    fanout_hist_->percentile(99.0));
+  }
+  const double fallback = config_.request_timeout_ms > 0.0
+                              ? config_.request_timeout_ms / 4.0
+                              : 500.0;
+  return std::max(config_.hedge_min_delay_ms, fallback);
+}
+
 Ack Router::admin_to_owner(std::uint32_t user,
                            const std::vector<std::uint8_t>& frame) {
   // One failover retry: the first attempt discovers a dead owner at most
@@ -163,7 +417,10 @@ Ack Router::admin_to_owner(std::uint32_t user,
       continue;
     }
     try {
-      return decode_ack(exchange(*backend, frame));
+      return decode_ack(
+          exchange(*backend, frame, config_.request_timeout_ms));
+    } catch (const WireTimeout&) {
+      handle_backend_timeout(owner);
     } catch (const WireError&) {
       handle_backend_failure(owner);
     }
@@ -260,6 +517,8 @@ std::vector<serve::PredictResponse> Router::serve(
   std::vector<std::size_t> remaining(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) remaining[i] = i;
 
+  const double hedge_delay = resolve_hedge_delay();
+
   std::size_t attempts = 0;
   {
     const MutexLock lock(mutex_);
@@ -269,6 +528,28 @@ std::vector<serve::PredictResponse> Router::serve(
   std::size_t round = 0;
   while (!remaining.empty() && attempts-- > 0) {
     const std::uint64_t round_start_ns = instrument ? obs::now_ns() : 0;
+
+    // Shed requests whose deadline budget is already gone: forwarding them
+    // would compute answers nobody reads (the engine would shed them at its
+    // admission anyway — this saves the wire trip too).
+    {
+      const double elapsed_ms = watch.milliseconds();
+      std::vector<std::size_t> alive_requests;
+      alive_requests.reserve(remaining.size());
+      for (const std::size_t i : remaining) {
+        if (reqs[i].deadline_ms > 0.0 && elapsed_ms >= reqs[i].deadline_ms) {
+          deadline_shed_counter_->add();
+          responses[i].user_id = reqs[i].user_id;
+          responses[i].ok = false;
+          responses[i].rejected = true;
+        } else {
+          alive_requests.push_back(i);
+        }
+      }
+      remaining.swap(alive_requests);
+      if (remaining.empty()) break;
+    }
+
     // Group the outstanding requests by owning backend. std::map keys the
     // groups by address, so the fan-out order is deterministic.
     std::map<std::string, std::vector<std::size_t>> groups;
@@ -297,39 +578,239 @@ std::vector<serve::PredictResponse> Router::serve(
         failed[g] = indices;
         return;
       }
+      // Build the batch with DECREMENTED budgets: the engine's admission
+      // check must see what is left after the router's own time, not the
+      // caller's original allowance.
       std::vector<serve::PredictRequest> batch;
       batch.reserve(indices.size());
-      for (const std::size_t i : indices) batch.push_back(reqs[i]);
-      try {
-        const std::uint64_t encode_start_ns = instrument ? obs::now_ns() : 0;
-        const auto frame = encode_predict_batch(batch);
-        const std::uint64_t sent_ns = instrument ? obs::now_ns() : 0;
-        const auto reply = exchange(*backend, frame);
-        const std::uint64_t received_ns = instrument ? obs::now_ns() : 0;
-        auto decoded = decode_predict_replies(reply);
-        if (decoded.size() != indices.size()) {
-          throw WireError("predict reply count mismatch from " + address);
+      double max_remaining_ms = 0.0;
+      {
+        const double elapsed_ms = watch.milliseconds();
+        for (const std::size_t i : indices) {
+          serve::PredictRequest request = reqs[i];
+          if (request.deadline_ms > 0.0) {
+            request.deadline_ms =
+                std::max(0.001, request.deadline_ms - elapsed_ms);
+            max_remaining_ms = std::max(max_remaining_ms, request.deadline_ms);
+          }
+          batch.push_back(std::move(request));
         }
+      }
+      // The exchange deadline: the configured timeout, tightened to the
+      // batch's largest remaining budget (no point waiting for answers
+      // whose readers have all given up).
+      double timeout_ms = config_.request_timeout_ms;
+      if (max_remaining_ms > 0.0) {
+        timeout_ms = timeout_ms <= 0.0
+                         ? max_remaining_ms
+                         : std::min(timeout_ms, max_remaining_ms);
+      }
+
+      {
+        auto& injector = fault::Injector::global();
+        if (injector.active()) {
+          injector.sleep_for(injector.decide("router.exchange", address));
+        }
+      }
+
+      const std::uint64_t encode_start_ns = instrument ? obs::now_ns() : 0;
+      const auto frame = encode_predict_batch(batch);
+      const std::uint64_t sent_ns = instrument ? obs::now_ns() : 0;
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+
+      // The primary exchange runs in its own thread so this (coordinator)
+      // thread can fire a hedge when the reply is late. All race state
+      // lives under one mutex; the cancel token lets the winner sever the
+      // loser's socket.
+      struct RaceState {
+        Mutex mutex;
+        std::condition_variable cv;
+        bool primary_done PELICAN_GUARDED_BY(mutex) = false;
+        bool primary_timeout PELICAN_GUARDED_BY(mutex) = false;
+        bool primary_failed PELICAN_GUARDED_BY(mutex) = false;
+        bool have_result PELICAN_GUARDED_BY(mutex) = false;
+        bool hedge_won PELICAN_GUARDED_BY(mutex) = false;
+        std::vector<serve::PredictResponse> result PELICAN_GUARDED_BY(mutex);
+      } race;
+      ExchangeCancel cancel;
+
+      std::thread primary([&] {
+        try {
+          const auto reply = exchange(*backend, frame, timeout_ms, &cancel);
+          auto decoded = decode_predict_replies(reply);
+          if (decoded.size() != indices.size()) {
+            throw WireError("predict reply count mismatch from " + address);
+          }
+          const MutexLock lock(race.mutex);
+          race.primary_done = true;
+          if (!race.have_result) {
+            race.have_result = true;
+            race.result = std::move(decoded);
+          }
+        } catch (const WireTimeout&) {
+          const MutexLock lock(race.mutex);
+          race.primary_done = true;
+          race.primary_timeout = true;
+        } catch (const std::exception&) {
+          const MutexLock lock(race.mutex);
+          race.primary_done = true;
+          race.primary_failed = true;
+        }
+        race.cv.notify_all();
+      });
+
+      // Wait for the primary up to the hedge delay (forever when hedging
+      // is off — the exchange timeout still bounds the wait).
+      bool primary_late = false;
+      {
+        MutexLock lock(race.mutex);
+        if (hedge_delay >= 0.0) {
+          const auto hedge_at =
+              std::chrono::steady_clock::now() + millis(hedge_delay);
+          while (!race.primary_done) {
+            if (!lock.wait_until(race.cv, hedge_at)) break;  // delay elapsed
+          }
+        } else {
+          while (!race.primary_done) lock.wait(race.cv);
+        }
+        primary_late = !race.primary_done;
+      }
+
+      // Hedge: the primary is late, the budget allows another duplicate,
+      // and the fleet has a second choice.
+      bool hedged = false;
+      std::uint64_t hedge_start_ns = 0;
+      if (primary_late && hedge_delay >= 0.0) {
+        const std::uint64_t fired =
+            hedges_fired_.load(std::memory_order_relaxed);
+        const std::uint64_t total = forwards_.load(std::memory_order_relaxed);
+        const bool budget_ok =
+            static_cast<double>(fired + 1) <=
+            config_.hedge_budget_fraction * static_cast<double>(total);
+        const std::string target =
+            budget_ok ? hedge_candidate(address) : std::string{};
+        const auto target_backend =
+            target.empty() ? nullptr : find_backend(target);
+        if (target_backend != nullptr) {
+          hedged = true;
+          hedge_start_ns = obs::now_ns();
+          hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+          hedges_counter_->add();
+          try {
+            // The hedge target may not hold these users yet: re-deploy
+            // them from the ledger first. Deploys are idempotent, and the
+            // target pulls the SAME (user, version) artifacts from the
+            // shared store — which is why the hedged answer is
+            // bit-identical to the primary's and taking whichever comes
+            // first is sound.
+            std::vector<std::uint32_t> users;
+            for (const std::size_t i : indices) {
+              if (std::find(users.begin(), users.end(), reqs[i].user_id) ==
+                  users.end()) {
+                users.push_back(reqs[i].user_id);
+              }
+            }
+            for (const std::uint32_t user : users) {
+              std::optional<Deployment> record;
+              {
+                const MutexLock lock(mutex_);
+                const auto it = ledger_.find(user);
+                if (it != ledger_.end()) record = it->second;
+              }
+              if (!record.has_value()) {
+                throw WireError("hedge: user " + std::to_string(user) +
+                                " not in ledger");
+              }
+              const Ack ack = decode_ack(exchange(
+                  *target_backend,
+                  encode_deploy({user, record->version, record->temperature,
+                                 record->spec}),
+                  config_.request_timeout_ms));
+              if (!ack.ok) {
+                throw WireError("hedge deploy refused: " + ack.message);
+              }
+            }
+            const auto reply =
+                exchange(*target_backend, frame, timeout_ms);
+            auto decoded = decode_predict_replies(reply);
+            if (decoded.size() != indices.size()) {
+              throw WireError("predict reply count mismatch from " + target);
+            }
+            bool winner = false;
+            {
+              const MutexLock lock(race.mutex);
+              if (!race.have_result) {
+                race.have_result = true;
+                race.hedge_won = true;
+                race.result = std::move(decoded);
+                winner = true;
+              }
+            }
+            if (winner) {
+              hedge_wins_counter_->add();
+              cancel.cancel();  // sever the straggling primary
+            }
+          } catch (const std::exception&) {
+            // The hedge lost or failed; the primary (or the next retry
+            // round) still owns this slice. Hedge failures never fail the
+            // TARGET over — it was drafted in, not proven guilty.
+          }
+        }
+      }
+
+      // Wait out the primary — bounded by its exchange timeout, or by the
+      // hedge winner severing its socket.
+      {
+        MutexLock lock(race.mutex);
+        while (!race.primary_done) lock.wait(race.cv);
+      }
+      primary.join();
+
+      bool have_result = false;
+      bool hedge_won = false;
+      bool primary_timeout = false;
+      bool primary_failed = false;
+      std::vector<serve::PredictResponse> result;
+      {
+        const MutexLock lock(race.mutex);
+        have_result = race.have_result;
+        hedge_won = race.hedge_won;
+        primary_timeout = race.primary_timeout;
+        primary_failed = race.primary_failed;
+        result = std::move(race.result);
+      }
+
+      if (have_result) {
         for (std::size_t j = 0; j < indices.size(); ++j) {
-          responses[indices[j]] = std::move(decoded[j]);
+          responses[indices[j]] = std::move(result[j]);
         }
-        if (instrument) {
-          const std::uint64_t done_ns = obs::now_ns();
-          // Serialize cost = encode + decode; fan-out = the socket round
-          // trip (which contains the engine's own spans in time).
-          const std::uint64_t serialize_ns =
-              (sent_ns - encode_start_ns) + (done_ns - received_ns);
-          const MutexLock lock(spans_mutex);
-          spans.push_back(
-              {obs::Stage::kWireSerialize, encode_start_ns, serialize_ns});
-          spans.push_back({obs::Stage::kRouterFanout, sent_ns,
-                           received_ns - sent_ns});
-        }
-      } catch (const std::exception&) {
-        // Transport failure or protocol breakdown: either way this backend
-        // is unusable. Fail it over and retry the slice on the new owners.
-        handle_backend_failure(address);
+      } else {
         failed[g] = indices;
+      }
+
+      if (instrument) {
+        const std::uint64_t done_ns = obs::now_ns();
+        const MutexLock lock(spans_mutex);
+        spans.push_back({obs::Stage::kWireSerialize, encode_start_ns,
+                         sent_ns - encode_start_ns});
+        spans.push_back(
+            {obs::Stage::kRouterFanout, sent_ns, done_ns - sent_ns});
+        if (hedged) {
+          spans.push_back(
+              {obs::Stage::kHedge, hedge_start_ns, done_ns - hedge_start_ns});
+        }
+      }
+
+      // Post-mortem on the primary path. A timeout (or losing the hedge
+      // race) is the HUNG-engine signal: probe and maybe quarantine. A
+      // transport error is the dead-engine signal — unless the error was
+      // our own cancel().
+      if (primary_timeout) {
+        handle_backend_timeout(address);
+      } else if (primary_failed && !cancel.was_cancelled()) {
+        handle_backend_failure(address);
+      } else if (hedge_won) {
+        handle_backend_timeout(address);
       }
     };
     if (fan_out.size() == 1) {
@@ -352,6 +833,20 @@ std::vector<serve::PredictResponse> Router::serve(
       // whole round is failover work, visible as its own span.
       spans.push_back({obs::Stage::kFailoverRetry, round_start_ns,
                        obs::now_ns() - round_start_ns});
+    }
+    if (!remaining.empty() && attempts > 0) {
+      // Exponential backoff between retry rounds: the repartition already
+      // happened synchronously, so this only paces a flapping fleet, never
+      // the first failover.
+      retry_rounds_counter_->add();
+      const double backoff_ms =
+          std::min(config_.retry_backoff_max_ms,
+                   config_.retry_backoff_base_ms *
+                       static_cast<double>(1ULL << std::min<std::size_t>(
+                                               round, 10)));
+      if (backoff_ms > 0.0 && round > 0) {
+        std::this_thread::sleep_for(millis(backoff_ms));
+      }
     }
     ++round;
   }
@@ -390,6 +885,9 @@ std::vector<serve::PredictResponse> Router::serve(
         case obs::Stage::kFailoverRetry:
           failover_hist_->observe(span.duration_ms());
           break;
+        case obs::Stage::kHedge:
+          hedge_hist_->observe(span.duration_ms());
+          break;
         default:
           break;
       }
@@ -408,7 +906,10 @@ serve::ServerStats::Snapshot Router::fleet_stats() {
     const auto backend = find_backend(address);
     if (backend == nullptr) continue;
     try {
-      fleet.merge(decode_stats_reply(exchange(*backend, encode_stats())));
+      fleet.merge(decode_stats_reply(
+          exchange(*backend, encode_stats(), config_.request_timeout_ms)));
+    } catch (const WireTimeout&) {
+      handle_backend_timeout(address);
     } catch (const std::exception&) {
       handle_backend_failure(address);
     }
@@ -423,14 +924,16 @@ Router::FleetMetrics Router::fleet_metrics() {
     const auto backend = find_backend(address);
     if (backend == nullptr) continue;
     try {
-      EngineMetricsReport report =
-          decode_metrics_reply(exchange(*backend, encode_metrics()));
+      EngineMetricsReport report = decode_metrics_reply(
+          exchange(*backend, encode_metrics(), config_.request_timeout_ms));
       for (obs::TraceRecord& rec : report.traces) rec.source = address;
       fleet.merge(report.stats);
       obs::merge_state(out.registry, report.registry);
       out.traces.insert(out.traces.end(), report.traces.begin(),
                         report.traces.end());
       out.engines.emplace_back(address, std::move(report));
+    } catch (const WireTimeout&) {
+      handle_backend_timeout(address);
     } catch (const std::exception&) {
       handle_backend_failure(address);
     }
@@ -455,7 +958,11 @@ std::vector<std::pair<std::string, HealthReply>> Router::fleet_health() {
     if (backend == nullptr) continue;
     try {
       out.emplace_back(address,
-                       decode_health_reply(exchange(*backend, encode_health())));
+                       decode_health_reply(exchange(
+                           *backend, encode_health(),
+                           config_.request_timeout_ms)));
+    } catch (const WireTimeout&) {
+      handle_backend_timeout(address);
     } catch (const std::exception&) {
       handle_backend_failure(address);
     }
@@ -463,12 +970,42 @@ std::vector<std::pair<std::string, HealthReply>> Router::fleet_health() {
   return out;
 }
 
+EngineMetricsReport Router::self_report() {
+  EngineMetricsReport report;
+  report.stats = stats_.state();
+  report.registry = metrics_.state();
+  report.traces = traces_.journal();
+  return report;
+}
+
 void Router::drain_fleet() {
   for (const auto& address : live_backends()) {
     const auto backend = find_backend(address);
     if (backend == nullptr) continue;
     try {
-      (void)decode_ack(exchange(*backend, encode_drain()));
+      (void)decode_ack(
+          exchange(*backend, encode_drain(), config_.drain_timeout_ms));
+    } catch (const std::exception&) {
+      // Bounded by drain_timeout_ms: a wedged engine is abandoned, not
+      // waited on (the drain contract in wire.hpp).
+    }
+  }
+  // Quarantined engines are processes too: offer them the same graceful
+  // exit on a fresh connection (their pools are already torn down), still
+  // bounded by the drain deadline.
+  std::vector<std::shared_ptr<Backend>> quarantined;
+  {
+    const MutexLock lock(mutex_);
+    for (const auto& [address, backend] : quarantined_) {
+      quarantined.push_back(backend);
+    }
+  }
+  for (const auto& backend : quarantined) {
+    try {
+      Socket socket = Socket::connect_to(backend->parsed);
+      socket.set_io_timeout(config_.drain_timeout_ms);
+      socket.send_frame(encode_drain());
+      (void)decode_ack(socket.recv_frame());
     } catch (const std::exception&) {
     }
   }
@@ -483,6 +1020,7 @@ void Router::drain_fleet() {
     backend->pool_cv.notify_all();
   }
   backends_.clear();
+  quarantined_.clear();
 }
 
 std::vector<std::string> Router::live_backends() const {
@@ -492,6 +1030,19 @@ std::vector<std::string> Router::live_backends() const {
     out.reserve(backends_.size());
     for (const auto& [address, backend] : backends_) {
       if (backend->alive.load()) out.push_back(address);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Router::quarantined_backends() const {
+  std::vector<std::string> out;
+  {
+    const MutexLock lock(mutex_);
+    out.reserve(quarantined_.size());
+    for (const auto& [address, backend] : quarantined_) {
+      out.push_back(address);
     }
   }
   std::sort(out.begin(), out.end());

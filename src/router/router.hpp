@@ -43,10 +43,43 @@
 // publishes are also retried once (installing the same version twice is a
 // no-op by construction). In-flight state lost with the dead process is
 // its ServerStats and queue — never a model, never the ownership map.
+// Retry rounds back off exponentially (retry_backoff_*) so a flapping
+// fleet is not hammered.
+//
+// TAIL TOLERANCE. Beyond dead backends, the router handles SLOW ones:
+//
+//   deadlines    serve() honors PredictRequest::deadline_ms — expired
+//                requests are shed without a forward, and the remaining
+//                budget (minus router time already spent) rides the wire so
+//                engines shed at their admission too. Every exchange is
+//                bounded by request_timeout_ms (clamped to the batch's
+//                remaining budget).
+//   hedging      when a backend's reply has not arrived within the hedge
+//                delay (auto-derived from the observed p99 of the
+//                router_fanout stage histogram, or pinned via
+//                hedge_delay_ms), the SAME predict batch is fired at a
+//                second live backend (after re-deploying the users there
+//                from the ledger — deploys are idempotent), and the first
+//                answer wins. Answers are bit-identical by construction
+//                (same store artifact, same kernels), so which copy wins is
+//                unobservable in the response. A hedge budget
+//                (hedge_budget_fraction) caps hedges to a fraction of
+//                forwards so hedging cannot double fleet load.
+//   quarantine   a backend that times out (WireTimeout) or loses a hedge
+//                race is health-probed with probe_timeout_ms; probe failure
+//                (or quarantine_after_timeouts strikes) QUARANTINES it:
+//                partitions move and users re-deploy exactly like death,
+//                but the Backend is remembered. A recovery thread re-probes
+//                quarantined backends every probe_interval_ms and folds a
+//                recovered engine back in (repartition + re-deploy of the
+//                users it regains). Distinct from the SIGKILL path: the
+//                process stays up throughout.
 //
 // Thread-safe: any number of threads may call serve/publish/deploy
 // concurrently; membership changes serialize on an internal lock, and the
-// connection pools bound per-backend concurrency.
+// connection pools bound per-backend concurrency. Pooled connections that
+// broke while parked (engine restart: EPIPE/ECONNRESET on first use) are
+// transparently replaced with one fresh connect + retry per exchange.
 #pragma once
 
 #include <atomic>
@@ -55,6 +88,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -80,6 +114,42 @@ struct RouterConfig {
   /// Connection-pool bound per backend: at most this many in-flight
   /// request/reply exchanges per engine process.
   std::size_t pool_connections = 4;
+
+  /// I/O deadline per request/reply exchange (predict, admin, health pulls).
+  /// Expiry throws WireTimeout → the hung-engine path (probe, quarantine),
+  /// not the dead-engine path. <= 0 disables (fully blocking, pre-PR 9).
+  double request_timeout_ms = 2000.0;
+  /// Deadline of a kDrain exchange: a wedged engine cannot hang teardown.
+  double drain_timeout_ms = 2000.0;
+  /// Deadline of one health probe (hung detection + recovery probing).
+  double probe_timeout_ms = 250.0;
+  /// Backoff between serve() retry rounds: base * 2^(round-1), capped.
+  double retry_backoff_base_ms = 5.0;
+  double retry_backoff_max_ms = 200.0;
+  /// Hedge delay: how long a predict exchange may run before the same
+  /// batch is fired at a second backend. 0 = auto: the observed p99 of the
+  /// router_fanout stage histogram (floored at hedge_min_delay_ms), falling
+  /// back to request_timeout_ms / 4 until enough samples exist. < 0
+  /// disables hedging.
+  double hedge_delay_ms = 0.0;
+  double hedge_min_delay_ms = 10.0;
+  /// Hedges may never exceed this fraction of predict forwards (0 also
+  /// disables hedging; 1.0 = every forward may hedge).
+  double hedge_budget_fraction = 0.1;
+  /// Quarantine a backend after this many timeout strikes even when its
+  /// health probe still answers (persistently slow ≈ hung).
+  std::uint64_t quarantine_after_timeouts = 3;
+  /// Recovery cadence: quarantined backends are re-probed this often, and
+  /// per-backend suspicion probes are rate-limited to the same interval.
+  double probe_interval_ms = 100.0;
+  /// Minimum time a backend stays quarantined before the recovery prober
+  /// may fold it back in, doubling per repeated quarantine (capped at
+  /// 64x). A strike-quarantined backend's health verb may have answered
+  /// all along — its predict path is what stalled — so a bare probe
+  /// success right after quarantine proves nothing; without this
+  /// hold-down a hung-but-healthy engine flaps in and out of the fleet.
+  /// <= 0 disables the hold-down (probe-driven recovery only).
+  double quarantine_holddown_ms = 1000.0;
 };
 
 class Router {
@@ -166,6 +236,16 @@ class Router {
   /// Live backend addresses, sorted.
   [[nodiscard]] std::vector<std::string> live_backends() const;
 
+  /// Quarantined backend addresses, sorted — suspected hung, partitions
+  /// moved away, watched by the recovery prober. Disjoint from
+  /// live_backends().
+  [[nodiscard]] std::vector<std::string> quarantined_backends() const;
+
+  /// The router's own observability surface in the same shape engines ship
+  /// over kMetrics: request stats, counters + stage histograms, trace
+  /// journal. What pelican_statsz merges as the pseudo-engine "router".
+  [[nodiscard]] EngineMetricsReport self_report();
+
   /// Owning backend address of a user (for tests and placement debugging).
   [[nodiscard]] std::string owner_of(std::uint32_t user) const;
 
@@ -180,6 +260,18 @@ class Router {
     /// Written under Router::mutex_, read under pool_mutex too (pool
     /// waiters bail out when their backend dies) — hence atomic.
     std::atomic<bool> alive{true};
+    /// Consecutive timeout strikes (reset by any successful exchange);
+    /// quarantine_after_timeouts strikes quarantine the backend even when
+    /// its health probe still answers.
+    std::atomic<std::uint64_t> timeout_strikes{0};
+    /// obs::now_ns of the last suspicion probe — rate-limits probing so a
+    /// timeout storm across serve threads probes once, not per thread.
+    std::atomic<std::uint64_t> last_probe_ns{0};
+    /// obs::now_ns when the backend last entered quarantine, plus how many
+    /// times it has been quarantined — together they gate the recovery
+    /// prober's hold-down (quarantine_holddown_ms doubling per offense).
+    std::atomic<std::uint64_t> quarantined_at_ns{0};
+    std::atomic<std::uint64_t> quarantine_count{0};
 
     Mutex pool_mutex;
     std::condition_variable pool_cv;
@@ -194,14 +286,40 @@ class Router {
     mobility::EncodingSpec spec;
   };
 
+  /// Lets a hedging coordinator sever a colleague's in-flight exchange:
+  /// the losing side's socket is shut down, its pending I/O fails fast, and
+  /// `cancelled` tells the error handler NOT to treat that failure as a
+  /// backend problem.
+  struct ExchangeCancel {
+    Mutex mutex;
+    Socket* active PELICAN_GUARDED_BY(mutex) = nullptr;
+    bool cancelled PELICAN_GUARDED_BY(mutex) = false;
+
+    void cancel() {
+      const MutexLock lock(mutex);
+      cancelled = true;
+      if (active != nullptr) active->shutdown_both();
+    }
+    [[nodiscard]] bool was_cancelled() {
+      const MutexLock lock(mutex);
+      return cancelled;
+    }
+  };
+
   /// Looks up a live backend; null when unknown or dead.
   [[nodiscard]] std::shared_ptr<Backend> find_backend(
       const std::string& address) const;
 
-  /// One request/reply exchange over a pooled connection. Throws WireError
-  /// on transport failure (connection discarded, backend presumed dead).
+  /// One request/reply exchange over a pooled connection, bounded by
+  /// `timeout_ms` (<= 0 = blocking). Throws WireTimeout on deadline expiry
+  /// (backend possibly hung) and WireError on transport failure (backend
+  /// presumed dead). A connection-level failure on the FIRST attempt —
+  /// typically a pooled socket that broke while parked — is retried once on
+  /// a fresh connection before the error propagates. `cancel`, when given,
+  /// registers the in-flight socket so a hedge winner can sever the loser.
   [[nodiscard]] std::vector<std::uint8_t> exchange(
-      Backend& backend, std::span<const std::uint8_t> frame);
+      Backend& backend, std::span<const std::uint8_t> frame,
+      double timeout_ms, ExchangeCancel* cancel = nullptr);
 
   /// Sends an admin frame to `user`'s owner, failing over (and retrying
   /// once) when the owner is dead. Returns the decoded ack; throws
@@ -213,11 +331,51 @@ class Router {
   /// failover owners. Idempotent per backend; safe to call concurrently.
   void handle_backend_failure(const std::string& address);
 
+  /// The hung-but-alive path: rate-limited health probe of a backend that
+  /// timed out (or lost a hedge race). Probe failure — or too many strikes
+  /// — quarantines it; probe success only adds a strike.
+  void handle_backend_timeout(const std::string& address);
+
+  /// Like handle_backend_failure, but the Backend is stashed in
+  /// quarantined_ for the recovery prober instead of forgotten.
+  void quarantine_backend(const std::string& address);
+
+  /// Folds a recovered backend back into the fleet: repartition, alive
+  /// again, and the ledger users it now owns re-deployed onto it.
+  void unquarantine_backend(const std::string& address);
+
+  /// One synchronous health-verb round trip with probe_timeout_ms, on a
+  /// fresh connection (never the pool — the pool may be what is hung).
+  [[nodiscard]] bool probe_backend(Backend& backend);
+
+  /// True while `backend` is still inside its quarantine hold-down window
+  /// (quarantine_holddown_ms doubling per repeated quarantine) — the
+  /// recovery prober must not fold it back in yet.
+  [[nodiscard]] bool in_quarantine_holddown(const Backend& backend) const;
+
+  /// Recovery thread body: re-probes quarantined backends each interval.
+  void probe_loop();
+
+  /// Shared by handle_backend_failure / quarantine_backend: mark dead,
+  /// repartition, tear down the pool, re-deploy the orphaned users.
+  void remove_backend(const std::string& address, bool stash_quarantined);
+
+  /// Hedge target for a group owned by `owner`: the next live backend
+  /// after it in sorted order; empty when the fleet has no second choice.
+  [[nodiscard]] std::string hedge_candidate(const std::string& owner) const;
+
+  /// Effective hedge delay for this serve() call (auto mode reads the
+  /// fan-out p99); < 0 when hedging is disabled.
+  [[nodiscard]] double resolve_hedge_delay() const;
+
   RouterConfig config_;
 
   mutable Mutex mutex_;
   Partitioner partitioner_ PELICAN_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::shared_ptr<Backend>> backends_
+      PELICAN_GUARDED_BY(mutex_);
+  /// Suspected-hung backends: out of the partition map, kept for revival.
+  std::unordered_map<std::string, std::shared_ptr<Backend>> quarantined_
       PELICAN_GUARDED_BY(mutex_);
   std::unordered_map<std::uint32_t, Deployment> ledger_
       PELICAN_GUARDED_BY(mutex_);
@@ -232,6 +390,26 @@ class Router {
   obs::Histogram* wire_serialize_hist_ = nullptr;
   obs::Histogram* fanout_hist_ = nullptr;
   obs::Histogram* failover_hist_ = nullptr;
+  obs::Histogram* hedge_hist_ = nullptr;
+  /// Robustness counters, registered eagerly so they export as 0.
+  obs::Counter* hedges_counter_ = nullptr;
+  obs::Counter* hedge_wins_counter_ = nullptr;
+  obs::Counter* retry_rounds_counter_ = nullptr;
+  obs::Counter* reconnects_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* quarantines_counter_ = nullptr;
+  obs::Counter* unquarantines_counter_ = nullptr;
+  obs::Counter* deadline_shed_counter_ = nullptr;
+  /// Hedge budget bookkeeping: hedges_fired_ / forwards_ <= fraction.
+  std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> hedges_fired_{0};
+
+  /// Recovery prober: wakes every probe_interval_ms, re-probes quarantined
+  /// backends, un-quarantines responders. Joined by the destructor.
+  Mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ PELICAN_GUARDED_BY(probe_mutex_) = false;
+  std::thread prober_;
 };
 
 }  // namespace pelican::router

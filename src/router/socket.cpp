@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -14,6 +15,8 @@
 #include <filesystem>
 #include <thread>
 #include <utility>
+
+#include "common/fault.hpp"
 
 namespace pelican::router {
 
@@ -107,9 +110,25 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    peer_ = std::move(other.peer_);
     other.fd_ = -1;
   }
   return *this;
+}
+
+void Socket::set_io_timeout(double timeout_ms) noexcept {
+  if (!valid()) return;
+  timeval tv{};
+  if (timeout_ms > 0) {
+    const auto total_us = static_cast<long>(timeout_ms * 1000.0);
+    tv.tv_sec = total_us / 1000000;
+    tv.tv_usec = total_us % 1000000;
+    // A sub-microsecond request must not round to {0, 0} — that means
+    // "blocking forever", the opposite of what the caller asked for.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 Socket Socket::connect_to(const Address& address) {
@@ -130,6 +149,7 @@ Socket Socket::connect_to(const Address& address) {
     }
   }
   if (rc != 0) throw_errno("connect to " + address.to_string());
+  socket.set_peer(address.to_string());
   return socket;
 }
 
@@ -139,6 +159,9 @@ void Socket::send_all(const void* data, std::size_t bytes) {
     const ssize_t sent = ::send(fd_, p, bytes, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireTimeout("send timed out to " + peer_);
+      }
       throw_errno("send");
     }
     p += sent;
@@ -152,6 +175,9 @@ void Socket::recv_all(void* data, std::size_t bytes) {
     const ssize_t got = ::recv(fd_, p, bytes, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireTimeout("recv timed out from " + peer_);
+      }
       throw_errno("recv");
     }
     if (got == 0) throw WireError("peer closed the connection");
@@ -160,11 +186,45 @@ void Socket::recv_all(void* data, std::size_t bytes) {
   }
 }
 
+void Socket::apply_fault(const char* site,
+                         std::span<const std::uint8_t> payload) {
+  auto& injector = fault::Injector::global();
+  const fault::Decision decision = injector.decide(site, peer_);
+  switch (decision.action) {
+    case fault::Action::kNone:
+      return;
+    case fault::Action::kDelay:
+    case fault::Action::kStall:
+      injector.sleep_for(decision);
+      return;
+    case fault::Action::kDrop:
+      shutdown_both();
+      close();
+      throw WireError("fault injection: dropped connection (" +
+                      std::string(site) + ", peer " + peer_ + ")");
+    case fault::Action::kTruncate: {
+      // Announce the full frame, deliver half, then sever: the peer sees a
+      // mid-frame close, exactly the torn write a crashing process leaves.
+      if (!payload.empty()) {
+        const std::uint32_t length =
+            static_cast<std::uint32_t>(payload.size());
+        send_all(&length, sizeof length);
+        send_all(payload.data(), payload.size() / 2);
+      }
+      shutdown_both();
+      close();
+      throw WireError("fault injection: truncated frame (" +
+                      std::string(site) + ", peer " + peer_ + ")");
+    }
+  }
+}
+
 void Socket::send_frame(std::span<const std::uint8_t> payload) {
   if (!valid()) throw WireError("send on closed socket");
   if (payload.size() > kMaxFrameBytes) {
     throw WireError("frame too large: " + std::to_string(payload.size()));
   }
+  if (fault::Injector::global().active()) apply_fault("socket.send", payload);
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
   send_all(&length, sizeof length);
   send_all(payload.data(), payload.size());
@@ -172,6 +232,7 @@ void Socket::send_frame(std::span<const std::uint8_t> payload) {
 
 std::vector<std::uint8_t> Socket::recv_frame() {
   if (!valid()) throw WireError("recv on closed socket");
+  if (fault::Injector::global().active()) apply_fault("socket.recv", {});
   std::uint32_t length = 0;
   recv_all(&length, sizeof length);
   if (length > kMaxFrameBytes) {
@@ -247,7 +308,14 @@ Socket ListenSocket::accept() {
   if (!valid()) throw WireError("accept on closed listener");
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
+    if (fd >= 0) {
+      Socket socket(fd);
+      // Engine-side sockets are labeled with the engine's OWN address so
+      // fault rules can target "every frame engine e1 handles" without
+      // knowing its clients' ephemeral endpoints.
+      socket.set_peer(address_.to_string());
+      return socket;
+    }
     if (errno == EINTR) continue;
     throw_errno("accept on " + address_.to_string());
   }

@@ -14,8 +14,18 @@
 // Failure model: every transport error — connect refused, peer died
 // mid-frame (a SIGKILLed engine), short read at EOF — throws WireError.
 // The Router maps any WireError on a backend connection to "backend dead"
-// and triggers failover-repartition; there are no per-call timeouts (a
-// hung-but-alive engine is out of scope for this tier — see ROADMAP).
+// and triggers failover-repartition. Sockets additionally support a
+// per-socket I/O deadline (set_io_timeout): when a send or recv exceeds it,
+// the more specific WireTimeout is thrown instead, which the Router treats
+// as "backend possibly hung" — it probes the engine's health verb and
+// quarantines (rather than forgets) a stalling process so it can rejoin on
+// recovery.
+//
+// Fault injection: when common/fault rules are loaded (PELICAN_FAULT or a
+// programmatic Injector configuration), send_frame/recv_frame consult the
+// sites "socket.send" / "socket.recv" with this socket's peer label and can
+// be made to delay, stall, drop the connection, or truncate a frame
+// mid-write — deterministically, for the chaos suite.
 #pragma once
 
 #include <chrono>
@@ -32,6 +42,15 @@ namespace pelican::router {
 class WireError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A send/recv exceeded the socket's I/O deadline (set_io_timeout). The
+/// connection is unusable like any WireError, but the PEER may merely be
+/// slow, not dead — callers distinguish "probe and maybe quarantine" from
+/// "forget this backend".
+class WireTimeout : public WireError {
+ public:
+  using WireError::WireError;
 };
 
 /// Largest accepted frame payload. Generous: the biggest real frame is a
@@ -67,16 +86,34 @@ class Socket {
   explicit Socket(int fd) noexcept : fd_(fd) {}
   ~Socket() { close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), peer_(std::move(other.peer_)) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
   /// Connects to `address`. Throws WireError when nothing is listening.
+  /// The socket's peer label is set to the address string.
   [[nodiscard]] static Socket connect_to(const Address& address);
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Label used in error messages and fault-injection peer matching. For
+  /// connected sockets this is the remote address; engine-side accepted
+  /// sockets carry the engine's OWN listen address (faults target engines
+  /// by identity, not by their clients' ephemeral endpoints).
+  void set_peer(std::string peer) noexcept { peer_ = std::move(peer); }
+  [[nodiscard]] const std::string& peer() const noexcept { return peer_; }
+
+  /// Deadline applied to every subsequent send/recv syscall on this socket
+  /// (SO_SNDTIMEO / SO_RCVTIMEO). On expiry the I/O call throws
+  /// WireTimeout. <= 0 restores fully blocking I/O. Best-effort per
+  /// syscall: a peer trickling bytes can extend a frame's total time to
+  /// roughly timeout x frame chunks, which is fine for "is it hung".
+  void set_io_timeout(double timeout_ms) noexcept;
 
   /// Length-prefixed write of one wire frame.
   void send_frame(std::span<const std::uint8_t> payload);
@@ -94,8 +131,13 @@ class Socket {
  private:
   void send_all(const void* data, std::size_t bytes);
   void recv_all(void* data, std::size_t bytes);
+  /// Applies a fault-injection decision for `site` ("socket.send" /
+  /// "socket.recv"); may sleep, sever the connection, or — send-side —
+  /// write a deliberately truncated frame before severing.
+  void apply_fault(const char* site, std::span<const std::uint8_t> payload);
 
   int fd_ = -1;
+  std::string peer_;
 };
 
 /// A bound, listening stream socket. For kUnix addresses, bind unlinks a
@@ -113,7 +155,9 @@ class ListenSocket {
   [[nodiscard]] static ListenSocket bind_to(const Address& address);
 
   /// Blocks until a peer connects. Throws WireError when the socket was
-  /// closed (the accept loop's stop signal) or on accept failure.
+  /// closed (the accept loop's stop signal) or on accept failure. The
+  /// accepted socket's peer label is this listener's own address — see
+  /// Socket::set_peer.
   [[nodiscard]] Socket accept();
 
   /// Waits up to `timeout_ms` for a pending connection; false on timeout.

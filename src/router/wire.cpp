@@ -201,6 +201,7 @@ std::vector<std::uint8_t> encode_predict_batch(
     writer.write_u32(request.user_id);
     writer.write_u64(request.k);
     writer.write_u64(request.trace_id);
+    writer.write_f64(request.deadline_ms);
     write_window(writer, request.window);
   }
   return writer.take();
@@ -221,6 +222,7 @@ std::vector<serve::PredictRequest> decode_predict_batch(
     request.user_id = reader.read_u32();
     request.k = static_cast<std::size_t>(reader.read_u64());
     request.trace_id = reader.read_u64();
+    request.deadline_ms = reader.read_f64();
     request.window = read_window(reader);
     requests.push_back(request);
   }

@@ -28,7 +28,16 @@
 //                                     the obs::Registry (stage histograms)
 //                                     + the slow-request trace journal
 //   kDrain        → kAck              graceful shutdown: the engine stops
-//                                     accepting and exits its run loop
+//                                     accepting and exits its run loop.
+//                                     CONTRACT: drain is idempotent, the
+//                                     ack must arrive within the caller's
+//                                     drain deadline (the Router bounds the
+//                                     exchange with RouterConfig::
+//                                     drain_timeout_ms), and a wedged
+//                                     engine that cannot ack in time is
+//                                     ABANDONED, not waited on — the caller
+//                                     proceeds with teardown and the
+//                                     process supervisor owns the rest
 //
 // Versioning: the predict-batch, stats-reply, and metrics-reply frames
 // carry an explicit version byte right after the verb (kPredictFrameVersion
@@ -36,9 +45,10 @@
 // tree, so layout changes are legal — but they must be DELIBERATE: bumping
 // the constant makes a stale peer fail with a clear SerializeError naming
 // the mismatch instead of silently misparsing bytes. Version 2 of the
-// predict frame added the per-request trace id; version 2 of the stats
-// frame replaced the raw latency sample vector with the bounded
-// obs::HistogramState.
+// predict frame added the per-request trace id; version 3 the per-request
+// deadline budget (engines shed already-expired work at admission). Version
+// 2 of the stats frame replaced the raw latency sample vector with the
+// bounded obs::HistogramState.
 //
 // Malformed frames (bad verb, truncated body, trailing bytes) throw
 // SerializeError; the engine answers with a kAck{ok=false} rather than
@@ -75,8 +85,9 @@ enum class Verb : std::uint8_t {
   kMetricsReply = 69,
 };
 
-/// Layout version of the kPredictBatch frame (v2: + per-request trace id).
-inline constexpr std::uint8_t kPredictFrameVersion = 2;
+/// Layout version of the kPredictBatch frame (v2: + per-request trace id;
+/// v3: + per-request deadline budget in ms).
+inline constexpr std::uint8_t kPredictFrameVersion = 3;
 /// Layout version of kStatsReply / kMetricsReply (v2: histogram latency
 /// state instead of raw samples).
 inline constexpr std::uint8_t kStatsFrameVersion = 2;

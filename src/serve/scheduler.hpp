@@ -73,6 +73,14 @@ struct PredictRequest {
   /// sampling (SchedulerConfig::trace_sample_every). A router in front of
   /// the engine stamps its own id here so one trace spans both processes.
   std::uint64_t trace_id = 0;
+  /// Remaining latency budget in milliseconds, measured from submit()/
+  /// serve() entry. 0 (the default) means no deadline. A request whose
+  /// budget has expired by the time a drain picks it up is SHED (ok =
+  /// false, rejected = true) instead of forwarded — nobody reads an answer
+  /// that arrives after its deadline. The Router decrements the budget by
+  /// its own elapsed time before putting it on the wire, so the engine-side
+  /// check composes with wire + queueing delay.
+  double deadline_ms = 0.0;
 };
 
 struct PredictResponse {
@@ -213,6 +221,9 @@ class BatchScheduler {
   /// Stage histograms resolved once at construction so the hot path never
   /// touches the registry lock (obs::Registry reference stability).
   std::array<obs::Histogram*, obs::kStageCount> stage_hist_{};
+  /// Requests shed because their deadline budget expired before a drain
+  /// reached them (registered eagerly so it exports as 0, not absent).
+  obs::Counter* deadline_shed_counter_ = nullptr;
 
   Mutex mutex_;
   std::condition_variable queue_cv_;  ///< drainer waits: work available

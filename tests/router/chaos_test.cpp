@@ -1,0 +1,129 @@
+// Acceptance: one engine of a live 2-process fleet is STALLED — fault
+// injection via PELICAN_FAULT in that engine's environment, the process
+// stays up, nothing is SIGKILLed — and every read still completes within
+// its deadline, bit-identical to the unfaulted reference, first via hedged
+// requests and then, as the stalling persists, via quarantine.
+//
+// This is the hung-engine scenario the SIGKILL failover test cannot cover:
+// the engine accepts connections, answers health probes and admin verbs,
+// but its predict handling sleeps 30 s per request. Dead-engine detection
+// never fires; the deadline/hedge/quarantine machinery must carry the
+// traffic.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "router/router.hpp"
+#include "router_support.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+TEST(ChaosTest, StalledEngineIsMaskedByHedgesThenQuarantined) {
+  constexpr std::uint32_t kUsers = 24;
+  constexpr double kDeadlineMs = 10000.0;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
+
+  // Engine 0 boots with a seeded stall on its predict handler — and ONLY
+  // that verb: deploys, health probes, and drain answer normally, so the
+  // process looks alive to everything but predict traffic.
+  rt::EngineProcesses engines;
+  const pid_t stalled_pid = engines.spawn(
+      dir, 0,
+      {{"PELICAN_FAULT",
+        "seed=42;rule=site:engine.handle.predict_batch,action:stall,"
+        "ms:30000"}});
+  ASSERT_GT(stalled_pid, 0);
+  ASSERT_GT(engines.spawn(dir, 1), 0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)));
+  }
+
+  RouterConfig config;
+  config.hedge_delay_ms = 50.0;        // pinned: no p99 history yet
+  config.hedge_budget_fraction = 1.0;  // the budget must not gate this test
+  config.request_timeout_ms = 2000.0;
+  // The stalled engine's HEALTH verb answers fine — only predicts hang —
+  // so without a long hold-down the recovery prober would fold it straight
+  // back in and the fleet would flap for the rest of the test.
+  config.quarantine_holddown_ms = 60000.0;
+  Router router(config);
+  (void)router.add_backend(dir.socket_address(0));
+  (void)router.add_backend(dir.socket_address(1));
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+  }
+
+  // The unfaulted ground truth: reference deployments of the same store
+  // artifacts. Every request carries a deadline that rides the wire.
+  Rng rng(29);
+  std::vector<serve::PredictRequest> requests;
+  std::vector<std::vector<std::uint16_t>> expected;
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    serve::PredictRequest request{user, random_window(rng), 3};
+    request.deadline_ms = kDeadlineMs;
+    requests.push_back(request);
+    expected.push_back(
+        rt::reference_deployment(user, 1).predict_top_k(request.window, 3));
+  }
+
+  // Several passes: early ones are carried by hedges (the stalled engine
+  // keeps its partitions, the duplicate read wins), and the accumulating
+  // timeout strikes then quarantine it. EVERY read of EVERY pass must make
+  // its deadline with unchanged bits.
+  for (int pass = 0; pass < 5; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto responses = router.serve(requests);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed_ms, kDeadlineMs)
+        << "pass " << pass << " blew the request deadline";
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok)
+          << "pass " << pass << ", user " << requests[i].user_id;
+      EXPECT_EQ(responses[i].locations, expected[i])
+          << "chaos must never change served bits (pass " << pass << ")";
+    }
+  }
+
+  // The stall was masked by hedges and/or quarantine — and the stalled
+  // process is still alive: this is the hung path, not the SIGKILL path.
+  const auto hedges =
+      router.metrics().counter("router_hedges_total").value();
+  const auto quarantines =
+      router.metrics().counter("router_quarantines_total").value();
+  EXPECT_GT(hedges + quarantines, 0u)
+      << "the stall must have been routed around, not waited out";
+  EXPECT_EQ(::kill(stalled_pid, 0), 0)
+      << "the stalled engine must still be running (nothing was killed)";
+
+  // Persistent stalling ends in quarantine: by the last pass the stalled
+  // engine owns nothing and the survivor serves everyone directly.
+  EXPECT_EQ(router.quarantined_backends(),
+            std::vector<std::string>{dir.socket_address(0)});
+  EXPECT_EQ(router.live_backends(),
+            std::vector<std::string>{dir.socket_address(1)});
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    EXPECT_EQ(router.owner_of(user), dir.socket_address(1));
+  }
+
+  // Teardown: the healthy engine drains cleanly; the stalled one gets its
+  // drain too (its drain verb is unfaulted) but may still hold sleeping
+  // predict threads, so EngineProcesses' destructor reaps it by force.
+  router.drain_fleet();
+  EXPECT_EQ(engines.reap(1), 0) << "the healthy engine must exit cleanly";
+}
+
+}  // namespace
+}  // namespace pelican::router

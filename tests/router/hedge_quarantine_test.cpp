@@ -1,0 +1,232 @@
+// Tail tolerance against HUNG (not dead) engines, in-process so the fault
+// injector can be driven programmatically:
+//
+//   hedge        a stalled predict handler loses the race to a hedged
+//                duplicate on the second engine — bit-identical answer,
+//                no failover, hedge counters visible.
+//   quarantine   an engine stalling predicts AND health probes is
+//                quarantined (partitions move, users re-deploy) and the
+//                serve call still answers within its own call; lifting the
+//                fault lets the recovery prober fold the engine back in.
+//   drain        drain_fleet() of a wedged engine returns within the drain
+//                deadline instead of hanging teardown.
+//
+// Every test clears the global injector on exit (the workers share this
+// process); stalls are interruptible, so clear() also releases any engine
+// handler thread still sleeping inside a faulted handle_frame.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "router/engine_worker.hpp"
+#include "router/router.hpp"
+#include "router_support.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+/// Clears the process-global injector even when an ASSERT unwinds the test.
+struct FaultGuard {
+  ~FaultGuard() { fault::Injector::global().clear(); }
+};
+
+/// Polls `condition` for up to five seconds.
+template <typename Condition>
+bool eventually(Condition condition) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return condition();
+}
+
+class HedgeQuarantineTest : public ::testing::Test {
+ protected:
+  // Enough users that both engines own at least one with overwhelming
+  // probability (the partition split depends on the per-run socket paths).
+  static constexpr std::uint32_t kUsers = 16;
+
+  void SetUp() override {
+    rt::fill_store(dir_.store_root(), kUsers, /*versions=*/1);
+    for (std::size_t i = 0; i < 2; ++i) {
+      workers_.push_back(
+          std::make_unique<EngineWorker>(rt::engine_config(dir_, i)));
+      workers_.back()->start();
+    }
+  }
+
+  void TearDown() override {
+    fault::Injector::global().clear();
+    workers_.clear();
+  }
+
+  void deploy_all(Router& router) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      (void)router.add_backend(dir_.socket_address(i));
+    }
+    for (std::uint32_t user = 0; user < kUsers; ++user) {
+      router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+    }
+  }
+
+  /// Requests covering every user plus their reference answers.
+  void build_requests() {
+    Rng rng(17);
+    for (std::uint32_t user = 0; user < kUsers; ++user) {
+      requests_.push_back({user, random_window(rng), 3});
+      expected_.push_back(rt::reference_deployment(user, 1)
+                              .predict_top_k(requests_.back().window, 3));
+    }
+  }
+
+  rt::TempDir dir_;
+  std::vector<std::unique_ptr<EngineWorker>> workers_;
+  std::vector<serve::PredictRequest> requests_;
+  std::vector<std::vector<std::uint16_t>> expected_;
+};
+
+TEST_F(HedgeQuarantineTest, HedgeWinsAgainstStalledPredictHandler) {
+  FaultGuard guard;
+  RouterConfig config;
+  config.hedge_delay_ms = 25.0;         // hedge fast, the stall is forever
+  config.hedge_budget_fraction = 1.0;   // budget must not gate this test
+  config.request_timeout_ms = 10000.0;  // the hedge, not a timeout, must win
+  Router router(config);
+  deploy_all(router);
+  build_requests();
+
+  // Stall ONLY engine 0's predict handling: deploys, probes, and everything
+  // on engine 1 run normally.
+  fault::Rule stall;
+  stall.site = "engine.handle.predict_batch";
+  stall.peer = dir_.socket_address(0);
+  stall.action = fault::Action::kStall;
+  stall.delay_ms = 60000.0;
+  fault::Injector::global().configure({stall}, /*seed=*/1);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto responses = router.serve(requests_);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok) << "user " << requests_[i].user_id;
+    EXPECT_EQ(responses[i].locations, expected_[i])
+        << "the hedged copy must serve the same bits";
+  }
+  // The answer came from the hedge, not from waiting out the 10 s timeout.
+  EXPECT_LT(elapsed, std::chrono::seconds(8));
+  EXPECT_GE(router.metrics().counter("router_hedges_total").value(), 1u);
+  EXPECT_GE(router.metrics().counter("router_hedge_wins_total").value(), 1u);
+  // The stalled engine was never declared dead — hedging routed around it.
+  EXPECT_EQ(router.live_backends().size() + router.quarantined_backends()
+                                                .size(),
+            2u);
+
+  fault::Injector::global().clear();  // release the stalled handler thread
+}
+
+TEST_F(HedgeQuarantineTest, StalledEngineIsQuarantinedThenRecovers) {
+  FaultGuard guard;
+  RouterConfig config;
+  config.hedge_delay_ms = -1.0;  // quarantine path only, no hedging
+  config.request_timeout_ms = 250.0;
+  config.probe_timeout_ms = 100.0;
+  config.probe_interval_ms = 50.0;
+  config.quarantine_holddown_ms = 100.0;  // short: the test WANTS recovery
+  Router router(config);
+  deploy_all(router);
+  build_requests();
+
+  // Stall EVERYTHING engine 0 handles — predicts and health probes alike:
+  // a genuinely wedged process that still accepts connections.
+  fault::Rule stall;
+  stall.site = "engine.handle.";
+  stall.peer = dir_.socket_address(0);
+  stall.action = fault::Action::kStall;
+  stall.delay_ms = 60000.0;
+  fault::Injector::global().configure({stall}, /*seed=*/1);
+
+  // One serve call must ride out the timeout, quarantine the wedged engine,
+  // and answer every request from the survivor — correctly.
+  const auto responses = router.serve(requests_);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok)
+        << "user " << requests_[i].user_id
+        << " must be answered via quarantine-failover";
+    EXPECT_EQ(responses[i].locations, expected_[i]);
+  }
+  EXPECT_EQ(router.quarantined_backends(),
+            std::vector<std::string>{dir_.socket_address(0)});
+  EXPECT_EQ(router.live_backends(),
+            std::vector<std::string>{dir_.socket_address(1)});
+  EXPECT_GE(router.metrics().counter("router_request_timeouts_total").value(),
+            1u);
+  EXPECT_EQ(router.metrics().counter("router_quarantines_total").value(), 1u);
+
+  // Lift the fault: the wedged engine answers probes again, and the
+  // recovery prober folds it back into the fleet.
+  fault::Injector::global().clear();
+  EXPECT_TRUE(eventually([&] { return router.live_backends().size() == 2; }))
+      << "a recovered engine must be unquarantined";
+  EXPECT_TRUE(router.quarantined_backends().empty());
+  EXPECT_EQ(router.metrics().counter("router_unquarantines_total").value(),
+            1u);
+
+  // Back at full strength: the recovered engine owns partitions again and
+  // serves its users with unchanged bits (its ledger re-deploy happened at
+  // unquarantine).
+  const auto after = router.serve(requests_);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_TRUE(after[i].ok);
+    EXPECT_EQ(after[i].locations, expected_[i]);
+  }
+  bool recovered_engine_owns_something = false;
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    if (router.owner_of(user) == dir_.socket_address(0)) {
+      recovered_engine_owns_something = true;
+    }
+  }
+  EXPECT_TRUE(recovered_engine_owns_something)
+      << "unquarantine must hand partitions back";
+}
+
+TEST_F(HedgeQuarantineTest, DrainOfWedgedEngineHonorsDrainDeadline) {
+  FaultGuard guard;
+  RouterConfig config;
+  config.hedge_delay_ms = -1.0;
+  config.drain_timeout_ms = 200.0;
+  Router router(config);
+  deploy_all(router);
+
+  fault::Rule stall;
+  stall.site = "engine.handle.drain";
+  stall.peer = dir_.socket_address(0);
+  stall.action = fault::Action::kStall;
+  stall.delay_ms = 60000.0;
+  fault::Injector::global().configure({stall}, /*seed=*/1);
+
+  const auto start = std::chrono::steady_clock::now();
+  router.drain_fleet();  // engine 0 never acks; the deadline bounds the wait
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "a wedged engine must not hang drain_fleet";
+  EXPECT_TRUE(router.live_backends().empty());
+
+  fault::Injector::global().clear();  // release engine 0's drain handler
+  // Engine 1 received its drain and winds down on its own; worker teardown
+  // in TearDown() covers engine 0.
+  workers_[1]->wait();
+}
+
+}  // namespace
+}  // namespace pelican::router

@@ -144,7 +144,12 @@ inline std::string engined_path() {
 }
 
 /// fork+exec of one engine process. Returns the child pid (-1 on failure).
-inline pid_t spawn_engined(const TempDir& dir, std::size_t index) {
+/// `env` entries are setenv'd in the CHILD only (between fork and exec) —
+/// how chaos tests hand one specific engine a PELICAN_FAULT spec without
+/// faulting the test harness or its siblings.
+inline pid_t spawn_engined(
+    const TempDir& dir, std::size_t index,
+    const std::vector<std::pair<std::string, std::string>>& env = {}) {
   const std::string binary = engined_path();
   const std::string listen = dir.socket_address(index);
   const std::string store = dir.store_root().string();
@@ -165,6 +170,9 @@ inline pid_t spawn_engined(const TempDir& dir, std::size_t index) {
     // open and hang ctest on pipe EOF.
     ::prctl(PR_SET_PDEATHSIG, SIGKILL);
     if (::getppid() != parent) ::_exit(127);  // parent already gone
+    for (const auto& [key, value] : env) {
+      ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    }
     ::execv(binary.c_str(), argv.data());
     ::_exit(127);  // exec failed; the parent's connect wait will time out
   }
@@ -211,9 +219,12 @@ class EngineProcesses {
   EngineProcesses& operator=(const EngineProcesses&) = delete;
 
   /// Spawns engine `index` of `dir`'s fleet and tracks it. Returns the pid
-  /// (<= 0 on failure, untracked).
-  pid_t spawn(const TempDir& dir, std::size_t index) {
-    const pid_t pid = spawn_engined(dir, index);
+  /// (<= 0 on failure, untracked). `env` reaches the child only (see
+  /// spawn_engined) — e.g. a PELICAN_FAULT spec for chaos tests.
+  pid_t spawn(const TempDir& dir, std::size_t index,
+              const std::vector<std::pair<std::string, std::string>>& env =
+                  {}) {
+    const pid_t pid = spawn_engined(dir, index, env);
     if (pid > 0) pids_.push_back(pid);
     return pid;
   }

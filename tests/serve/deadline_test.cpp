@@ -1,0 +1,125 @@
+// Deadline shedding at the BatchScheduler drain: a request whose
+// deadline_ms budget expired between enqueue and pickup is answered
+// rejected instead of forwarded, requests with slack (or no deadline) are
+// served normally, and the shed is visible in requests_deadline_shed_total.
+//
+// Expiry is made deterministic with the same trick the admission tests use:
+// max_delay parks the drainer long enough that a tiny budget is provably
+// gone by pickup, while a generous budget provably is not.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "serve_support.hpp"
+
+namespace pelican::serve {
+namespace {
+
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_deployment;
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<DeploymentRegistry>(4);
+    for (std::uint32_t user = 0; user < 4; ++user) {
+      registry_->deploy(user, tiny_deployment(user));
+    }
+  }
+
+  std::unique_ptr<DeploymentRegistry> registry_;
+};
+
+TEST_F(DeadlineTest, ExpiredBudgetIsShedAtPickup) {
+  // The drainer waits out max_delay (100 ms) before draining a non-full
+  // batch, so a 1 ms budget is long expired at pickup while the 10 s one
+  // is not.
+  BatchScheduler scheduler(
+      *registry_,
+      {.max_batch = 1000, .max_delay = std::chrono::milliseconds(100)});
+  Rng rng(7);
+  PredictRequest doomed{0, random_window(rng), 3};
+  doomed.deadline_ms = 1.0;
+  PredictRequest relaxed{1, random_window(rng), 3};
+  relaxed.deadline_ms = 10000.0;
+  PredictRequest undeadlined{2, random_window(rng), 3};
+
+  auto doomed_future = scheduler.submit(doomed);
+  auto relaxed_future = scheduler.submit(relaxed);
+  auto undeadlined_future = scheduler.submit(undeadlined);
+
+  const PredictResponse shed = doomed_future.get();
+  EXPECT_FALSE(shed.ok);
+  EXPECT_TRUE(shed.rejected);
+  EXPECT_TRUE(shed.locations.empty());
+
+  const PredictResponse served = relaxed_future.get();
+  EXPECT_TRUE(served.ok);
+  EXPECT_FALSE(served.locations.empty());
+  const PredictResponse served_no_deadline = undeadlined_future.get();
+  EXPECT_TRUE(served_no_deadline.ok);
+
+  EXPECT_EQ(scheduler.metrics()
+                .counter("requests_deadline_shed_total")
+                .value(),
+            1u);
+  EXPECT_EQ(scheduler.stats().snapshot().requests_shed, 1u);
+}
+
+TEST_F(DeadlineTest, SheddingNeverChangesSurvivorsBits) {
+  // A mixed batch where half the requests expire must serve the survivors
+  // with the same bits as an unfaulted run: batching is grouped AFTER the
+  // shed, and grouping never changes results.
+  Rng rng(11);
+  std::vector<PredictRequest> requests;
+  requests.reserve(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    PredictRequest request{i % 4, random_window(rng), 3};
+    requests.push_back(request);
+  }
+
+  BatchScheduler baseline(*registry_, {.max_batch = 8});
+  const auto expected = baseline.serve(requests);
+
+  // Same windows, but odd requests carry an already-expired budget. serve()
+  // measures the budget from entry, so a negative-slack budget cannot be
+  // faked without sleeping; instead give odd requests a microscopic budget
+  // and even ones none, then compare the even (served) rows bit for bit.
+  std::vector<PredictRequest> mixed = requests;
+  for (std::size_t i = 1; i < mixed.size(); i += 2) {
+    mixed[i].deadline_ms = 1e-9;
+  }
+  BatchScheduler scheduler(*registry_, {.max_batch = 8});
+  const auto responses = scheduler.serve(mixed);
+  ASSERT_EQ(responses.size(), expected.size());
+  for (std::size_t i = 0; i < responses.size(); i += 2) {
+    ASSERT_TRUE(responses[i].ok) << "even request " << i << " must serve";
+    EXPECT_EQ(responses[i].locations, expected[i].locations)
+        << "deadline shedding must not perturb surviving answers";
+  }
+}
+
+TEST_F(DeadlineTest, ZeroDeadlineMeansNoDeadline) {
+  BatchScheduler scheduler(*registry_, {.max_batch = 4});
+  Rng rng(13);
+  std::vector<PredictRequest> requests;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    requests.push_back({i, random_window(rng), 3});  // deadline_ms = 0
+  }
+  const auto responses = scheduler.serve(requests);
+  for (const auto& response : responses) {
+    EXPECT_TRUE(response.ok);
+    EXPECT_FALSE(response.rejected);
+  }
+  EXPECT_EQ(scheduler.metrics()
+                .counter("requests_deadline_shed_total")
+                .value(),
+            0u);
+}
+
+}  // namespace
+}  // namespace pelican::serve

@@ -5,6 +5,13 @@
 //
 //   pelican_statsz --engine unix:/tmp/pelican/e0.sock
 //                  --engine unix:/tmp/pelican/e1.sock [--json] [--out PATH]
+//                  [--router-file PATH]
+//
+// The router is not an engine (it has no listen socket to scrape), but its
+// self-report — Router::self_report() serialized with encode_metrics_reply,
+// carrying the hedge/retry/quarantine counters and router-side stage
+// histograms — can be dropped into a file and merged here via
+// --router-file, appearing as the pseudo-engine "router".
 //
 // The fleet view is the EXACT bucket-wise merge of the per-engine stage
 // histograms (all histograms share fixed boundaries — see obs/metrics.hpp),
@@ -18,6 +25,8 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,8 +42,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --engine ADDR [--engine ADDR ...] [--json] [--out PATH]\n"
-               "ADDR is unix:<path> or tcp:<host>:<port>.\n";
+            << " --engine ADDR [--engine ADDR ...] [--json] [--out PATH]"
+               " [--router-file PATH]\n"
+               "ADDR is unix:<path> or tcp:<host>:<port>. --router-file\n"
+               "merges an encode_metrics_reply dump of the router's own\n"
+               "self_report() as the pseudo-engine \"router\".\n";
   return 2;
 }
 
@@ -43,6 +55,14 @@ router::EngineMetricsReport scrape(const std::string& address) {
       router::Socket::connect_to(router::parse_address(address));
   socket.send_frame(router::encode_metrics());
   return router::decode_metrics_reply(socket.recv_frame());
+}
+
+router::EngineMetricsReport read_router_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  const std::vector<std::uint8_t> frame(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  return router::decode_metrics_reply(frame);
 }
 
 std::string stats_json(const serve::ServerStats::State& stats) {
@@ -62,6 +82,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> engines;
   bool json = false;
   std::string out_path;
+  std::string router_file;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--json") {
@@ -70,11 +91,13 @@ int main(int argc, char** argv) {
       engines.emplace_back(argv[++i]);
     } else if (flag == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (flag == "--router-file" && i + 1 < argc) {
+      router_file = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (engines.empty()) return usage(argv[0]);
+  if (engines.empty() && router_file.empty()) return usage(argv[0]);
 
   bool all_ok = true;
   std::vector<std::pair<std::string, router::EngineMetricsReport>> reports;
@@ -85,6 +108,17 @@ int main(int argc, char** argv) {
       reports.emplace_back(address, std::move(report));
     } catch (const std::exception& error) {
       std::cerr << "pelican_statsz: scrape of " << address
+                << " failed: " << error.what() << "\n";
+      all_ok = false;
+    }
+  }
+  if (!router_file.empty()) {
+    try {
+      router::EngineMetricsReport report = read_router_file(router_file);
+      for (obs::TraceRecord& rec : report.traces) rec.source = "router";
+      reports.emplace_back("router", std::move(report));
+    } catch (const std::exception& error) {
+      std::cerr << "pelican_statsz: reading " << router_file
                 << " failed: " << error.what() << "\n";
       all_ok = false;
     }
