@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "common/timer.hpp"
 #include "harness/results.hpp"
 #include "nn/model.hpp"
+#include "obs/timeseries.hpp"
 #include "serve/scheduler.hpp"
 
 using namespace pelican;
@@ -226,6 +228,55 @@ int main() {
                    "-", "-"});
   }
 
+  // --- Flight-recorder overhead: the sampler thread + event sites on the
+  // UNinstrumented batch-1 path. The sampler polls the scheduler's registry
+  // off-thread every 50ms (20x the flight recorder's default cadence) and
+  // the event sites are behind the same instrumentation flag as spans, so
+  // the serving threads should pay nothing measurable.
+  double bare_rps = 0.0;
+  double recorded_rps = 0.0;
+  {
+    auto registry = build_registry(scale, 8, model, spec);
+    serve::BatchScheduler scheduler(
+        *registry, {.max_batch = 1,
+                    .max_delay = std::chrono::microseconds(2000)});
+    scheduler.set_instrumentation(false);
+    const auto run = [&] {
+      const Stopwatch watch;
+      const auto responses = scheduler.serve(requests);
+      for (const auto& response : responses) {
+        if (!response.ok) std::exit(1);
+      }
+      return watch.seconds();
+    };
+    (void)run();  // warmup
+    obs::FleetSampler sampler(
+        [&scheduler] { return scheduler.metrics().state(); },
+        obs::FleetSamplerConfig{.interval_ms = 50.0, .capacity = 4096});
+    // Interleaved like the tracing comparison, but best-of-reps (the
+    // nn_micro discipline) instead of summed: the claim under test is the
+    // SERVING THREADS' cost (registry contention, flag checks), and on a
+    // saturated single-core box a summed comparison mostly measures the
+    // sampler thread's timeslices — by-design off-thread work that no
+    // serving request waits on.
+    double bare_seconds = std::numeric_limits<double>::infinity();
+    double recorded_seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 10; ++rep) {
+      bare_seconds = std::min(bare_seconds, run());
+      sampler.start();
+      recorded_seconds = std::min(recorded_seconds, run());
+      sampler.stop();
+    }
+    bare_rps = static_cast<double>(requests.size()) / bare_seconds;
+    recorded_rps = static_cast<double>(requests.size()) / recorded_seconds;
+    table.add_row({"engine-bare", "8", "1", Table::num(bare_rps, 0),
+                   Table::num(bare_rps / baseline_rps, 1) + "x", "1.00", "-",
+                   "-"});
+    table.add_row({"engine-recorded", "8", "1", Table::num(recorded_rps, 0),
+                   Table::num(recorded_rps / baseline_rps, 1) + "x", "1.00",
+                   "-", "-"});
+  }
+
   std::cout << table;
   bench::write_bench_json("serve_throughput", table);
 
@@ -242,5 +293,17 @@ int main() {
   std::cout << "tracing overhead <= 2% on the batch-1 path: "
             << (tracing_holds ? "HOLDS" : "DIFFERS") << " ("
             << Table::num(overhead * 100.0, 2) << "%)\n";
+  const double recorder_overhead =
+      bare_rps > 0.0 ? 1.0 - recorded_rps / bare_rps : 0.0;
+  const bool recorder_holds = recorder_overhead <= 0.01;
+  std::cout << "flight-recorder overhead <= 1% on the uninstrumented "
+               "batch-1 path: "
+            << (recorder_holds ? "HOLDS" : "DIFFERS") << " ("
+            << Table::num(recorder_overhead * 100.0, 2) << "%)\n";
+  if (cores < 2 && !recorder_holds) {
+    std::cout << "note: on a single core the sampler thread's timeslices "
+                 "are charged to the serving threads; target applies at "
+                 ">= 2 cores\n";
+  }
   return 0;
 }

@@ -1,0 +1,88 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace pelican::obs {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kQuarantine: return "quarantine";
+    case EventType::kUnquarantine: return "unquarantine";
+    case EventType::kHedgeWin: return "hedge_win";
+    case EventType::kPublish: return "publish";
+    case EventType::kFailover: return "failover";
+    case EventType::kDeadlineShed: return "deadline_shed";
+    case EventType::kSloBreach: return "slo_breach";
+    case EventType::kSloRecovered: return "slo_recovered";
+  }
+  return "unknown";
+}
+
+void EventJournal::emit(EventType type, std::string subject,
+                        std::string detail, std::uint64_t trace_id) {
+  if (capacity_ == 0) return;
+  Event event;
+  event.unix_ms = unix_now_ms();
+  event.type = type;
+  event.trace_id = trace_id;
+  event.subject = std::move(subject);
+  event.detail = std::move(detail);
+  const MutexLock lock(mutex_);
+  event.seq = next_seq_++;
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+std::vector<Event> EventJournal::snapshot() const {
+  const MutexLock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<Event> EventJournal::since(std::uint64_t after_seq) const {
+  const MutexLock lock(mutex_);
+  std::vector<Event> out;
+  for (const Event& event : ring_) {
+    if (event.seq > after_seq) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t EventJournal::size() const {
+  const MutexLock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t EventJournal::dropped() const {
+  const MutexLock lock(mutex_);
+  return dropped_;
+}
+
+void EventJournal::clear() {
+  const MutexLock lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+void merge_events(std::vector<Event>& into, std::vector<Event> events,
+                  const std::string& source) {
+  for (Event& event : events) {
+    if (event.source.empty()) event.source = source;
+    into.push_back(std::move(event));
+  }
+}
+
+void sort_events(std::vector<Event>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.unix_ms != b.unix_ms) return a.unix_ms < b.unix_ms;
+                     return a.seq < b.seq;
+                   });
+}
+
+}  // namespace pelican::obs

@@ -1,0 +1,104 @@
+// Bounded structured event journal — the discrete half of the flight
+// recorder (the continuous half is obs/timeseries).
+//
+// Counters answer "how many times has X happened"; the journal answers
+// "WHEN did X happen, to WHOM, and which request saw it". Every event
+// carries a wall-clock timestamp (obs::unix_now_ms, comparable across
+// processes), an optional trace id linking it to the PR 7 span journal,
+// a subject (the backend address, user id, or objective the event is
+// about) and a free-text detail. Emission sites live next to the counters
+// they narrate: the router emits quarantine/unquarantine, hedge-win,
+// failover, publish, and deadline-shed-burst events at exactly the lines
+// that already bump `router_*_total`; the engine scheduler does the same
+// for its shed bursts.
+//
+// Bounded by design: the journal is a fixed-capacity ring — emit() is one
+// short critical section, eviction is O(1), and memory is independent of
+// uptime. Evictions are counted (`dropped()`) so a scrape can tell a quiet
+// fleet from a wrapped journal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace pelican::obs {
+
+/// Event taxonomy. Kept deliberately small: each value is a *fleet state
+/// transition or tail-latency save*, not a log level. Values are
+/// wire-stable (serialized as u8 in the kMetrics reply) — append only.
+enum class EventType : std::uint8_t {
+  kQuarantine = 0,   ///< backend stashed after timeout strikes / probe fail
+  kUnquarantine,     ///< recovery prober folded a backend back in
+  kHedgeWin,         ///< a hedged duplicate read beat the primary
+  kPublish,          ///< a model version went live (stall-free swap)
+  kFailover,         ///< backend dropped on transport failure (not stashed)
+  kDeadlineShed,     ///< a burst of requests shed past their deadlines
+  kSloBreach,        ///< an SLO's multi-window burn rate crossed threshold
+  kSloRecovered,     ///< a breached SLO's burn rate dropped back under
+};
+inline constexpr std::uint8_t kEventTypeCount = 8;
+
+/// Human name for an event type ("quarantine", "hedge_win", ...).
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+
+/// One journal entry. `seq` is per-journal and strictly increasing, so a
+/// poller can resume from the last seq it saw; `source` is empty locally
+/// and tagged by mergers (Router::fleet_metrics, statsz) like TraceRecord.
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t unix_ms = 0;
+  EventType type = EventType::kQuarantine;
+  std::uint64_t trace_id = 0;  ///< 0 = not tied to a specific request
+  std::string subject;
+  std::string detail;
+  std::string source;
+};
+
+/// Fixed-capacity, thread-safe event ring. All methods are safe from any
+/// thread; emit() is a short lock (event sites are control-plane or
+/// burst-aggregated, never per-request hot path).
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Record one event, stamped with unix_now_ms. Evicts the oldest entry
+  /// when full.
+  void emit(EventType type, std::string subject, std::string detail = "",
+            std::uint64_t trace_id = 0);
+
+  /// All retained events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  /// Retained events with seq > `after_seq`, oldest first.
+  [[nodiscard]] std::vector<Event> since(std::uint64_t after_seq) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events evicted because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::deque<Event> ring_ PELICAN_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ PELICAN_GUARDED_BY(mutex_) = 1;
+  std::uint64_t dropped_ PELICAN_GUARDED_BY(mutex_) = 0;
+};
+
+/// Tag `events` with `source` (only where empty) and append to `into`.
+/// Mergers sort the combined journal by (unix_ms, seq) afterwards via
+/// sort_events so a fleet view interleaves correctly.
+void merge_events(std::vector<Event>& into, std::vector<Event> events,
+                  const std::string& source);
+
+/// Order a merged journal by wall-clock time, then per-journal seq.
+void sort_events(std::vector<Event>& events);
+
+}  // namespace pelican::obs

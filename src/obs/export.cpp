@@ -69,13 +69,29 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+std::string prometheus_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_text(const RegistryState& state,
                             const std::string& labels) {
   std::string out;
   for (const auto& [name, value] : state.counters) {
     append_metric_line(out, name, labels, num(value));
   }
+  std::uint64_t invalid_total = 0;
   for (const auto& [name, hist] : state.histograms) {
+    invalid_total += hist.invalid;
     append_metric_line(out, name + "_count", labels, num(hist.count));
     append_metric_line(out, name + "_sum", labels, num(hist.sum));
     append_metric_line(out, name + "_max", labels, num(hist.max));
@@ -95,6 +111,10 @@ std::string prometheus_text(const RegistryState& state,
                          num(cumulative));
     }
   }
+  if (!state.histograms.empty()) {
+    append_metric_line(out, "histogram_invalid_observations_total", labels,
+                       num(invalid_total));
+  }
   return out;
 }
 
@@ -113,6 +133,7 @@ std::string registry_json(const RegistryState& state) {
     first = false;
     out += '"' + json_escape(name) + "\":{";
     out += "\"count\":" + num(hist.count);
+    out += ",\"invalid\":" + num(hist.invalid);
     out += ",\"sum\":" + num(hist.sum);
     out += ",\"max\":" + num(hist.max);
     out += ",\"p50\":" + num(Histogram::percentile_of(hist, 50.0));
@@ -137,6 +158,69 @@ std::string traces_json(std::span<const TraceRecord> traces) {
       out += "{\"stage\":\"";
       out += to_string(rec.spans[s].stage);
       out += "\",\"duration_ms\":" + num(rec.spans[s].duration_ms()) + '}';
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string events_json(std::span<const Event> events) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& event = events[i];
+    if (i != 0) out += ',';
+    out += "{\"seq\":" + num(event.seq);
+    out += ",\"unix_ms\":" + num(event.unix_ms);
+    out += ",\"type\":\"";
+    out += to_string(event.type);
+    out += "\",\"trace_id\":" + num(event.trace_id);
+    out += ",\"subject\":\"" + json_escape(event.subject) + '"';
+    out += ",\"detail\":\"" + json_escape(event.detail) + '"';
+    out += ",\"source\":\"" + json_escape(event.source) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string timeseries_json(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, points] : series) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"t\":" + num(points[i].unix_ms);
+      out += ",\"v\":" + num(points[i].value) + '}';
+    }
+    out += ']';
+  }
+  out += "}";
+  return out;
+}
+
+std::string slos_json(std::span<const SloStatus> statuses) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& status = statuses[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(status.name) + '"';
+    out += ",\"series\":\"" + json_escape(status.series) + '"';
+    out += ",\"target\":" + num(status.target);
+    out += ",\"breached\":";
+    out += status.breached ? "true" : "false";
+    out += ",\"worst_burn\":" + num(status.worst_burn);
+    out += ",\"windows\":[";
+    for (std::size_t w = 0; w < status.windows.size(); ++w) {
+      if (w != 0) out += ',';
+      out += "{\"window_s\":" + num(status.windows[w].window_s);
+      out += ",\"burn\":" + num(status.windows[w].burn);
+      out += ",\"samples\":" +
+             num(static_cast<std::uint64_t>(status.windows[w].samples)) + '}';
     }
     out += "]}";
   }

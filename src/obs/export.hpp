@@ -12,14 +12,27 @@
 
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace pelican::obs {
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 [[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Prometheus label-VALUE escaping per the text exposition format:
+/// backslash, double-quote, and newline become \\, \", \n. Every label
+/// value interpolated into a rendered label body must pass through this
+/// (addresses can hold backslashes on exotic filesystems; nothing stops a
+/// store path from holding a quote).
+[[nodiscard]] std::string prometheus_escape_label_value(
+    const std::string& value);
 
 /// Prometheus text for one registry snapshot. `labels` is the rendered
 /// label body without braces (e.g. `engine="unix:/tmp/e0.sock"`), empty for
@@ -32,5 +45,18 @@ namespace pelican::obs {
 
 /// `[{"trace_id":...,"source":...,"total_ms":...,"spans":[...]}, ...]`.
 [[nodiscard]] std::string traces_json(std::span<const TraceRecord> traces);
+
+/// `[{"seq":...,"unix_ms":...,"type":"quarantine","trace_id":...,
+///    "subject":...,"detail":...,"source":...}, ...]`, oldest first.
+[[nodiscard]] std::string events_json(std::span<const Event> events);
+
+/// `{"name":[{"t":unix_ms,"v":value},...],...}` — the /timeseries payload.
+[[nodiscard]] std::string timeseries_json(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series);
+
+/// `[{"name":...,"series":...,"target":...,"breached":...,"worst_burn":...,
+///    "windows":[{"window_s":...,"burn":...,"samples":...},...]}, ...]`.
+[[nodiscard]] std::string slos_json(std::span<const SloStatus> statuses);
 
 }  // namespace pelican::obs

@@ -1,0 +1,61 @@
+#include "obs/http.hpp"
+
+namespace pelican::obs {
+
+bool http_head_complete(std::string_view buffer) noexcept {
+  return buffer.find("\r\n\r\n") != std::string_view::npos ||
+         buffer.find("\n\n") != std::string_view::npos;
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view head) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  std::string_view line = eol == std::string_view::npos ? head
+                                                        : head.substr(0, eol);
+  if (line.empty() || line.find('\0') != std::string_view::npos) {
+    return std::nullopt;
+  }
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) {
+    return std::nullopt;
+  }
+  const std::size_t target_start = method_end + 1;
+  const std::size_t target_end = line.find(' ', target_start);
+  if (target_end == std::string_view::npos || target_end == target_start) {
+    return std::nullopt;
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, method_end));
+  request.target =
+      std::string(line.substr(target_start, target_end - target_start));
+  request.version = std::string(line.substr(target_end + 1));
+  if (request.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  return request;
+}
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+  }
+  return "Unknown";
+}
+
+std::string render_http_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += http_status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace pelican::obs

@@ -63,6 +63,13 @@ double Histogram::bucket_upper(std::size_t i) noexcept {
 }
 
 void Histogram::observe(double value) noexcept {
+  if (!std::isfinite(value) || value < 0.0) {
+    // bucket_index would already route these to the underflow bucket, but
+    // the sum/max updates below would not survive them (one NaN makes sum_
+    // NaN forever). Clamp to an explicit 0.0 observation and tally it.
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    value = 0.0;
+  }
   buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, value);
@@ -103,6 +110,7 @@ HistogramState Histogram::state() const {
   if (out.count == 0) return out;
   out.sum = sum_.load(std::memory_order_relaxed);
   out.max = max_.load(std::memory_order_relaxed);
+  out.invalid = invalid_.load(std::memory_order_relaxed);
   out.buckets.resize(kNumBuckets);
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
@@ -123,6 +131,7 @@ void HistogramState::merge(const HistogramState& other) {
   count += other.count;
   sum += other.sum;
   max = std::max(max, other.max);
+  invalid += other.invalid;
 }
 
 void Histogram::merge(const HistogramState& other) noexcept {
@@ -134,6 +143,7 @@ void Histogram::merge(const HistogramState& other) noexcept {
     }
   }
   count_.fetch_add(other.count, std::memory_order_relaxed);
+  invalid_.fetch_add(other.invalid, std::memory_order_relaxed);
   atomic_add(sum_, other.sum);
   atomic_max(max_, other.max);
 }
@@ -141,6 +151,7 @@ void Histogram::merge(const HistogramState& other) noexcept {
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
 }

@@ -67,6 +67,11 @@ struct HistogramState {
   std::uint64_t count = 0;
   double sum = 0.0;
   double max = 0.0;
+  /// Observations rejected as NaN/inf/negative and clamped to bucket 0
+  /// (still counted in `count`); exposed as
+  /// `histogram_invalid_observations_total` so poisoned instrumentation is
+  /// visible instead of silently corrupting sums.
+  std::uint64_t invalid = 0;
 
   /// Exact bucket-wise fold of `other` into this state.
   void merge(const HistogramState& other);
@@ -95,11 +100,17 @@ class Histogram {
   [[nodiscard]] static double bucket_lower(std::size_t i) noexcept;
   [[nodiscard]] static double bucket_upper(std::size_t i) noexcept;
 
-  /// Wait-free record of one observation.
+  /// Wait-free record of one observation. NaN, infinite, and negative
+  /// values are invalid: they clamp to 0 (the underflow bucket) so counts
+  /// stay consistent, never touch the tracked max, and are tallied in
+  /// invalid() — one NaN must not poison the running sum forever.
   void observe(double value) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t invalid() const noexcept {
+    return invalid_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
@@ -124,6 +135,7 @@ class Histogram {
  private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> invalid_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
 };

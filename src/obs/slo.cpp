@@ -1,0 +1,126 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace pelican::obs {
+namespace {
+
+SloWindowBurn window_burn(const std::vector<SeriesPoint>& points,
+                          std::uint64_t now_ms, const SloSpec& spec,
+                          double window_s) {
+  SloWindowBurn out;
+  out.window_s = window_s;
+  const auto span_ms = static_cast<std::uint64_t>(window_s * 1000.0);
+  const std::uint64_t since = now_ms > span_ms ? now_ms - span_ms : 0;
+  std::size_t bad = 0;
+  for (const SeriesPoint& point : points) {
+    if (point.unix_ms < since) continue;
+    ++out.samples;
+    if (!(point.value <= spec.target)) ++bad;  // NaN counts as bad
+  }
+  if (out.samples == 0 || spec.budget_fraction <= 0.0) return out;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(out.samples);
+  out.burn = bad_fraction / spec.budget_fraction;
+  return out;
+}
+
+std::string burn_detail(const SloStatus& status) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "burn=%.2f series=%s target=%g",
+                status.worst_burn, status.series.c_str(), status.target);
+  return buf;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(const TimeSeriesStore& store, Registry* metrics,
+                       EventJournal* events)
+    : store_(store), events_(events) {
+  if (metrics != nullptr) {
+    // Eager registration: the counters exist (at 0) from the first scrape,
+    // same discipline as the router's eager counter pointers.
+    breaches_ = &metrics->counter("slo_breaches_total");
+    recoveries_ = &metrics->counter("slo_recoveries_total");
+  }
+}
+
+void SloTracker::add(SloSpec spec) {
+  const MutexLock lock(mutex_);
+  slos_.push_back(Tracked{std::move(spec), false});
+}
+
+std::size_t SloTracker::size() const {
+  const MutexLock lock(mutex_);
+  return slos_.size();
+}
+
+std::vector<SloStatus> SloTracker::evaluate() {
+  const std::uint64_t now_ms = unix_now_ms();
+  std::vector<SloStatus> statuses;
+  struct Transition {
+    SloStatus status;
+    bool breached_now = false;
+  };
+  std::vector<Transition> transitions;
+  {
+    const MutexLock lock(mutex_);
+    statuses.reserve(slos_.size());
+    for (Tracked& tracked : slos_) {
+      const SloSpec& spec = tracked.spec;
+      SloStatus status;
+      status.name = spec.name;
+      status.series = spec.series;
+      status.target = spec.target;
+      const std::vector<SeriesPoint> points = store_.series(spec.series);
+      bool all_burning = !spec.windows_s.empty();
+      for (double window_s : spec.windows_s) {
+        SloWindowBurn burn = window_burn(points, now_ms, spec, window_s);
+        if (burn.samples == 0 || burn.burn < spec.burn_threshold) {
+          all_burning = false;
+        }
+        if (burn.samples > 0) {
+          status.worst_burn = std::max(status.worst_burn, burn.burn);
+        }
+        status.windows.push_back(std::move(burn));
+      }
+      status.breached = all_burning;
+      if (status.breached != tracked.breached) {
+        tracked.breached = status.breached;
+        transitions.push_back(Transition{status, status.breached});
+      }
+      statuses.push_back(std::move(status));
+    }
+    last_ = statuses;
+  }
+  // Transitions are recorded off the tracker lock: the journal and the
+  // counters have their own synchronization, and evaluate() may be called
+  // from the sampler thread while a scrape holds other locks.
+  for (const Transition& transition : transitions) {
+    if (transition.breached_now) {
+      if (breaches_ != nullptr) breaches_->add();
+      if (events_ != nullptr) {
+        events_->emit(EventType::kSloBreach, transition.status.name,
+                      burn_detail(transition.status));
+      }
+    } else {
+      if (recoveries_ != nullptr) recoveries_->add();
+      if (events_ != nullptr) {
+        events_->emit(EventType::kSloRecovered, transition.status.name,
+                      burn_detail(transition.status));
+      }
+    }
+  }
+  return statuses;
+}
+
+std::vector<SloStatus> SloTracker::status() const {
+  const MutexLock lock(mutex_);
+  return last_;
+}
+
+}  // namespace pelican::obs

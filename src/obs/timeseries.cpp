@@ -1,0 +1,213 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace pelican::obs {
+namespace {
+
+std::uint64_t clamped_sub(std::uint64_t newer, std::uint64_t older) noexcept {
+  return newer >= older ? newer - older : 0;
+}
+
+/// Bucket-wise `newer - older`. A reset (any count going backwards) makes
+/// the subtraction meaningless, so the newer snapshot passes through whole
+/// — same "first sighting" semantics as an unknown name.
+HistogramState delta_histogram(const HistogramState& newer,
+                               const HistogramState& older) {
+  if (older.count == 0 || newer.count < older.count ||
+      newer.buckets.size() != older.buckets.size()) {
+    return newer;
+  }
+  HistogramState out;
+  out.count = newer.count - older.count;
+  if (out.count == 0) return out;
+  out.sum = newer.sum - older.sum;
+  out.max = newer.max;  // lifetime max: documented upper bound (header)
+  out.invalid = clamped_sub(newer.invalid, older.invalid);
+  out.buckets.resize(newer.buckets.size());
+  for (std::size_t i = 0; i < newer.buckets.size(); ++i) {
+    out.buckets[i] = clamped_sub(newer.buckets[i], older.buckets[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RegistryState delta_state(const RegistryState& newer,
+                          const RegistryState& older) {
+  RegistryState out;
+  out.counters.reserve(newer.counters.size());
+  for (const auto& [name, value] : newer.counters) {
+    auto it = std::find_if(older.counters.begin(), older.counters.end(),
+                           [&](const auto& c) { return c.first == name; });
+    const std::uint64_t base = it == older.counters.end() ? 0 : it->second;
+    out.counters.emplace_back(name, clamped_sub(value, base));
+  }
+  out.histograms.reserve(newer.histograms.size());
+  for (const auto& [name, state] : newer.histograms) {
+    auto it = std::find_if(older.histograms.begin(), older.histograms.end(),
+                           [&](const auto& h) { return h.first == name; });
+    out.histograms.emplace_back(
+        name, it == older.histograms.end() ? state
+                                           : delta_histogram(state, it->second));
+  }
+  return out;
+}
+
+void TimeSeriesStore::push(const std::string& name, std::uint64_t unix_ms,
+                           double value) {
+  if (capacity_ == 0) return;
+  const MutexLock lock(mutex_);
+  std::deque<SeriesPoint>& ring = series_[name];
+  if (ring.size() >= capacity_) ring.pop_front();
+  ring.push_back(SeriesPoint{unix_ms, value});
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::series(
+    const std::string& name) const {
+  const MutexLock lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::series_since(
+    const std::string& name, std::uint64_t since_unix_ms) const {
+  const MutexLock lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  std::vector<SeriesPoint> out;
+  for (const SeriesPoint& point : it->second) {
+    if (point.unix_ms >= since_unix_ms) out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  const MutexLock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) out.push_back(name);
+  return out;  // std::map iteration order is already sorted
+}
+
+std::vector<std::pair<std::string, std::vector<SeriesPoint>>>
+TimeSeriesStore::snapshot() const {
+  const MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    out.emplace_back(name,
+                     std::vector<SeriesPoint>(ring.begin(), ring.end()));
+  }
+  return out;
+}
+
+void TimeSeriesStore::clear() {
+  const MutexLock lock(mutex_);
+  series_.clear();
+}
+
+FleetSampler::FleetSampler(Source source, FleetSamplerConfig config)
+    : source_(std::move(source)),
+      config_(std::move(config)),
+      store_(config_.capacity) {}
+
+FleetSampler::~FleetSampler() { stop(); }
+
+void FleetSampler::set_on_sample(std::function<void()> hook) {
+  on_sample_ = std::move(hook);
+}
+
+void FleetSampler::start() {
+  {
+    const MutexLock lock(lifecycle_mutex_);
+    if (running_.load(std::memory_order_relaxed)) return;
+    stopping_ = false;
+    running_.store(true, std::memory_order_relaxed);
+  }
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void FleetSampler::stop() {
+  {
+    const MutexLock lock(lifecycle_mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void FleetSampler::run_loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.interval_ms));
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (true) {
+    {
+      MutexLock lock(lifecycle_mutex_);
+      while (!stopping_ && std::chrono::steady_clock::now() < next) {
+        lock.wait_until(wake_cv_, next);
+      }
+      if (stopping_) return;
+    }
+    next += interval;
+    // Never burst-catch-up after a slow poll: one tick per wakeup, and the
+    // schedule re-anchors if the source itself outran the interval.
+    const auto now = std::chrono::steady_clock::now();
+    if (next < now) next = now + interval;
+    sample_now();
+  }
+}
+
+void FleetSampler::sample_now() {
+  if (!tick()) return;
+  if (on_sample_) on_sample_();
+}
+
+bool FleetSampler::tick() {
+  RegistryState state;
+  try {
+    state = source_();
+  } catch (...) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t stamp = unix_now_ms();
+  const auto at = std::chrono::steady_clock::now();
+  {
+    const MutexLock lock(sample_mutex_);
+    if (has_prev_) {
+      const double dt_s =
+          std::chrono::duration<double>(at - prev_at_).count();
+      if (dt_s > 0.0) {
+        const RegistryState delta = delta_state(state, prev_);
+        for (const auto& [name, value] : delta.counters) {
+          store_.push(name + "_rate", stamp,
+                      static_cast<double>(value) / dt_s);
+        }
+        for (const auto& [name, hist] : delta.histograms) {
+          if (hist.count == 0) continue;  // quiet interval: no point to plot
+          store_.push(name + "_rate", stamp,
+                      static_cast<double>(hist.count) / dt_s);
+          for (const auto& [suffix, q] : config_.quantiles) {
+            store_.push(name + suffix, stamp,
+                        Histogram::percentile_of(hist, q));
+          }
+        }
+      }
+    }
+    prev_ = std::move(state);
+    prev_at_ = at;
+    has_prev_ = true;
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace pelican::obs

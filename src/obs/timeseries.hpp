@@ -1,0 +1,178 @@
+// The continuous half of the flight recorder: fixed-capacity ring-buffer
+// time series fed by a background sampler.
+//
+// PR 7's `Router::fleet_metrics()` is a *snapshot* — exact, cheap, but
+// memoryless. This module adds the time dimension: a `FleetSampler` polls
+// any RegistryState source (the router's fleet merge, or a local Registry)
+// on a fixed interval and stores DERIVED series, not raw states:
+//
+//   - per counter: `<name>_rate` — exact delta / elapsed seconds. Exact
+//     because counters are monotonic u64s; the subtraction of two snapshots
+//     is the true event count of the interval.
+//   - per histogram: `<name>_rate`, `<name>_p50`, `<name>_p99` — computed
+//     from the INTERVAL histogram obtained by bucket-wise subtraction of
+//     consecutive snapshots (`delta_state`). This is exact for the same
+//     reason fleet merges are exact (PR 7): every histogram shares
+//     compile-time bucket boundaries, so subtraction is the precise
+//     per-interval distribution, and the quantile estimate carries only
+//     the usual <= 9.06% bucket-width error — over the interval's own
+//     samples, not a lifetime average.
+//
+// Memory is bounded by construction: each series is a ring of
+// `capacity` points; a 600-point ring at 1 Hz is ten minutes of history
+// in ~10 KB per series. The sampler thread is the only writer; readers
+// (HTTP exposition, SLO evaluation, tests) take snapshots under the same
+// annotated mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+#include "obs/metrics.hpp"
+
+namespace pelican::obs {
+
+/// One sample: wall-clock stamp (comparable across processes) + value.
+struct SeriesPoint {
+  std::uint64_t unix_ms = 0;
+  double value = 0.0;
+};
+
+/// Exact interval state: `newer - older`, counter-wise and bucket-wise.
+///
+/// Counters/buckets that went backwards (a registry reset between samples)
+/// clamp to 0 rather than underflowing. A histogram's interval `max` is
+/// NOT recoverable from two cumulative snapshots — the lifetime max is
+/// carried instead, a documented upper bound; interval quantiles come from
+/// the subtracted buckets and are unaffected. Names present only in
+/// `newer` pass through whole (first sighting = whole history is the
+/// interval); names only in `older` are dropped.
+[[nodiscard]] RegistryState delta_state(const RegistryState& newer,
+                                        const RegistryState& older);
+
+/// Named fixed-capacity rings of SeriesPoints. Thread-safe; every series
+/// shares one capacity, set at construction.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity = 600)
+      : capacity_(capacity) {}
+
+  /// Append a point to `name`'s ring (creating the series), evicting the
+  /// oldest point when full.
+  void push(const std::string& name, std::uint64_t unix_ms, double value);
+
+  /// All points of one series, oldest first (empty if unknown).
+  [[nodiscard]] std::vector<SeriesPoint> series(const std::string& name) const;
+  /// Points of one series with unix_ms >= since, oldest first.
+  [[nodiscard]] std::vector<SeriesPoint> series_since(
+      const std::string& name, std::uint64_t since_unix_ms) const;
+  /// Sorted names of all series.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Every series, name-sorted — the /timeseries exposition payload.
+  [[nodiscard]] std::vector<std::pair<std::string, std::vector<SeriesPoint>>>
+  snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::deque<SeriesPoint>> series_
+      PELICAN_GUARDED_BY(mutex_);
+};
+
+struct FleetSamplerConfig {
+  double interval_ms = 1000.0;    ///< background poll period
+  std::size_t capacity = 600;     ///< ring capacity of every series
+  /// Histogram quantiles materialized per interval, as (suffix, q) pairs.
+  std::vector<std::pair<std::string, double>> quantiles = {{"_p50", 50.0},
+                                                           {"_p99", 99.0}};
+};
+
+/// Background poller: snapshot -> delta -> rates/quantiles -> store.
+///
+/// The source is a std::function so obs stays below router in the layer
+/// lattice — `router::FlightRecorder` binds `Router::fleet_metrics()` in,
+/// tests and statsz bind a local Registry or a scrape loop. Source
+/// exceptions are counted (`errors()`) and the tick skipped; the thread
+/// never dies with the fleet.
+class FleetSampler {
+ public:
+  using Source = std::function<RegistryState()>;
+
+  explicit FleetSampler(Source source, FleetSamplerConfig config = {});
+  ~FleetSampler();
+
+  FleetSampler(const FleetSampler&) = delete;
+  FleetSampler& operator=(const FleetSampler&) = delete;
+
+  /// Hook run after every successful tick (SLO evaluation lives here).
+  /// Set before start(); called on the sampler thread, off the store lock.
+  void set_on_sample(std::function<void()> hook);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// One synchronous tick — poll, delta, store. Usable without start()
+  /// (tests, `statsz --watch`) and safe alongside the background thread.
+  void sample_now();
+
+  [[nodiscard]] TimeSeriesStore& store() noexcept { return store_; }
+  [[nodiscard]] const TimeSeriesStore& store() const noexcept {
+    return store_;
+  }
+
+  /// Successful ticks / failed source polls.
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t errors() const noexcept {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_loop();
+  /// Returns false if the source threw (tick skipped).
+  bool tick();
+
+  const Source source_;
+  const FleetSamplerConfig config_;
+  TimeSeriesStore store_;
+  std::function<void()> on_sample_;
+
+  /// Serializes ticks (background thread vs sample_now callers) and guards
+  /// the previous-snapshot state the delta is computed against.
+  Mutex sample_mutex_;
+  bool has_prev_ PELICAN_GUARDED_BY(sample_mutex_) = false;
+  RegistryState prev_ PELICAN_GUARDED_BY(sample_mutex_);
+  std::chrono::steady_clock::time_point prev_at_
+      PELICAN_GUARDED_BY(sample_mutex_);
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  Mutex lifecycle_mutex_;
+  std::condition_variable wake_cv_;
+  bool stopping_ PELICAN_GUARDED_BY(lifecycle_mutex_) = false;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace pelican::obs

@@ -46,6 +46,13 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
+std::uint64_t unix_now_ms() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 std::uint64_t new_trace_id() noexcept {
   // splitmix64 over a seeded counter: well-mixed, trivially cheap, and
   // collision-safe across processes because the seed folds in the pid.

@@ -53,6 +53,11 @@ inline constexpr std::size_t kStageCount = 10;
 /// Monotonic nanoseconds (steady_clock); comparable within a process only.
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
+/// Wall-clock milliseconds since the Unix epoch (system_clock); comparable
+/// ACROSS processes — this is the timestamp events and time-series points
+/// carry so a fleet-merged journal interleaves correctly.
+[[nodiscard]] std::uint64_t unix_now_ms() noexcept;
+
 /// Process-unique non-zero trace id: splitmix64 over a pid/time-seeded
 /// counter, low bit forced so 0 never escapes.
 [[nodiscard]] std::uint64_t new_trace_id() noexcept;

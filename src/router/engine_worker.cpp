@@ -187,6 +187,10 @@ std::vector<std::uint8_t> EngineWorker::handle_frame(
       case Verb::kPublish: {
         const PublishCommand command = decode_publish(frame);
         registry_.publish(command.user_id, command.version);
+        scheduler_->events().emit(
+            obs::EventType::kPublish,
+            "user " + std::to_string(command.user_id),
+            "v" + std::to_string(command.version) + " installed");
         return encode_ack({true, ""});
       }
       case Verb::kHealth: {
@@ -200,6 +204,7 @@ std::vector<std::uint8_t> EngineWorker::handle_frame(
         report.stats = scheduler_->stats().state();
         report.registry = scheduler_->metrics().state();
         report.traces = scheduler_->traces().journal();
+        report.events = scheduler_->events().snapshot();
         return encode_metrics_reply(report);
       }
       case Verb::kDrain: {

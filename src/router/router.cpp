@@ -85,7 +85,8 @@ std::shared_ptr<Router::Backend> Router::find_backend(
 std::vector<std::uint8_t> Router::exchange(Backend& backend,
                                            std::span<const std::uint8_t> frame,
                                            double timeout_ms,
-                                           ExchangeCancel* cancel) {
+                                           ExchangeCancel* cancel,
+                                           bool clears_strikes) {
   for (int attempt = 0;; ++attempt) {
     Socket socket;
     bool from_pool = false;
@@ -155,7 +156,9 @@ std::vector<std::uint8_t> Router::exchange(Backend& backend,
         }
         backend.pool_cv.notify_one();
       }
-      backend.timeout_strikes.store(0, std::memory_order_relaxed);
+      if (clears_strikes) {
+        backend.timeout_strikes.store(0, std::memory_order_relaxed);
+      }
       return reply;
     } catch (const WireTimeout&) {
       // Mid-exchange deadline: the connection's state is unknown, discard
@@ -195,16 +198,18 @@ std::vector<std::uint8_t> Router::exchange(Backend& backend,
   }
 }
 
-void Router::handle_backend_failure(const std::string& address) {
-  remove_backend(address, /*stash_quarantined=*/false);
+void Router::handle_backend_failure(const std::string& address,
+                                    std::uint64_t trace_id) {
+  remove_backend(address, /*stash_quarantined=*/false, trace_id);
 }
 
-void Router::quarantine_backend(const std::string& address) {
-  remove_backend(address, /*stash_quarantined=*/true);
+void Router::quarantine_backend(const std::string& address,
+                                std::uint64_t trace_id) {
+  remove_backend(address, /*stash_quarantined=*/true, trace_id);
 }
 
 void Router::remove_backend(const std::string& address,
-                            bool stash_quarantined) {
+                            bool stash_quarantined, std::uint64_t trace_id) {
   std::shared_ptr<Backend> backend;
   std::vector<std::pair<std::uint32_t, Deployment>> to_redeploy;
   {
@@ -233,6 +238,16 @@ void Router::remove_backend(const std::string& address,
       quarantines_counter_->add();
     }
   }
+  // Membership transitions always journal (they are rare and are the
+  // events an operator greps for first); trace_id ties the quarantine to
+  // the request whose timeout tripped it.
+  events_.emit(stash_quarantined ? obs::EventType::kQuarantine
+                                 : obs::EventType::kFailover,
+               address,
+               stash_quarantined
+                   ? "suspected hung; partitions moved, watching for recovery"
+                   : "transport failure; partitions moved",
+               trace_id);
   {
     // Tear down the pool and wake any thread parked waiting for a
     // connection slot — they observe !alive and fail over themselves.
@@ -269,7 +284,8 @@ bool Router::probe_backend(Backend& backend) {
   }
 }
 
-void Router::handle_backend_timeout(const std::string& address) {
+void Router::handle_backend_timeout(const std::string& address,
+                                    std::uint64_t trace_id) {
   timeouts_counter_->add();
   const auto backend = find_backend(address);
   if (backend == nullptr) return;  // already removed or quarantined
@@ -279,7 +295,7 @@ void Router::handle_backend_timeout(const std::string& address) {
     // Persistently slow is hung for the caller's purposes, whatever the
     // health verb says (its handler thread may be fine while predict
     // handlers are livelocked).
-    quarantine_backend(address);
+    quarantine_backend(address, trace_id);
     return;
   }
   // Rate-limit the suspicion probe: a timeout storm across serve threads
@@ -293,7 +309,7 @@ void Router::handle_backend_timeout(const std::string& address) {
           last, now, std::memory_order_relaxed)) {
     return;  // a concurrent caller owns this probe
   }
-  if (!probe_backend(*backend)) quarantine_backend(address);
+  if (!probe_backend(*backend)) quarantine_backend(address, trace_id);
 }
 
 void Router::unquarantine_backend(const std::string& address) {
@@ -319,6 +335,8 @@ void Router::unquarantine_backend(const std::string& address) {
     }
     unquarantines_counter_->add();
   }
+  events_.emit(obs::EventType::kUnquarantine, address,
+               "probe answered past hold-down; partitions restored");
   for (const auto& [user, record] : to_redeploy) {
     try {
       (void)admin_to_owner(
@@ -474,6 +492,8 @@ void Router::publish(std::uint32_t user, std::uint32_t version) {
                              std::to_string(version) +
                              " refused: " + ack.message);
   }
+  events_.emit(obs::EventType::kPublish, "user " + std::to_string(user),
+               "v" + std::to_string(version) + " live (stall-free swap)");
   const MutexLock lock(mutex_);
   const auto it = ledger_.find(user);
   if (it != ledger_.end()) it->second.version = version;
@@ -536,15 +556,28 @@ std::vector<serve::PredictResponse> Router::serve(
       const double elapsed_ms = watch.milliseconds();
       std::vector<std::size_t> alive_requests;
       alive_requests.reserve(remaining.size());
+      std::uint64_t shed = 0;
       for (const std::size_t i : remaining) {
         if (reqs[i].deadline_ms > 0.0 && elapsed_ms >= reqs[i].deadline_ms) {
           deadline_shed_counter_->add();
+          ++shed;
           responses[i].user_id = reqs[i].user_id;
           responses[i].ok = false;
           responses[i].rejected = true;
         } else {
           alive_requests.push_back(i);
         }
+      }
+      if (shed > 0 && instrument) {
+        // One journal entry per BURST, not per request — sheds cluster
+        // (a stall expires a whole round at once) and the counter above
+        // already carries the exact total.
+        events_.emit(obs::EventType::kDeadlineShed, "router",
+                     std::to_string(shed) + " of " +
+                         std::to_string(shed + alive_requests.size()) +
+                         " requests past deadline in round " +
+                         std::to_string(round),
+                     trace_ids.empty() ? 0 : trace_ids.front());
       }
       remaining.swap(alive_requests);
       if (remaining.empty()) break;
@@ -636,7 +669,8 @@ std::vector<serve::PredictResponse> Router::serve(
 
       std::thread primary([&] {
         try {
-          const auto reply = exchange(*backend, frame, timeout_ms, &cancel);
+          const auto reply = exchange(*backend, frame, timeout_ms, &cancel,
+                                      /*clears_strikes=*/true);
           auto decoded = decode_predict_replies(reply);
           if (decoded.size() != indices.size()) {
             throw WireError("predict reply count mismatch from " + address);
@@ -731,7 +765,8 @@ std::vector<serve::PredictResponse> Router::serve(
               }
             }
             const auto reply =
-                exchange(*target_backend, frame, timeout_ms);
+                exchange(*target_backend, frame, timeout_ms,
+                         /*cancel=*/nullptr, /*clears_strikes=*/true);
             auto decoded = decode_predict_replies(reply);
             if (decoded.size() != indices.size()) {
               throw WireError("predict reply count mismatch from " + target);
@@ -748,6 +783,11 @@ std::vector<serve::PredictResponse> Router::serve(
             }
             if (winner) {
               hedge_wins_counter_->add();
+              if (instrument) {
+                events_.emit(obs::EventType::kHedgeWin, target,
+                             "duplicate read beat " + address,
+                             trace_ids.empty() ? 0 : trace_ids.front());
+              }
               cancel.cancel();  // sever the straggling primary
             }
           } catch (const std::exception&) {
@@ -805,12 +845,14 @@ std::vector<serve::PredictResponse> Router::serve(
       // race) is the HUNG-engine signal: probe and maybe quarantine. A
       // transport error is the dead-engine signal — unless the error was
       // our own cancel().
+      const std::uint64_t group_trace =
+          trace_ids.empty() ? 0 : trace_ids.front();
       if (primary_timeout) {
-        handle_backend_timeout(address);
+        handle_backend_timeout(address, group_trace);
       } else if (primary_failed && !cancel.was_cancelled()) {
-        handle_backend_failure(address);
+        handle_backend_failure(address, group_trace);
       } else if (hedge_won) {
-        handle_backend_timeout(address);
+        handle_backend_timeout(address, group_trace);
       }
     };
     if (fan_out.size() == 1) {
@@ -931,6 +973,7 @@ Router::FleetMetrics Router::fleet_metrics() {
       obs::merge_state(out.registry, report.registry);
       out.traces.insert(out.traces.end(), report.traces.begin(),
                         report.traces.end());
+      obs::merge_events(out.events, report.events, address);
       out.engines.emplace_back(address, std::move(report));
     } catch (const WireTimeout&) {
       handle_backend_timeout(address);
@@ -948,6 +991,10 @@ Router::FleetMetrics Router::fleet_metrics() {
     rec.source = "router";
     out.traces.push_back(std::move(rec));
   }
+  // The event journals interleave by wall clock (events carry unix_ms
+  // exactly so cross-process ordering is meaningful).
+  obs::merge_events(out.events, events_.snapshot(), "router");
+  obs::sort_events(out.events);
   return out;
 }
 
@@ -975,6 +1022,7 @@ EngineMetricsReport Router::self_report() {
   report.stats = stats_.state();
   report.registry = metrics_.state();
   report.traces = traces_.journal();
+  report.events = events_.snapshot();
   return report;
 }
 

@@ -204,6 +204,10 @@ class Router {
     /// address (or "router"). Records sharing a trace_id are one logical
     /// request observed from both sides of the wire.
     std::vector<obs::TraceRecord> traces;
+    /// Fleet-wide structured event journal (router + engines), `source`
+    /// tagged like traces and ordered by (unix_ms, seq). Events carrying a
+    /// trace_id correlate with `traces` records of the same id.
+    std::vector<obs::Event> events;
   };
   [[nodiscard]] FleetMetrics fleet_metrics();
 
@@ -224,6 +228,11 @@ class Router {
   [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
   /// Router-side span sink + slow-request journal.
   [[nodiscard]] obs::TraceCollector& traces() noexcept { return traces_; }
+  /// Router-side structured event journal: quarantine/unquarantine,
+  /// failover, hedge wins, publishes, deadline-shed bursts. Control-plane
+  /// events (membership, publish) always record; per-request events (hedge
+  /// win, shed burst) are gated by set_instrumentation like spans.
+  [[nodiscard]] obs::EventJournal& events() noexcept { return events_; }
   /// Gates trace stamping and router-side span/histogram recording.
   void set_instrumentation(bool on) noexcept {
     instrument_.store(on, std::memory_order_relaxed);
@@ -260,7 +269,10 @@ class Router {
     /// Written under Router::mutex_, read under pool_mutex too (pool
     /// waiters bail out when their backend dies) — hence atomic.
     std::atomic<bool> alive{true};
-    /// Consecutive timeout strikes (reset by any successful exchange);
+    /// Consecutive timeout strikes (reset only by a successful DATA-PLANE
+    /// exchange — a predict answering; control-plane verbs succeeding is
+    /// exactly what a predict-livelocked engine does, and the flight
+    /// recorder's metrics polls must not launder the strikes they observe);
     /// quarantine_after_timeouts strikes quarantine the backend even when
     /// its health probe still answers.
     std::atomic<std::uint64_t> timeout_strikes{0};
@@ -317,9 +329,13 @@ class Router {
   /// typically a pooled socket that broke while parked — is retried once on
   /// a fresh connection before the error propagates. `cancel`, when given,
   /// registers the in-flight socket so a hedge winner can sever the loser.
+  /// `clears_strikes` marks a DATA-PLANE exchange: only those reset the
+  /// backend's timeout_strikes on success — a metrics poll or health probe
+  /// completing says nothing about a livelocked predict path.
   [[nodiscard]] std::vector<std::uint8_t> exchange(
       Backend& backend, std::span<const std::uint8_t> frame,
-      double timeout_ms, ExchangeCancel* cancel = nullptr);
+      double timeout_ms, ExchangeCancel* cancel = nullptr,
+      bool clears_strikes = false);
 
   /// Sends an admin frame to `user`'s owner, failing over (and retrying
   /// once) when the owner is dead. Returns the decoded ack; throws
@@ -329,16 +345,21 @@ class Router {
 
   /// Marks a backend dead, repartitions, and re-deploys its users on their
   /// failover owners. Idempotent per backend; safe to call concurrently.
-  void handle_backend_failure(const std::string& address);
+  /// `trace_id`, when non-zero, ties the resulting journal event to the
+  /// request that observed the failure.
+  void handle_backend_failure(const std::string& address,
+                              std::uint64_t trace_id = 0);
 
   /// The hung-but-alive path: rate-limited health probe of a backend that
   /// timed out (or lost a hedge race). Probe failure — or too many strikes
   /// — quarantines it; probe success only adds a strike.
-  void handle_backend_timeout(const std::string& address);
+  void handle_backend_timeout(const std::string& address,
+                              std::uint64_t trace_id = 0);
 
   /// Like handle_backend_failure, but the Backend is stashed in
   /// quarantined_ for the recovery prober instead of forgotten.
-  void quarantine_backend(const std::string& address);
+  void quarantine_backend(const std::string& address,
+                          std::uint64_t trace_id = 0);
 
   /// Folds a recovered backend back into the fleet: repartition, alive
   /// again, and the ledger users it now owns re-deployed onto it.
@@ -358,7 +379,8 @@ class Router {
 
   /// Shared by handle_backend_failure / quarantine_backend: mark dead,
   /// repartition, tear down the pool, re-deploy the orphaned users.
-  void remove_backend(const std::string& address, bool stash_quarantined);
+  void remove_backend(const std::string& address, bool stash_quarantined,
+                      std::uint64_t trace_id = 0);
 
   /// Hedge target for a group owned by `owner`: the next live backend
   /// after it in sorted order; empty when the fleet has no second choice.
@@ -384,6 +406,7 @@ class Router {
 
   obs::Registry metrics_;
   obs::TraceCollector traces_;
+  obs::EventJournal events_;
   std::atomic<bool> instrument_{true};
   /// Router-side stage histograms resolved once (reference stability) so
   /// serve() never touches the registry lock.

@@ -186,6 +186,24 @@ void Socket::recv_all(void* data, std::size_t bytes) {
   }
 }
 
+void Socket::send_bytes(std::string_view data) {
+  send_all(data.data(), data.size());
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buffer, capacity, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireTimeout("recv timed out from " + peer_);
+      }
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(got);  // 0 = orderly EOF
+  }
+}
+
 void Socket::apply_fault(const char* site,
                          std::span<const std::uint8_t> payload) {
   auto& injector = fault::Injector::global();

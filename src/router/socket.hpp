@@ -33,6 +33,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pelican::router {
@@ -121,6 +122,16 @@ class Socket {
   /// Blocking read of one full frame. Throws WireError on EOF (peer gone),
   /// I/O error, or an over-limit length prefix.
   [[nodiscard]] std::vector<std::uint8_t> recv_frame();
+
+  /// Raw (UNframed) byte I/O, for protocols with their own framing carried
+  /// over this transport — the HTTP exposition server (router/obs_http).
+  /// send_bytes writes all of `data`; recv_some performs ONE read into
+  /// `buffer`, returning the byte count — 0 means orderly EOF (unlike
+  /// recv_frame, a valid end of an HTTP request stream, not an error).
+  /// Both honor set_io_timeout (WireTimeout) and throw WireError on
+  /// transport failure.
+  void send_bytes(std::string_view data);
+  [[nodiscard]] std::size_t recv_some(char* buffer, std::size_t capacity);
 
   /// Wakes any thread blocked in this socket's I/O with an EOF/error
   /// (used to stop connection-handler threads). Safe from other threads.

@@ -73,6 +73,7 @@ void check_frame_version(BufferReader& reader, Verb verb,
 void write_histogram_state(BufferWriter& writer,
                            const obs::HistogramState& state) {
   writer.write_u64(state.count);
+  writer.write_u64(state.invalid);
   writer.write_f64(state.sum);
   writer.write_f64(state.max);
   writer.write_u64_span(state.buckets);
@@ -81,6 +82,7 @@ void write_histogram_state(BufferWriter& writer,
 obs::HistogramState read_histogram_state(BufferReader& reader) {
   obs::HistogramState state;
   state.count = reader.read_u64();
+  state.invalid = reader.read_u64();
   state.sum = reader.read_f64();
   state.max = reader.read_f64();
   state.buckets = reader.read_u64_vector();
@@ -130,6 +132,33 @@ obs::RegistryState read_registry_state(BufferReader& reader) {
     state.histograms.emplace_back(std::move(name), std::move(hist));
   }
   return state;
+}
+
+void write_event(BufferWriter& writer, const obs::Event& event) {
+  writer.write_u64(event.seq);
+  writer.write_u64(event.unix_ms);
+  writer.write_u8(static_cast<std::uint8_t>(event.type));
+  writer.write_u64(event.trace_id);
+  writer.write_string(event.subject);
+  writer.write_string(event.detail);
+  writer.write_string(event.source);
+}
+
+obs::Event read_event(BufferReader& reader) {
+  obs::Event event;
+  event.seq = reader.read_u64();
+  event.unix_ms = reader.read_u64();
+  const std::uint8_t type = reader.read_u8();
+  if (type >= obs::kEventTypeCount) {
+    throw SerializeError("wire: event type " + std::to_string(type) +
+                         " outside this build's taxonomy");
+  }
+  event.type = static_cast<obs::EventType>(type);
+  event.trace_id = reader.read_u64();
+  event.subject = reader.read_string();
+  event.detail = reader.read_string();
+  event.source = reader.read_string();
+  return event;
 }
 
 void write_trace_record(BufferWriter& writer, const obs::TraceRecord& rec) {
@@ -422,6 +451,10 @@ std::vector<std::uint8_t> encode_metrics_reply(
   for (const obs::TraceRecord& rec : report.traces) {
     write_trace_record(writer, rec);
   }
+  writer.write_u64(report.events.size());
+  for (const obs::Event& event : report.events) {
+    write_event(writer, event);
+  }
   return writer.take();
 }
 
@@ -439,6 +472,14 @@ EngineMetricsReport decode_metrics_reply(
   report.traces.reserve(static_cast<std::size_t>(traces));
   for (std::uint64_t i = 0; i < traces; ++i) {
     report.traces.push_back(read_trace_record(reader));
+  }
+  const std::uint64_t events = reader.read_u64();
+  if (events > reader.remaining()) {
+    throw SerializeError("wire: event count exceeds frame size");
+  }
+  report.events.reserve(static_cast<std::size_t>(events));
+  for (std::uint64_t i = 0; i < events; ++i) {
+    report.events.push_back(read_event(reader));
   }
   finish_decode(reader, Verb::kMetricsReply);
   return report;

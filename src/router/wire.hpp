@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "mobility/dataset.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
@@ -89,8 +90,9 @@ enum class Verb : std::uint8_t {
 /// v3: + per-request deadline budget in ms).
 inline constexpr std::uint8_t kPredictFrameVersion = 3;
 /// Layout version of kStatsReply / kMetricsReply (v2: histogram latency
-/// state instead of raw samples).
-inline constexpr std::uint8_t kStatsFrameVersion = 2;
+/// state instead of raw samples; v3: per-histogram invalid-observation
+/// count and the engine's structured event journal in the metrics reply).
+inline constexpr std::uint8_t kStatsFrameVersion = 3;
 
 [[nodiscard]] constexpr const char* to_string(Verb verb) noexcept {
   switch (verb) {
@@ -139,12 +141,14 @@ struct HealthReply {
 };
 
 /// Full observability snapshot of one engine: the classic serving counters,
-/// the stage-latency metrics registry, and the worst-N trace journal. What
+/// the stage-latency metrics registry, the worst-N trace journal, and the
+/// engine's structured event journal (publish, deadline-shed bursts). What
 /// kMetricsReply carries and what Router::fleet_metrics merges.
 struct EngineMetricsReport {
   serve::ServerStats::State stats;
   obs::RegistryState registry;
   std::vector<obs::TraceRecord> traces;
+  std::vector<obs::Event> events;
 };
 
 /// First byte of a frame. Throws SerializeError on an empty frame or a

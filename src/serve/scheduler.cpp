@@ -183,6 +183,8 @@ void BatchScheduler::execute(std::vector<Pending> items) {
     const Clock::time_point now = Clock::now();
     std::vector<Pending> admitted;
     admitted.reserve(items.size());
+    std::uint64_t shed = 0;
+    std::uint64_t shed_trace = 0;
     for (Pending& pending : items) {
       const double budget = pending.request.deadline_ms;
       const double waited_ms = std::chrono::duration<double, std::milli>(
@@ -190,10 +192,20 @@ void BatchScheduler::execute(std::vector<Pending> items) {
                                    .count();
       if (budget > 0.0 && waited_ms >= budget) {
         deadline_shed_counter_->add();
+        ++shed;
+        if (shed_trace == 0) shed_trace = pending.request.trace_id;
         answer_rejected(std::move(pending));
       } else {
         admitted.push_back(std::move(pending));
       }
+    }
+    if (shed > 0 && instrumentation_enabled()) {
+      // One burst event per drain, behind the instrumentation flag — the
+      // uninstrumented hot path must not pay a journal lock (the
+      // serve_throughput bench asserts the flight-recorder overhead bound).
+      events_.emit(obs::EventType::kDeadlineShed, "engine",
+                   std::to_string(shed) + " requests expired in queue",
+                   shed_trace);
     }
     items = std::move(admitted);
     if (items.empty()) return;

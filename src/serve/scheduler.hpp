@@ -58,6 +58,7 @@
 
 #include "common/annotations.hpp"
 #include "common/mutex.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -172,6 +173,9 @@ class BatchScheduler {
   [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
   /// Span sink + slow-request journal for this engine.
   [[nodiscard]] obs::TraceCollector& traces() noexcept { return traces_; }
+  /// Structured event journal (deadline-shed bursts; the engine worker
+  /// adds publishes). Ships to the router inside the kMetrics reply.
+  [[nodiscard]] obs::EventJournal& events() noexcept { return events_; }
 
   /// Master switch for the per-request instrumentation (stage histograms,
   /// span recording, trace sampling). ServerStats recording is NOT gated —
@@ -216,6 +220,7 @@ class BatchScheduler {
 
   obs::Registry metrics_;
   obs::TraceCollector traces_;
+  obs::EventJournal events_;
   std::atomic<bool> instrument_{true};
   std::atomic<std::uint64_t> sample_counter_{0};
   /// Stage histograms resolved once at construction so the hot path never

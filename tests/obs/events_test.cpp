@@ -1,0 +1,134 @@
+// obs events: the flight recorder's discrete half. The properties the
+// journal contract promises:
+//
+//   - bounded: a fixed-capacity ring, O(1) eviction, evictions counted;
+//   - resumable: seq is strictly increasing, since(seq) never replays;
+//   - mergeable: fleet views tag sources and interleave by wall-clock.
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pelican::obs {
+namespace {
+
+TEST(EventJournalTest, EmitStampsAndSequences) {
+  EventJournal journal;
+  journal.emit(EventType::kQuarantine, "unix:/tmp/e0.sock", "timed out", 42);
+  journal.emit(EventType::kUnquarantine, "unix:/tmp/e0.sock");
+
+  const auto events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[0].type, EventType::kQuarantine);
+  EXPECT_EQ(events[0].subject, "unix:/tmp/e0.sock");
+  EXPECT_EQ(events[0].detail, "timed out");
+  EXPECT_EQ(events[0].trace_id, 42u);
+  EXPECT_GT(events[0].unix_ms, 0u) << "wall-clock stamped at emit";
+  EXPECT_LE(events[0].unix_ms, events[1].unix_ms);
+  EXPECT_TRUE(events[0].source.empty()) << "source is tagged by mergers";
+}
+
+TEST(EventJournalTest, RingEvictsOldestAndCountsDrops) {
+  EventJournal journal(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    journal.emit(EventType::kPublish, "user " + std::to_string(i));
+  }
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.capacity(), 3u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  const auto events = journal.snapshot();
+  EXPECT_EQ(events.front().seq, 3u) << "oldest two evicted";
+  EXPECT_EQ(events.back().seq, 5u);
+  // seq keeps climbing across evictions — a poller can detect the gap.
+  journal.emit(EventType::kPublish, "user 5");
+  EXPECT_EQ(journal.snapshot().back().seq, 6u);
+}
+
+TEST(EventJournalTest, SinceResumesWithoutReplay) {
+  EventJournal journal;
+  journal.emit(EventType::kHedgeWin, "a");
+  journal.emit(EventType::kHedgeWin, "b");
+  journal.emit(EventType::kHedgeWin, "c");
+  const auto tail = journal.since(/*after_seq=*/2);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].subject, "c");
+  EXPECT_TRUE(journal.since(99).empty());
+}
+
+TEST(EventJournalTest, ZeroCapacityJournalIsInert) {
+  EventJournal journal(/*capacity=*/0);
+  journal.emit(EventType::kFailover, "x");
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_TRUE(journal.snapshot().empty());
+}
+
+TEST(EventJournalTest, ClearEmptiesTheRing) {
+  EventJournal journal;
+  journal.emit(EventType::kPublish, "u");
+  journal.clear();
+  EXPECT_EQ(journal.size(), 0u);
+}
+
+TEST(EventJournalTest, ConcurrentEmittersNeverDropWithinCapacity) {
+  EventJournal journal(/*capacity=*/4096);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.emit(EventType::kDeadlineShed, "engine");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(journal.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_EQ(journal.snapshot().back().seq,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(EventMergeTest, MergeTagsSourcesAndSortInterleavesByWallClock) {
+  // Two journals whose wall-clock ranges overlap; the merged view must
+  // interleave by unix_ms, with seq as the per-journal tiebreak.
+  std::vector<Event> merged;
+  std::vector<Event> engine0 = {
+      {1, 1000, EventType::kQuarantine, 0, "e1", "", ""},
+      {2, 3000, EventType::kUnquarantine, 0, "e1", "", ""},
+  };
+  std::vector<Event> router = {
+      {1, 2000, EventType::kHedgeWin, 7, "e0", "", "already-tagged"},
+  };
+  merge_events(merged, std::move(engine0), "unix:/tmp/e0.sock");
+  merge_events(merged, std::move(router), "router");
+  sort_events(merged);
+
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].unix_ms, 1000u);
+  EXPECT_EQ(merged[1].unix_ms, 2000u);
+  EXPECT_EQ(merged[2].unix_ms, 3000u);
+  EXPECT_EQ(merged[0].source, "unix:/tmp/e0.sock");
+  EXPECT_EQ(merged[1].source, "already-tagged")
+      << "merge only fills EMPTY sources";
+}
+
+TEST(EventTypeTest, EveryTypeHasAStableName) {
+  for (std::uint8_t v = 0; v < kEventTypeCount; ++v) {
+    const char* name = to_string(static_cast<EventType>(v));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "") << "type " << static_cast<int>(v);
+    EXPECT_NE(std::string(name), "unknown") << "type " << static_cast<int>(v);
+  }
+  EXPECT_EQ(std::string(to_string(EventType::kQuarantine)), "quarantine");
+  EXPECT_EQ(std::string(to_string(EventType::kHedgeWin)), "hedge_win");
+}
+
+}  // namespace
+}  // namespace pelican::obs

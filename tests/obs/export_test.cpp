@@ -1,0 +1,122 @@
+// obs export: the exposition renderings. The load-bearing details:
+//
+//   - Prometheus label VALUES escape backslash, quote, and newline exactly
+//     per the text-format spec (a hostile engine address must not be able
+//     to smuggle a label boundary or line break into /metrics);
+//   - histogram garbage is surfaced: the summed
+//     histogram_invalid_observations_total line appears whenever any
+//     histogram is exported;
+//   - the flight-recorder JSON payloads (events, timeseries, slos) escape
+//     free-text fields and keep their documented shapes.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace pelican::obs {
+namespace {
+
+TEST(PrometheusEscapeTest, LabelValueEscapesExactlyTheSpecTriple) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label_value("a\nb"), "a\\nb");
+  // The composite case every scraper's parser trips on.
+  EXPECT_EQ(prometheus_escape_label_value("x\\\"\ny"), "x\\\\\\\"\\ny");
+  // Other characters — including label-syntax bytes — pass through: only
+  // backslash, quote, and newline are special inside a quoted label value.
+  EXPECT_EQ(prometheus_escape_label_value("a{b},c=d"), "a{b},c=d");
+}
+
+TEST(PrometheusTextTest, EscapedLabelsProduceParseableLines) {
+  Registry registry;
+  registry.counter("requests_total").add(7);
+  const std::string nasty = "unix:/tmp/\"quoted\"\nline\\path";
+  const std::string text = prometheus_text(
+      registry.state(),
+      "engine=\"" + prometheus_escape_label_value(nasty) + "\"");
+  // The raw newline must NOT survive into the exposition: every line is
+  // one sample.
+  EXPECT_EQ(text.find("\"\nline"), std::string::npos);
+  EXPECT_NE(
+      text.find("pelican_requests_total{engine=\"unix:/tmp/"
+                "\\\"quoted\\\"\\nline\\\\path\"} 7\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, InvalidObservationsTotalIsSummedAcrossHistograms) {
+  Registry registry;
+  registry.histogram("a_ms").observe(std::numeric_limits<double>::quiet_NaN());
+  registry.histogram("a_ms").observe(1.0);
+  registry.histogram("b_ms").observe(-2.0);
+  const std::string text = prometheus_text(registry.state(), "");
+  EXPECT_NE(
+      text.find("pelican_histogram_invalid_observations_total 2\n"),
+      std::string::npos)
+      << text;
+
+  // Counter-only registries do not emit the line (no histograms to guard).
+  Registry counters_only;
+  counters_only.counter("x_total").add(1);
+  EXPECT_EQ(prometheus_text(counters_only.state(), "")
+                .find("histogram_invalid_observations_total"),
+            std::string::npos);
+}
+
+TEST(EventsJsonTest, EscapesFreeTextAndKeepsShape) {
+  std::vector<Event> events(1);
+  events[0].seq = 3;
+  events[0].unix_ms = 1700000000000;
+  events[0].type = EventType::kQuarantine;
+  events[0].trace_id = 99;
+  events[0].subject = "unix:/tmp/\"e0\".sock";
+  events[0].detail = "line1\nline2";
+  events[0].source = "router";
+  const std::string json = events_json(events);
+  EXPECT_NE(json.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+  EXPECT_NE(json.find("\\\"e0\\\""), std::string::npos) << "quotes escaped";
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos)
+      << "newline escaped";
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "payload is one line";
+  EXPECT_EQ(events_json({}), "[]");
+}
+
+TEST(TimeseriesJsonTest, SeriesRenderAsNamedPointArrays) {
+  TimeSeriesStore store;
+  store.push("requests_total_rate", 1000, 12.5);
+  store.push("requests_total_rate", 2000, 13.0);
+  const std::string json = timeseries_json(store.snapshot());
+  EXPECT_EQ(json,
+            "{\"requests_total_rate\":"
+            "[{\"t\":1000,\"v\":12.5},{\"t\":2000,\"v\":13}]}");
+}
+
+TEST(SlosJsonTest, StatusRendersBreachAndWindows) {
+  SloStatus status;
+  status.name = "predict-p99";
+  status.series = "lat_ms_p99";
+  status.target = 100.0;
+  status.breached = true;
+  status.worst_burn = 10.0;
+  status.windows.push_back({10.0, 10.0, 20});
+  const std::string json = slos_json(std::vector<SloStatus>{status});
+  EXPECT_NE(json.find("\"name\":\"predict-p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"breached\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_burn\":10"), std::string::npos);
+  EXPECT_NE(json.find("{\"window_s\":10,\"burn\":10,\"samples\":20}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pelican::obs

@@ -1,0 +1,78 @@
+// obs http: the transport-free HTTP/1.1 half of the exposition server —
+// head-completeness detection, request-line parsing, and response
+// rendering. The socket-bound accept loop is tested in
+// tests/router/obs_http_test over a real listener.
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pelican::obs {
+namespace {
+
+TEST(HttpHeadTest, CompleteOnCrlfCrlfOrLfLf) {
+  EXPECT_FALSE(http_head_complete(""));
+  EXPECT_FALSE(http_head_complete("GET / HTTP/1.1\r\n"));
+  EXPECT_FALSE(http_head_complete("GET / HTTP/1.1\r\nHost: x\r\n"));
+  EXPECT_TRUE(http_head_complete("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(http_head_complete("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_TRUE(http_head_complete("GET / HTTP/1.1\n\n"))
+      << "bare LFLF tolerated for hand-typed clients";
+}
+
+TEST(HttpParseTest, RequestLineFieldsComeThroughVerbatim) {
+  const auto request =
+      parse_http_request("GET /metrics?since=5 HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/metrics?since=5");
+  EXPECT_EQ(request->version, "HTTP/1.1");
+}
+
+TEST(HttpParseTest, MalformedHeadsAreRejected) {
+  EXPECT_FALSE(parse_http_request("\r\n\r\n").has_value()) << "empty line";
+  EXPECT_FALSE(parse_http_request("GET\r\n\r\n").has_value())
+      << "missing target and version";
+  EXPECT_FALSE(parse_http_request("GET /metrics\r\n\r\n").has_value())
+      << "missing version";
+  EXPECT_FALSE(parse_http_request("GET /metrics FTP/1.0\r\n\r\n").has_value())
+      << "version must start with HTTP/";
+  const std::string nul_head =
+      std::string("GET /me") + '\0' + "trics HTTP/1.1\r\n\r\n";
+  EXPECT_FALSE(parse_http_request(nul_head).has_value()) << "embedded NUL";
+}
+
+TEST(HttpStatusTest, CanonicalReasons) {
+  EXPECT_STREQ(http_status_reason(200), "OK");
+  EXPECT_STREQ(http_status_reason(400), "Bad Request");
+  EXPECT_STREQ(http_status_reason(404), "Not Found");
+  EXPECT_STREQ(http_status_reason(405), "Method Not Allowed");
+  EXPECT_STREQ(http_status_reason(431), "Request Header Fields Too Large");
+  EXPECT_STREQ(http_status_reason(500), "Internal Server Error");
+  EXPECT_STREQ(http_status_reason(299), "Unknown");
+}
+
+TEST(HttpRenderTest, ResponseIsOneShotWithExactContentLength) {
+  HttpResponse response;
+  response.body = "ok\n";
+  const std::string rendered = render_http_response(response);
+  EXPECT_EQ(rendered.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(rendered.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(rendered.find("Connection: close\r\n"), std::string::npos);
+  // Head/body split is exactly one blank line, body verbatim after it.
+  const auto split = rendered.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(rendered.substr(split + 4), "ok\n");
+}
+
+TEST(HttpRenderTest, ErrorStatusCarriesItsReason) {
+  const std::string rendered =
+      render_http_response({404, "text/plain; charset=utf-8", "nope\n"});
+  EXPECT_EQ(rendered.find("HTTP/1.1 404 Not Found\r\n"), 0u);
+}
+
+}  // namespace
+}  // namespace pelican::obs

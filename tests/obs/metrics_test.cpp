@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -75,6 +77,36 @@ TEST(HistogramTest, OutOfRangeAndGarbageValuesLandInEdgeBuckets) {
   EXPECT_EQ(state.buckets.back(), 1u);
   // The overflow quantile falls back to the exactly-tracked max.
   EXPECT_DOUBLE_EQ(hist.percentile(100.0), 1e30);
+}
+
+TEST(HistogramTest, GarbageObservationsAreClampedAndCounted) {
+  // Regression: a NaN latency (e.g. a 0/0 in a derived duration) used to
+  // poison sum/max forever. Non-finite and negative inputs now clamp to
+  // the underflow bucket and are tallied separately.
+  Histogram hist;
+  hist.observe(std::numeric_limits<double>::quiet_NaN());
+  hist.observe(-3.0);
+  hist.observe(-std::numeric_limits<double>::infinity());
+  hist.observe(std::numeric_limits<double>::infinity());
+  hist.observe(2.0);
+
+  const auto state = hist.state();
+  EXPECT_EQ(state.count, 5u) << "clamped observations still count";
+  EXPECT_EQ(state.invalid, 4u);
+  EXPECT_EQ(hist.invalid(), 4u);
+  EXPECT_EQ(state.buckets.front(), 4u) << "all four in the underflow bucket";
+  EXPECT_DOUBLE_EQ(state.sum, 2.0) << "garbage never reaches the sum";
+  EXPECT_DOUBLE_EQ(state.max, 2.0) << "no more max=inf/NaN";
+  EXPECT_TRUE(std::isfinite(hist.percentile(99.0)));
+
+  // invalid survives state merges (fleet aggregation) like every other
+  // histogram field.
+  Histogram other;
+  other.observe(-1.0);
+  Histogram merged;
+  merged.merge(state);
+  merged.merge(other.state());
+  EXPECT_EQ(merged.state().invalid, 5u);
 }
 
 TEST(HistogramTest, MergeIsTheExactBucketwiseSum) {

@@ -1,0 +1,144 @@
+// obs slo: multi-window burn-rate objectives over the time-series store.
+// The semantics under test:
+//
+//   - burn = (bad fraction) / (budget fraction); a sample is good iff
+//     value <= target, and NaN is always bad;
+//   - a breach requires EVERY window to have samples AND burn at or above
+//     the threshold — an empty window can never page;
+//   - transitions (not levels) bump counters and land journal events, in
+//     both directions.
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace pelican::obs {
+namespace {
+
+SloSpec p99_spec() {
+  SloSpec spec;
+  spec.name = "predict-p99";
+  spec.series = "lat_ms_p99";
+  spec.target = 100.0;          // good iff p99 <= 100ms
+  spec.budget_fraction = 0.1;   // 10% of samples may be bad
+  spec.windows_s = {5.0, 60.0};
+  spec.burn_threshold = 1.0;
+  return spec;
+}
+
+/// Pushes `n` points into the recent past (within every window).
+void push_recent(TimeSeriesStore& store, const std::string& series, int n,
+                 double value) {
+  const std::uint64_t now = unix_now_ms();
+  for (int i = 0; i < n; ++i) {
+    store.push(series, now - static_cast<std::uint64_t>(n - i), value);
+  }
+}
+
+TEST(SloTrackerTest, HealthySeriesDoesNotBreach) {
+  TimeSeriesStore store;
+  SloTracker tracker(store);
+  tracker.add(p99_spec());
+  EXPECT_EQ(tracker.size(), 1u);
+
+  push_recent(store, "lat_ms_p99", 20, 50.0);  // all good
+  const auto statuses = tracker.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].breached);
+  EXPECT_DOUBLE_EQ(statuses[0].worst_burn, 0.0);
+  ASSERT_EQ(statuses[0].windows.size(), 2u);
+  EXPECT_GT(statuses[0].windows[0].samples, 0u);
+}
+
+TEST(SloTrackerTest, EmptyWindowCannotBreach) {
+  TimeSeriesStore store;
+  SloTracker tracker(store);
+  tracker.add(p99_spec());
+  // No samples at all: burn undefined, must NOT breach.
+  EXPECT_FALSE(tracker.evaluate()[0].breached);
+}
+
+TEST(SloTrackerTest, BreachAndRecoveryAreTransitionsWithCountersAndEvents) {
+  TimeSeriesStore store;
+  Registry metrics;
+  EventJournal journal;
+  SloTracker tracker(store, &metrics, &journal);
+  tracker.add(p99_spec());
+
+  // Counters exist at zero before anything happens (eager registration).
+  EXPECT_EQ(metrics.counter("slo_breaches_total").value(), 0u);
+
+  // Every recent sample bad: bad_fraction 1.0 / budget 0.1 = burn 10.
+  push_recent(store, "lat_ms_p99", 20, 500.0);
+  auto statuses = tracker.evaluate();
+  EXPECT_TRUE(statuses[0].breached);
+  EXPECT_NEAR(statuses[0].worst_burn, 10.0, 1e-9);
+  EXPECT_EQ(metrics.counter("slo_breaches_total").value(), 1u);
+  ASSERT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal.snapshot()[0].type, EventType::kSloBreach);
+  EXPECT_EQ(journal.snapshot()[0].subject, "predict-p99");
+
+  // Still breached: a LEVEL, not a transition — nothing new recorded.
+  tracker.evaluate();
+  EXPECT_EQ(metrics.counter("slo_breaches_total").value(), 1u);
+  EXPECT_EQ(journal.size(), 1u);
+
+  // Flood the short window with good samples: its burn drops under the
+  // threshold, so the all-windows conjunction fails -> recovery.
+  push_recent(store, "lat_ms_p99", 200, 10.0);
+  statuses = tracker.evaluate();
+  EXPECT_FALSE(statuses[0].breached);
+  EXPECT_EQ(metrics.counter("slo_recoveries_total").value(), 1u);
+  ASSERT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.snapshot()[1].type, EventType::kSloRecovered);
+
+  // status() serves the retained last evaluation.
+  EXPECT_FALSE(tracker.status()[0].breached);
+}
+
+TEST(SloTrackerTest, NanSamplesCountAsBad) {
+  TimeSeriesStore store;
+  SloTracker tracker(store);
+  SloSpec spec = p99_spec();
+  spec.budget_fraction = 0.5;
+  spec.windows_s = {60.0};
+  tracker.add(spec);
+
+  push_recent(store, "lat_ms_p99",  10,
+              std::numeric_limits<double>::quiet_NaN());
+  const auto statuses = tracker.evaluate();
+  EXPECT_TRUE(statuses[0].breached) << "NaN must never read as good";
+  EXPECT_NEAR(statuses[0].worst_burn, 2.0, 1e-9);
+}
+
+TEST(SloTrackerTest, ShortWindowConfirmsItIsHappeningNow) {
+  // Old badness outside the short window: the long window burns but the
+  // short one is clean -> no breach (the incident is over).
+  TimeSeriesStore store;
+  SloTracker tracker(store);
+  SloSpec spec = p99_spec();  // windows 5s and 60s
+  tracker.add(spec);
+
+  const std::uint64_t now = unix_now_ms();
+  for (int i = 0; i < 20; ++i) {
+    store.push("lat_ms_p99", now - 30000 + static_cast<std::uint64_t>(i),
+               500.0);  // bad, ~30s ago
+  }
+  for (int i = 0; i < 20; ++i) {
+    store.push("lat_ms_p99", now - 20 + static_cast<std::uint64_t>(i),
+               10.0);  // good, now
+  }
+  const auto statuses = tracker.evaluate();
+  EXPECT_FALSE(statuses[0].breached);
+  EXPECT_GT(statuses[0].worst_burn, 1.0) << "the LONG window still burns";
+}
+
+}  // namespace
+}  // namespace pelican::obs

@@ -1,0 +1,203 @@
+// obs timeseries: the flight recorder's continuous half. The properties the
+// exposition stack depends on:
+//
+//   - delta_state is the EXACT interval: counter subtraction clamps at zero
+//     across registry resets, histogram subtraction is bucket-wise;
+//   - the store is a fixed-capacity ring per series — memory independent of
+//     uptime, oldest points evicted first;
+//   - the sampler derives rates and interval quantiles from consecutive
+//     snapshots, skips quiet series, and survives a throwing source.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace pelican::obs {
+namespace {
+
+RegistryState state_of(Registry& registry) { return registry.state(); }
+
+TEST(DeltaStateTest, CountersSubtractExactlyAndClampOnReset) {
+  Registry older;
+  older.counter("a").add(10);
+  older.counter("gone").add(5);
+  Registry newer;
+  newer.counter("a").add(17);
+  newer.counter("fresh").add(3);
+
+  const RegistryState delta = delta_state(state_of(newer), state_of(older));
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0].first, "a");
+  EXPECT_EQ(delta.counters[0].second, 7u);
+  // First sighting: the whole history is the interval.
+  EXPECT_EQ(delta.counters[1].first, "fresh");
+  EXPECT_EQ(delta.counters[1].second, 3u);
+
+  // A counter that went BACKWARDS (engine restart) clamps to zero instead
+  // of underflowing to ~2^64.
+  const RegistryState reversed = delta_state(state_of(older), state_of(newer));
+  for (const auto& [name, value] : reversed.counters) {
+    if (name == "a") {
+      EXPECT_EQ(value, 0u);
+    }
+  }
+}
+
+TEST(DeltaStateTest, HistogramDeltaIsTheExactIntervalDistribution) {
+  Registry registry;
+  Histogram& hist = registry.histogram("lat_ms");
+  hist.observe(1.0);
+  hist.observe(1.0);
+  const RegistryState before = registry.state();
+  hist.observe(100.0);
+  hist.observe(100.0);
+  hist.observe(100.0);
+  const RegistryState after = registry.state();
+
+  const RegistryState delta = delta_state(after, before);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramState& interval = delta.histograms[0].second;
+  EXPECT_EQ(interval.count, 3u);
+  EXPECT_DOUBLE_EQ(interval.sum, 300.0);
+  // The interval quantile reflects ONLY the interval's samples: all three
+  // landed near 100, so p50 must be near 100, not dragged down by the
+  // lifetime 1.0s.
+  const double p50 = Histogram::percentile_of(interval, 50.0);
+  EXPECT_NEAR(p50, 100.0, 100.0 * Histogram::kQuantileRelativeError);
+}
+
+TEST(DeltaStateTest, HistogramResetPassesTheNewSnapshotThroughWhole) {
+  Registry before;
+  before.histogram("lat_ms").observe(5.0);
+  before.histogram("lat_ms").observe(5.0);
+  Registry after;  // fresh registry: the engine restarted
+  after.histogram("lat_ms").observe(2.0);
+
+  const RegistryState delta =
+      delta_state(after.state(), before.state());
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].second.count, 1u);
+}
+
+TEST(TimeSeriesStoreTest, RingEvictsOldestAtCapacity) {
+  TimeSeriesStore store(/*capacity=*/3);
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    store.push("s", t, static_cast<double>(t) * 10.0);
+  }
+  const auto points = store.series("s");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.front().unix_ms, 3u);
+  EXPECT_EQ(points.back().unix_ms, 5u);
+  EXPECT_DOUBLE_EQ(points.back().value, 50.0);
+}
+
+TEST(TimeSeriesStoreTest, SeriesSinceAndNamesAndSnapshot) {
+  TimeSeriesStore store;
+  store.push("b", 100, 1.0);
+  store.push("a", 200, 2.0);
+  store.push("b", 300, 3.0);
+
+  EXPECT_TRUE(store.series("unknown").empty());
+  const auto recent = store.series_since("b", 200);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].unix_ms, 300u);
+
+  const auto names = store.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "a");
+  EXPECT_EQ(snapshot[1].second.size(), 2u);
+
+  store.clear();
+  EXPECT_TRUE(store.names().empty());
+}
+
+TEST(FleetSamplerTest, SampleNowDerivesRatesAndIntervalQuantiles) {
+  Registry registry;
+  FleetSampler sampler([&registry] { return registry.state(); },
+                       FleetSamplerConfig{.interval_ms = 10.0});
+
+  registry.counter("requests_total").add(100);
+  sampler.sample_now();  // baseline: nothing derived yet
+  EXPECT_EQ(sampler.ticks(), 1u);
+  EXPECT_TRUE(sampler.store().series("requests_total_rate").empty());
+
+  registry.counter("requests_total").add(50);
+  registry.histogram("lat_ms").observe(4.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.sample_now();
+
+  const auto rate = sampler.store().series("requests_total_rate");
+  ASSERT_EQ(rate.size(), 1u);
+  EXPECT_GT(rate[0].value, 0.0) << "50 events over a positive interval";
+
+  ASSERT_EQ(sampler.store().series("lat_ms_rate").size(), 1u);
+  const auto p99 = sampler.store().series("lat_ms_p99");
+  ASSERT_EQ(p99.size(), 1u);
+  EXPECT_NEAR(p99[0].value, 4.0, 4.0 * Histogram::kQuantileRelativeError);
+
+  // A quiet interval (no histogram samples) pushes no quantile points.
+  sampler.sample_now();
+  EXPECT_EQ(sampler.store().series("lat_ms_p99").size(), 1u);
+}
+
+TEST(FleetSamplerTest, BackgroundThreadTicksAndStops) {
+  Registry registry;
+  std::atomic<int> polls{0};
+  FleetSampler sampler(
+      [&] {
+        polls.fetch_add(1);
+        registry.counter("ticks_total").add(1);
+        return registry.state();
+      },
+      FleetSamplerConfig{.interval_ms = 5.0});
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  while (sampler.ticks() < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::uint64_t ticks_after_stop = sampler.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sampler.ticks(), ticks_after_stop) << "stop() ends the loop";
+  EXPECT_GE(polls.load(), 5);
+  EXPECT_FALSE(sampler.store().series("ticks_total_rate").empty());
+}
+
+TEST(FleetSamplerTest, OnSampleHookRunsAfterEveryTick) {
+  Registry registry;
+  FleetSampler sampler([&registry] { return registry.state(); });
+  std::atomic<int> hooks{0};
+  sampler.set_on_sample([&hooks] { hooks.fetch_add(1); });
+  sampler.sample_now();
+  sampler.sample_now();
+  EXPECT_EQ(hooks.load(), 2);
+}
+
+TEST(FleetSamplerTest, ThrowingSourceCountsErrorsAndSkipsTheTick) {
+  int calls = 0;
+  FleetSampler sampler([&calls]() -> RegistryState {
+    if (++calls % 2 == 1) throw std::runtime_error("fleet unreachable");
+    return {};
+  });
+  sampler.sample_now();  // throws inside: counted, not propagated
+  EXPECT_EQ(sampler.errors(), 1u);
+  EXPECT_EQ(sampler.ticks(), 0u);
+  sampler.sample_now();
+  EXPECT_EQ(sampler.ticks(), 1u);
+}
+
+}  // namespace
+}  // namespace pelican::obs

@@ -1,0 +1,239 @@
+// Acceptance: the flight recorder tells the story of a stalled engine.
+//
+// A live 2-process fleet; engine 0's predict handler stalls via a seeded
+// PELICAN_FAULT in that child's environment (the chaos_test scenario). A
+// FlightRecorder samples Router::fleet_metrics() at 50ms over the whole
+// incident. Afterwards the recorder — not the test's privileged access to
+// router internals — must show:
+//
+//   - /timeseries: a hedge-rate spike while the stall was being masked;
+//   - /events: a quarantine event whose trace id resolves to a recorded
+//     span journal trace, and an unquarantine (recovery) event once the
+//     hold-down expires and the prober folds the engine back in;
+//   - /slo: a burn-rate objective with a 10s window breaching during the
+//     stall and recovering after (multi-window: the short window clears);
+//   - all of it served over real HTTP GETs against the exposition server.
+//
+// When PELICAN_FLIGHT_DUMP is set, the full /flight JSON is written there
+// — the CI chaos lane uploads it and tools/bench_diff.py renders the
+// event timeline from it.
+#include "router/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "router/router.hpp"
+#include "router/socket.hpp"
+#include "router_support.hpp"
+
+namespace pelican::router {
+namespace {
+
+namespace rt = pelican::router_testing;
+using pelican::serve_testing::random_window;
+using pelican::serve_testing::tiny_spec;
+
+/// One-shot HTTP exchange against the exposition server.
+std::string http_get(const Address& address, const std::string& path) {
+  Socket socket = Socket::connect_to(address);
+  socket.send_bytes("GET " + path + " HTTP/1.1\r\nHost: recorder\r\n\r\n");
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const std::size_t got = socket.recv_some(buffer, sizeof(buffer));
+    if (got == 0) break;
+    response.append(buffer, got);
+  }
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// Polls `predicate` every 50ms for up to `timeout`.
+template <typename Predicate>
+bool eventually(Predicate predicate, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return predicate();
+}
+
+bool has_event(const std::vector<obs::Event>& events, obs::EventType type) {
+  return std::any_of(
+      events.begin(), events.end(),
+      [type](const obs::Event& event) { return event.type == type; });
+}
+
+TEST(FlightRecorderAcceptanceTest, StalledEngineIncidentIsFullyRecorded) {
+  constexpr std::uint32_t kUsers = 24;
+  constexpr double kDeadlineMs = 10000.0;
+  rt::TempDir dir;
+  rt::fill_store(dir.store_root(), kUsers, /*versions=*/1);
+
+  // Engine 0 stalls predicts only — health, deploy, and drain answer, so
+  // the hedge/quarantine machinery (not dead-engine detection) must act.
+  rt::EngineProcesses engines;
+  ASSERT_GT(engines.spawn(dir, 0,
+                          {{"PELICAN_FAULT",
+                            "seed=42;rule=site:engine.handle.predict_batch,"
+                            "action:stall,ms:30000"}}),
+            0);
+  ASSERT_GT(engines.spawn(dir, 1), 0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rt::wait_connectable(dir.socket_address(i)));
+  }
+
+  RouterConfig config;
+  config.hedge_delay_ms = 50.0;        // pinned: no p99 history yet
+  config.hedge_budget_fraction = 1.0;  // the budget must not gate this test
+  config.request_timeout_ms = 2000.0;
+  // SHORT hold-down, unlike chaos_test: this test wants the recovery —
+  // the prober folds engine 0 back in (its health verb answers fine) and
+  // the journal must show the unquarantine transition.
+  config.quarantine_holddown_ms = 1500.0;
+  Router router(config);
+  (void)router.add_backend(dir.socket_address(0));
+  (void)router.add_backend(dir.socket_address(1));
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    router.deploy(user, 1, tiny_spec(), rt::temperature_of(user));
+  }
+
+  // The flight recorder over the live fleet: 50ms sampling, an HTTP
+  // endpoint on the fleet's transport, and one burn-rate objective on the
+  // derived hedge-rate series. target=0: ANY hedging in an interval is a
+  // bad sample; budget 5%; breach only when BOTH the 2s and the 10s
+  // window burn — and recovery as soon as the short window clears.
+  FlightRecorderConfig recorder_config;
+  recorder_config.sample_interval_ms = 50.0;
+  recorder_config.series_capacity = 2048;
+  recorder_config.http_listen = dir.socket_address(9);
+  obs::SloSpec slo;
+  slo.name = "hedge-rate";
+  slo.series = "router_hedges_total_rate";
+  slo.target = 0.0;
+  slo.budget_fraction = 0.05;
+  slo.windows_s = {2.0, 10.0};
+  slo.burn_threshold = 1.0;
+  recorder_config.slos.push_back(slo);
+  FlightRecorder recorder(router, recorder_config);
+  recorder.start();
+
+  // --- The incident: serve until the stalled engine is quarantined ------
+  Rng rng(29);
+  std::vector<serve::PredictRequest> requests;
+  std::vector<std::vector<std::uint16_t>> expected;
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    serve::PredictRequest request{user, random_window(rng), 3};
+    request.deadline_ms = kDeadlineMs;
+    requests.push_back(request);
+    expected.push_back(
+        rt::reference_deployment(user, 1).predict_top_k(request.window, 3));
+  }
+  bool quarantined = false;
+  for (int pass = 0; pass < 12 && !quarantined; ++pass) {
+    const auto responses = router.serve(requests);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok)
+          << "pass " << pass << ", user " << requests[i].user_id;
+      EXPECT_EQ(responses[i].locations, expected[i])
+          << "the incident must never change served bits (pass " << pass
+          << ")";
+    }
+    quarantined = !router.quarantined_backends().empty();
+  }
+  ASSERT_TRUE(quarantined) << "the stalled engine was never quarantined";
+
+  // The SLO breaches while the hedging is (or just was) hot: the sampler
+  // re-judges every 50ms, so give it a moment to observe the spike.
+  ASSERT_TRUE(eventually(
+      [&] { return has_event(recorder.events(), obs::EventType::kSloBreach); },
+      std::chrono::seconds(5)))
+      << "hedge-rate SLO never reported a burn-rate breach";
+
+  // --- Recovery: hold-down expires, the prober folds engine 0 back ------
+  ASSERT_TRUE(eventually(
+      [&] {
+        return has_event(recorder.events(), obs::EventType::kUnquarantine);
+      },
+      std::chrono::seconds(10)))
+      << "the recovery prober never unquarantined the stalled engine";
+  ASSERT_TRUE(eventually(
+      [&] {
+        return has_event(recorder.events(), obs::EventType::kSloRecovered);
+      },
+      std::chrono::seconds(10)))
+      << "the hedge-rate SLO never recovered after the incident";
+
+  // --- The recorder's own story, via its public surface ------------------
+  // Hedge-rate spike in the time series.
+  const auto hedge_rate = recorder.store().series("router_hedges_total_rate");
+  ASSERT_FALSE(hedge_rate.empty());
+  EXPECT_TRUE(std::any_of(
+      hedge_rate.begin(), hedge_rate.end(),
+      [](const obs::SeriesPoint& point) { return point.value > 0.0; }))
+      << "the masked stall must appear as a hedge-rate spike";
+
+  // Quarantine event whose trace id resolves into the span journal.
+  const std::vector<obs::Event> events = recorder.events();
+  ASSERT_TRUE(has_event(events, obs::EventType::kQuarantine));
+  std::uint64_t quarantine_trace = 0;
+  for (const obs::Event& event : events) {
+    if (event.type == obs::EventType::kQuarantine && event.trace_id != 0) {
+      quarantine_trace = event.trace_id;
+      EXPECT_EQ(event.subject, dir.socket_address(0));
+      EXPECT_EQ(event.source, "router");
+    }
+  }
+  ASSERT_NE(quarantine_trace, 0u)
+      << "quarantine events must carry the triggering request's trace id";
+  const auto fleet = router.fleet_metrics();
+  EXPECT_TRUE(std::any_of(fleet.traces.begin(), fleet.traces.end(),
+                          [&](const obs::TraceRecord& rec) {
+                            return rec.trace_id == quarantine_trace;
+                          }))
+      << "the quarantine trace id must resolve to recorded spans";
+
+  // --- The same story over real HTTP -------------------------------------
+  const Address& http = recorder.http_address();
+  EXPECT_EQ(body_of(http_get(http, "/healthz")), "ok\n");
+  const std::string metrics = body_of(http_get(http, "/metrics"));
+  EXPECT_NE(metrics.find("pelican_router_hedges_total"), std::string::npos);
+  const std::string timeseries = body_of(http_get(http, "/timeseries"));
+  EXPECT_NE(timeseries.find("\"router_hedges_total_rate\""),
+            std::string::npos);
+  const std::string events_http = body_of(http_get(http, "/events"));
+  EXPECT_NE(events_http.find("\"type\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(events_http.find("\"type\":\"unquarantine\""),
+            std::string::npos);
+  const std::string slos = body_of(http_get(http, "/slo"));
+  EXPECT_NE(slos.find("\"name\":\"hedge-rate\""), std::string::npos);
+  EXPECT_NE(slos.find("\"breached\":"), std::string::npos);
+  EXPECT_EQ(http_get(http, "/nope").find("HTTP/1.1 404"), 0u);
+
+  // --- Artifact for the CI chaos lane ------------------------------------
+  if (const char* dump_path = std::getenv("PELICAN_FLIGHT_DUMP")) {
+    std::ofstream dump(dump_path, std::ios::trunc);
+    ASSERT_TRUE(dump.is_open()) << dump_path;
+    dump << recorder.flight_dump_json() << "\n";
+  }
+
+  recorder.stop();
+  router.drain_fleet();
+  EXPECT_EQ(engines.reap(1), 0) << "the healthy engine must exit cleanly";
+}
+
+}  // namespace
+}  // namespace pelican::router

@@ -4,6 +4,7 @@
 Usage:
     tools/bench_diff.py OLD NEW [--threshold PCT] [--lane NAME]
     tools/bench_diff.py --trend HISTORY [CURRENT] [--threshold PCT] [--lane NAME]
+    tools/bench_diff.py --timeline FLIGHT_DUMP
 
 Pairwise mode: OLD and NEW are either single Table-JSON files (the format
 Table::to_json emits: {"headers": [...], "rows": [[...], ...]}) or
@@ -35,6 +36,13 @@ Exit code 2 means the inputs could not be read at all.
 containing "asan", "ubsan", or "tsan") skip the comparison entirely:
 sanitizer instrumentation multiplies runtimes 2-20x, so their timings would
 only pollute the bench history and trip the drift markers with noise.
+
+Timeline mode: FLIGHT_DUMP is the /flight JSON a FlightRecorder writes
+(the chaos lane's flight_dump.json artifact, via the acceptance test's
+PELICAN_FLIGHT_DUMP). Renders the incident as a human-readable story:
+sparklines for the hedge/quarantine-relevant rate series, the event
+journal on one relative clock, and the final SLO verdicts — so a red
+chaos lane can be triaged from the job log without downloading anything.
 """
 
 import argparse
@@ -222,6 +230,101 @@ def print_trend(points, threshold_pct):
     return 0
 
 
+SPARK_LEVELS = " .:-=+*#%@"
+
+# Series worth charting in an incident timeline: the hedge/quarantine
+# machinery plus the SLO breach/recovery counters the tracker derives.
+TIMELINE_SERIES_HINTS = ("hedge", "quarantine", "failover", "slo")
+
+
+def sparkline(values, width=60):
+    """`values` resampled to `width` columns of ASCII intensity."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return SPARK_LEVELS[0] * min(width, len(values))
+    columns = min(width, len(values))
+    chars = []
+    for col in range(columns):
+        lo = col * len(values) // columns
+        hi = max(lo + 1, (col + 1) * len(values) // columns)
+        bucket_peak = max(values[lo:hi])
+        level = 0
+        if bucket_peak > 0:
+            level = 1 + int(bucket_peak / peak * (len(SPARK_LEVELS) - 2))
+            level = min(level, len(SPARK_LEVELS) - 1)
+        chars.append(SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def print_timeline(path):
+    """The flight dump as a story: sparklines, events, SLO verdicts."""
+    with open(path) as fh:
+        data = json.load(fh)
+    flight = data.get("flight", data)
+    series = flight.get("timeseries", {})
+    events = flight.get("events", [])
+    slos = flight.get("slos", [])
+
+    # One relative clock for everything: t=0 is the earliest timestamp
+    # seen in either the series or the journal.
+    stamps = [p["t"] for points in series.values() for p in points]
+    stamps += [e["unix_ms"] for e in events if e.get("unix_ms")]
+    if not stamps:
+        print(f"flight timeline: {path} holds no samples and no events")
+        return 0
+    origin = min(stamps)
+
+    print(f"flight timeline: {path}")
+    span_s = (max(stamps) - origin) / 1000.0
+    print(f"  window: {span_s:.1f}s, origin unix_ms={origin}")
+
+    charted = {
+        name: points
+        for name, points in sorted(series.items())
+        if points and any(hint in name for hint in TIMELINE_SERIES_HINTS)
+    }
+    if charted:
+        print("\n== series (peak-scaled sparklines) ==")
+        label_width = max(len(name) for name in charted)
+        for name, points in charted.items():
+            values = [p["v"] for p in points]
+            peak = max(values)
+            print(
+                f"  {name:<{label_width}} |{sparkline(values)}| "
+                f"peak {peak:g}"
+            )
+
+    if events:
+        print(f"\n== event journal ({len(events)} records) ==")
+        ordered = sorted(
+            events, key=lambda e: (e.get("unix_ms", 0), e.get("seq", 0))
+        )
+        for event in ordered:
+            offset_s = (event.get("unix_ms", origin) - origin) / 1000.0
+            line = f"  t+{offset_s:7.2f}s  {event.get('type', '?'):<14}"
+            if event.get("subject"):
+                line += f" {event['subject']}"
+            if event.get("trace_id"):
+                line += f" trace={event['trace_id']:x}"
+            if event.get("detail"):
+                line += f" :: {event['detail']}"
+            print(line)
+    else:
+        print("\n== event journal == (empty)")
+
+    if slos:
+        print("\n== SLO verdicts at capture ==")
+        for slo in slos:
+            state = "BREACHED" if slo.get("breached") else "ok"
+            print(
+                f"  {slo.get('name', '?')}: {state} "
+                f"(worst burn {slo.get('worst_burn', 0):g}x)"
+            )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -241,6 +344,13 @@ def main():
         action="store_true",
         help="print per-cell value sequences across a history directory "
         "instead of a pairwise diff",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render a flight-recorder dump (the /flight JSON in OLD) as "
+        "an incident timeline: rate sparklines, the event journal, and "
+        "SLO verdicts",
     )
     parser.add_argument(
         "--lane",
@@ -264,6 +374,16 @@ def main():
             "skipping bench comparison (timings are instrumentation noise)"
         )
         return 0
+
+    if args.timeline:
+        try:
+            return print_timeline(args.old)
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"bench_diff: cannot read flight dump: {error}",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.trend:
         try:
